@@ -1,0 +1,424 @@
+// Package buzz is the public API of the Buzz reproduction: a complete
+// implementation of the backscatter communication system from "Efficient
+// and Reliable Low-Power Backscatter Networks" (Wang, Hassanieh, Katabi,
+// Indyk — SIGCOMM 2012), running over a simulated single-tap channel.
+//
+// Buzz treats all tags as one virtual sender. A session has two phases:
+//
+//   - Identify: the reader finds the K tags that have data — out of an
+//     arbitrarily large population — with a three-stage compressive-
+//     sensing protocol whose cost depends only on K, and learns each
+//     tag's complex channel coefficient along the way.
+//   - Transfer: tags transmit their messages in random sparse subsets of
+//     time slots, forming a rateless code across the network that the
+//     reader decodes incrementally with a belief-propagation decoder.
+//     The aggregate bit rate adapts to channel quality automatically:
+//     above 1 bit/symbol on good channels, gracefully below 1 on bad
+//     ones, with no per-tag feedback.
+//
+// A minimal session:
+//
+//	tags := []buzz.Tag{
+//		{ID: 0xA11CE, Payload: []byte("t=21.5C")},
+//		{ID: 0xB0B00, Payload: []byte("t=22.1C")},
+//	}
+//	sess, err := buzz.NewSession(tags, buzz.Options{Seed: 1})
+//	...
+//	res, err := sess.Run()
+//	for _, tr := range res.Tags {
+//		fmt.Printf("%x delivered=%v payload=%q\n", tr.ID, tr.Delivered, tr.Payload)
+//	}
+//
+// Everything is deterministic given Options.Seed, which makes sessions
+// replayable — the property the whole test suite leans on.
+package buzz
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/channel"
+	"repro/internal/epc"
+	"repro/internal/identify"
+	"repro/internal/prng"
+	"repro/internal/ratedapt"
+)
+
+// CRC selects the checksum protecting each message.
+type CRC int
+
+const (
+	// CRC5 is the 5-bit EPC Gen-2 checksum, right for short sensor
+	// readings (the paper's data-phase experiments use 32-bit payloads
+	// with CRC-5).
+	CRC5 CRC = iota
+	// CRC16 is the 16-bit EPC checksum, right for longer payloads such
+	// as 96-bit EPC codes.
+	CRC16
+)
+
+func (c CRC) kind() bits.CRCKind {
+	if c == CRC16 {
+		return bits.CRC16
+	}
+	return bits.CRC5
+}
+
+// Tag is one backscatter node that has data to transmit.
+type Tag struct {
+	// ID is the tag's globally unique identifier (an EPC, serial
+	// number, …). Only its uniqueness matters; the protocols never
+	// transmit it.
+	ID uint64
+	// Payload is the message the tag wants delivered. All tags in a
+	// session must carry payloads of equal length (the slot duration is
+	// the message duration, §6 of the paper).
+	Payload []byte
+}
+
+// ChannelSpec describes the radio environment for a session.
+type ChannelSpec struct {
+	// SNRLodB and SNRHidB bound the per-tag signal-to-noise ratios,
+	// drawn uniformly (in dB) per tag. The zero value gets the default
+	// 14–30 dB bench profile.
+	SNRLodB, SNRHidB float64
+	// AGCNoiseFraction models receiver dynamic-range noise that rises
+	// with the composite received power; see the DESIGN document. Zero
+	// means the default mild impairment (0.002).
+	AGCNoiseFraction float64
+}
+
+func (c ChannelSpec) withDefaults() ChannelSpec {
+	if c.SNRLodB == 0 && c.SNRHidB == 0 {
+		c.SNRLodB, c.SNRHidB = 14, 30
+	}
+	if c.AGCNoiseFraction == 0 {
+		c.AGCNoiseFraction = 0.002
+	}
+	return c
+}
+
+// Options configures a session.
+type Options struct {
+	// Seed makes the whole session deterministic. Two sessions with
+	// equal inputs and seeds produce identical results.
+	Seed uint64
+	// CRC selects the message checksum (default CRC5).
+	CRC CRC
+	// Channel describes the radio environment.
+	Channel ChannelSpec
+	// MaxSlots caps the rateless data phase; undelivered messages at
+	// the cap are reported as not delivered. Zero means 40·K.
+	MaxSlots int
+	// KnownSchedule declares a periodic network (§4b): the set of
+	// transmitting tags is known a priori, so the session skips the
+	// identification phase and uses the tags' IDs directly as data-
+	// phase seeds. The reader is assumed to have calibrated channel
+	// estimates (from a previous round).
+	KnownSchedule bool
+}
+
+// Session is a configured Buzz deployment ready to run.
+type Session struct {
+	opts    Options
+	tags    []Tag
+	ch      *channel.Model
+	root    *prng.Source
+	payload int // payload length in bytes
+
+	ident *Identification // set after Identify
+}
+
+// NewSession validates the deployment and draws its channel realization.
+func NewSession(tags []Tag, opts Options) (*Session, error) {
+	if len(tags) == 0 {
+		return nil, errors.New("buzz: a session needs at least one tag")
+	}
+	seen := map[uint64]bool{}
+	for i, tag := range tags {
+		if seen[tag.ID] {
+			return nil, fmt.Errorf("buzz: duplicate tag id %#x", tag.ID)
+		}
+		seen[tag.ID] = true
+		if len(tag.Payload) == 0 {
+			return nil, fmt.Errorf("buzz: tag %#x has an empty payload", tag.ID)
+		}
+		if len(tag.Payload) != len(tags[0].Payload) {
+			return nil, fmt.Errorf("buzz: tag %#x payload is %d bytes, others %d — equal lengths required",
+				tag.ID, len(tag.Payload), len(tags[0].Payload))
+		}
+		_ = i
+	}
+	spec := opts.Channel.withDefaults()
+	root := prng.NewSource(prng.Mix2(opts.Seed, 0xB022))
+	ch := channel.NewFromSNRBand(len(tags), spec.SNRLodB, spec.SNRHidB, root.Fork(1))
+	ch.AGCNoiseFraction = spec.AGCNoiseFraction
+	return &Session{
+		opts:    opts,
+		tags:    append([]Tag(nil), tags...),
+		ch:      ch,
+		root:    root,
+		payload: len(tags[0].Payload),
+	}, nil
+}
+
+// Identification reports the identification phase.
+type Identification struct {
+	// KEstimate is the reader's estimate of the number of active tags.
+	KEstimate int
+	// Slots is the total identification air time in bit slots.
+	Slots int
+	// Millis is the identification air time in milliseconds at the EPC
+	// rates.
+	Millis float64
+	// Identified flags, per tag (by session order), whether the reader
+	// resolved it. Tags that drew colliding temporary ids are
+	// unidentifiable this round — rerun Identify, as real readers do.
+	Identified []bool
+
+	seeds []uint64     // data-phase seeds (temporary ids), identified tags only
+	taps  []complex128 // estimated channel coefficients, aligned with seeds
+	index []int        // session index per identified tag
+	salt  uint64
+}
+
+// IdentifiedCount returns how many tags were resolved.
+func (id *Identification) IdentifiedCount() int { return len(id.index) }
+
+// Identify runs the three-stage compressive-sensing identification
+// protocol (§5). It can be called repeatedly; each call is a fresh
+// session round with new temporary ids, and the latest result is the one
+// Transfer uses.
+func (s *Session) Identify() (*Identification, error) {
+	salt := s.root.Uint64()
+	ids := make([]uint64, len(s.tags))
+	for i, tag := range s.tags {
+		ids[i] = tag.ID
+	}
+	res, err := identify.Run(identify.Config{Salt: salt}, ids, s.ch, s.root.Fork(salt))
+	if err != nil {
+		return nil, err
+	}
+	matched, _ := identify.Match(res, ids)
+
+	out := &Identification{
+		KEstimate:  res.KEstimate,
+		Slots:      res.TotalSlots,
+		Identified: matched,
+		salt:       salt,
+	}
+	var acct epc.TimeAccount
+	acct.AddDownlink(epc.QueryBits)
+	acct.AddTurnaround(1)
+	acct.AddUplink(float64(res.TotalSlots))
+	out.Millis = acct.Millis()
+
+	// Map recovered temporary ids back to session tags, keeping the
+	// estimated taps: those are what the data-phase decoder will use.
+	tempToIdx := map[uint64]int{}
+	for i, id := range ids {
+		if matched[i] {
+			tempToIdx[identify.TempIDFor(id, salt, res.IDSpace)] = i
+		}
+	}
+	for _, ident := range res.Identified {
+		idx, ok := tempToIdx[ident.TempID]
+		if !ok {
+			continue
+		}
+		out.seeds = append(out.seeds, ident.TempID)
+		out.taps = append(out.taps, ident.Tap)
+		out.index = append(out.index, idx)
+	}
+	s.ident = out
+	return out, nil
+}
+
+// TagResult is the outcome for one tag.
+type TagResult struct {
+	// ID echoes the tag's id.
+	ID uint64
+	// Identified reports whether identification resolved the tag (true
+	// by construction for KnownSchedule sessions).
+	Identified bool
+	// Delivered reports whether the tag's message was received and
+	// passed its checksum.
+	Delivered bool
+	// Payload is the delivered message (nil if not delivered).
+	Payload []byte
+	// DecodedAtSlot is the 1-based data-phase slot at which the message
+	// verified (0 if not delivered).
+	DecodedAtSlot int
+}
+
+// Transfer reports the data phase.
+type Transfer struct {
+	// Slots is the number of collision slots used (L).
+	Slots int
+	// Millis is the data-phase air time in milliseconds.
+	Millis float64
+	// BitsPerSymbol is the aggregate rate the network achieved.
+	BitsPerSymbol float64
+	// Tags holds per-tag outcomes in session order.
+	Tags []TagResult
+	// Progress traces decoding slot by slot (the paper's Fig. 9 view).
+	Progress []SlotProgress
+}
+
+// SlotProgress is the per-slot decoding state.
+type SlotProgress struct {
+	Slot          int
+	Colliders     int
+	NewlyDecoded  int
+	TotalDecoded  int
+	BitsPerSymbol float64
+}
+
+// Delivered counts messages that arrived.
+func (t *Transfer) Delivered() int {
+	n := 0
+	for _, tag := range t.Tags {
+		if tag.Delivered {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes the full pipeline: identification (unless the session has
+// a known schedule) followed by the rateless transfer.
+func (s *Session) Run() (*Transfer, error) {
+	if !s.opts.KnownSchedule {
+		if _, err := s.Identify(); err != nil {
+			return nil, err
+		}
+	}
+	return s.TransferData()
+}
+
+// TransferData runs the rateless data phase (§6) using the latest
+// identification result — or, for KnownSchedule sessions, the static
+// schedule with true channel state.
+func (s *Session) TransferData() (*Transfer, error) {
+	var (
+		seeds []uint64
+		taps  []complex128
+		index []int
+		salt  uint64
+	)
+	switch {
+	case s.opts.KnownSchedule:
+		// Periodic mode (§4b): everyone transmits, seeded by their own
+		// id; the reader has calibrated channel state.
+		for i, tag := range s.tags {
+			seeds = append(seeds, tag.ID)
+			taps = append(taps, s.ch.Taps[i])
+			index = append(index, i)
+		}
+		salt = s.root.Uint64()
+	case s.ident == nil:
+		return nil, errors.New("buzz: TransferData before Identify (or set Options.KnownSchedule)")
+	default:
+		seeds, taps, index = s.ident.seeds, s.ident.taps, s.ident.index
+		salt = s.ident.salt
+	}
+
+	out := &Transfer{Tags: make([]TagResult, len(s.tags))}
+	for i, tag := range s.tags {
+		out.Tags[i] = TagResult{ID: tag.ID}
+	}
+	for _, idx := range index {
+		out.Tags[idx].Identified = true
+	}
+	if len(index) == 0 {
+		return out, nil
+	}
+
+	// The decoder works with the taps the reader *estimated*; the air
+	// uses the true channel. Build the decoder-side model from the
+	// estimates, aligned to the participating subset.
+	kind := s.opts.CRC.kind()
+	msgs := make([]bits.Vector, len(index))
+	trueTaps := make([]complex128, len(index))
+	for j, idx := range index {
+		msgs[j] = bytesToBits(s.tags[idx].Payload)
+		trueTaps[j] = s.ch.Taps[idx]
+	}
+	air := channel.NewExact(trueTaps, s.ch.NoisePower)
+	air.AGCNoiseFraction = s.ch.AGCNoiseFraction
+	// Estimated taps stand in for H at the decoder. ratedapt decodes
+	// with the model it is given; hand it the estimates but synthesize
+	// with the true air (difference = estimation error, which the
+	// rateless loop absorbs).
+	decoder := channel.NewExact(taps, s.ch.NoisePower)
+	decoder.AGCNoiseFraction = s.ch.AGCNoiseFraction
+
+	res, err := ratedapt.TransferEstimated(ratedapt.Config{
+		Seeds:         seeds,
+		SessionSalt:   salt,
+		CRC:           kind,
+		Restarts:      2,
+		MaxSlots:      s.opts.MaxSlots,
+		RefineChannel: !s.opts.KnownSchedule, // estimated taps need tracking
+	}, msgs, air, decoder, s.root.Fork(0xDA7A), s.root.Fork(0xDEC0))
+	if err != nil {
+		return nil, err
+	}
+
+	frameLen := s.payload*8 + kind.Width()
+	out.Slots = res.SlotsUsed
+	out.Millis = epc.UplinkMicros(float64(res.SlotsUsed*frameLen)) / 1000
+	out.BitsPerSymbol = res.BitsPerSymbol
+	for _, p := range res.Progress {
+		out.Progress = append(out.Progress, SlotProgress{
+			Slot:          p.Slot,
+			Colliders:     p.Colliders,
+			NewlyDecoded:  p.NewlyDecoded,
+			TotalDecoded:  p.TotalDecoded,
+			BitsPerSymbol: p.BitsPerSymbol,
+		})
+	}
+	payloads := res.Payloads(kind)
+	for j, idx := range index {
+		if res.Verified[j] {
+			out.Tags[idx].Delivered = true
+			out.Tags[idx].Payload = bitsToBytes(payloads[j])
+			out.Tags[idx].DecodedAtSlot = res.DecodedAtSlot[j]
+		}
+	}
+	return out, nil
+}
+
+// SNRdB exposes each tag's realized channel SNR — useful for examples
+// and diagnostics (a real reader would learn these during
+// identification).
+func (s *Session) SNRdB(i int) float64 { return s.ch.SNRdB(i) }
+
+// K returns the number of tags in the session.
+func (s *Session) K() int { return len(s.tags) }
+
+func bytesToBits(b []byte) bits.Vector {
+	out := make(bits.Vector, 0, len(b)*8)
+	for _, by := range b {
+		for i := 7; i >= 0; i-- {
+			out = append(out, (by>>uint(i))&1 == 1)
+		}
+	}
+	return out
+}
+
+func bitsToBytes(v bits.Vector) []byte {
+	out := make([]byte, len(v)/8)
+	for i := range out {
+		var by byte
+		for j := 0; j < 8; j++ {
+			by <<= 1
+			if v[i*8+j] {
+				by |= 1
+			}
+		}
+		out[i] = by
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/buzz"
+	"repro/internal/prng"
+)
+
+// The integration tests exercise the whole stack through the public API,
+// the way a downstream user would.
+
+func TestIntegrationFullPipeline(t *testing.T) {
+	// The shopping-cart scenario end to end: K items out of a huge id
+	// space, identification, then the rateless transfer, with payload
+	// integrity verified byte for byte.
+	src := prng.NewSource(1001)
+	const k = 12
+	var tags []buzz.Tag
+	seen := map[uint64]bool{}
+	for len(tags) < k {
+		id := src.Uint64() % (1 << 40)
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		tags = append(tags, buzz.Tag{
+			ID:      id,
+			Payload: []byte(fmt.Sprintf("item%03d", len(tags))),
+		})
+	}
+	sess, err := buzz.NewSession(tags, buzz.Options{Seed: 2024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := sess.Identify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.IdentifiedCount() < k-1 {
+		t.Fatalf("identified %d of %d", id.IdentifiedCount(), k)
+	}
+	res, err := sess.TransferData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range res.Tags {
+		if !tr.Identified {
+			continue // a duplicate temporary id this round; acceptable
+		}
+		if !tr.Delivered {
+			t.Errorf("identified tag %d not delivered", i)
+			continue
+		}
+		if !bytes.Equal(tr.Payload, tags[i].Payload) {
+			t.Errorf("tag %d payload corrupted: %q != %q", i, tr.Payload, tags[i].Payload)
+		}
+	}
+}
+
+func TestIntegrationRepeatedRounds(t *testing.T) {
+	// A periodic network reporting over several rounds: every round is
+	// an independent session (fresh channel realization), and every
+	// round must deliver everything — the reliability contract.
+	for round := 0; round < 5; round++ {
+		var tags []buzz.Tag
+		for i := 0; i < 6; i++ {
+			tags = append(tags, buzz.Tag{
+				ID:      uint64(0xFEED + i),
+				Payload: []byte{byte(round), byte(i), byte(round * i), 0x5A},
+			})
+		}
+		sess, err := buzz.NewSession(tags, buzz.Options{
+			Seed:          uint64(3000 + round),
+			KnownSchedule: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.TransferData()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delivered() != 6 {
+			t.Fatalf("round %d delivered %d of 6", round, res.Delivered())
+		}
+		for i, tr := range res.Tags {
+			if !bytes.Equal(tr.Payload, tags[i].Payload) {
+				t.Fatalf("round %d tag %d payload wrong", round, i)
+			}
+		}
+	}
+}
+
+func TestIntegrationIdentifyRoundsAreFresh(t *testing.T) {
+	// Re-running identification must use fresh temporary ids (new
+	// session salt): two rounds on the same session are allowed to
+	// resolve different subsets when ids collide, and must both work.
+	var tags []buzz.Tag
+	for i := 0; i < 8; i++ {
+		tags = append(tags, buzz.Tag{ID: uint64(0xAB00 + i), Payload: []byte("pp")})
+	}
+	sess, err := buzz.NewSession(tags, buzz.Options{Seed: 555})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sess.Identify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sess.Identify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IdentifiedCount() < 7 || b.IdentifiedCount() < 7 {
+		t.Fatalf("rounds identified %d and %d of 8", a.IdentifiedCount(), b.IdentifiedCount())
+	}
+	// The latest round drives the transfer.
+	res, err := sess.TransferData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered() < b.IdentifiedCount() {
+		t.Fatalf("delivered %d of %d identified", res.Delivered(), b.IdentifiedCount())
+	}
+}

@@ -1,0 +1,114 @@
+package btree
+
+import (
+	"testing"
+
+	"repro/internal/baseline/fsa"
+	"repro/internal/prng"
+)
+
+func TestRunIdentifiesEveryone(t *testing.T) {
+	src := prng.NewSource(1)
+	for _, k := range []int{1, 4, 16, 50} {
+		res, err := Run(Config{}, k, src.Fork(uint64(k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Identified+res.Duplicates < k {
+			t.Fatalf("k=%d: identified %d (+%d dups)", k, res.Identified, res.Duplicates)
+		}
+		if res.Duplicates == 0 && res.Identified != k {
+			t.Fatalf("k=%d: identified %d without duplicates", k, res.Identified)
+		}
+	}
+}
+
+func TestRunQueryCountNearTheory(t *testing.T) {
+	// Hush & Wood: expected total queries ≈ 2.9·K for uniform random
+	// ids. Check the average lands in a generous band around that.
+	src := prng.NewSource(2)
+	for _, k := range []int{8, 32} {
+		const trials = 30
+		total := 0
+		for trial := 0; trial < trials; trial++ {
+			res, err := Run(Config{}, k, src.Fork(uint64(k*1000+trial)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.Queries
+		}
+		perTag := float64(total) / float64(trials*k)
+		if perTag < 2 || perTag > 4.5 {
+			t.Fatalf("k=%d: %.2f queries per tag, theory says ~2.9", k, perTag)
+		}
+	}
+}
+
+func TestRunZeroAndNegative(t *testing.T) {
+	res, err := Run(Config{}, 0, prng.NewSource(1))
+	if err != nil || res.Queries != 0 {
+		t.Fatalf("k=0 should be free: %+v, %v", res, err)
+	}
+	if _, err := Run(Config{}, -1, prng.NewSource(1)); err == nil {
+		t.Fatal("expected error for negative k")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(Config{}, 10, prng.NewSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{}, 10, prng.NewSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Queries != b.Queries || a.Time != b.Time {
+		t.Fatal("run not deterministic")
+	}
+}
+
+func TestTimeGrowsWithK(t *testing.T) {
+	src := prng.NewSource(4)
+	avg := func(k int) float64 {
+		var total float64
+		const trials = 20
+		for trial := 0; trial < trials; trial++ {
+			r, err := Run(Config{}, k, src.Fork(uint64(k*100+trial)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += r.Time.Millis()
+		}
+		return total / trials
+	}
+	if avg(16) <= avg(4) {
+		t.Fatal("identification time should grow with K")
+	}
+}
+
+func TestComparableToFSA(t *testing.T) {
+	// Both TDMA-family schemes should land in the same cost ballpark
+	// (within ~3x of each other) — the contrast with Buzz's O(K log K)
+	// slots is the point, not which of the two legacy schemes wins.
+	src := prng.NewSource(5)
+	const k = 16
+	const trials = 20
+	var bt, fs float64
+	for trial := 0; trial < trials; trial++ {
+		rb, err := Run(Config{}, k, src.Fork(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bt += rb.Time.Millis()
+		rf, err := fsa.Run(fsa.Config{}, k, src.Fork(uint64(1000+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs += rf.Time.Millis()
+	}
+	ratio := bt / fs
+	if ratio < 1.0/3 || ratio > 3 {
+		t.Fatalf("binary tree vs FSA cost ratio %.2f outside [1/3, 3]", ratio)
+	}
+}

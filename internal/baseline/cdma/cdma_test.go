@@ -1,0 +1,173 @@
+package cdma
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/channel"
+	"repro/internal/prng"
+)
+
+func makeMessages(src *prng.Source, k, n int) []bits.Vector {
+	msgs := make([]bits.Vector, k)
+	for i := range msgs {
+		msgs[i] = bits.Random(src, n)
+	}
+	return msgs
+}
+
+func TestWalshLength(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 8: 8, 12: 16, 16: 16}
+	for k, want := range cases {
+		if got := WalshLength(k); got != want {
+			t.Errorf("WalshLength(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestWalshRowsOrthogonal(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var dot int
+				wi, wj := WalshRow(i, n), WalshRow(j, n)
+				for c := 0; c < n; c++ {
+					dot += int(wi[c]) * int(wj[c])
+				}
+				want := 0
+				if i == j {
+					want = n
+				}
+				if dot != want {
+					t.Fatalf("n=%d: <w%d, w%d> = %d, want %d", n, i, j, dot, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRunPerfectSyncDecodesAll(t *testing.T) {
+	// With perfect synchronization Walsh orthogonality holds exactly,
+	// so even near-far channels decode (the ablation reference point).
+	src := prng.NewSource(1)
+	for _, k := range []int{2, 4, 8} {
+		msgs := makeMessages(src, k, 32)
+		ch := channel.NewFromSNRBand(k, 10, 30, src) // strong near-far
+		res, err := Run(Config{CRC: bits.CRC5, SyncPerfect: true}, msgs, ch, src.Fork(uint64(k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Lost() != 0 {
+			t.Fatalf("k=%d: perfect-sync CDMA lost %d messages", k, res.Lost())
+		}
+		for i, f := range res.Frames {
+			if !bits.PayloadOf(f, bits.CRC5).Equal(msgs[i]) {
+				t.Fatalf("k=%d: tag %d payload wrong", k, i)
+			}
+		}
+	}
+}
+
+func TestRunAirTimeMatchesSpreading(t *testing.T) {
+	src := prng.NewSource(2)
+	frameLen := 32 + bits.CRC5.Width()
+	for _, k := range []int{4, 12, 16} {
+		msgs := makeMessages(src, k, 32)
+		ch := channel.NewUniform(k, 25, src)
+		res, err := Run(Config{CRC: bits.CRC5, SyncPerfect: true}, msgs, ch, src.Fork(uint64(k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SpreadingFactor != WalshLength(k) {
+			t.Fatalf("k=%d: spreading %d", k, res.SpreadingFactor)
+		}
+		if res.BitSlots != frameLen*WalshLength(k) {
+			t.Fatalf("k=%d: %d bit slots, want %d", k, res.BitSlots, frameLen*WalshLength(k))
+		}
+	}
+}
+
+func TestRunNearFarBuriesWeakTags(t *testing.T) {
+	// The paper's CDMA failure mode: with all K tags concurrently on
+	// the air, the receiver's dynamic-range (AGC) noise floor rides on
+	// the strong tags and buries the weak ones. The same channels with
+	// the same receiver decode cleanly when the near-far spread is
+	// absent.
+	src := prng.NewSource(3)
+	k := 8
+	var lostNearFar, lostFlat int
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		msgs := makeMessages(src, k, 32)
+		nearFar := channel.NewFromSNRBand(k, 6, 30, src) // 24 dB spread
+		nearFar.AGCNoiseFraction = 0.004                 // ~24 dB receiver dynamic range headroom
+		flat := channel.NewUniform(k, 18, src)
+		flat.AGCNoiseFraction = 0.004
+		noiseSeed := src.Uint64()
+		rn, err := Run(Config{CRC: bits.CRC5}, msgs, nearFar, prng.NewSource(noiseSeed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := Run(Config{CRC: bits.CRC5}, msgs, flat, prng.NewSource(noiseSeed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lostNearFar += rn.Lost()
+		lostFlat += rf.Lost()
+	}
+	if lostNearFar <= lostFlat {
+		t.Fatalf("near-far should cost messages: nearfar-lost=%d flat-lost=%d", lostNearFar, lostFlat)
+	}
+}
+
+func TestRunSwitchingDominatesOOK(t *testing.T) {
+	// BPSK chips at the spreading rate toggle the antenna far more than
+	// one-shot OOK — the Fig. 13 energy story.
+	src := prng.NewSource(4)
+	k := 8
+	msgs := makeMessages(src, k, 32)
+	ch := channel.NewUniform(k, 25, src)
+	res, err := Run(Config{CRC: bits.CRC5, SyncPerfect: true}, msgs, ch, src.Fork(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameLen := 32 + bits.CRC5.Width()
+	// Tag 0 holds Walsh row 0 (all ones) and legitimately switches only
+	// at bit boundaries; every spread tag must toggle far more.
+	for i := 1; i < len(res.SwitchCounts); i++ {
+		if sw := res.SwitchCounts[i]; sw < frameLen {
+			t.Fatalf("tag %d: only %d switches for %d chips", i, sw, frameLen*res.SpreadingFactor)
+		}
+	}
+}
+
+func TestRunEmptyAndErrors(t *testing.T) {
+	src := prng.NewSource(5)
+	res, err := Run(Config{}, nil, channel.NewExact(nil, 1), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitSlots != 0 {
+		t.Fatal("empty run should consume nothing")
+	}
+	ch := channel.NewUniform(2, 20, src)
+	if _, err := Run(Config{}, makeMessages(src, 3, 8), ch, src); err == nil {
+		t.Fatal("expected tap mismatch error")
+	}
+	uneven := []bits.Vector{bits.Random(src, 8), bits.Random(src, 9)}
+	if _, err := Run(Config{}, uneven, channel.NewUniform(2, 20, src), src); err == nil {
+		t.Fatal("expected uneven-length error")
+	}
+}
+
+func BenchmarkRunK8(b *testing.B) {
+	src := prng.NewSource(6)
+	msgs := makeMessages(src, 8, 32)
+	ch := channel.NewFromSNRBand(8, 10, 25, src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{CRC: bits.CRC5}, msgs, ch, prng.NewSource(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

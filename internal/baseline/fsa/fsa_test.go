@@ -1,0 +1,143 @@
+package fsa
+
+import (
+	"testing"
+
+	"repro/internal/epc"
+	"repro/internal/prng"
+)
+
+func TestRunIdentifiesEveryone(t *testing.T) {
+	src := prng.NewSource(1)
+	for _, k := range []int{1, 4, 8, 16, 50} {
+		res, err := Run(Config{}, k, src.Fork(uint64(k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Aborted {
+			t.Fatalf("k=%d: aborted", k)
+		}
+		if res.Identified != k {
+			t.Fatalf("k=%d: identified %d", k, res.Identified)
+		}
+		if res.Singles != k {
+			t.Fatalf("k=%d: %d singleton slots for %d tags", k, res.Singles, k)
+		}
+		if res.Acks != k {
+			t.Fatalf("k=%d: %d ACKs", k, res.Acks)
+		}
+	}
+}
+
+func TestRunSlotAccounting(t *testing.T) {
+	src := prng.NewSource(2)
+	res, err := Run(Config{}, 12, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots != res.Empties+res.Singles+res.Collisions {
+		t.Fatal("slot outcome counts do not add up")
+	}
+	if res.Queries != 1 {
+		t.Fatalf("expected exactly one opening Query, got %d", res.Queries)
+	}
+}
+
+func TestRunZeroTags(t *testing.T) {
+	res, err := Run(Config{}, 0, prng.NewSource(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots != 0 || res.Identified != 0 {
+		t.Fatalf("zero tags should be free: %+v", res)
+	}
+}
+
+func TestRunNegativeTags(t *testing.T) {
+	if _, err := Run(Config{}, -1, prng.NewSource(1)); err == nil {
+		t.Fatal("expected error for negative k")
+	}
+}
+
+func TestKnownKFasterOnAverage(t *testing.T) {
+	// §10/Fig. 14: feeding the K estimate to FSA buys 20–40%.
+	src := prng.NewSource(3)
+	const trials = 40
+	k := 16
+	var tPlain, tKnown float64
+	for trial := 0; trial < trials; trial++ {
+		rp, err := Run(Config{}, k, src.Fork(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rk, err := Run(KnownKConfig(k), k, src.Fork(uint64(1000+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tPlain += rp.Time.Millis()
+		tKnown += rk.Time.Millis()
+	}
+	if tKnown >= tPlain {
+		t.Fatalf("known-K FSA (%.2f ms avg) should beat plain FSA (%.2f ms avg)",
+			tKnown/trials, tPlain/trials)
+	}
+	improvement := 1 - tKnown/tPlain
+	if improvement < 0.10 || improvement > 0.60 {
+		t.Logf("note: improvement %.0f%% outside the paper's 20-40%% band", improvement*100)
+	}
+}
+
+func TestKnownKConfigShape(t *testing.T) {
+	c := KnownKConfig(16)
+	if c.InitialQ != 4 {
+		t.Fatalf("K̂=16 should start at Q=4, got %d", c.InitialQ)
+	}
+	if c.TempIDBits >= epc.RN16Bits {
+		t.Fatalf("known-K ids (%d bits) should be shorter than RN16", c.TempIDBits)
+	}
+	if KnownKConfig(0).InitialQ < 1 {
+		t.Fatal("degenerate K̂ must still give a valid Q")
+	}
+}
+
+func TestIdentificationTimeGrowsWithK(t *testing.T) {
+	src := prng.NewSource(4)
+	const trials = 20
+	avg := func(k int) float64 {
+		var total float64
+		for trial := 0; trial < trials; trial++ {
+			r, err := Run(Config{}, k, src.Fork(uint64(k*100+trial)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += r.Time.Millis()
+		}
+		return total / trials
+	}
+	t4, t16 := avg(4), avg(16)
+	if t16 <= t4 {
+		t.Fatalf("identification time should grow with K: %f ms (4) vs %f ms (16)", t4, t16)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(Config{}, 10, prng.NewSource(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{}, 10, prng.NewSource(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Slots != b.Slots || a.Time != b.Time {
+		t.Fatal("FSA run not deterministic under a fixed seed")
+	}
+}
+
+func BenchmarkRunK16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{}, 16, prng.NewSource(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package bits provides bit-vector and message-framing utilities shared
+// by the PHY, the Buzz encoder/decoder and the baseline schemes.
+//
+// Backscatter payloads are short bit strings (tens of bits), and Buzz's
+// decoder operates column-wise across the j-th bit of every tag's message
+// (§6c of the paper), so the natural representation here is []bool rather
+// than packed bytes: clarity wins over density at these sizes, and the
+// belief-propagation inner loop indexes single bits constantly.
+package bits
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/crc"
+	"repro/internal/prng"
+)
+
+// Vector is a sequence of bits, most significant (first transmitted)
+// first.
+type Vector []bool
+
+// FromUint64 unpacks the low width bits of v, MSB first.
+func FromUint64(v uint64, width int) Vector {
+	out := make(Vector, width)
+	for i := 0; i < width; i++ {
+		out[i] = (v>>uint(width-1-i))&1 == 1
+	}
+	return out
+}
+
+// Uint64 packs up to 64 bits back into an integer, MSB first. It panics
+// if the vector is longer than 64 bits.
+func (v Vector) Uint64() uint64 {
+	if len(v) > 64 {
+		panic("bits: Vector longer than 64 bits")
+	}
+	var out uint64
+	for _, b := range v {
+		out <<= 1
+		if b {
+			out |= 1
+		}
+	}
+	return out
+}
+
+// Random returns a vector of n fair random bits drawn from src.
+func Random(src *prng.Source, n int) Vector {
+	out := make(Vector, n)
+	for i := range out {
+		out[i] = src.Bool()
+	}
+	return out
+}
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Equal reports whether two vectors have identical length and bits.
+func (v Vector) Equal(w Vector) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HammingDistance counts positions at which v and w differ. Vectors of
+// different lengths additionally count the length difference as errors,
+// matching how a receiver would score a truncated message.
+func (v Vector) HammingDistance(w Vector) int {
+	short, long := v, w
+	if len(short) > len(long) {
+		short, long = long, short
+	}
+	d := len(long) - len(short)
+	for i := range short {
+		if short[i] != long[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// Ones counts set bits.
+func (v Vector) Ones() int {
+	n := 0
+	for _, b := range v {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the vector as a 0/1 string for logs and goldens.
+func (v Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(len(v))
+	for _, b := range v {
+		if b {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Parse converts a 0/1 string into a Vector. Any rune other than '0' or
+// '1' is an error.
+func Parse(s string) (Vector, error) {
+	out := make(Vector, 0, len(s))
+	for i, r := range s {
+		switch r {
+		case '0':
+			out = append(out, false)
+		case '1':
+			out = append(out, true)
+		default:
+			return nil, fmt.Errorf("bits: invalid character %q at position %d", r, i)
+		}
+	}
+	return out, nil
+}
+
+// CRCKind selects the checksum protecting a Message.
+type CRCKind int
+
+const (
+	// CRC5 is the 5-bit EPC checksum used on the paper's 32-bit
+	// data-phase messages (§9).
+	CRC5 CRCKind = iota
+	// CRC16 is the 16-bit checksum used on 96-bit EPC payloads (§8.2).
+	CRC16
+)
+
+// Width returns the number of checksum bits for the kind.
+func (k CRCKind) Width() int {
+	if k == CRC16 {
+		return crc.Width16
+	}
+	return crc.Width5
+}
+
+// String names the kind.
+func (k CRCKind) String() string {
+	if k == CRC16 {
+		return "CRC-16"
+	}
+	return "CRC-5"
+}
+
+// Message is a payload plus its checksum, as transmitted on the air.
+type Message struct {
+	// Payload is the application data (e.g. a 32-bit sensor reading).
+	Payload Vector
+	// Kind selects which CRC protects the payload.
+	Kind CRCKind
+}
+
+// Frame returns the on-air frame: payload followed by CRC bits.
+func (m Message) Frame() Vector {
+	if m.Kind == CRC16 {
+		return Vector(crc.Append16(m.Payload))
+	}
+	return Vector(crc.Append5(m.Payload))
+}
+
+// FrameLen returns the on-air length in bits.
+func (m Message) FrameLen() int {
+	return len(m.Payload) + m.Kind.Width()
+}
+
+// Verify reports whether frame is a CRC-valid frame for kind.
+func Verify(frame Vector, kind CRCKind) bool {
+	if kind == CRC16 {
+		return crc.Check16(frame)
+	}
+	return crc.Check5(frame)
+}
+
+// PayloadOf strips the checksum bits from a verified frame. Callers must
+// have checked Verify first; PayloadOf does not re-validate.
+func PayloadOf(frame Vector, kind CRCKind) Vector {
+	w := kind.Width()
+	if len(frame) < w {
+		return nil
+	}
+	return frame[:len(frame)-w].Clone()
+}
+
+// Matrix is a dense binary matrix stored row-major. Rows correspond to
+// time slots and columns to tags in both A (identification) and D (data
+// phase) of the paper.
+type Matrix struct {
+	Rows, Cols int
+	data       []bool
+}
+
+// NewMatrix allocates a zero Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, data: make([]bool, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) bool {
+	return m.data[r*m.Cols+c]
+}
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v bool) {
+	m.data[r*m.Cols+c] = v
+}
+
+// Row returns a copy of row r.
+func (m *Matrix) Row(r int) Vector {
+	out := make(Vector, m.Cols)
+	copy(out, m.data[r*m.Cols:(r+1)*m.Cols])
+	return out
+}
+
+// Col returns a copy of column c.
+func (m *Matrix) Col(c int) Vector {
+	out := make(Vector, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		out[r] = m.At(r, c)
+	}
+	return out
+}
+
+// ColWeight counts ones in column c without allocating.
+func (m *Matrix) ColWeight(c int) int {
+	n := 0
+	for r := 0; r < m.Rows; r++ {
+		if m.At(r, c) {
+			n++
+		}
+	}
+	return n
+}
+
+// RowWeight counts ones in row r without allocating.
+func (m *Matrix) RowWeight(r int) int {
+	n := 0
+	for _, b := range m.data[r*m.Cols : (r+1)*m.Cols] {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Density returns the fraction of ones in the matrix.
+func (m *Matrix) Density() float64 {
+	if len(m.data) == 0 {
+		return 0
+	}
+	n := 0
+	for _, b := range m.data {
+		if b {
+			n++
+		}
+	}
+	return float64(n) / float64(len(m.data))
+}
+
+// AppendRow grows the matrix by one row with the given bits. It panics if
+// the row length does not match Cols. The data-phase matrix D grows one
+// row per time slot as the rateless protocol runs.
+func (m *Matrix) AppendRow(row Vector) {
+	if len(row) != m.Cols {
+		panic(fmt.Sprintf("bits: AppendRow length %d != Cols %d", len(row), m.Cols))
+	}
+	m.data = append(m.data, row...)
+	m.Rows++
+}

@@ -1,0 +1,360 @@
+// Package bp implements Buzz's belief-propagation decoder (§6c, Alg. 1):
+// a gain-driven bit-flipping search over the bipartite graph whose left
+// vertices are the K tags' bits at one message position and whose right
+// vertices are the L received collision symbols.
+//
+// Given the observation y = D·H·b + n, the decoder seeks the binary
+// vector b̂ minimizing ‖D·H·b̂ − y‖². It maintains, for every bit i, the
+// gain G_i — the reduction in squared error from flipping bit i — and
+// repeatedly flips the highest-gain bit until no flip helps. Because D is
+// sparse, a flip only perturbs the symbols tag i participates in, so only
+// the gains of tags sharing a symbol with i ("neighbors of neighbors" in
+// the paper's graph) need updating.
+//
+// The incremental identity doing the work: with residual r = y − D·H·b̂,
+// flipping bit i changes b̂_i by δ ∈ {+1, −1} and
+//
+//	G_i = ‖r‖² − ‖r − δ·h_i·d_i‖² = 2δ·Re⟨h_i·d_i, r⟩ − |h_i|²·w_i
+//
+// where d_i is column i of D and w_i its weight. Each gain refresh is
+// O(w_i) — no norms are ever recomputed from scratch.
+//
+// CRC-gated freezing (§6d): once a tag's message passes its checksum in
+// the outer loop, the caller locks that tag. Locked bits get gain −∞ so
+// later flips can never undo a verified message — the paper's
+// "set their gains to be negative infinite" interference-cancellation
+// trick.
+package bp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/bits"
+	"repro/internal/dsp"
+	"repro/internal/prng"
+)
+
+// Graph is the decoding graph for one block of collisions: the sparse
+// participation structure D plus the tags' channel taps.
+type Graph struct {
+	// K is the number of tags (left vertices).
+	K int
+	// L is the number of collision symbols (right vertices).
+	L int
+	// colRows[i] lists the symbols tag i participates in.
+	colRows [][]int
+	// rowCols[j] lists the tags participating in symbol j.
+	rowCols [][]int
+	// taps[i] is tag i's channel coefficient h_i.
+	taps []complex128
+	// tapPower[i] caches |h_i|².
+	tapPower []float64
+}
+
+// NewGraph builds the decoding graph from the participation matrix D
+// (rows = slots, cols = tags) and the channel taps. It panics on a
+// tap/column count mismatch: decoding with misaligned channels would
+// produce silent garbage.
+func NewGraph(d *bits.Matrix, taps []complex128) *Graph {
+	if d.Cols != len(taps) {
+		panic(fmt.Sprintf("bp: D has %d columns but %d taps supplied", d.Cols, len(taps)))
+	}
+	g := &Graph{
+		K:        d.Cols,
+		L:        d.Rows,
+		colRows:  make([][]int, d.Cols),
+		rowCols:  make([][]int, d.Rows),
+		taps:     make([]complex128, len(taps)),
+		tapPower: make([]float64, len(taps)),
+	}
+	copy(g.taps, taps)
+	for i, h := range taps {
+		g.tapPower[i] = real(h)*real(h) + imag(h)*imag(h)
+	}
+	for r := 0; r < d.Rows; r++ {
+		for c := 0; c < d.Cols; c++ {
+			if d.At(r, c) {
+				g.colRows[c] = append(g.colRows[c], r)
+				g.rowCols[r] = append(g.rowCols[r], c)
+			}
+		}
+	}
+	return g
+}
+
+// Degree returns the participation count of tag i.
+func (g *Graph) Degree(i int) int { return len(g.colRows[i]) }
+
+// Options tunes a decode.
+type Options struct {
+	// Init seeds the search. Nil means a uniform random start (the
+	// paper's initialization); the outer rateless loop passes the
+	// previous slot-count's estimate so added collisions refine rather
+	// than restart.
+	Init bits.Vector
+	// Locked marks tags whose bit values are frozen (CRC-verified).
+	// Locked tags keep their Init value and are never flipped; Init must
+	// be non-nil wherever Locked is true.
+	Locked []bool
+	// Restarts runs the search from this many additional random
+	// initializations and keeps the lowest-error result. Zero means a
+	// single pass.
+	Restarts int
+	// GainEps is the minimum gain worth flipping for; it guards against
+	// floating-point limit cycles. Default 1e-12.
+	GainEps float64
+}
+
+// Result reports a decode outcome.
+type Result struct {
+	// Bits is the best b̂ found.
+	Bits bits.Vector
+	// Error is ‖D·H·b̂ − y‖² at Bits.
+	Error float64
+	// Flips counts bit flips performed across all restarts.
+	Flips int
+	// Ambiguous flags tags whose bit differs between the best solution
+	// and another restart's solution of nearly equal error. This is the
+	// decoder's defense against signed near-zero subset sums of taps
+	// (Σ ±h_i ≈ 0): a coordinated multi-bit flip over such a subset is
+	// invisible to the observations, defeats single-flip margins, and
+	// cannot be traversed by greedy conditional re-optimization — but
+	// independent random restarts land in both basins and expose the
+	// tie. "Nearly equal" means the error gap is below half the tag's
+	// own collision energy |h_i|²: the gap an honest single-bit error
+	// would create.
+	Ambiguous []bool
+}
+
+// Decode runs the bit-flipping search for one bit position. y must hold
+// exactly L symbols. src drives the random initializations.
+func (g *Graph) Decode(y dsp.Vec, opts Options, src *prng.Source) Result {
+	if len(y) != g.L {
+		panic(fmt.Sprintf("bp: observation length %d != L %d", len(y), g.L))
+	}
+	if opts.Locked != nil && len(opts.Locked) != g.K {
+		panic(fmt.Sprintf("bp: Locked length %d != K %d", len(opts.Locked), g.K))
+	}
+	if opts.Init != nil && len(opts.Init) != g.K {
+		panic(fmt.Sprintf("bp: Init length %d != K %d", len(opts.Init), g.K))
+	}
+	eps := opts.GainEps
+	if eps == 0 {
+		eps = 1e-12
+	}
+
+	best := Result{Error: math.Inf(1)}
+	passes := 1 + opts.Restarts
+	solutions := make([]Result, 0, passes)
+	for pass := 0; pass < passes; pass++ {
+		var init bits.Vector
+		switch {
+		case pass == 0 && opts.Init != nil:
+			init = opts.Init.Clone()
+		default:
+			init = bits.Random(src, g.K)
+			// Random restarts must still respect locks.
+			if opts.Locked != nil && opts.Init != nil {
+				for i, l := range opts.Locked {
+					if l {
+						init[i] = opts.Init[i]
+					}
+				}
+			}
+		}
+		r := g.descend(y, init, opts.Locked, eps)
+		solutions = append(solutions, r)
+		r.Flips += best.Flips
+		if r.Error < best.Error {
+			best = Result{Bits: r.Bits, Error: r.Error, Flips: r.Flips}
+		} else {
+			best.Flips = r.Flips
+		}
+	}
+	// Tie detection: any alternative local optimum whose error is within
+	// a tag's own collision energy of the best, yet disagrees on that
+	// tag's bit, marks the tag ambiguous.
+	best.Ambiguous = make([]bool, g.K)
+	for _, alt := range solutions {
+		gap := alt.Error - best.Error
+		for i := 0; i < g.K; i++ {
+			if alt.Bits[i] != best.Bits[i] && gap < 0.15*g.tapPower[i]*float64(len(g.colRows[i])) {
+				best.Ambiguous[i] = true
+			}
+		}
+	}
+	return best
+}
+
+// descend runs one greedy descent to a local optimum.
+func (g *Graph) descend(y dsp.Vec, bhat bits.Vector, locked []bool, eps float64) Result {
+	// residual r = y − D·H·b̂.
+	residual := y.Clone()
+	for i, b := range bhat {
+		if b {
+			for _, row := range g.colRows[i] {
+				residual[row] -= g.taps[i]
+			}
+		}
+	}
+
+	// gain[i] per the incremental identity.
+	gain := make([]float64, g.K)
+	refresh := func(i int) {
+		if locked != nil && locked[i] {
+			gain[i] = math.Inf(-1)
+			return
+		}
+		var corr complex128
+		for _, row := range g.colRows[i] {
+			corr += cmplx.Conj(g.taps[i]) * residual[row]
+		}
+		delta := 1.0
+		if bhat[i] {
+			delta = -1
+		}
+		gain[i] = 2*delta*real(corr) - g.tapPower[i]*float64(len(g.colRows[i]))
+	}
+	for i := 0; i < g.K; i++ {
+		refresh(i)
+	}
+
+	flips := 0
+	// Each accepted flip strictly reduces the squared error by at least
+	// eps, and the error is bounded below by 0, so this terminates. The
+	// hard cap is a belt-and-braces guard against pathological float
+	// behaviour.
+	maxFlips := 64 * (g.K + 1) * (g.L + 1)
+	for flips < maxFlips {
+		bestI, bestG := -1, eps
+		for i := 0; i < g.K; i++ {
+			if gain[i] > bestG {
+				bestG = gain[i]
+				bestI = i
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		// Flip bit bestI and update the residual on its rows.
+		delta := complex(1, 0)
+		if bhat[bestI] {
+			delta = -1
+		}
+		bhat[bestI] = !bhat[bestI]
+		for _, row := range g.colRows[bestI] {
+			residual[row] -= delta * g.taps[bestI]
+		}
+		flips++
+		// Refresh the flipped bit and its neighbors' neighbors.
+		refresh(bestI)
+		for _, row := range g.colRows[bestI] {
+			for _, j := range g.rowCols[row] {
+				if j != bestI {
+					refresh(j)
+				}
+			}
+		}
+	}
+	return Result{Bits: bhat, Error: residual.NormSq(), Flips: flips}
+}
+
+// Margins returns, for each tag, the normalized flip margin of candidate
+// b against observation y:
+//
+//	m_i = −G_i / (|h_i|²·w_i)
+//
+// where G_i is the flip gain (≤ 0 at a local optimum) and w_i tag i's
+// participation count. A confidently decoded bit has m_i ≈ 1 — flipping
+// it would add its full collision energy back as error — while a bit the
+// observations barely constrain has m_i ≈ 0. Tags with w_i = 0 report 0:
+// nothing has been observed about them at all.
+//
+// The rateless outer loop uses these margins as a CRC gate: a 5-bit
+// checksum false-accepts 1 in 32 random frames, so the reader only
+// checks frames whose every bit is strongly pinned (see
+// ratedapt.Config.MarginThreshold).
+func (g *Graph) Margins(y dsp.Vec, b bits.Vector) []float64 {
+	if len(b) != g.K || len(y) != g.L {
+		panic("bp: Margins dimension mismatch")
+	}
+	residual := y.Clone()
+	for i, on := range b {
+		if on {
+			for _, row := range g.colRows[i] {
+				residual[row] -= g.taps[i]
+			}
+		}
+	}
+	out := make([]float64, g.K)
+	for i := 0; i < g.K; i++ {
+		w := len(g.colRows[i])
+		if w == 0 || g.tapPower[i] == 0 {
+			continue
+		}
+		var corr complex128
+		for _, row := range g.colRows[i] {
+			corr += cmplx.Conj(g.taps[i]) * residual[row]
+		}
+		delta := 1.0
+		if b[i] {
+			delta = -1
+		}
+		gain := 2*delta*real(corr) - g.tapPower[i]*float64(w)
+		out[i] = -gain / (g.tapPower[i] * float64(w))
+	}
+	return out
+}
+
+// ConditionalMargin measures how much worse the observations can be
+// explained with tag i's bit forced to the opposite value: it flips bit
+// i in candidate b, pins it, lets every other unlocked bit re-optimize,
+// and returns
+//
+//	(err(best with bit i flipped) − err(b)) / (|h_i|²·w_i)
+//
+// The plain flip margin (Margins) only scores single-bit flips, so it is
+// blind to constellation near-coincidences in which several tags' bits
+// change together — the dominant false-decode mode when many tags
+// collide in few slots. A conditional margin near zero says the flipped
+// world explains the data almost as well: the bit is ambiguous no matter
+// how confident the single-flip margin looks. Tags with no observations
+// report 0.
+func (g *Graph) ConditionalMargin(y dsp.Vec, b bits.Vector, i int, locked []bool, src *prng.Source) float64 {
+	if len(b) != g.K || len(y) != g.L {
+		panic("bp: ConditionalMargin dimension mismatch")
+	}
+	w := len(g.colRows[i])
+	if w == 0 || g.tapPower[i] == 0 {
+		return 0
+	}
+	base := g.ErrorOf(y, b)
+	init := b.Clone()
+	init[i] = !init[i]
+	pin := make([]bool, g.K)
+	if locked != nil {
+		copy(pin, locked)
+	}
+	pin[i] = true
+	res := g.Decode(y, Options{Init: init, Locked: pin}, src)
+	return (res.Error - base) / (g.tapPower[i] * float64(w))
+}
+
+// ErrorOf computes ‖D·H·b − y‖² for an arbitrary candidate without
+// running a decode; tests and diagnostics use it.
+func (g *Graph) ErrorOf(y dsp.Vec, b bits.Vector) float64 {
+	if len(b) != g.K || len(y) != g.L {
+		panic("bp: ErrorOf dimension mismatch")
+	}
+	residual := y.Clone()
+	for i, on := range b {
+		if on {
+			for _, row := range g.colRows[i] {
+				residual[row] -= g.taps[i]
+			}
+		}
+	}
+	return residual.NormSq()
+}

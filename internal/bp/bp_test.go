@@ -1,0 +1,239 @@
+package bp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/channel"
+	"repro/internal/dsp"
+	"repro/internal/prng"
+)
+
+// buildProblem synthesizes a decode instance: K tags with taps from the
+// channel model, a sparse-ish participation matrix of L slots with
+// per-slot participation probability p, truth bits, and the resulting
+// (optionally noisy) observation.
+func buildProblem(src *prng.Source, k, l int, p float64, snrDB float64, noisy bool) (*Graph, dsp.Vec, bits.Vector, *channel.Model) {
+	m := channel.NewUniform(k, snrDB, src)
+	d := bits.NewMatrix(0, k)
+	for slot := 0; slot < l; slot++ {
+		row := make(bits.Vector, k)
+		any := false
+		for i := range row {
+			row[i] = src.Bernoulli(p)
+			any = any || row[i]
+		}
+		d.AppendRow(row)
+	}
+	truth := bits.Random(src, k)
+	g := NewGraph(d, m.Taps)
+	noise := src.Fork(77)
+	y := make(dsp.Vec, l)
+	for slot := 0; slot < l; slot++ {
+		active := make([]bool, k)
+		for i := 0; i < k; i++ {
+			active[i] = d.At(slot, i) && truth[i]
+		}
+		if noisy {
+			y[slot] = m.Symbol(active, noise)
+		} else {
+			y[slot] = m.Noiseless(active)
+		}
+	}
+	return g, y, truth, m
+}
+
+func TestNewGraphAdjacency(t *testing.T) {
+	d := bits.NewMatrix(0, 3)
+	d.AppendRow(bits.Vector{true, false, true})
+	d.AppendRow(bits.Vector{false, true, false})
+	g := NewGraph(d, []complex128{1, 2, 3})
+	if g.K != 3 || g.L != 2 {
+		t.Fatalf("graph dims %dx%d", g.K, g.L)
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 1 {
+		t.Fatal("degrees wrong")
+	}
+	if len(g.rowCols[0]) != 2 || len(g.rowCols[1]) != 1 {
+		t.Fatal("row adjacency wrong")
+	}
+}
+
+func TestNewGraphPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGraph(bits.NewMatrix(2, 3), []complex128{1})
+}
+
+func TestDecodeNoiselessRecoversTruth(t *testing.T) {
+	src := prng.NewSource(1)
+	ok := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		k := 4 + src.IntN(10)
+		l := 2*k + 4
+		g, y, truth, _ := buildProblem(src, k, l, 0.35, 25, false)
+		res := g.Decode(y, Options{Restarts: 4}, src.Fork(uint64(trial)))
+		if res.Bits.Equal(truth) {
+			ok++
+		}
+	}
+	if ok < trials*9/10 {
+		t.Fatalf("noiseless BP recovery %d/%d too low", ok, trials)
+	}
+}
+
+func TestDecodeReachesLocalOptimum(t *testing.T) {
+	// At the returned b̂, no single flip may reduce the error — that is
+	// Alg. 1's termination condition.
+	src := prng.NewSource(2)
+	for trial := 0; trial < 20; trial++ {
+		k := 5 + src.IntN(8)
+		g, y, _, _ := buildProblem(src, k, 2*k, 0.4, 12, true)
+		res := g.Decode(y, Options{}, src.Fork(uint64(trial)))
+		for i := 0; i < k; i++ {
+			flipped := res.Bits.Clone()
+			flipped[i] = !flipped[i]
+			if g.ErrorOf(y, flipped) < res.Error-1e-9 {
+				t.Fatalf("trial %d: flipping bit %d improves error: %f -> %f",
+					trial, i, res.Error, g.ErrorOf(y, flipped))
+			}
+		}
+	}
+}
+
+func TestDecodeErrorMatchesErrorOf(t *testing.T) {
+	src := prng.NewSource(3)
+	g, y, _, _ := buildProblem(src, 8, 16, 0.4, 15, true)
+	res := g.Decode(y, Options{}, src.Fork(9))
+	if math.Abs(res.Error-g.ErrorOf(y, res.Bits)) > 1e-9 {
+		t.Fatalf("incremental error %f != recomputed %f", res.Error, g.ErrorOf(y, res.Bits))
+	}
+}
+
+func TestDecodeHonorsLocks(t *testing.T) {
+	src := prng.NewSource(4)
+	for trial := 0; trial < 20; trial++ {
+		k := 6
+		g, y, truth, _ := buildProblem(src, k, 18, 0.4, 25, false)
+		// Lock tags 0 and 1 to their true values; the decode must keep
+		// them no matter what.
+		init := bits.Random(src, k)
+		init[0], init[1] = truth[0], truth[1]
+		locked := make([]bool, k)
+		locked[0], locked[1] = true, true
+		res := g.Decode(y, Options{Init: init, Locked: locked, Restarts: 3}, src.Fork(uint64(trial)))
+		if res.Bits[0] != truth[0] || res.Bits[1] != truth[1] {
+			t.Fatalf("trial %d: locked bits were flipped", trial)
+		}
+	}
+}
+
+func TestDecodeLockedWrongValueStaysWrong(t *testing.T) {
+	// Locks must hold even when the locked value is wrong — that is the
+	// whole point of CRC gating: the decoder itself never second-guesses
+	// a frozen message.
+	src := prng.NewSource(5)
+	g, y, truth, _ := buildProblem(src, 5, 15, 0.5, 25, false)
+	init := truth.Clone()
+	init[2] = !truth[2]
+	locked := make([]bool, 5)
+	locked[2] = true
+	res := g.Decode(y, Options{Init: init, Locked: locked}, src.Fork(1))
+	if res.Bits[2] == truth[2] {
+		t.Fatal("locked bit was corrected, locks are not being honored")
+	}
+}
+
+func TestDecodeWithGoodInitConvergesFaster(t *testing.T) {
+	src := prng.NewSource(6)
+	g, y, truth, _ := buildProblem(src, 12, 30, 0.35, 25, false)
+	fromTruth := g.Decode(y, Options{Init: truth.Clone()}, src.Fork(1))
+	if fromTruth.Flips != 0 {
+		t.Fatalf("decoding from the truth should need 0 flips, took %d", fromTruth.Flips)
+	}
+	if !fromTruth.Bits.Equal(truth) {
+		t.Fatal("truth should be a fixed point in the noiseless case")
+	}
+}
+
+func TestDecodeStrongTagsDecodeDespiteWeak(t *testing.T) {
+	// Near-far: one tag 20 dB above another. The strong tag's bit must
+	// come out right even when noise drowns the weak one — the mechanism
+	// behind Fig. 9's "certain tags ... immediately decoded".
+	src := prng.NewSource(7)
+	strongRight := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		m := channel.NewExact([]complex128{10, 0.5}, 0.25)
+		d := bits.NewMatrix(0, 2)
+		truth := bits.Random(src, 2)
+		noise := src.Fork(uint64(trial))
+		var y dsp.Vec
+		for slot := 0; slot < 6; slot++ {
+			row := bits.Vector{src.Bernoulli(0.6), src.Bernoulli(0.6)}
+			d.AppendRow(row)
+			active := []bool{row[0] && truth[0], row[1] && truth[1]}
+			y = append(y, m.Symbol(active, noise))
+		}
+		g := NewGraph(d, m.Taps)
+		res := g.Decode(y, Options{Restarts: 2}, src.Fork(uint64(1000+trial)))
+		if res.Bits[0] == truth[0] {
+			strongRight++
+		}
+	}
+	if strongRight < trials*9/10 {
+		t.Fatalf("strong tag decoded only %d/%d", strongRight, trials)
+	}
+}
+
+func TestDecodePanicsOnBadDimensions(t *testing.T) {
+	src := prng.NewSource(8)
+	g, _, _, _ := buildProblem(src, 4, 8, 0.5, 20, false)
+	for name, fn := range map[string]func(){
+		"short y":      func() { g.Decode(make(dsp.Vec, 3), Options{}, src) },
+		"short locked": func() { g.Decode(make(dsp.Vec, 8), Options{Locked: make([]bool, 2)}, src) },
+		"short init":   func() { g.Decode(make(dsp.Vec, 8), Options{Init: make(bits.Vector, 2)}, src) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDecodeEmptyGraph(t *testing.T) {
+	g := NewGraph(bits.NewMatrix(0, 0), nil)
+	res := g.Decode(dsp.Vec{}, Options{}, prng.NewSource(1))
+	if len(res.Bits) != 0 || res.Error != 0 {
+		t.Fatalf("empty decode: %+v", res)
+	}
+}
+
+func TestDecodeDeterministicGivenSeed(t *testing.T) {
+	src := prng.NewSource(9)
+	g, y, _, _ := buildProblem(src, 10, 20, 0.4, 10, true)
+	a := g.Decode(y, Options{Restarts: 2}, prng.NewSource(55))
+	b := g.Decode(y, Options{Restarts: 2}, prng.NewSource(55))
+	if !a.Bits.Equal(b.Bits) || a.Error != b.Error {
+		t.Fatal("decode is not deterministic for a fixed seed")
+	}
+}
+
+func BenchmarkDecodeK16L32(b *testing.B) {
+	src := prng.NewSource(10)
+	g, y, _, _ := buildProblem(src, 16, 32, 0.3, 15, true)
+	seeds := prng.NewSource(11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Decode(y, Options{}, seeds)
+	}
+}

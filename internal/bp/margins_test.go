@@ -1,0 +1,164 @@
+package bp
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/channel"
+	"repro/internal/dsp"
+	"repro/internal/prng"
+)
+
+func TestMarginsNonNegativeAtLocalOptimum(t *testing.T) {
+	// By definition of the stopping rule, no single flip improves the
+	// error at the decoder's output, so every margin (= −gain/energy)
+	// is ≥ 0 up to the epsilon guard.
+	src := prng.NewSource(21)
+	for trial := 0; trial < 30; trial++ {
+		k := 4 + src.IntN(10)
+		g, y, _, _ := buildProblem(src, k, 2*k, 0.4, 12, true)
+		res := g.Decode(y, Options{Restarts: 1}, src.Fork(uint64(trial)))
+		for i, m := range g.Margins(y, res.Bits) {
+			if g.Degree(i) == 0 {
+				if m != 0 {
+					t.Fatalf("unobserved tag %d has margin %f, want 0", i, m)
+				}
+				continue
+			}
+			if m < -1e-9 {
+				t.Fatalf("trial %d tag %d: negative margin %f at a local optimum", trial, i, m)
+			}
+		}
+	}
+}
+
+func TestMarginsHighAtTruthCleanChannel(t *testing.T) {
+	// At the true bits with negligible noise, flipping any observed bit
+	// adds its full collision energy: margins ≈ 1.
+	src := prng.NewSource(22)
+	g, y, truth, _ := buildProblem(src, 8, 24, 0.4, 40, false)
+	for i, m := range g.Margins(y, truth) {
+		if g.Degree(i) == 0 {
+			continue
+		}
+		if m < 0.95 || m > 1.05 {
+			t.Fatalf("tag %d margin %f at truth, want ~1", i, m)
+		}
+	}
+}
+
+func TestConditionalMarginDetectsPairSwap(t *testing.T) {
+	// Two tags with identical taps and identical participation are
+	// fundamentally interchangeable: the conditional margin must expose
+	// that, while the plain flip margin does not.
+	h := complex(1, 0.5)
+	d := bits.NewMatrix(0, 2)
+	for i := 0; i < 6; i++ {
+		d.AppendRow(bits.Vector{true, true}) // always both
+	}
+	g := NewGraph(d, []complex128{h, h})
+	// Truth: tag 0 sends 1, tag 1 sends 0 → y = h per slot. The swapped
+	// assignment explains y equally well.
+	y := make(dsp.Vec, 6)
+	for i := range y {
+		y[i] = h
+	}
+	b := bits.Vector{true, false}
+	src := prng.NewSource(23)
+
+	plain := g.Margins(y, b)
+	if plain[0] < 0.9 {
+		t.Fatalf("plain margin %f should look confident (that is the trap)", plain[0])
+	}
+	cond := g.ConditionalMargin(y, b, 0, nil, src)
+	if cond > 0.1 {
+		t.Fatalf("conditional margin %f should expose the swap ambiguity", cond)
+	}
+}
+
+func TestConditionalMarginHighWhenUnambiguous(t *testing.T) {
+	// Distinct taps: forcing a bit wrong and re-optimizing cannot
+	// recover the fit, so the conditional margin stays near 1.
+	src := prng.NewSource(24)
+	m := channel.NewExact([]complex128{complex(2, 0), complex(0, 1)}, 0)
+	d := bits.NewMatrix(0, 2)
+	truth := bits.Vector{true, true}
+	var y dsp.Vec
+	for i := 0; i < 6; i++ {
+		row := bits.Vector{true, i%2 == 0}
+		d.AppendRow(row)
+		y = append(y, m.Noiseless([]bool{row[0] && truth[0], row[1] && truth[1]}))
+	}
+	g := NewGraph(d, m.Taps)
+	for i := 0; i < 2; i++ {
+		if cm := g.ConditionalMargin(y, truth, i, nil, src); cm < 0.8 {
+			t.Fatalf("tag %d conditional margin %f, want ~1", i, cm)
+		}
+	}
+}
+
+func TestConditionalMarginUnobservedTag(t *testing.T) {
+	d := bits.NewMatrix(0, 2)
+	d.AppendRow(bits.Vector{true, false})
+	g := NewGraph(d, []complex128{1, 1})
+	if cm := g.ConditionalMargin(dsp.Vec{1}, bits.Vector{true, false}, 1, nil, prng.NewSource(1)); cm != 0 {
+		t.Fatalf("unobserved tag conditional margin %f, want 0", cm)
+	}
+}
+
+func TestAmbiguousFlagOnTiedSolutions(t *testing.T) {
+	// Same interchangeable-pair setup: across restarts the decoder
+	// should land in both swap states and flag both tags ambiguous.
+	h := complex(1, 0.5)
+	d := bits.NewMatrix(0, 2)
+	for i := 0; i < 6; i++ {
+		d.AppendRow(bits.Vector{true, true})
+	}
+	g := NewGraph(d, []complex128{h, h})
+	y := make(dsp.Vec, 6)
+	for i := range y {
+		y[i] = h
+	}
+	flagged := false
+	for seed := uint64(0); seed < 10 && !flagged; seed++ {
+		res := g.Decode(y, Options{Restarts: 4}, prng.NewSource(seed))
+		flagged = res.Ambiguous[0] || res.Ambiguous[1]
+	}
+	if !flagged {
+		t.Fatal("tied swap states never flagged as ambiguous across 10 seeds")
+	}
+}
+
+func TestAmbiguousNotFlaggedOnCleanProblem(t *testing.T) {
+	// A well-separated problem must not cry wolf: no ambiguity flags on
+	// a strong clean channel.
+	src := prng.NewSource(25)
+	falsePositives := 0
+	checks := 0
+	for trial := 0; trial < 20; trial++ {
+		g, y, _, _ := buildProblem(src, 6, 18, 0.4, 30, false)
+		res := g.Decode(y, Options{Restarts: 3}, src.Fork(uint64(trial)))
+		for i, a := range res.Ambiguous {
+			if g.Degree(i) == 0 {
+				continue
+			}
+			checks++
+			if a {
+				falsePositives++
+			}
+		}
+	}
+	if falsePositives*10 > checks {
+		t.Fatalf("ambiguity flagged on %d/%d clean decodes", falsePositives, checks)
+	}
+}
+
+func TestMarginsPanicOnDimensionMismatch(t *testing.T) {
+	g := NewGraph(bits.NewMatrix(2, 2), []complex128{1, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Margins(dsp.Vec{1}, bits.Vector{true, false})
+}

@@ -1,0 +1,19 @@
+// Package core marks the paper's primary contribution within the module
+// layout. The contribution itself — treating all backscatter tags as one
+// virtual sender and turning their collisions into a decodable code — is
+// implemented across three sibling packages, split along the paper's own
+// section boundaries:
+//
+//   - repro/internal/identify — §5: the three-stage compressive-sensing
+//     node-identification protocol (K estimation, bucket elimination,
+//     sparse recovery).
+//   - repro/internal/ratedapt — §6: the distributed rateless
+//     rate-adaptation protocol (the sparse participation code D and the
+//     reader's incremental decode-and-lock loop).
+//   - repro/internal/bp — §6c: the gain-driven bit-flipping
+//     belief-propagation decoder (Algorithm 1) with its margin and
+//     ambiguity diagnostics.
+//
+// The public entry point assembling them into sessions is the top-level
+// package repro/buzz. See DESIGN.md for the full system inventory.
+package core

@@ -1,0 +1,344 @@
+// Package cs implements the sparse-recovery solvers behind stage C of
+// Buzz's identification protocol (§5C).
+//
+// The problem: recover a K-sparse complex vector z (non-zero exactly at
+// the temporary ids of tags with data, with value equal to each tag's
+// channel tap) from M ≈ K·log(a) noisy linear measurements y = A′z + n,
+// where A′ is the binary pattern matrix whose columns the reader can
+// regenerate from candidate ids.
+//
+// The paper solves the L1 program of Eq. 6 with a Matlab interior-point
+// solver (CVX). That machinery is neither available in Go's stdlib nor
+// necessary at these problem sizes, so this package provides two
+// dependency-free solvers (the substitution is documented in DESIGN.md):
+//
+//   - OMP — Orthogonal Matching Pursuit, a greedy solver that picks the
+//     column best correlated with the residual and re-solves least
+//     squares on the growing support. Deterministic, fast, and exact for
+//     the sparsity levels stage B leaves behind.
+//   - ISTA — Iterative Soft-Thresholding, a proximal-gradient solver for
+//     the Lagrangian form of the same L1 program. Kept as a second,
+//     independent decoding path; the ablation bench compares the two.
+package cs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/dsp"
+)
+
+// Result is the output of a sparse-recovery solve.
+type Result struct {
+	// Support lists the recovered non-zero column indices, sorted
+	// ascending.
+	Support []int
+	// Coeffs holds the recovered complex coefficient for each entry of
+	// Support (for Buzz these estimate the tags' channel taps).
+	Coeffs dsp.Vec
+	// Residual is ‖y − A·ẑ‖₂ at the solution.
+	Residual float64
+	// Iterations is the number of solver iterations consumed.
+	Iterations int
+}
+
+// Dense expands the result into a length-n dense vector.
+func (r *Result) Dense(n int) dsp.Vec {
+	out := dsp.NewVec(n)
+	for i, c := range r.Support {
+		if c >= 0 && c < n {
+			out[c] = r.Coeffs[i]
+		}
+	}
+	return out
+}
+
+// ErrNoConvergence is returned when a solver exhausts its iteration or
+// sparsity budget with a residual still above tolerance.
+var ErrNoConvergence = errors.New("cs: solver did not reach the residual tolerance")
+
+// OMPOptions tunes Orthogonal Matching Pursuit.
+type OMPOptions struct {
+	// MaxSparsity caps the support size. For Buzz this is the estimated
+	// K̂ plus slack for estimation error.
+	MaxSparsity int
+	// ResidualTol stops the pursuit once ‖residual‖ ≤ ResidualTol·‖y‖.
+	// Zero defaults to 1e-6 (effectively "explain everything" in the
+	// noiseless case); noisy callers should pass their noise floor.
+	ResidualTol float64
+	// MinCoeffMag drops recovered coefficients with magnitude below this
+	// threshold during the final pruning pass — spurious atoms picked up
+	// from noise have tiny weights.
+	MinCoeffMag float64
+	// DCAtom adds a free all-ones regressor to every least-squares
+	// solve. Binary 0/1 dictionaries share a strong common component
+	// (each column ≈ ½·1 plus a centered part) that inflates every
+	// correlation score equally and misleads atom selection; absorbing
+	// it into an intercept makes the pursuit see only the informative
+	// centered parts. The DC coefficient is never reported.
+	DCAtom bool
+}
+
+// OMP runs Orthogonal Matching Pursuit on y = A·z. Columns of A need not
+// be normalized; correlation scores divide by column norms. A zero
+// column can never be selected.
+func OMP(a *dsp.Mat, y dsp.Vec, opts OMPOptions) (*Result, error) {
+	if len(y) != a.Rows {
+		return nil, fmt.Errorf("cs: OMP rhs length %d != rows %d", len(y), a.Rows)
+	}
+	if opts.MaxSparsity <= 0 {
+		return nil, fmt.Errorf("cs: OMP MaxSparsity must be positive, got %d", opts.MaxSparsity)
+	}
+	tol := opts.ResidualTol
+	if tol == 0 {
+		tol = 1e-6
+	}
+	yNorm := y.Norm()
+	if yNorm == 0 {
+		return &Result{Support: nil, Coeffs: nil, Residual: 0}, nil
+	}
+
+	// Precompute column norms for score normalization.
+	colNorm := make([]float64, a.Cols)
+	for c := 0; c < a.Cols; c++ {
+		colNorm[c] = a.Col(c).Norm()
+	}
+
+	// solveOn runs least squares for the current support, with the DC
+	// regressor prepended when requested, and returns the coefficients
+	// for the real atoms plus the residual.
+	solveOn := func(support []int) (dsp.Vec, dsp.Vec, error) {
+		sub := a.SubMatCols(support)
+		if !opts.DCAtom {
+			x, err := dsp.LeastSquares(sub, y)
+			if err != nil {
+				return nil, nil, err
+			}
+			return x, dsp.Residual(sub, x, y), nil
+		}
+		aug := dsp.NewMat(a.Rows, len(support)+1)
+		for r := 0; r < a.Rows; r++ {
+			aug.Set(r, 0, 1)
+			for j := range support {
+				aug.Set(r, j+1, sub.At(r, j))
+			}
+		}
+		x, err := dsp.LeastSquares(aug, y)
+		if err != nil {
+			return nil, nil, err
+		}
+		return x[1:], dsp.Residual(aug, x, y), nil
+	}
+
+	residual := y.Clone()
+	if opts.DCAtom {
+		// Start from the intercept-only fit so the first selection
+		// already scores against the centered observation.
+		if _, r0, err := solveOn(nil); err == nil {
+			residual = r0
+		}
+	}
+	inSupport := make([]bool, a.Cols)
+	var support []int
+	var coeffs dsp.Vec
+	iters := 0
+
+	for len(support) < opts.MaxSparsity && len(support) < a.Rows {
+		iters++
+		// Atom selection: column most correlated with the residual.
+		scores := a.ConjTransposeMulVec(residual)
+		best, bestScore := -1, 0.0
+		for c := 0; c < a.Cols; c++ {
+			if inSupport[c] || colNorm[c] == 0 {
+				continue
+			}
+			s := cmplx.Abs(scores[c]) / colNorm[c]
+			if s > bestScore {
+				bestScore = s
+				best = c
+			}
+		}
+		if best < 0 || bestScore < 1e-12 {
+			break // nothing left to explain
+		}
+		inSupport[best] = true
+		support = append(support, best)
+
+		// Re-solve least squares on the support and refresh the residual.
+		x, r, err := solveOn(support)
+		if err != nil {
+			// The new atom made the support rank deficient (e.g. two
+			// candidate ids with identical patterns). Drop it and stop:
+			// more atoms cannot help.
+			inSupport[best] = false
+			support = support[:len(support)-1]
+			break
+		}
+		coeffs = x
+		residual = r
+		if residual.Norm() <= tol*yNorm {
+			break
+		}
+	}
+
+	res := &Result{Residual: residual.Norm(), Iterations: iters}
+	// Prune tiny coefficients, then re-sort the support.
+	for i, c := range support {
+		if cmplx.Abs(coeffs[i]) >= opts.MinCoeffMag {
+			res.Support = append(res.Support, c)
+			res.Coeffs = append(res.Coeffs, coeffs[i])
+		}
+	}
+	sortSupport(res)
+
+	if res.Residual > tol*yNorm && len(support) >= opts.MaxSparsity {
+		return res, ErrNoConvergence
+	}
+	return res, nil
+}
+
+func sortSupport(r *Result) {
+	// Insertion sort by support index, moving coefficients along; the
+	// supports here are tens of entries.
+	for i := 1; i < len(r.Support); i++ {
+		s, c := r.Support[i], r.Coeffs[i]
+		j := i - 1
+		for j >= 0 && r.Support[j] > s {
+			r.Support[j+1] = r.Support[j]
+			r.Coeffs[j+1] = r.Coeffs[j]
+			j--
+		}
+		r.Support[j+1] = s
+		r.Coeffs[j+1] = c
+	}
+}
+
+// ISTAOptions tunes the iterative soft-thresholding solver.
+type ISTAOptions struct {
+	// Lambda is the L1 regularization weight. Larger values produce
+	// sparser solutions.
+	Lambda float64
+	// MaxIterations bounds the gradient steps (default 500).
+	MaxIterations int
+	// Tol stops iteration when the solution moves less than Tol in L2
+	// between steps (default 1e-7).
+	Tol float64
+	// MinCoeffMag prunes entries below this magnitude from the reported
+	// support (default: Lambda).
+	MinCoeffMag float64
+}
+
+// ISTA solves min_z ½‖A·z − y‖² + λ‖z‖₁ by proximal gradient descent
+// with a step size derived from a power-iteration estimate of ‖A‖².
+func ISTA(a *dsp.Mat, y dsp.Vec, opts ISTAOptions) (*Result, error) {
+	if len(y) != a.Rows {
+		return nil, fmt.Errorf("cs: ISTA rhs length %d != rows %d", len(y), a.Rows)
+	}
+	if opts.Lambda <= 0 {
+		return nil, fmt.Errorf("cs: ISTA requires positive Lambda, got %v", opts.Lambda)
+	}
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		maxIter = 500
+	}
+	tol := opts.Tol
+	if tol == 0 {
+		tol = 1e-7
+	}
+	minMag := opts.MinCoeffMag
+	if minMag == 0 {
+		minMag = opts.Lambda
+	}
+
+	lip := operatorNormSq(a)
+	if lip == 0 {
+		return &Result{}, nil
+	}
+	step := 1 / lip
+
+	z := dsp.NewVec(a.Cols)
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		// Gradient of the smooth part: Aᴴ(Az − y).
+		grad := a.ConjTransposeMulVec(a.MulVec(z).Sub(y))
+		moved := 0.0
+		for c := range z {
+			next := softThreshold(z[c]-complex(step, 0)*grad[c], opts.Lambda*step)
+			d := next - z[c]
+			moved += real(d)*real(d) + imag(d)*imag(d)
+			z[c] = next
+		}
+		if math.Sqrt(moved) < tol {
+			iters++
+			break
+		}
+	}
+
+	res := &Result{Iterations: iters}
+	for c := range z {
+		if cmplx.Abs(z[c]) >= minMag {
+			res.Support = append(res.Support, c)
+			res.Coeffs = append(res.Coeffs, z[c])
+		}
+	}
+	// Debias: re-solve least squares on the detected support so the
+	// reported coefficients are unshrunk channel estimates.
+	if len(res.Support) > 0 && len(res.Support) <= a.Rows {
+		sub := a.SubMatCols(res.Support)
+		if x, err := dsp.LeastSquares(sub, y); err == nil {
+			res.Coeffs = x
+			res.Residual = dsp.Residual(sub, x, y).Norm()
+		} else {
+			res.Residual = y.Sub(a.MulVec(res.Dense(a.Cols))).Norm()
+		}
+	} else {
+		res.Residual = y.Sub(a.MulVec(res.Dense(a.Cols))).Norm()
+	}
+	return res, nil
+}
+
+// softThreshold shrinks a complex value toward zero by t, preserving
+// phase — the proximal operator of the complex L1 norm.
+func softThreshold(v complex128, t float64) complex128 {
+	m := cmplx.Abs(v)
+	if m <= t {
+		return 0
+	}
+	return v * complex((m-t)/m, 0)
+}
+
+// operatorNormSq estimates ‖A‖² (largest singular value squared) with a
+// few rounds of power iteration on AᴴA.
+func operatorNormSq(a *dsp.Mat) float64 {
+	if a.Cols == 0 || a.Rows == 0 {
+		return 0
+	}
+	v := dsp.NewVec(a.Cols)
+	for i := range v {
+		// Deterministic, non-degenerate start vector.
+		v[i] = complex(1+float64(i%7)/7, 0)
+	}
+	// Normalize the start vector, then iterate v ← AᴴA·v / ‖AᴴA·v‖.
+	// With v unit-norm, ‖AᴴA·v‖ converges to the largest eigenvalue of
+	// AᴴA, which is ‖A‖².
+	n0 := v.Norm()
+	for i := range v {
+		v[i] /= complex(n0, 0)
+	}
+	var lambda float64
+	for iter := 0; iter < 30; iter++ {
+		w := a.ConjTransposeMulVec(a.MulVec(v))
+		n := w.Norm()
+		if n == 0 {
+			return 0
+		}
+		lambda = n
+		for i := range w {
+			w[i] /= complex(n, 0)
+		}
+		v = w
+	}
+	return lambda * 1.05 // 5% safety margin keeps the step size valid
+}

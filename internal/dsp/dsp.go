@@ -1,0 +1,319 @@
+// Package dsp provides the complex-valued signal-processing and linear
+// algebra kernels the reproduction relies on: vector arithmetic over
+// complex128, dense complex matrices, Householder-QR least squares, and
+// power/SNR bookkeeping.
+//
+// The compressive-sensing stage of Buzz (§5C) repeatedly solves small
+// complex least-squares problems (the OMP projection step), and the
+// reader estimates complex channel coefficients from known patterns; both
+// reduce to the primitives here. Everything is written against stdlib
+// only — no BLAS — which is comfortably fast at the problem sizes the
+// paper operates at (matrices of a few hundred rows).
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Vec is a complex-valued vector.
+type Vec []complex128
+
+// NewVec allocates a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dot returns the inner product <v, w> = Σ conj(v_i)·w_i. It panics on
+// length mismatch: a silent truncation here would corrupt decoding math.
+func (v Vec) Dot(w Vec) complex128 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("dsp: Dot length mismatch %d vs %d", len(v), len(w)))
+	}
+	var s complex128
+	for i := range v {
+		s += cmplx.Conj(v[i]) * w[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm ‖v‖₂.
+func (v Vec) Norm() float64 {
+	return math.Sqrt(v.NormSq())
+}
+
+// NormSq returns ‖v‖₂² without the square root.
+func (v Vec) NormSq() float64 {
+	var s float64
+	for _, x := range v {
+		s += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return s
+}
+
+// Add returns v + w as a new vector.
+func (v Vec) Add(w Vec) Vec {
+	if len(v) != len(w) {
+		panic("dsp: Add length mismatch")
+	}
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Sub returns v − w as a new vector.
+func (v Vec) Sub(w Vec) Vec {
+	if len(v) != len(w) {
+		panic("dsp: Sub length mismatch")
+	}
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Scale returns a·v as a new vector.
+func (v Vec) Scale(a complex128) Vec {
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = a * v[i]
+	}
+	return out
+}
+
+// AXPYInPlace performs v ← v + a·w in place.
+func (v Vec) AXPYInPlace(a complex128, w Vec) {
+	if len(v) != len(w) {
+		panic("dsp: AXPY length mismatch")
+	}
+	for i := range v {
+		v[i] += a * w[i]
+	}
+}
+
+// MeanPower returns the average per-sample power ‖v‖²/n, the quantity SNR
+// accounting is defined over. An empty vector has zero power.
+func (v Vec) MeanPower() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return v.NormSq() / float64(len(v))
+}
+
+// Mat is a dense complex matrix stored row-major.
+type Mat struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewMat allocates a zero rows×cols matrix.
+func NewMat(rows, cols int) *Mat {
+	return &Mat{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m *Mat) At(r, c int) complex128 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Mat) Set(r, c int, v complex128) { m.Data[r*m.Cols+c] = v }
+
+// Col returns a copy of column c.
+func (m *Mat) Col(c int) Vec {
+	out := make(Vec, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		out[r] = m.At(r, c)
+	}
+	return out
+}
+
+// Row returns a copy of row r.
+func (m *Mat) Row(r int) Vec {
+	out := make(Vec, m.Cols)
+	copy(out, m.Data[r*m.Cols:(r+1)*m.Cols])
+	return out
+}
+
+// Clone deep-copies the matrix.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec returns m·x.
+func (m *Mat) MulVec(x Vec) Vec {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("dsp: MulVec dimension mismatch %d cols vs %d", m.Cols, len(x)))
+	}
+	out := make(Vec, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		var s complex128
+		for c, a := range row {
+			s += a * x[c]
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// ConjTransposeMulVec returns mᴴ·x (conjugate transpose times x), the
+// correlation of every column with x. OMP's atom-selection step is exactly
+// this product.
+func (m *Mat) ConjTransposeMulVec(x Vec) Vec {
+	if len(x) != m.Rows {
+		panic("dsp: ConjTransposeMulVec dimension mismatch")
+	}
+	out := make(Vec, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		xr := x[r]
+		for c, a := range row {
+			out[c] += cmplx.Conj(a) * xr
+		}
+	}
+	return out
+}
+
+// SubMatCols returns the matrix restricted to the given columns, in the
+// given order. The CS decoder uses it to build A′ from surviving ids.
+func (m *Mat) SubMatCols(cols []int) *Mat {
+	out := NewMat(m.Rows, len(cols))
+	for r := 0; r < m.Rows; r++ {
+		for j, c := range cols {
+			out.Set(r, j, m.At(r, c))
+		}
+	}
+	return out
+}
+
+// LeastSquares solves min_x ‖A·x − y‖₂ for a full-column-rank A with
+// Rows ≥ Cols using Householder QR. It returns the minimizer. An error is
+// returned when the system is under-determined or numerically rank
+// deficient (a diagonal of R collapses below tol relative to the largest).
+func LeastSquares(a *Mat, y Vec) (Vec, error) {
+	m, n := a.Rows, a.Cols
+	if len(y) != m {
+		return nil, fmt.Errorf("dsp: LeastSquares rhs length %d != rows %d", len(y), m)
+	}
+	if m < n {
+		return nil, fmt.Errorf("dsp: LeastSquares under-determined (%d rows < %d cols)", m, n)
+	}
+	if n == 0 {
+		return Vec{}, nil
+	}
+	// Work on copies: R overwrites the matrix, b accumulates Qᴴy.
+	r := a.Clone()
+	b := y.Clone()
+
+	// Householder reflections column by column.
+	maxDiag := 0.0
+	for k := 0; k < n; k++ {
+		// Compute the norm of the k-th column below the diagonal.
+		var colNorm float64
+		for i := k; i < m; i++ {
+			x := r.At(i, k)
+			colNorm += real(x)*real(x) + imag(x)*imag(x)
+		}
+		colNorm = math.Sqrt(colNorm)
+		if colNorm == 0 {
+			return nil, fmt.Errorf("dsp: LeastSquares rank deficient at column %d", k)
+		}
+		// alpha = -exp(i·arg(r_kk)) * colNorm keeps the reflection stable.
+		akk := r.At(k, k)
+		phase := complex(1, 0)
+		if akk != 0 {
+			phase = akk / complex(cmplx.Abs(akk), 0)
+		}
+		alpha := -phase * complex(colNorm, 0)
+
+		// v = x − alpha·e₁ (stored over the column), then normalize.
+		var vNormSq float64
+		v := make(Vec, m-k)
+		for i := k; i < m; i++ {
+			v[i-k] = r.At(i, k)
+		}
+		v[0] -= alpha
+		for _, x := range v {
+			vNormSq += real(x)*real(x) + imag(x)*imag(x)
+		}
+		if vNormSq > 0 {
+			// Apply H = I − 2·v·vᴴ/‖v‖² to the trailing matrix and to b.
+			for c := k; c < n; c++ {
+				var proj complex128
+				for i := k; i < m; i++ {
+					proj += cmplx.Conj(v[i-k]) * r.At(i, c)
+				}
+				proj *= complex(2/vNormSq, 0)
+				for i := k; i < m; i++ {
+					r.Set(i, c, r.At(i, c)-proj*v[i-k])
+				}
+			}
+			var proj complex128
+			for i := k; i < m; i++ {
+				proj += cmplx.Conj(v[i-k]) * b[i]
+			}
+			proj *= complex(2/vNormSq, 0)
+			for i := k; i < m; i++ {
+				b[i] -= proj * v[i-k]
+			}
+		}
+		if d := cmplx.Abs(r.At(k, k)); d > maxDiag {
+			maxDiag = d
+		}
+	}
+
+	// Rank check against the largest diagonal entry.
+	const tol = 1e-10
+	for k := 0; k < n; k++ {
+		if cmplx.Abs(r.At(k, k)) < tol*maxDiag {
+			return nil, fmt.Errorf("dsp: LeastSquares numerically rank deficient at column %d", k)
+		}
+	}
+
+	// Back substitution on the upper-triangular R.
+	x := make(Vec, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		x[i] = s / r.At(i, i)
+	}
+	return x, nil
+}
+
+// Residual returns y − A·x, the unexplained part of the observation.
+func Residual(a *Mat, x, y Vec) Vec {
+	return y.Sub(a.MulVec(x))
+}
+
+// DBToLinear converts a decibel power ratio to linear scale.
+func DBToLinear(db float64) float64 { return math.Pow(10, db/10) }
+
+// LinearToDB converts a linear power ratio to decibels. Zero or negative
+// input maps to -Inf, which keeps comparisons well ordered.
+func LinearToDB(lin float64) float64 {
+	if lin <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(lin)
+}
+
+// SNRdB computes the signal-to-noise ratio in dB given per-sample signal
+// power and noise power.
+func SNRdB(signalPower, noisePower float64) float64 {
+	if noisePower <= 0 {
+		return math.Inf(1)
+	}
+	return LinearToDB(signalPower / noisePower)
+}

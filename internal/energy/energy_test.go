@@ -1,0 +1,99 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCapacitorEnergy(t *testing.T) {
+	c := NewCapacitor(0.1, 3) // the paper's 0.1 F at 3 V
+	if math.Abs(c.Energy()-0.45) > 1e-12 {
+		t.Fatalf("½·0.1·9 = %v, want 0.45", c.Energy())
+	}
+}
+
+func TestCapacitorDrainLowersVoltage(t *testing.T) {
+	c := NewCapacitor(0.1, 3)
+	if err := c.Drain(0.05); err != nil {
+		t.Fatal(err)
+	}
+	if c.Volts >= 3 {
+		t.Fatal("drain did not lower voltage")
+	}
+	// Energy accounting must be exact: remaining = 0.45 − 0.05.
+	if math.Abs(c.Energy()-0.40) > 1e-12 {
+		t.Fatalf("remaining energy %v, want 0.40", c.Energy())
+	}
+}
+
+func TestCapacitorOverdrain(t *testing.T) {
+	c := NewCapacitor(0.001, 1)
+	if err := c.Drain(1); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+}
+
+func TestConsumedMatchesDrain(t *testing.T) {
+	f := func(v0raw, drainRaw uint16) bool {
+		v0 := 2 + float64(v0raw%300)/100 // 2..5 V
+		c := NewCapacitor(0.1, v0)
+		drain := float64(drainRaw%1000) / 1e6 // up to 1 mJ
+		if err := c.Drain(drain); err != nil {
+			return true
+		}
+		return math.Abs(Consumed(0.1, v0, c.Volts)-drain) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTallyPricing(t *testing.T) {
+	cost := Cost{PerSwitch: 2, PerActiveBit: 3, PerAwakeBit: 5}
+	tally := Tally{Switches: 10, ActiveBits: 4, AwakeBits: 2}
+	if got := tally.Joules(cost); got != 10*2+4*3+2*5 {
+		t.Fatalf("Joules = %v", got)
+	}
+}
+
+func TestTallyAdd(t *testing.T) {
+	a := Tally{Switches: 1, ActiveBits: 2, AwakeBits: 3}
+	a.Add(Tally{Switches: 4, ActiveBits: 5, AwakeBits: 6})
+	if a.Switches != 5 || a.ActiveBits != 7 || a.AwakeBits != 9 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestDefaultCostOrdersSchemes(t *testing.T) {
+	// The defining Fig. 13 relationships, expressed as event tallies for
+	// one 37-bit message with K = 8:
+	//   OOK (Buzz-like, ~4 transmissions): moderate switching, 4 frames active
+	//   Miller TDMA: ~8× switching, 1 frame active
+	//   CDMA: spread over 8× the time, always active, chip-rate switching
+	cost := DefaultCost()
+	const frame = 37.0
+	buzz := Tally{Switches: 4 * 18, ActiveBits: 4 * frame}
+	tdmaT := Tally{Switches: 8 * 37, ActiveBits: frame}
+	cdma := Tally{Switches: 4 * 37 * 8, ActiveBits: frame * 8}
+	eb, et, ec := buzz.Joules(cost), tdmaT.Joules(cost), cdma.Joules(cost)
+	if !(ec > 2*et) {
+		t.Fatalf("CDMA (%g) should dwarf TDMA (%g)", ec, et)
+	}
+	if eb > 2.5*et || et > 2.5*eb {
+		t.Fatalf("Buzz (%g) and TDMA (%g) should be comparable", eb, et)
+	}
+}
+
+func TestCostAtVoltageScaling(t *testing.T) {
+	c := DefaultCost()
+	at5 := CostAtVoltage(c, 5)
+	want := 25.0 / 9.0
+	if math.Abs(at5.PerSwitch/c.PerSwitch-want) > 1e-12 {
+		t.Fatalf("5 V scaling %v, want %v", at5.PerSwitch/c.PerSwitch, want)
+	}
+	at3 := CostAtVoltage(c, 3)
+	if at3 != c {
+		t.Fatal("3 V must be the identity")
+	}
+}

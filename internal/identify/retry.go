@@ -1,0 +1,61 @@
+package identify
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/prng"
+)
+
+// RetryResult aggregates an identification session run to completion
+// with retries: each round that leaves tags unresolved (duplicate
+// temporary ids, detection misses) triggers a fresh round with a new
+// salt — "the reader starts over as is the case in today's RFID
+// systems" (§5.1).
+type RetryResult struct {
+	// Final is the last round's result (the one whose temporary ids the
+	// data phase will use).
+	Final *Result
+	// Rounds is how many rounds ran.
+	Rounds int
+	// TotalSlots sums the air time across all rounds.
+	TotalSlots int
+	// Identified flags, per active tag, whether the final round
+	// resolved it.
+	Identified []bool
+	// Complete reports whether the final round resolved every tag.
+	Complete bool
+}
+
+// RunWithRetries runs identification rounds until one round resolves
+// every active tag, or maxRounds is exhausted (the last round's partial
+// result is then returned with Complete=false — callers can proceed with
+// the resolved subset). Each round derives its salt from the base
+// config's salt and the round number.
+func RunWithRetries(cfg Config, activeIDs []uint64, ch *channel.Model, noiseSrc *prng.Source, maxRounds int) (*RetryResult, error) {
+	if maxRounds < 1 {
+		return nil, fmt.Errorf("identify: maxRounds must be ≥ 1, got %d", maxRounds)
+	}
+	out := &RetryResult{}
+	for round := 0; round < maxRounds; round++ {
+		roundCfg := cfg
+		roundCfg.Salt = cfg.Salt ^ (uint64(round+1) * 0x9e3779b97f4a7c15)
+		res, err := Run(roundCfg, activeIDs, ch, noiseSrc)
+		if err != nil {
+			return nil, err
+		}
+		out.Final = res
+		out.Rounds = round + 1
+		out.TotalSlots += res.TotalSlots
+		matched, dups := Match(res, activeIDs)
+		out.Identified = matched
+		out.Complete = dups == 0
+		for _, m := range matched {
+			out.Complete = out.Complete && m
+		}
+		if out.Complete {
+			return out, nil
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package phy
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/prng"
+)
+
+func TestFM0EncodeChipCount(t *testing.T) {
+	src := prng.NewSource(51)
+	for trial := 0; trial < 20; trial++ {
+		n := src.IntN(60) + 1
+		v := bits.Random(src, n)
+		if got := len(FM0Encode(v)); got != n*FM0ChipsPerBit {
+			t.Fatalf("%d bits -> %d chips", n, got)
+		}
+	}
+}
+
+func TestFM0BoundaryAlwaysInverts(t *testing.T) {
+	// The defining FM0 property: the level at every bit boundary flips,
+	// regardless of the data.
+	src := prng.NewSource(52)
+	v := bits.Random(src, 50)
+	chips := FM0Encode(v)
+	for b := 1; b < len(v); b++ {
+		lastOfPrev := chips[b*FM0ChipsPerBit-1]
+		firstOfCur := chips[b*FM0ChipsPerBit]
+		if lastOfPrev == firstOfCur {
+			t.Fatalf("no inversion at boundary of bit %d", b)
+		}
+	}
+}
+
+func TestFM0MidBitInversionOnZeroOnly(t *testing.T) {
+	v := bits.Vector{false, true, false, true}
+	chips := FM0Encode(v)
+	for b, bit := range v {
+		first := chips[b*FM0ChipsPerBit]
+		second := chips[b*FM0ChipsPerBit+1]
+		if bit && first != second {
+			t.Fatalf("data-1 at bit %d must hold its level", b)
+		}
+		if !bit && first == second {
+			t.Fatalf("data-0 at bit %d must invert mid-bit", b)
+		}
+	}
+}
+
+func TestFM0RoundTripClean(t *testing.T) {
+	src := prng.NewSource(53)
+	h := complex(0.7, -0.2)
+	for trial := 0; trial < 50; trial++ {
+		v := bits.Random(src, 40)
+		chips := FM0Encode(v)
+		rx := make([]complex128, len(chips))
+		for i, c := range chips {
+			if c {
+				rx[i] = h
+			}
+		}
+		got := FM0Decoder{H: h}.Decode(rx, len(v))
+		if !bits.Vector(got).Equal(v) {
+			t.Fatalf("trial %d: FM0 round trip failed", trial)
+		}
+	}
+}
+
+func TestFM0RoundTripNoisy(t *testing.T) {
+	src := prng.NewSource(54)
+	noise := prng.NewSource(55)
+	h := complex(1, 0)
+	errors, total := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		v := bits.Random(src, 64)
+		chips := FM0Encode(v)
+		rx := make([]complex128, len(chips))
+		for i, c := range chips {
+			if c {
+				rx[i] = h
+			}
+			rx[i] += noise.ComplexNorm() * complex(0.3, 0)
+		}
+		got := FM0Decoder{H: h}.Decode(rx, len(v))
+		errors += bits.Vector(got).HammingDistance(v)
+		total += len(v)
+	}
+	if frac := float64(errors) / float64(total); frac > 0.02 {
+		t.Fatalf("FM0 BER %f at chip sigma 0.3", frac)
+	}
+}
+
+func TestFM0SwitchesLessThanMiller(t *testing.T) {
+	// The energy half of the line-code tradeoff: FM0 toggles far less.
+	src := prng.NewSource(56)
+	v := bits.Random(src, 96)
+	fm0 := SwitchCount(FM0Encode(v))
+	miller := SwitchCount(MillerEncode(v))
+	if fm0*2 >= miller {
+		t.Fatalf("FM0 (%d switches) should toggle well under half of Miller-4 (%d)", fm0, miller)
+	}
+}
+
+func TestFM0TruncatedStream(t *testing.T) {
+	v := bits.Vector{true, false, true}
+	chips := FM0Encode(v)
+	rx := make([]complex128, len(chips)-FM0ChipsPerBit)
+	for i := range rx {
+		if chips[i] {
+			rx[i] = 1
+		}
+	}
+	got := (FM0Decoder{H: 1}).Decode(rx, 3)
+	if len(got) != 2 {
+		t.Fatalf("truncated decode returned %d bits, want 2", len(got))
+	}
+}

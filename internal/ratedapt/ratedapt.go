@@ -1,0 +1,541 @@
+// Package ratedapt implements Buzz's distributed rate-adaptation protocol
+// (§6): the rateless collision code across tags and the reader-side
+// incremental decoding loop.
+//
+// Protocol (paper §6a): the reader broadcasts a single start command. In
+// every time slot, each tag draws a pseudorandom bit seeded by its
+// temporary id and the slot index — shared state with the reader via
+// internal/prng — and transmits its entire message if the bit is 1,
+// staying silent otherwise. The reader accumulates collision symbols,
+// decodes incrementally with the belief-propagation decoder, and cuts its
+// carrier (stopping everyone at once) as soon as every message passes its
+// CRC. No per-tag feedback, no scheduling: the aggregate rate K/L
+// bits/symbol floats with channel quality.
+//
+// Sparsity (§6d): the participation probability is tuned to the reader's
+// estimate of K so only a few tags collide per slot — the low-density
+// property that makes the bit-flipping decoder behave like BP on an LDPC
+// code.
+package ratedapt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bits"
+	"repro/internal/bp"
+	"repro/internal/channel"
+	"repro/internal/dsp"
+	"repro/internal/prng"
+)
+
+// DefaultMeanColliders is the target expected number of tags per
+// collision slot. Around 5 keeps the code sparse enough for clean BP
+// decoding yet dense enough that slots carry information; the ablation
+// bench sweeps this.
+const DefaultMeanColliders = 5.0
+
+// MaxDensity caps the per-slot participation probability. Density 1
+// would repeat the identical collision forever — "multiple copies of the
+// same codeword", which §1 of the paper calls out as undecodable: any
+// constellation ambiguity between tags would never resolve. Keeping a
+// quarter of the slots varied guarantees the rows of D keep supplying
+// fresh tag subsets.
+const MaxDensity = 0.75
+
+// Config parameterizes a data-phase transfer.
+type Config struct {
+	// Seeds holds each tag's temporary id, the seed both sides feed the
+	// participation generator. len(Seeds) defines K.
+	Seeds []uint64
+	// SessionSalt decorrelates this session's randomness from earlier
+	// runs; the reader picks it and includes it in the start command.
+	SessionSalt uint64
+	// CRC selects the checksum protecting each message.
+	CRC bits.CRCKind
+	// Density is the per-slot participation probability. Zero derives
+	// it from K as min(1, DefaultMeanColliders/K).
+	Density float64
+	// MaxSlots caps the rateless loop; transfers that still have
+	// unverified messages at the cap report them as lost. Zero defaults
+	// to 40·K, far beyond anything a sane channel needs.
+	MaxSlots int
+	// Restarts is the number of extra random BP initializations per bit
+	// position each round (0 = single descent per round).
+	Restarts int
+	// MinDegreeForCRC is the participation count a tag needs before the
+	// reader will CRC-check (and potentially lock) its message. Below 1
+	// a tag's bits are pure initialization noise and a 5-bit CRC would
+	// false-accept 1 in 32 of them. Default 1.
+	MinDegreeForCRC int
+	// MarginThreshold gates CRC checks on decoding confidence: a frame
+	// is only checked when every bit position's normalized flip margin
+	// (bp.Graph.Margins) is at least this value. A short CRC alone is
+	// too weak against the many garbage frames the reader sees before
+	// convergence — 1 in 32 of them would false-accept — while a frame
+	// whose every bit is strongly pinned is almost never garbage.
+	// Zero means the default 0.5; negative disables the gate.
+	MarginThreshold float64
+	// RefineChannel re-estimates the channel taps each slot by least
+	// squares against the current bit estimates, jointly across every
+	// bit position (damped 50/50 against the previous estimate). Use it
+	// when the decoder's taps come from the identification phase rather
+	// than an oracle: stage-C estimates carry noise that would
+	// otherwise cap the decoder's confidence margins below the locking
+	// thresholds on poor channels. The refinement is the standard
+	// decision-directed channel tracking a production reader performs.
+	RefineChannel bool
+	// SilenceDecoded enables the alternative design §8.2 weighs and
+	// rejects: the reader ACKs each tag whose message verified (echoing
+	// its temporary id on the downlink), and the silenced tag stops
+	// participating in later slots. Fewer colliders help the
+	// stragglers, but every ACK costs downlink air time — at EPC rates
+	// about 1.4 message-slots' worth — which is why the paper keeps all
+	// tags colliding until one global stop. Result.AckDownlinkBits and
+	// Result.AckTurnarounds expose the cost so the extension bench can
+	// reproduce the paper's ~75% overhead estimate.
+	SilenceDecoded bool
+	// DiesAtSlot injects the §6d power-failure scenario: tag i stops
+	// transmitting from slot DiesAtSlot[i] on (0 or missing = never).
+	// The reader does not know — it keeps reconstructing D as if the
+	// tag still participated, so the dead tag's scheduled slots carry
+	// model mismatch. The paper argues (and the tests verify) that
+	// already-decoded tags are unaffected and the survivors merely need
+	// more collisions. Nil disables injection.
+	DiesAtSlot []int
+}
+
+func (c *Config) k() int { return len(c.Seeds) }
+
+func (c *Config) density() float64 {
+	if c.Density > 0 {
+		return c.Density
+	}
+	k := float64(c.k())
+	if k == 0 {
+		return 1
+	}
+	d := DefaultMeanColliders / k
+	if d > MaxDensity {
+		return MaxDensity
+	}
+	return d
+}
+
+func (c *Config) maxSlots() int {
+	if c.MaxSlots > 0 {
+		return c.MaxSlots
+	}
+	return 40 * c.k()
+}
+
+func (c *Config) minDegree() int {
+	if c.MinDegreeForCRC > 0 {
+		return c.MinDegreeForCRC
+	}
+	return 1
+}
+
+func (c *Config) marginThreshold() float64 {
+	switch {
+	case c.MarginThreshold < 0:
+		return 0
+	case c.MarginThreshold == 0:
+		return 0.5
+	default:
+		return c.MarginThreshold
+	}
+}
+
+// pendingFrame is a CRC-passing frame awaiting stability confirmation:
+// it locks only if it survives unchanged past new evidence.
+type pendingFrame struct {
+	frame  bits.Vector
+	degree int
+}
+
+// Participates reports whether the tag with the given seed transmits in
+// the given slot of this session. Tag hardware evaluates exactly this
+// function; the reader evaluates it too when it reconstructs D.
+func Participates(seed, sessionSalt uint64, slot int, density float64) bool {
+	return prng.BiasedBitAt(prng.Mix2(seed, sessionSalt), uint64(slot), density)
+}
+
+// SlotResult records the decoding state after one collision slot, the
+// data behind Fig. 9.
+type SlotResult struct {
+	// Slot is the 1-based slot index.
+	Slot int
+	// Colliders is the number of tags that transmitted in this slot.
+	Colliders int
+	// NewlyDecoded is how many messages passed CRC at this slot.
+	NewlyDecoded int
+	// TotalDecoded is the cumulative count of verified messages.
+	TotalDecoded int
+	// BitsPerSymbol is the running aggregate rate: verified messages ÷
+	// slots so far (each slot spends one message-length of symbols to
+	// deliver K messages' worth when all decode).
+	BitsPerSymbol float64
+}
+
+// Result is the outcome of a transfer.
+type Result struct {
+	// SlotsUsed is the number of collision slots consumed (L).
+	SlotsUsed int
+	// Frames holds the decoded frame (payload+CRC) per tag; only
+	// meaningful where Verified is true.
+	Frames []bits.Vector
+	// Verified flags tags whose message passed its CRC.
+	Verified []bool
+	// DecodedAtSlot records, per tag, the 1-based slot at which its
+	// message verified; 0 means never.
+	DecodedAtSlot []int
+	// Progress has one entry per slot (Fig. 9's series).
+	Progress []SlotResult
+	// Participation counts, per tag, the slots it transmitted in — the
+	// energy model's input.
+	Participation []int
+	// AckDownlinkBits and AckTurnarounds accumulate the reader feedback
+	// cost when SilenceDecoded is on (zero otherwise).
+	AckDownlinkBits int
+	AckTurnarounds  int
+	// BitsPerSymbol is the final aggregate rate K/L when everything
+	// verified, or verified/L otherwise.
+	BitsPerSymbol float64
+}
+
+// Lost counts messages that never verified.
+func (r *Result) Lost() int {
+	n := 0
+	for _, v := range r.Verified {
+		if !v {
+			n++
+		}
+	}
+	return n
+}
+
+// Transfer runs the full data phase: tags encode, the air collides, the
+// reader decodes. messages[i] is tag i's payload; ch provides the taps
+// and noise floor (the reader learned the taps during identification).
+// noiseSrc drives channel noise; decodeSrc drives the decoder's random
+// initializations. The two are separate so tests can replay one while
+// varying the other.
+func Transfer(cfg Config, messages []bits.Vector, ch *channel.Model, noiseSrc, decodeSrc *prng.Source) (*Result, error) {
+	return TransferEstimated(cfg, messages, ch, ch, noiseSrc, decodeSrc)
+}
+
+// TransferEstimated is Transfer with the reader's channel knowledge
+// decoupled from the physical channel: air synthesizes the received
+// symbols, decoder supplies the taps the belief-propagation decoder
+// works with. Passing the stage-C channel estimates as decoder exercises
+// the realistic condition that H is only approximately known — the
+// rateless loop absorbs the estimation error by collecting more
+// collisions.
+func TransferEstimated(cfg Config, messages []bits.Vector, air, decoder *channel.Model, noiseSrc, decodeSrc *prng.Source) (*Result, error) {
+	k := cfg.k()
+	if len(messages) != k {
+		return nil, fmt.Errorf("ratedapt: %d messages for %d seeds", len(messages), k)
+	}
+	if air.K() != k || decoder.K() != k {
+		return nil, fmt.Errorf("ratedapt: air has %d taps, decoder %d, for %d tags", air.K(), decoder.K(), k)
+	}
+	if k == 0 {
+		return &Result{}, nil
+	}
+	frameLen := len(messages[0]) + cfg.CRC.Width()
+	frames := make([]bits.Vector, k)
+	for i, msg := range messages {
+		if len(msg) != len(messages[0]) {
+			return nil, fmt.Errorf("ratedapt: message %d has %d bits, others %d — equal lengths required (§6 footnote 5)",
+				i, len(msg), len(messages[0]))
+		}
+		frames[i] = bits.Message{Payload: msg, Kind: cfg.CRC}.Frame()
+	}
+	// The symbol-level air: one complex observation per bit position,
+	// superposing the taps of tags whose bit is 1 in that position.
+	airFn := func(active []bool) []complex128 {
+		obs := make([]complex128, frameLen)
+		bitActive := make([]bool, k)
+		for p := 0; p < frameLen; p++ {
+			for i := 0; i < k; i++ {
+				bitActive[i] = active[i] && frames[i][p]
+			}
+			obs[p] = air.Symbol(bitActive, noiseSrc)
+		}
+		return obs
+	}
+	return runDecodeLoop(cfg, frames, frameLen, decoder, airFn, decodeSrc)
+}
+
+// runDecodeLoop is the rateless decode engine shared by the symbol-level
+// and sample-level airs: it drives participation, accumulates the air's
+// per-slot observations, decodes incrementally and applies the
+// acceptance gates. The air function receives the set of tags whose
+// radios actually transmit this slot and returns one observation per bit
+// position.
+func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *channel.Model,
+	air func(active []bool) []complex128, decodeSrc *prng.Source) (*Result, error) {
+
+	k := cfg.k()
+	density := cfg.density()
+	maxSlots := cfg.maxSlots()
+
+	// Observations: ys[p][l] is the symbol for bit position p in slot l.
+	ys := make([][]complex128, frameLen)
+	d := bits.NewMatrix(0, k)
+
+	// Decoder state: current estimate per tag, lock flags.
+	estimates := make([]bits.Vector, k)
+	for i := range estimates {
+		estimates[i] = bits.Random(decodeSrc, frameLen)
+	}
+	locked := make([]bool, k)
+	decodedAt := make([]int, k)
+	candidates := make([]*pendingFrame, k)
+	res := &Result{
+		Frames:        make([]bits.Vector, k),
+		Verified:      locked,
+		DecodedAtSlot: decodedAt,
+		Participation: make([]int, k),
+	}
+
+	alive := make([]bool, k)
+	for i := range alive {
+		alive[i] = true
+	}
+	totalDecoded := 0
+	for slot := 1; slot <= maxSlots && totalDecoded < k; slot++ {
+		// --- Tag side: who participates, what hits the air. ---
+		row := make(bits.Vector, k)
+		colliders := 0
+		for i, seed := range cfg.Seeds {
+			// A verified tag has been silenced by the reader? No — the
+			// paper explicitly keeps tags transmitting until the single
+			// global stop (§8.2 discusses and rejects per-tag ACKs), so
+			// verified tags keep colliding.
+			row[i] = Participates(seed, cfg.SessionSalt, slot, density)
+			if cfg.SilenceDecoded && locked[i] {
+				// The reader ACKed this tag after its message verified;
+				// it no longer transmits, and the reader's D knows it.
+				row[i] = false
+			}
+			if row[i] {
+				colliders++
+				res.Participation[i]++
+			}
+			// Failure injection: a dead tag's radio is silent, but the
+			// reader's D (built from the same Participates call) still
+			// schedules it — the air and the model disagree from here
+			// on, exactly as when a real tag browns out (§6d).
+			if cfg.DiesAtSlot != nil && i < len(cfg.DiesAtSlot) &&
+				cfg.DiesAtSlot[i] > 0 && slot >= cfg.DiesAtSlot[i] {
+				alive[i] = false
+			}
+		}
+		d.AppendRow(row)
+		active := make([]bool, k)
+		for i := 0; i < k; i++ {
+			active[i] = bool(row[i]) && alive[i]
+		}
+		for p, o := range air(active) {
+			ys[p] = append(ys[p], o)
+		}
+
+		// --- Reader side: incremental decode. ---
+		taps := decoder.Taps
+		if cfg.RefineChannel && slot > 1 {
+			if refined, ok := refineTaps(d, ys, estimates, decoder.Taps); ok {
+				taps = refined
+				decoder = channel.NewExact(refined, decoder.NoisePower)
+			}
+		}
+		graph := bp.NewGraph(d, taps)
+		// minMargin[i] tracks tag i's weakest per-position flip margin;
+		// it gates the CRC check below.
+		minMargin := make([]float64, k)
+		for i := range minMargin {
+			minMargin[i] = math.Inf(1)
+		}
+		ambiguous := make([]bool, k)
+		for p := 0; p < frameLen; p++ {
+			init := make(bits.Vector, k)
+			for i := 0; i < k; i++ {
+				init[i] = estimates[i][p]
+			}
+			out := graph.Decode(ys[p], bp.Options{Init: init, Locked: locked, Restarts: cfg.Restarts}, decodeSrc)
+			for i := 0; i < k; i++ {
+				if !locked[i] {
+					estimates[i][p] = out.Bits[i]
+				}
+				if out.Ambiguous[i] {
+					// A near-tied alternative decode disagrees on this
+					// tag somewhere in the frame: withhold locking it
+					// this round (see bp.Result.Ambiguous).
+					ambiguous[i] = true
+				}
+			}
+			for i, m := range graph.Margins(ys[p], out.Bits) {
+				if m < minMargin[i] {
+					minMargin[i] = m
+				}
+			}
+		}
+
+		// CRC gate: lock tags whose estimated frame verifies. A bare
+		// 5-bit CRC would false-accept 1 in 32 of the garbage frames
+		// the reader sees before convergence, so acceptance takes one
+		// of two paths:
+		//
+		//   confident — every bit position's flip margin clears the
+		//   threshold (strong tags; enables the paper's slot-1
+		//   decodes), or
+		//
+		//   confirmed — the identical frame keeps passing CRC while the
+		//   tag participates in two further collisions, with at least
+		//   half the confident margin (weak tags, whose margins are
+		//   noisy). The margin floor matters: a frame that is *stably
+		//   wrong* accumulates mismatch energy as evidence arrives, so
+		//   its wrong bits develop negative flip margins — repeated CRC
+		//   passes of an unchanged frame alone would re-check the same
+		//   1-in-32 event, not an independent one.
+		// condOK re-tests every bit position of tag i with the bit
+		// forced opposite and the rest re-optimized. Single-flip
+		// margins cannot see constellation near-coincidences where
+		// several tags' bits swap together; this can (see
+		// bp.Graph.ConditionalMargin).
+		condOK := func(i int) bool {
+			joint := make(bits.Vector, k)
+			for p := 0; p < frameLen; p++ {
+				for j := 0; j < k; j++ {
+					joint[j] = estimates[j][p]
+				}
+				if graph.ConditionalMargin(ys[p], joint, i, locked, decodeSrc) < cfg.marginThreshold()/2 {
+					return false
+				}
+			}
+			return true
+		}
+
+		newly := 0
+		for i := 0; i < k; i++ {
+			deg := graph.Degree(i)
+			if locked[i] || deg < cfg.minDegree() || ambiguous[i] {
+				continue
+			}
+			if !bits.Verify(estimates[i], cfg.CRC) {
+				candidates[i] = nil
+				continue
+			}
+			accept := minMargin[i] >= cfg.marginThreshold()
+			if !accept && minMargin[i] >= cfg.marginThreshold()/2 {
+				if c := candidates[i]; c != nil && c.frame.Equal(estimates[i]) {
+					if deg >= c.degree+1 {
+						accept = true
+					}
+				} else {
+					candidates[i] = &pendingFrame{frame: estimates[i].Clone(), degree: deg}
+				}
+			}
+			if accept && condOK(i) {
+				locked[i] = true
+				decodedAt[i] = slot
+				res.Frames[i] = estimates[i].Clone()
+				candidates[i] = nil
+				newly++
+				if cfg.SilenceDecoded {
+					// ACK = 2-bit command code + 16-bit temporary id
+					// echo, plus two link turnarounds.
+					res.AckDownlinkBits += 18
+					res.AckTurnarounds += 2
+				}
+			}
+		}
+		totalDecoded += newly
+		res.Progress = append(res.Progress, SlotResult{
+			Slot:          slot,
+			Colliders:     colliders,
+			NewlyDecoded:  newly,
+			TotalDecoded:  totalDecoded,
+			BitsPerSymbol: float64(totalDecoded) / float64(slot),
+		})
+		res.SlotsUsed = slot
+	}
+
+	if res.SlotsUsed > 0 {
+		res.BitsPerSymbol = float64(totalDecoded) / float64(res.SlotsUsed)
+	}
+	return res, nil
+}
+
+// refineTaps re-fits the channel taps by least squares against the
+// current bit estimates: every (slot, position) pair contributes one
+// linear equation y = Σ_i d_li·b̂_ip·h_i. The system is heavily
+// overdetermined (L·P equations for K unknowns), so occasional bit-
+// estimate errors wash out. The result is damped 50/50 against the
+// previous taps; on any numerical failure the old taps are kept.
+func refineTaps(d *bits.Matrix, ys [][]complex128, estimates []bits.Vector, old []complex128) ([]complex128, bool) {
+	k := d.Cols
+	if k == 0 || d.Rows == 0 || len(estimates) != k {
+		return nil, false
+	}
+	frameLen := len(estimates[0])
+	// Cap the system size: stride over positions so the row count stays
+	// near 64·K — ample for a K-unknown fit.
+	maxRows := 64 * k
+	total := d.Rows * frameLen
+	stride := 1
+	if total > maxRows {
+		stride = total / maxRows
+	}
+	var rowsData []complex128
+	var rhs dsp.Vec
+	idx := 0
+	for l := 0; l < d.Rows; l++ {
+		for p := 0; p < frameLen; p++ {
+			idx++
+			if idx%stride != 0 {
+				continue
+			}
+			row := make([]complex128, k)
+			any := false
+			for i := 0; i < k; i++ {
+				if d.At(l, i) && estimates[i][p] {
+					row[i] = 1
+					any = true
+				}
+			}
+			if !any {
+				continue
+			}
+			rowsData = append(rowsData, row...)
+			rhs = append(rhs, ys[p][l])
+		}
+	}
+	n := len(rhs)
+	if n < 2*k {
+		return nil, false
+	}
+	a := &dsp.Mat{Rows: n, Cols: k, Data: rowsData}
+	sol, err := dsp.LeastSquares(a, rhs)
+	if err != nil {
+		return nil, false
+	}
+	refined := make([]complex128, k)
+	for i := range refined {
+		refined[i] = 0.5*old[i] + 0.5*sol[i]
+	}
+	return refined, true
+}
+
+// Payloads extracts the verified payloads (CRC stripped); unverified
+// entries are nil.
+func (r *Result) Payloads(kind bits.CRCKind) []bits.Vector {
+	out := make([]bits.Vector, len(r.Frames))
+	for i, f := range r.Frames {
+		if r.Verified[i] {
+			out[i] = bits.PayloadOf(f, kind)
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package ratedapt
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/channel"
+	"repro/internal/phy"
+	"repro/internal/prng"
+)
+
+func TestTransferSampledDeliversWithRealisticTiming(t *testing.T) {
+	// §8.1's claim: the measured sub-microsecond offsets (≤8% of an
+	// 80 kbps bit) and corrected drift have negligible impact on Buzz.
+	// The sampled air applies exactly those imperfections; everything
+	// must still arrive correctly.
+	src := prng.NewSource(71)
+	for trial := 0; trial < 6; trial++ {
+		k := 4 + src.IntN(8)
+		msgs := makeMessages(src, k, 32)
+		ch := channel.NewFromSNRBand(k, 15, 25, src)
+		cfg := SampledConfig{
+			Config: Config{
+				Seeds: seeds(k), SessionSalt: uint64(trial), CRC: bits.CRC5,
+				Restarts: 2, MaxSlots: 40 * k,
+			},
+		}
+		res, err := TransferSampled(cfg, msgs, ch, src.Fork(uint64(trial)), src.Fork(uint64(100+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Lost() != 0 {
+			t.Fatalf("trial %d (k=%d): sampled air lost %d messages with realistic timing", trial, k, res.Lost())
+		}
+		for i, p := range res.Payloads(bits.CRC5) {
+			if !p.Equal(msgs[i]) {
+				t.Fatalf("trial %d: tag %d wrong payload through the sampled air", trial, i)
+			}
+		}
+	}
+}
+
+func TestTransferSampledCostComparableToSymbolLevel(t *testing.T) {
+	// With realistic (small) imperfections the sampled air should take
+	// about as many slots as the idealized symbol-level air: that is
+	// the quantitative form of "negligible impact".
+	src := prng.NewSource(72)
+	k := 8
+	var sampledSlots, symbolSlots int
+	const trials = 6
+	for trial := 0; trial < trials; trial++ {
+		msgs := makeMessages(src, k, 32)
+		ch := channel.NewFromSNRBand(k, 15, 25, src)
+		base := Config{Seeds: seeds(k), SessionSalt: uint64(trial), CRC: bits.CRC5, Restarts: 2, MaxSlots: 40 * k}
+
+		rs, err := TransferSampled(SampledConfig{Config: base}, msgs, ch, prng.NewSource(uint64(trial)), prng.NewSource(uint64(50+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampledSlots += rs.SlotsUsed
+
+		ry, err := Transfer(base, msgs, ch, prng.NewSource(uint64(trial)), prng.NewSource(uint64(50+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		symbolSlots += ry.SlotsUsed
+	}
+	ratio := float64(sampledSlots) / float64(symbolSlots)
+	if ratio > 1.6 {
+		t.Fatalf("sampled air needs %.2fx the slots of the symbol air — timing imperfections should be negligible", ratio)
+	}
+}
+
+func TestTransferSampledLargeOffsetsHurt(t *testing.T) {
+	// Control experiment: blow the offsets up to half a bit (far beyond
+	// anything §8.1 measured) and the decoder should visibly struggle —
+	// demonstrating the sampled air actually models timing.
+	src := prng.NewSource(73)
+	k := 6
+	var badSlots, goodSlots, lost int
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		msgs := makeMessages(src, k, 32)
+		ch := channel.NewFromSNRBand(k, 15, 25, src)
+		base := Config{Seeds: seeds(k), SessionSalt: uint64(trial), CRC: bits.CRC5, Restarts: 2, MaxSlots: 40 * k}
+
+		huge := phy.SyncOffsetModel{P90Micros: 6, MaxMicros: 7} // ~half a 12.5 µs bit
+		rb, err := TransferSampled(SampledConfig{Config: base, OffsetModel: &huge}, msgs, ch,
+			prng.NewSource(uint64(trial)), prng.NewSource(uint64(60+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		badSlots += rb.SlotsUsed
+		lost += rb.Lost()
+
+		rg, err := TransferSampled(SampledConfig{Config: base}, msgs, ch,
+			prng.NewSource(uint64(trial)), prng.NewSource(uint64(60+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		goodSlots += rg.SlotsUsed
+	}
+	if lost == 0 && badSlots <= goodSlots {
+		t.Fatalf("half-bit offsets cost nothing (%d vs %d slots, %d lost) — the sampled air is not modeling timing",
+			badSlots, goodSlots, lost)
+	}
+}
+
+func TestTransferSampledValidation(t *testing.T) {
+	src := prng.NewSource(74)
+	ch := channel.NewUniform(2, 20, src)
+	cfg := SampledConfig{Config: Config{Seeds: seeds(2)}}
+	if _, err := TransferSampled(cfg, makeMessages(src, 3, 8), ch, src, src); err == nil {
+		t.Fatal("expected message-count error")
+	}
+	cfg3 := SampledConfig{Config: Config{Seeds: seeds(3)}}
+	if _, err := TransferSampled(cfg3, makeMessages(src, 3, 8), ch, src, src); err == nil {
+		t.Fatal("expected channel-size error")
+	}
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/ratedapt"
+)
+
+func TestCompareDataPhaseShape(t *testing.T) {
+	// Fig. 10/11 shape at K = 8: Buzz finishes faster than TDMA and
+	// CDMA, with zero undecoded; CDMA is the least reliable.
+	out, err := CompareDataPhase(DataPhaseConfig{K: 8, Trials: 25, Seed: 42, Profile: DefaultProfile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]SchemeOutcome{}
+	for _, o := range out {
+		byName[o.Scheme] = o
+	}
+	buzz, tdmaO, cdmaO := byName["buzz"], byName["tdma"], byName["cdma"]
+	if buzz.TransferMillis.Mean >= tdmaO.TransferMillis.Mean {
+		t.Errorf("Buzz (%.2f ms) should beat TDMA (%.2f ms)", buzz.TransferMillis.Mean, tdmaO.TransferMillis.Mean)
+	}
+	if buzz.Undecoded.Mean != 0 {
+		t.Errorf("Buzz lost %.2f messages on average; the rateless code should lose none", buzz.Undecoded.Mean)
+	}
+	if cdmaO.Undecoded.Mean <= buzz.Undecoded.Mean {
+		t.Errorf("CDMA (%.2f lost) should be least reliable", cdmaO.Undecoded.Mean)
+	}
+	if buzz.WrongPayload != 0 {
+		t.Errorf("Buzz delivered %d wrong payloads", buzz.WrongPayload)
+	}
+	if buzz.BitsPerSymbol.Mean <= 1 {
+		t.Errorf("Buzz mean rate %.2f should exceed TDMA's fixed 1 bit/symbol", buzz.BitsPerSymbol.Mean)
+	}
+}
+
+func TestCompareDataPhaseValidation(t *testing.T) {
+	if _, err := CompareDataPhase(DataPhaseConfig{K: 0, Trials: 1}); err == nil {
+		t.Fatal("expected K validation error")
+	}
+	if _, err := CompareDataPhase(DataPhaseConfig{K: 4, Trials: 0}); err == nil {
+		t.Fatal("expected Trials validation error")
+	}
+}
+
+func TestRunChallengingShape(t *testing.T) {
+	// Fig. 12: in the best band both schemes deliver everything and
+	// Buzz's rate beats 1; in the worst band TDMA loses messages while
+	// Buzz still delivers (rate below 1).
+	bands := []ChallengingBand{{19, 26}, {4, 12}}
+	out, err := RunChallenging(12, 7, bands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, worst := out[0], out[1]
+	if best.BuzzDecoded < 3.9 {
+		t.Errorf("best band: Buzz decoded %.2f of 4", best.BuzzDecoded)
+	}
+	if best.BuzzRate <= 1 {
+		t.Errorf("best band: Buzz rate %.2f should exceed 1", best.BuzzRate)
+	}
+	if worst.BuzzDecoded < 3.9 {
+		t.Errorf("worst band: Buzz decoded %.2f of 4 — rateless code should still deliver", worst.BuzzDecoded)
+	}
+	if worst.TDMADecoded >= 3.5 {
+		t.Errorf("worst band: TDMA decoded %.2f of 4 — should be losing messages", worst.TDMADecoded)
+	}
+	if worst.BuzzRate >= best.BuzzRate {
+		t.Errorf("Buzz rate should fall with channel quality: %.2f vs %.2f", worst.BuzzRate, best.BuzzRate)
+	}
+}
+
+func TestRunEnergyShape(t *testing.T) {
+	// Fig. 13: CDMA dwarfs the others; Buzz stays within ~2x of TDMA;
+	// all grow with voltage.
+	out, err := RunEnergy(5, 11, []float64{3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("expected 3 voltage points, got %d", len(out))
+	}
+	for _, o := range out {
+		if o.CDMAMicroJ <= 2*o.TDMAMicroJ {
+			t.Errorf("V0=%.0f: CDMA (%.1f µJ) should dwarf TDMA (%.1f µJ)", o.StartingVolts, o.CDMAMicroJ, o.TDMAMicroJ)
+		}
+		if o.BuzzMicroJ > 2.5*o.TDMAMicroJ {
+			t.Errorf("V0=%.0f: Buzz (%.1f µJ) should stay near TDMA (%.1f µJ)", o.StartingVolts, o.BuzzMicroJ, o.TDMAMicroJ)
+		}
+	}
+	if !(out[0].TDMAMicroJ < out[1].TDMAMicroJ && out[1].TDMAMicroJ < out[2].TDMAMicroJ) {
+		t.Error("energy should grow with starting voltage")
+	}
+}
+
+func TestRunIdentificationShape(t *testing.T) {
+	// Fig. 14: Buzz is severalfold faster than FSA; knowing K buys FSA
+	// a meaningful improvement; times grow with K.
+	out, err := RunIdentification(15, 13, []int{4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range out {
+		if o.BuzzMillis >= o.FSAMillis {
+			t.Errorf("K=%d: Buzz (%.2f ms) should beat FSA (%.2f ms)", o.K, o.BuzzMillis, o.FSAMillis)
+		}
+		if o.FSAKnownKMillis >= o.FSAMillis {
+			t.Errorf("K=%d: known-K FSA (%.2f ms) should beat plain FSA (%.2f ms)", o.K, o.FSAKnownKMillis, o.FSAMillis)
+		}
+		if o.BuzzIdentified < 0.85 {
+			t.Errorf("K=%d: Buzz identified only %.0f%% of tags", o.K, o.BuzzIdentified*100)
+		}
+	}
+	if out[1].FSAMillis <= out[0].FSAMillis {
+		t.Error("FSA time should grow with K")
+	}
+	speedup := out[1].FSAMillis / out[1].BuzzMillis
+	if speedup < 2 {
+		t.Errorf("K=16 identification speedup %.1fx; the paper reports ~5.5x", speedup)
+	}
+}
+
+func TestDecodeProgressShape(t *testing.T) {
+	// Fig. 9: a complete decode of 14 tags whose cumulative count is
+	// monotone and ends at 14.
+	prog, err := DecodeProgress(14, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) == 0 {
+		t.Fatal("empty progress")
+	}
+	last := prog[len(prog)-1]
+	if last.TotalDecoded != 14 {
+		t.Fatalf("final decoded %d, want 14", last.TotalDecoded)
+	}
+	prev := 0
+	peak := 0.0
+	for _, p := range prog {
+		if p.TotalDecoded < prev {
+			t.Fatal("progress not monotone")
+		}
+		prev = p.TotalDecoded
+		if p.BitsPerSymbol > peak {
+			peak = p.BitsPerSymbol
+		}
+	}
+	if peak <= 1 {
+		t.Errorf("peak rate %.2f should exceed 1 bit/symbol", peak)
+	}
+}
+
+func TestRunHeadline(t *testing.T) {
+	res, err := RunHeadline(10, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IdentSpeedup <= 1.5 {
+		t.Errorf("identification speedup %.1fx too low", res.IdentSpeedup)
+	}
+	if res.DataRateGain <= 1 {
+		t.Errorf("data-phase gain %.1fx should exceed 1", res.DataRateGain)
+	}
+	if res.OverallSpeedup <= 1.2 {
+		t.Errorf("overall speedup %.1fx too low", res.OverallSpeedup)
+	}
+}
+
+// Guard against the sim layer drifting away from the underlying
+// protocol's invariants.
+func TestProgressConsistentWithTransfer(t *testing.T) {
+	prog, err := DecodeProgress(8, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, p := range prog {
+		total += p.NewlyDecoded
+	}
+	if total != 8 {
+		t.Fatalf("newly-decoded sum %d, want 8", total)
+	}
+	_ = ratedapt.SlotResult{}
+}

@@ -1,0 +1,146 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: means, medians, percentiles, empirical CDFs (Fig. 7's
+// plot type) and simple aggregation over repeated trials.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean; an empty input returns NaN.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance; fewer than two samples
+// return NaN.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile (0–100) using linear
+// interpolation between order statistics. An empty input returns NaN.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MinMax returns the extremes; an empty input returns (NaN, NaN).
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// CDFPoint is one step of an empirical CDF.
+type CDFPoint struct {
+	// Value is the sample value.
+	Value float64
+	// Fraction is P(X ≤ Value).
+	Fraction float64
+}
+
+// CDF returns the empirical distribution of the samples as step points,
+// one per sample, sorted by value — the series Fig. 7 plots.
+func CDF(xs []float64) []CDFPoint {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, len(sorted))
+	for i, v := range sorted {
+		out[i] = CDFPoint{Value: v, Fraction: float64(i+1) / float64(len(sorted))}
+	}
+	return out
+}
+
+// CDFAt evaluates the empirical CDF at value v.
+func CDFAt(xs []float64, v float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, x := range xs {
+		if x <= v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Summary is the per-series aggregate the figure tables print.
+type Summary struct {
+	N                  int
+	Mean, Median, Std  float64
+	Min, Max, P10, P90 float64
+}
+
+// Summarize computes a Summary of the samples.
+func Summarize(xs []float64) Summary {
+	min, max := MinMax(xs)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Median: Median(xs),
+		Std:    StdDev(xs),
+		Min:    min,
+		Max:    max,
+		P10:    Percentile(xs, 10),
+		P90:    Percentile(xs, 90),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f median=%.3f std=%.3f min=%.3f p10=%.3f p90=%.3f max=%.3f",
+		s.N, s.Mean, s.Median, s.Std, s.Min, s.P10, s.P90, s.Max)
+}

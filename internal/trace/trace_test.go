@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCollisionLevelsMatchFig2(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		single, double := CollisionLevels(seed)
+		if single != 2 {
+			t.Errorf("seed %d: single tag gave %d levels, want 2", seed, single)
+		}
+		if double != 4 {
+			t.Errorf("seed %d: two-tag collision gave %d levels, want 4", seed, double)
+		}
+	}
+}
+
+func TestMagnitudeTraceShape(t *testing.T) {
+	series := MagnitudeTrace(2, 20, 1)
+	if len(series) == 0 {
+		t.Fatal("empty trace")
+	}
+	// Time axis must be monotone and span 20 bits at 12.5 µs.
+	last := -1.0
+	for _, p := range series {
+		if p[0] <= last {
+			t.Fatal("time axis not monotone")
+		}
+		last = p[0]
+		if p[1] < 0 {
+			t.Fatal("negative magnitude")
+		}
+	}
+	if wantEnd := 20 * 12.5; last < wantEnd*0.9 || last > wantEnd*1.1 {
+		t.Fatalf("trace ends at %.1f µs, want ~%.1f", last, wantEnd)
+	}
+}
+
+func TestConstellationCounts(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		pts, minDist := Constellation(k, 7)
+		if len(pts) != 1<<uint(k) {
+			t.Fatalf("k=%d: %d points", k, len(pts))
+		}
+		if minDist <= 0 {
+			t.Fatalf("k=%d: degenerate constellation", k)
+		}
+	}
+}
+
+func TestDriftAlignmentOrdering(t *testing.T) {
+	uncorr, corr := DriftAlignment(3)
+	if uncorr <= corr {
+		t.Fatalf("correction should reduce smear: %f vs %f", uncorr, corr)
+	}
+	if uncorr < 0.05 {
+		t.Fatalf("uncorrected drift should visibly smear the trace, got %f", uncorr)
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	out := CSV("x,y", [][2]float64{{1, 2}, {3, 4}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 || lines[0] != "x,y" {
+		t.Fatalf("CSV wrong: %q", out)
+	}
+	if !strings.HasPrefix(lines[1], "1.0000,2.000000") {
+		t.Fatalf("CSV row wrong: %q", lines[1])
+	}
+}
+
+func TestConstellationCSV(t *testing.T) {
+	out := ConstellationCSV([]complex128{complex(1, -2)})
+	if !strings.Contains(out, "I,Q") || !strings.Contains(out, "1.000000,-2.000000") {
+		t.Fatalf("constellation CSV wrong: %q", out)
+	}
+}
