@@ -90,6 +90,7 @@ func BenchmarkFig8_ClockDrift(b *testing.B) {
 // --- Fig. 9: decode progress --------------------------------------------------
 
 func BenchmarkFig9_DecodeProgress(b *testing.B) {
+	b.ReportAllocs()
 	var peak, final float64
 	for i := 0; i < b.N; i++ {
 		prog, err := sim.DecodeProgress(14, uint64(17+i))
@@ -111,6 +112,7 @@ func BenchmarkFig9_DecodeProgress(b *testing.B) {
 // --- Fig. 10 & 11: transfer time and errors -----------------------------------
 
 func benchDataPhase(b *testing.B, k int) {
+	b.ReportAllocs()
 	var buzzMs, tdmaMs, cdmaMs, buzzLost, tdmaLost, cdmaLost float64
 	for i := 0; i < b.N; i++ {
 		out, err := sim.CompareDataPhase(sim.DataPhaseConfig{
@@ -175,6 +177,7 @@ func BenchmarkFig13_Energy(b *testing.B) {
 // --- Fig. 14: identification -------------------------------------------------------
 
 func BenchmarkFig14_Identification(b *testing.B) {
+	b.ReportAllocs()
 	var buzzMs, fsaMs, fsakMs float64
 	for i := 0; i < b.N; i++ {
 		out, err := sim.RunIdentification(3, uint64(13+i), []int{16})
@@ -192,6 +195,7 @@ func BenchmarkFig14_Identification(b *testing.B) {
 // --- Headline ---------------------------------------------------------------------
 
 func BenchmarkHeadline_Overall(b *testing.B) {
+	b.ReportAllocs()
 	var res sim.HeadlineResult
 	for i := 0; i < b.N; i++ {
 		var err error

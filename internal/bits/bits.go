@@ -48,10 +48,18 @@ func (v Vector) Uint64() uint64 {
 // Random returns a vector of n fair random bits drawn from src.
 func Random(src *prng.Source, n int) Vector {
 	out := make(Vector, n)
-	for i := range out {
-		out[i] = src.Bool()
-	}
+	RandomInto(src, out)
 	return out
+}
+
+// RandomInto fills v with fair random bits drawn from src. It consumes
+// exactly len(v) draws — the same stream Random consumes — so the two are
+// interchangeable without perturbing downstream randomness; the decode
+// hot path uses it to refill scratch buffers without allocating.
+func RandomInto(src *prng.Source, v Vector) {
+	for i := range v {
+		v[i] = src.Bool()
+	}
 }
 
 // Clone returns a copy of v.
@@ -210,6 +218,15 @@ type Matrix struct {
 // NewMatrix allocates a zero Rows×Cols matrix.
 func NewMatrix(rows, cols int) *Matrix {
 	return &Matrix{Rows: rows, Cols: cols, data: make([]bool, rows*cols)}
+}
+
+// NewMatrixBacked returns an empty matrix with the given column count
+// whose row storage reuses buf's backing array (its length is reset to
+// zero). AppendRow stays allocation-free until cap(buf) is exhausted;
+// past it the matrix grows onto the heap as usual. The rateless decode
+// loop backs D with a scratch buffer sized for MaxSlots rows.
+func NewMatrixBacked(cols int, buf []bool) *Matrix {
+	return &Matrix{Cols: cols, data: buf[:0]}
 }
 
 // At returns element (r, c).

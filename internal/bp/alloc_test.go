@@ -1,0 +1,136 @@
+package bp
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/dsp"
+	"repro/internal/prng"
+	"repro/internal/scratch"
+)
+
+// TestPerSlotDecodePathAllocationFree pins the tentpole property of the
+// scratch refactor: one steady-state per-slot decode round — graph
+// rebuild, initialized multi-restart decode, margin computation — runs
+// with zero heap allocations once the worker's arena is warm.
+func TestPerSlotDecodePathAllocationFree(t *testing.T) {
+	src := prng.NewSource(7)
+	const k, l = 12, 40
+	d := bits.NewMatrix(0, k)
+	for r := 0; r < l; r++ {
+		row := make(bits.Vector, k)
+		for c := range row {
+			row[c] = src.Bool()
+		}
+		d.AppendRow(row)
+	}
+	taps := make([]complex128, k)
+	for i := range taps {
+		taps[i] = complex(0.5+src.Float64(), src.Float64())
+	}
+	y := make(dsp.Vec, l)
+	for j := range y {
+		y[j] = src.ComplexNorm()
+	}
+	locked := make([]bool, k)
+	init := bits.Random(src, k)
+	margins := make([]float64, k)
+
+	sc := scratch.New()
+	g := &Graph{}
+	cycle := func() {
+		g.Rebuild(d, taps)
+		mark := sc.Mark()
+		out := g.Decode(y, Options{Init: init, Locked: locked, Restarts: 2, Scratch: sc}, src)
+		g.MarginsInto(margins, y, out.Bits, sc)
+		sc.Release(mark)
+	}
+	cycle()    // warm-up: sizes the arena and the graph's adjacency
+	sc.Reset() // grows arena blocks to the observed peak
+	if allocs := testing.AllocsPerRun(50, cycle); allocs != 0 {
+		t.Fatalf("steady-state per-slot decode allocates %v times per round, want 0", allocs)
+	}
+}
+
+// TestConditionalMarginScratchAllocationFree covers the acceptance-gate
+// path: the conditional re-decode must also run allocation-free on a
+// warm arena.
+func TestConditionalMarginScratchAllocationFree(t *testing.T) {
+	src := prng.NewSource(11)
+	const k, l = 6, 24
+	d := bits.NewMatrix(0, k)
+	for r := 0; r < l; r++ {
+		row := make(bits.Vector, k)
+		for c := range row {
+			row[c] = src.Bool()
+		}
+		d.AppendRow(row)
+	}
+	taps := make([]complex128, k)
+	for i := range taps {
+		taps[i] = complex(0.5+src.Float64(), src.Float64())
+	}
+	y := make(dsp.Vec, l)
+	for j := range y {
+		y[j] = src.ComplexNorm()
+	}
+	b := bits.Random(src, k)
+
+	sc := scratch.New()
+	g := NewGraph(d, taps)
+	cycle := func() {
+		g.ConditionalMarginScratch(y, b, 2, nil, src, sc)
+	}
+	cycle()
+	sc.Reset()
+	if allocs := testing.AllocsPerRun(50, cycle); allocs != 0 {
+		t.Fatalf("ConditionalMarginScratch allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestDecodeScratchMatchesHeapDecode pins that a scratch-backed decode
+// is bit-identical to the plain heap decode for the same source stream.
+func TestDecodeScratchMatchesHeapDecode(t *testing.T) {
+	src := prng.NewSource(13)
+	const k, l = 10, 30
+	d := bits.NewMatrix(0, k)
+	for r := 0; r < l; r++ {
+		row := make(bits.Vector, k)
+		for c := range row {
+			row[c] = src.Bool()
+		}
+		d.AppendRow(row)
+	}
+	taps := make([]complex128, k)
+	for i := range taps {
+		taps[i] = complex(0.5+src.Float64(), src.Float64())
+	}
+	y := make(dsp.Vec, l)
+	for j := range y {
+		y[j] = src.ComplexNorm()
+	}
+	g := NewGraph(d, taps)
+
+	sc := scratch.New()
+	// Dirty the arena with a differently-shaped decode first so any
+	// stale-buffer reuse bug would surface.
+	g.Decode(y, Options{Restarts: 5, Scratch: sc}, prng.NewSource(999))
+	sc.Reset()
+
+	plain := g.Decode(y, Options{Restarts: 3}, prng.NewSource(42))
+	mark := sc.Mark()
+	arena := g.Decode(y, Options{Restarts: 3, Scratch: sc}, prng.NewSource(42))
+	if plain.Error != arena.Error || plain.Flips != arena.Flips {
+		t.Fatalf("scratch decode diverged: err %v vs %v, flips %d vs %d",
+			plain.Error, arena.Error, plain.Flips, arena.Flips)
+	}
+	if !plain.Bits.Equal(arena.Bits) {
+		t.Fatalf("scratch decode bits diverged:\n  plain %v\n  arena %v", plain.Bits, arena.Bits)
+	}
+	for i := range plain.Ambiguous {
+		if plain.Ambiguous[i] != arena.Ambiguous[i] {
+			t.Fatalf("ambiguity flags diverged at tag %d", i)
+		}
+	}
+	sc.Release(mark)
+}

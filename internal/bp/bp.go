@@ -34,6 +34,7 @@ import (
 	"repro/internal/bits"
 	"repro/internal/dsp"
 	"repro/internal/prng"
+	"repro/internal/scratch"
 )
 
 // Graph is the decoding graph for one block of collisions: the sparse
@@ -51,6 +52,15 @@ type Graph struct {
 	taps []complex128
 	// tapPower[i] caches |h_i|².
 	tapPower []float64
+	// colFlat and rowFlat are the CSR-style backing stores the adjacency
+	// lists above are views into: one contiguous block per direction,
+	// reused across Rebuild calls so the rateless loop's once-per-slot
+	// rebuilds stop allocating once the blocks have grown to the
+	// transfer's final size.
+	colFlat, rowFlat []int
+	// colDeg and rowDeg are per-vertex degree counters for the CSR
+	// two-pass build.
+	colDeg, rowDeg []int
 }
 
 // NewGraph builds the decoding graph from the participation matrix D
@@ -58,21 +68,56 @@ type Graph struct {
 // tap/column count mismatch: decoding with misaligned channels would
 // produce silent garbage.
 func NewGraph(d *bits.Matrix, taps []complex128) *Graph {
+	g := &Graph{}
+	g.Rebuild(d, taps)
+	return g
+}
+
+// Rebuild re-derives the graph from d and taps in place, reusing the
+// adjacency storage of earlier builds. The rateless outer loop calls it
+// once per slot on a long-lived Graph: D has grown by one row, the flat
+// CSR blocks keep their capacity, and a steady-state rebuild (same
+// dimensions as a previous one) allocates nothing.
+func (g *Graph) Rebuild(d *bits.Matrix, taps []complex128) {
 	if d.Cols != len(taps) {
 		panic(fmt.Sprintf("bp: D has %d columns but %d taps supplied", d.Cols, len(taps)))
 	}
-	g := &Graph{
-		K:        d.Cols,
-		L:        d.Rows,
-		colRows:  make([][]int, d.Cols),
-		rowCols:  make([][]int, d.Rows),
-		taps:     make([]complex128, len(taps)),
-		tapPower: make([]float64, len(taps)),
+	g.K = d.Cols
+	g.L = d.Rows
+	g.taps = append(g.taps[:0], taps...)
+	g.tapPower = g.tapPower[:0]
+	for _, h := range taps {
+		g.tapPower = append(g.tapPower, real(h)*real(h)+imag(h)*imag(h))
 	}
-	copy(g.taps, taps)
-	for i, h := range taps {
-		g.tapPower[i] = real(h)*real(h) + imag(h)*imag(h)
+	// Pass 1: vertex degrees, to carve the flat blocks into per-vertex
+	// segments.
+	g.colDeg = resizeInts(g.colDeg, d.Cols)
+	g.rowDeg = resizeInts(g.rowDeg, d.Rows)
+	nnz := 0
+	for r := 0; r < d.Rows; r++ {
+		for c := 0; c < d.Cols; c++ {
+			if d.At(r, c) {
+				g.colDeg[c]++
+				g.rowDeg[r]++
+				nnz++
+			}
+		}
 	}
+	g.colFlat = resizeInts(g.colFlat, nnz)
+	g.rowFlat = resizeInts(g.rowFlat, nnz)
+	g.colRows = resizeHeaders(g.colRows, d.Cols)
+	g.rowCols = resizeHeaders(g.rowCols, d.Rows)
+	off := 0
+	for c := range g.colRows {
+		g.colRows[c] = g.colFlat[off : off : off+g.colDeg[c]]
+		off += g.colDeg[c]
+	}
+	off = 0
+	for r := range g.rowCols {
+		g.rowCols[r] = g.rowFlat[off : off : off+g.rowDeg[r]]
+		off += g.rowDeg[r]
+	}
+	// Pass 2: fill the segments.
 	for r := 0; r < d.Rows; r++ {
 		for c := 0; c < d.Cols; c++ {
 			if d.At(r, c) {
@@ -81,11 +126,47 @@ func NewGraph(d *bits.Matrix, taps []complex128) *Graph {
 			}
 		}
 	}
-	return g
+}
+
+// resizeInts returns s with length n and every element zero, reusing
+// capacity. Growth reserves power-of-two headroom: the rateless loop
+// calls Rebuild with a size that creeps up one row per slot, and exact
+// sizing would reallocate every slot.
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n, scratch.CeilPow2(n))
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// resizeHeaders sizes s to n slice headers, reusing capacity, with the
+// same headroom policy as resizeInts.
+func resizeHeaders(s [][]int, n int) [][]int {
+	if cap(s) < n {
+		return make([][]int, n, scratch.CeilPow2(n))
+	}
+	return s[:n]
 }
 
 // Degree returns the participation count of tag i.
 func (g *Graph) Degree(i int) int { return len(g.colRows[i]) }
+
+// residualInto computes r = y − D·H·b into dst (length L) and returns
+// dst — the one definition of the residual model shared by the descent,
+// the margin computation and the error evaluation.
+func (g *Graph) residualInto(dst dsp.Vec, y dsp.Vec, b bits.Vector) dsp.Vec {
+	copy(dst, y)
+	for i, on := range b {
+		if on {
+			for _, row := range g.colRows[i] {
+				dst[row] -= g.taps[i]
+			}
+		}
+	}
+	return dst
+}
 
 // Options tunes a decode.
 type Options struct {
@@ -105,6 +186,14 @@ type Options struct {
 	// GainEps is the minimum gain worth flipping for; it guards against
 	// floating-point limit cycles. Default 1e-12.
 	GainEps float64
+	// Scratch, when non-nil, supplies every working buffer of the decode
+	// — candidate vectors, residuals, gains — from a per-worker arena
+	// instead of the heap. The numerics are identical either way. With a
+	// Scratch set, Result.Bits and Result.Ambiguous are arena-backed:
+	// they remain valid only until the caller's next Release or Reset of
+	// the arena, so callers bracket Decode with Mark/Release and copy out
+	// anything they keep.
+	Scratch *scratch.Scratch
 }
 
 // Result reports a decode outcome.
@@ -144,43 +233,55 @@ func (g *Graph) Decode(y dsp.Vec, opts Options, src *prng.Source) Result {
 	if eps == 0 {
 		eps = 1e-12
 	}
+	sc := opts.Scratch
 
-	best := Result{Error: math.Inf(1)}
+	// One contiguous block holds every pass's candidate so the
+	// tie-detection sweep below can revisit all of them without keeping a
+	// slice of Results around.
 	passes := 1 + opts.Restarts
-	solutions := make([]Result, 0, passes)
+	allBits := sc.Bool(passes * g.K)
+	passErr := sc.Float(passes)
+	totalFlips := 0
+	bestPass := 0
+	bestErr := math.Inf(1)
 	for pass := 0; pass < passes; pass++ {
-		var init bits.Vector
+		bhat := bits.Vector(allBits[pass*g.K : (pass+1)*g.K])
 		switch {
 		case pass == 0 && opts.Init != nil:
-			init = opts.Init.Clone()
+			copy(bhat, opts.Init)
 		default:
-			init = bits.Random(src, g.K)
+			bits.RandomInto(src, bhat)
 			// Random restarts must still respect locks.
 			if opts.Locked != nil && opts.Init != nil {
 				for i, l := range opts.Locked {
 					if l {
-						init[i] = opts.Init[i]
+						bhat[i] = opts.Init[i]
 					}
 				}
 			}
 		}
-		r := g.descend(y, init, opts.Locked, eps)
-		solutions = append(solutions, r)
-		r.Flips += best.Flips
-		if r.Error < best.Error {
-			best = Result{Bits: r.Bits, Error: r.Error, Flips: r.Flips}
-		} else {
-			best.Flips = r.Flips
+		errV, flips := g.descend(y, bhat, opts.Locked, eps, sc)
+		passErr[pass] = errV
+		totalFlips += flips
+		if errV < bestErr {
+			bestErr = errV
+			bestPass = pass
 		}
+	}
+	best := Result{
+		Bits:      bits.Vector(allBits[bestPass*g.K : (bestPass+1)*g.K]),
+		Error:     bestErr,
+		Flips:     totalFlips,
+		Ambiguous: sc.Bool(g.K),
 	}
 	// Tie detection: any alternative local optimum whose error is within
 	// a tag's own collision energy of the best, yet disagrees on that
 	// tag's bit, marks the tag ambiguous.
-	best.Ambiguous = make([]bool, g.K)
-	for _, alt := range solutions {
-		gap := alt.Error - best.Error
+	for pass := 0; pass < passes; pass++ {
+		alt := allBits[pass*g.K : (pass+1)*g.K]
+		gap := passErr[pass] - bestErr
 		for i := 0; i < g.K; i++ {
-			if alt.Bits[i] != best.Bits[i] && gap < 0.15*g.tapPower[i]*float64(len(g.colRows[i])) {
+			if alt[i] != bool(best.Bits[i]) && gap < 0.15*g.tapPower[i]*float64(len(g.colRows[i])) {
 				best.Ambiguous[i] = true
 			}
 		}
@@ -188,20 +289,14 @@ func (g *Graph) Decode(y dsp.Vec, opts Options, src *prng.Source) Result {
 	return best
 }
 
-// descend runs one greedy descent to a local optimum.
-func (g *Graph) descend(y dsp.Vec, bhat bits.Vector, locked []bool, eps float64) Result {
-	// residual r = y − D·H·b̂.
-	residual := y.Clone()
-	for i, b := range bhat {
-		if b {
-			for _, row := range g.colRows[i] {
-				residual[row] -= g.taps[i]
-			}
-		}
-	}
+// descend runs one greedy descent to a local optimum, mutating bhat in
+// place; it returns the final squared error and the flip count.
+func (g *Graph) descend(y dsp.Vec, bhat bits.Vector, locked []bool, eps float64, sc *scratch.Scratch) (float64, int) {
+	mark := sc.Mark()
+	residual := g.residualInto(dsp.Vec(sc.Complex(len(y))), y, bhat)
 
 	// gain[i] per the incremental identity.
-	gain := make([]float64, g.K)
+	gain := sc.Float(g.K)
 	refresh := func(i int) {
 		if locked != nil && locked[i] {
 			gain[i] = math.Inf(-1)
@@ -258,7 +353,9 @@ func (g *Graph) descend(y dsp.Vec, bhat bits.Vector, locked []bool, eps float64)
 			}
 		}
 	}
-	return Result{Bits: bhat, Error: residual.NormSq(), Flips: flips}
+	errV := residual.NormSq()
+	sc.Release(mark)
+	return errV, flips
 }
 
 // Margins returns, for each tag, the normalized flip margin of candidate
@@ -277,19 +374,24 @@ func (g *Graph) descend(y dsp.Vec, bhat bits.Vector, locked []bool, eps float64)
 // checks frames whose every bit is strongly pinned (see
 // ratedapt.Config.MarginThreshold).
 func (g *Graph) Margins(y dsp.Vec, b bits.Vector) []float64 {
+	return g.MarginsInto(make([]float64, g.K), y, b, nil)
+}
+
+// MarginsInto is Margins computed into out (which must have length K),
+// with the residual drawn from sc; the allocation-free form the rateless
+// outer loop calls once per bit position per slot. A nil sc falls back
+// to plain allocation.
+func (g *Graph) MarginsInto(out []float64, y dsp.Vec, b bits.Vector, sc *scratch.Scratch) []float64 {
 	if len(b) != g.K || len(y) != g.L {
 		panic("bp: Margins dimension mismatch")
 	}
-	residual := y.Clone()
-	for i, on := range b {
-		if on {
-			for _, row := range g.colRows[i] {
-				residual[row] -= g.taps[i]
-			}
-		}
+	if len(out) != g.K {
+		panic(fmt.Sprintf("bp: MarginsInto out length %d != K %d", len(out), g.K))
 	}
-	out := make([]float64, g.K)
+	mark := sc.Mark()
+	residual := g.residualInto(dsp.Vec(sc.Complex(len(y))), y, b)
 	for i := 0; i < g.K; i++ {
+		out[i] = 0
 		w := len(g.colRows[i])
 		if w == 0 || g.tapPower[i] == 0 {
 			continue
@@ -305,6 +407,7 @@ func (g *Graph) Margins(y dsp.Vec, b bits.Vector) []float64 {
 		gain := 2*delta*real(corr) - g.tapPower[i]*float64(w)
 		out[i] = -gain / (g.tapPower[i] * float64(w))
 	}
+	sc.Release(mark)
 	return out
 }
 
@@ -323,6 +426,13 @@ func (g *Graph) Margins(y dsp.Vec, b bits.Vector) []float64 {
 // how confident the single-flip margin looks. Tags with no observations
 // report 0.
 func (g *Graph) ConditionalMargin(y dsp.Vec, b bits.Vector, i int, locked []bool, src *prng.Source) float64 {
+	return g.ConditionalMarginScratch(y, b, i, locked, src, nil)
+}
+
+// ConditionalMarginScratch is ConditionalMargin with the working buffers
+// — the flipped candidate, the pin mask, and the inner re-decode — drawn
+// from sc. Nothing escapes: the arena is released before returning.
+func (g *Graph) ConditionalMarginScratch(y dsp.Vec, b bits.Vector, i int, locked []bool, src *prng.Source, sc *scratch.Scratch) float64 {
 	if len(b) != g.K || len(y) != g.L {
 		panic("bp: ConditionalMargin dimension mismatch")
 	}
@@ -330,31 +440,33 @@ func (g *Graph) ConditionalMargin(y dsp.Vec, b bits.Vector, i int, locked []bool
 	if w == 0 || g.tapPower[i] == 0 {
 		return 0
 	}
-	base := g.ErrorOf(y, b)
-	init := b.Clone()
+	mark := sc.Mark()
+	defer sc.Release(mark)
+	base := g.errorOf(y, b, sc)
+	init := bits.Vector(sc.Bool(g.K))
+	copy(init, b)
 	init[i] = !init[i]
-	pin := make([]bool, g.K)
+	pin := sc.Bool(g.K)
 	if locked != nil {
 		copy(pin, locked)
 	}
 	pin[i] = true
-	res := g.Decode(y, Options{Init: init, Locked: pin}, src)
+	res := g.Decode(y, Options{Init: init, Locked: pin, Scratch: sc}, src)
 	return (res.Error - base) / (g.tapPower[i] * float64(w))
 }
 
 // ErrorOf computes ‖D·H·b − y‖² for an arbitrary candidate without
 // running a decode; tests and diagnostics use it.
 func (g *Graph) ErrorOf(y dsp.Vec, b bits.Vector) float64 {
+	return g.errorOf(y, b, nil)
+}
+
+func (g *Graph) errorOf(y dsp.Vec, b bits.Vector, sc *scratch.Scratch) float64 {
 	if len(b) != g.K || len(y) != g.L {
 		panic("bp: ErrorOf dimension mismatch")
 	}
-	residual := y.Clone()
-	for i, on := range b {
-		if on {
-			for _, row := range g.colRows[i] {
-				residual[row] -= g.taps[i]
-			}
-		}
-	}
-	return residual.NormSq()
+	mark := sc.Mark()
+	errV := g.residualInto(dsp.Vec(sc.Complex(len(y))), y, b).NormSq()
+	sc.Release(mark)
+	return errV
 }

@@ -28,6 +28,7 @@ import (
 	"math/cmplx"
 
 	"repro/internal/dsp"
+	"repro/internal/scratch"
 )
 
 // Result is the output of a sparse-recovery solve.
@@ -79,6 +80,12 @@ type OMPOptions struct {
 	// it into an intercept makes the pursuit see only the informative
 	// centered parts. The DC coefficient is never reported.
 	DCAtom bool
+	// Scratch, when non-nil, supplies the pursuit's working buffers —
+	// residuals, correlation scores, the per-iteration support matrices
+	// and their QR workspaces — from a per-worker arena instead of the
+	// heap. The arena is released before OMP returns; only the reported
+	// Result is heap-allocated. Numerics are identical either way.
+	Scratch *scratch.Scratch
 }
 
 // OMP runs Orthogonal Matching Pursuit on y = A·z. Columns of A need not
@@ -99,56 +106,75 @@ func OMP(a *dsp.Mat, y dsp.Vec, opts OMPOptions) (*Result, error) {
 	if yNorm == 0 {
 		return &Result{Support: nil, Coeffs: nil, Residual: 0}, nil
 	}
+	sc := opts.Scratch
+	mark := sc.Mark()
+	defer sc.Release(mark)
 
 	// Precompute column norms for score normalization.
-	colNorm := make([]float64, a.Cols)
+	colNorm := sc.Float(a.Cols)
 	for c := 0; c < a.Cols; c++ {
-		colNorm[c] = a.Col(c).Norm()
+		colNorm[c] = a.ColNorm(c)
 	}
 
 	// solveOn runs least squares for the current support, with the DC
 	// regressor prepended when requested, and returns the coefficients
-	// for the real atoms plus the residual.
+	// for the real atoms plus the residual. Its outputs live in the
+	// arena until OMP's own mark is released.
 	solveOn := func(support []int) (dsp.Vec, dsp.Vec, error) {
-		sub := a.SubMatCols(support)
-		if !opts.DCAtom {
-			x, err := dsp.LeastSquares(sub, y)
-			if err != nil {
-				return nil, nil, err
-			}
-			return x, dsp.Residual(sub, x, y), nil
+		cols := len(support)
+		dc := 0
+		if opts.DCAtom {
+			cols++
+			dc = 1
 		}
-		aug := dsp.NewMat(a.Rows, len(support)+1)
+		sub := dsp.Mat{Rows: a.Rows, Cols: cols, Data: sc.Complex(a.Rows * cols)}
 		for r := 0; r < a.Rows; r++ {
-			aug.Set(r, 0, 1)
-			for j := range support {
-				aug.Set(r, j+1, sub.At(r, j))
+			row := sub.Data[r*cols : (r+1)*cols]
+			if opts.DCAtom {
+				row[0] = 1
+			}
+			for j, c := range support {
+				row[j+dc] = a.At(r, c)
 			}
 		}
-		x, err := dsp.LeastSquares(aug, y)
+		x, err := dsp.LeastSquaresScratch(&sub, y, sc)
 		if err != nil {
 			return nil, nil, err
 		}
-		return x[1:], dsp.Residual(aug, x, y), nil
+		res := dsp.ResidualInto(dsp.Vec(sc.Complex(a.Rows)), &sub, x, y)
+		return x[dc:], res, nil
 	}
 
-	residual := y.Clone()
+	// The residual and the accepted coefficients survive across pursuit
+	// iterations, so they live in dedicated buffers; each iteration's
+	// solve workspace is released as soon as its outputs are copied out,
+	// keeping the arena's high-water mark linear in the support size.
+	residual := dsp.Vec(sc.Complex(a.Rows))
+	copy(residual, y)
+	supCap := opts.MaxSparsity
+	if supCap > a.Rows {
+		supCap = a.Rows
+	}
+	coeffBuf := dsp.Vec(sc.Complex(supCap))
 	if opts.DCAtom {
 		// Start from the intercept-only fit so the first selection
 		// already scores against the centered observation.
+		dcMark := sc.Mark()
 		if _, r0, err := solveOn(nil); err == nil {
-			residual = r0
+			copy(residual, r0)
 		}
+		sc.Release(dcMark)
 	}
-	inSupport := make([]bool, a.Cols)
-	var support []int
+	inSupport := sc.Bool(a.Cols)
+	scores := dsp.Vec(sc.Complex(a.Cols))
+	support := sc.Int(supCap)[:0]
 	var coeffs dsp.Vec
 	iters := 0
 
 	for len(support) < opts.MaxSparsity && len(support) < a.Rows {
 		iters++
 		// Atom selection: column most correlated with the residual.
-		scores := a.ConjTransposeMulVec(residual)
+		a.ConjTransposeMulVecInto(scores, residual)
 		best, bestScore := -1, 0.0
 		for c := 0; c < a.Cols; c++ {
 			if inSupport[c] || colNorm[c] == 0 {
@@ -167,17 +193,21 @@ func OMP(a *dsp.Mat, y dsp.Vec, opts OMPOptions) (*Result, error) {
 		support = append(support, best)
 
 		// Re-solve least squares on the support and refresh the residual.
+		iterMark := sc.Mark()
 		x, r, err := solveOn(support)
 		if err != nil {
 			// The new atom made the support rank deficient (e.g. two
 			// candidate ids with identical patterns). Drop it and stop:
 			// more atoms cannot help.
+			sc.Release(iterMark)
 			inSupport[best] = false
 			support = support[:len(support)-1]
 			break
 		}
-		coeffs = x
-		residual = r
+		coeffs = coeffBuf[:len(x)]
+		copy(coeffs, x)
+		copy(residual, r)
+		sc.Release(iterMark)
 		if residual.Norm() <= tol*yNorm {
 			break
 		}

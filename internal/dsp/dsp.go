@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+
+	"repro/internal/scratch"
 )
 
 // Vec is a complex-valued vector.
@@ -135,6 +137,17 @@ func (m *Mat) Col(c int) Vec {
 	return out
 }
 
+// ColNorm returns ‖column c‖₂ without materializing the column. OMP's
+// score normalization calls this once per column per solve.
+func (m *Mat) ColNorm(c int) float64 {
+	var s float64
+	for r := 0; r < m.Rows; r++ {
+		x := m.At(r, c)
+		s += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return math.Sqrt(s)
+}
+
 // Row returns a copy of row r.
 func (m *Mat) Row(r int) Vec {
 	out := make(Vec, m.Cols)
@@ -151,37 +164,56 @@ func (m *Mat) Clone() *Mat {
 
 // MulVec returns m·x.
 func (m *Mat) MulVec(x Vec) Vec {
+	return m.MulVecInto(make(Vec, m.Rows), x)
+}
+
+// MulVecInto computes m·x into dst (which must have length Rows) and
+// returns dst. The allocation-free form the hot path uses.
+func (m *Mat) MulVecInto(dst Vec, x Vec) Vec {
 	if len(x) != m.Cols {
 		panic(fmt.Sprintf("dsp: MulVec dimension mismatch %d cols vs %d", m.Cols, len(x)))
 	}
-	out := make(Vec, m.Rows)
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("dsp: MulVecInto dst length %d != rows %d", len(dst), m.Rows))
+	}
 	for r := 0; r < m.Rows; r++ {
 		row := m.Data[r*m.Cols : (r+1)*m.Cols]
 		var s complex128
 		for c, a := range row {
 			s += a * x[c]
 		}
-		out[r] = s
+		dst[r] = s
 	}
-	return out
+	return dst
 }
 
 // ConjTransposeMulVec returns mᴴ·x (conjugate transpose times x), the
 // correlation of every column with x. OMP's atom-selection step is exactly
 // this product.
 func (m *Mat) ConjTransposeMulVec(x Vec) Vec {
+	return m.ConjTransposeMulVecInto(make(Vec, m.Cols), x)
+}
+
+// ConjTransposeMulVecInto computes mᴴ·x into dst (which must have length
+// Cols) and returns dst. The allocation-free form the hot path uses.
+func (m *Mat) ConjTransposeMulVecInto(dst Vec, x Vec) Vec {
 	if len(x) != m.Rows {
 		panic("dsp: ConjTransposeMulVec dimension mismatch")
 	}
-	out := make(Vec, m.Cols)
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("dsp: ConjTransposeMulVecInto dst length %d != cols %d", len(dst), m.Cols))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	for r := 0; r < m.Rows; r++ {
 		row := m.Data[r*m.Cols : (r+1)*m.Cols]
 		xr := x[r]
 		for c, a := range row {
-			out[c] += cmplx.Conj(a) * xr
+			dst[c] += cmplx.Conj(a) * xr
 		}
 	}
-	return out
+	return dst
 }
 
 // SubMatCols returns the matrix restricted to the given columns, in the
@@ -201,6 +233,15 @@ func (m *Mat) SubMatCols(cols []int) *Mat {
 // returned when the system is under-determined or numerically rank
 // deficient (a diagonal of R collapses below tol relative to the largest).
 func LeastSquares(a *Mat, y Vec) (Vec, error) {
+	return LeastSquaresScratch(a, y, nil)
+}
+
+// LeastSquaresScratch is LeastSquares with every working buffer — the QR
+// workspace, the rotated right-hand side, and the Householder vector —
+// drawn from sc. The returned solution also comes from sc and is valid
+// until the caller's next Release or Reset of sc. A nil sc falls back to
+// plain allocation (identical numerics either way).
+func LeastSquaresScratch(a *Mat, y Vec, sc *scratch.Scratch) (Vec, error) {
 	m, n := a.Rows, a.Cols
 	if len(y) != m {
 		return nil, fmt.Errorf("dsp: LeastSquares rhs length %d != rows %d", len(y), m)
@@ -211,9 +252,18 @@ func LeastSquares(a *Mat, y Vec) (Vec, error) {
 	if n == 0 {
 		return Vec{}, nil
 	}
+	// The solution outlives this call: allocate it before the mark so the
+	// internal workspace can be released on every return path.
+	x := Vec(sc.Complex(n))
+	mark := sc.Mark()
+	defer sc.Release(mark)
+
 	// Work on copies: R overwrites the matrix, b accumulates Qᴴy.
-	r := a.Clone()
-	b := y.Clone()
+	r := &Mat{Rows: m, Cols: n, Data: sc.Complex(m * n)}
+	copy(r.Data, a.Data)
+	b := Vec(sc.Complex(m))
+	copy(b, y)
+	vbuf := Vec(sc.Complex(m))
 
 	// Householder reflections column by column.
 	maxDiag := 0.0
@@ -238,7 +288,7 @@ func LeastSquares(a *Mat, y Vec) (Vec, error) {
 
 		// v = x − alpha·e₁ (stored over the column), then normalize.
 		var vNormSq float64
-		v := make(Vec, m-k)
+		v := vbuf[:m-k]
 		for i := k; i < m; i++ {
 			v[i-k] = r.At(i, k)
 		}
@@ -281,7 +331,6 @@ func LeastSquares(a *Mat, y Vec) (Vec, error) {
 	}
 
 	// Back substitution on the upper-triangular R.
-	x := make(Vec, n)
 	for i := n - 1; i >= 0; i-- {
 		s := b[i]
 		for j := i + 1; j < n; j++ {
@@ -294,7 +343,20 @@ func LeastSquares(a *Mat, y Vec) (Vec, error) {
 
 // Residual returns y − A·x, the unexplained part of the observation.
 func Residual(a *Mat, x, y Vec) Vec {
-	return y.Sub(a.MulVec(x))
+	return ResidualInto(make(Vec, a.Rows), a, x, y)
+}
+
+// ResidualInto computes y − A·x into dst (which must have length Rows)
+// and returns dst. The allocation-free form the hot path uses.
+func ResidualInto(dst Vec, a *Mat, x, y Vec) Vec {
+	a.MulVecInto(dst, x)
+	if len(y) != len(dst) {
+		panic(fmt.Sprintf("dsp: ResidualInto rhs length %d != rows %d", len(y), len(dst)))
+	}
+	for i := range dst {
+		dst[i] = y[i] - dst[i]
+	}
+	return dst
 }
 
 // DBToLinear converts a decibel power ratio to linear scale.

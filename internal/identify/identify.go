@@ -29,6 +29,7 @@ import (
 	"repro/internal/cs"
 	"repro/internal/dsp"
 	"repro/internal/prng"
+	"repro/internal/scratch"
 )
 
 // Config parameterizes an identification session. The zero value gives
@@ -71,6 +72,12 @@ type Config struct {
 	// SparsitySlack extends the CS solver's support budget beyond K̂.
 	// Zero means K̂/2 + 4.
 	SparsitySlack int
+	// Scratch, when non-nil, supplies the session's working buffers —
+	// per-slot activity vectors, the stage-C measurement matrix, and the
+	// sparse solver's workspace — from a per-worker arena instead of the
+	// heap. Released before Run returns; results are identical either
+	// way.
+	Scratch *scratch.Scratch
 }
 
 func (c *Config) slotsPerStep() int {
@@ -217,6 +224,12 @@ func Run(cfg Config, activeIDs []uint64, ch *channel.Model, noiseSrc *prng.Sourc
 	}
 	res := &Result{salt: cfg.Salt}
 	detect := cfg.detectFactor() * ch.NoisePower
+	sc := cfg.Scratch
+	mark := sc.Mark()
+	defer sc.Release(mark)
+	// One activity vector serves every slot of all three stages: each
+	// slot assigns all k entries before use.
+	active := sc.Bool(k)
 
 	// ---- Stage A: estimate K. ----
 	// The paper reads K̂ off a single step via Eq. 4. At small s that
@@ -242,7 +255,6 @@ func Run(cfg Config, activeIDs []uint64, ch *channel.Model, noiseSrc *prng.Sourc
 		p := math.Pow(2, -float64(step))
 		empty := 0
 		for slot := 0; slot < s; slot++ {
-			active := make([]bool, k)
 			for i, id := range activeIDs {
 				active[i] = stageABit(id, cfg.Salt, step, slot, p)
 			}
@@ -296,9 +308,8 @@ func Run(cfg Config, activeIDs []uint64, ch *channel.Model, noiseSrc *prng.Sourc
 	for i, id := range activeIDs {
 		tempIDs[i] = TempIDFor(id, cfg.Salt, idSpace)
 	}
-	occupied := make([]bool, nBuckets)
+	occupied := sc.Bool(nBuckets)
 	for b := 0; b < nBuckets; b++ {
-		active := make([]bool, k)
 		for i := range tempIDs {
 			active[i] = int(tempIDs[i])/a == b
 		}
@@ -353,9 +364,8 @@ func Run(cfg Config, activeIDs []uint64, ch *channel.Model, noiseSrc *prng.Sourc
 	res.CSSlots = m
 
 	// Air: tags transmit their pattern bits; reader records symbols.
-	y := make(dsp.Vec, m)
+	y := dsp.Vec(sc.Complex(m))
 	for row := 0; row < m; row++ {
-		active := make([]bool, k)
 		for i := range tempIDs {
 			active[i] = PatternBit(tempIDs[i], cfg.Salt, row)
 		}
@@ -364,7 +374,7 @@ func Run(cfg Config, activeIDs []uint64, ch *channel.Model, noiseSrc *prng.Sourc
 
 	// Reader: regenerate A′ columns for the candidates only (never for
 	// the whole population — the point of stages A and B).
-	aPrime := dsp.NewMat(m, len(candidates))
+	aPrime := &dsp.Mat{Rows: m, Cols: len(candidates), Data: sc.Complex(m * len(candidates))}
 	for col, id := range candidates {
 		for row := 0; row < m; row++ {
 			if PatternBit(id, cfg.Salt, row) {
@@ -383,6 +393,7 @@ func Run(cfg Config, activeIDs []uint64, ch *channel.Model, noiseSrc *prng.Sourc
 		ResidualTol: relTol,
 		MinCoeffMag: 2 * noiseFloor,
 		DCAtom:      true,
+		Scratch:     sc,
 	})
 	if err != nil && err != cs.ErrNoConvergence {
 		return nil, fmt.Errorf("identify: stage C solve: %w", err)

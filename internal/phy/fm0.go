@@ -56,6 +56,8 @@ type FM0Decoder struct {
 // complex observation per chip). A short stream truncates the decode.
 func (d FM0Decoder) Decode(rx []complex128, nBits int) []bool {
 	out := make([]bool, 0, nBits)
+	// The candidate chips stage through one stack buffer across bits.
+	var hypBuf [FM0ChipsPerBit]bool
 	state := FM0Encoder{}
 	for i := 0; i < nBits; i++ {
 		lo := i * FM0ChipsPerBit
@@ -67,9 +69,9 @@ func (d FM0Decoder) Decode(rx []complex128, nBits int) []bool {
 		best := false
 		bestScore := math.Inf(1)
 		var bestState FM0Encoder
-		for _, hyp := range []bool{false, true} {
+		for _, hyp := range [2]bool{false, true} {
 			st := state
-			chips := st.EncodeBit(hyp, make([]bool, 0, FM0ChipsPerBit))
+			chips := st.EncodeBit(hyp, hypBuf[:0])
 			var score float64
 			for c, chip := range chips {
 				var expect complex128

@@ -183,7 +183,9 @@ type MillerDecoder struct {
 // short stream truncates the decode.
 func (d MillerDecoder) Decode(rx []complex128, nBits int) bits.Vector {
 	out := make(bits.Vector, 0, nBits)
-	// Track both the running encoder state for each hypothesis.
+	// Track both the running encoder state for each hypothesis. The
+	// candidate chips stage through one stack buffer across all bits.
+	var hypBuf [ChipsPerBit]bool
 	state := MillerEncoder{}
 	for i := 0; i < nBits; i++ {
 		lo := i * ChipsPerBit
@@ -196,9 +198,9 @@ func (d MillerDecoder) Decode(rx []complex128, nBits int) bits.Vector {
 		best := false
 		bestScore := math.Inf(1)
 		var bestState MillerEncoder
-		for _, hyp := range []bool{false, true} {
+		for _, hyp := range [2]bool{false, true} {
 			st := state
-			chips := st.EncodeBit(hyp, make([]bool, 0, ChipsPerBit))
+			chips := st.EncodeBit(hyp, hypBuf[:0])
 			var score float64
 			for c, chip := range chips {
 				var expect complex128

@@ -45,11 +45,21 @@ func DefaultCapture() Capture {
 // read through its own timing model, which is how fractional offsets and
 // clock drift smear chip boundaries across samples.
 func (c Capture) Synthesize(tags []TagSignal, nChips int, noise *prng.Source) []complex128 {
+	return c.SynthesizeInto(make([]complex128, nChips*c.SamplesPerChip), tags, nChips, noise)
+}
+
+// SynthesizeInto is Synthesize writing into dst, which must hold exactly
+// nChips·SamplesPerChip samples; it returns dst. The sampled-air decode
+// loop reuses one staging buffer across slots.
+func (c Capture) SynthesizeInto(dst []complex128, tags []TagSignal, nChips int, noise *prng.Source) []complex128 {
 	if c.SamplesPerChip <= 0 {
 		panic(fmt.Sprintf("phy: Capture with SamplesPerChip=%d", c.SamplesPerChip))
 	}
 	n := nChips * c.SamplesPerChip
-	out := make([]complex128, n)
+	if len(dst) != n {
+		panic(fmt.Sprintf("phy: SynthesizeInto dst length %d != %d samples", len(dst), n))
+	}
+	out := dst
 	sigma := math.Sqrt(c.NoisePower)
 	for s := 0; s < n; s++ {
 		t := (float64(s) + 0.5) / float64(c.SamplesPerChip)

@@ -27,6 +27,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/dsp"
 	"repro/internal/prng"
+	"repro/internal/scratch"
 )
 
 // DefaultMeanColliders is the target expected number of tags per
@@ -103,6 +104,14 @@ type Config struct {
 	// already-decoded tags are unaffected and the survivors merely need
 	// more collisions. Nil disables injection.
 	DiesAtSlot []int
+	// Scratch, when non-nil, supplies the transfer's working buffers —
+	// the observation store, the participation matrix backing, and every
+	// per-slot decoder buffer — from a per-worker arena instead of the
+	// heap. The simulator hands each trial worker one Scratch and Resets
+	// it between trials; after the first (warm-up) trial, the steady-
+	// state decode loop allocates only the escaping Result. Results are
+	// bit-identical with and without a Scratch.
+	Scratch *scratch.Scratch
 }
 
 func (c *Config) k() int { return len(c.Seeds) }
@@ -252,11 +261,16 @@ func TransferEstimated(cfg Config, messages []bits.Vector, air, decoder *channel
 		}
 		frames[i] = bits.Message{Payload: msg, Kind: cfg.CRC}.Frame()
 	}
+	sc := cfg.Scratch
+	mark := sc.Mark()
+	defer sc.Release(mark)
 	// The symbol-level air: one complex observation per bit position,
-	// superposing the taps of tags whose bit is 1 in that position.
+	// superposing the taps of tags whose bit is 1 in that position. Its
+	// staging buffers persist across slots; the decode loop copies the
+	// observations out before the next call.
+	obs := sc.Complex(frameLen)
+	bitActive := sc.Bool(k)
 	airFn := func(active []bool) []complex128 {
-		obs := make([]complex128, frameLen)
-		bitActive := make([]bool, k)
 		for p := 0; p < frameLen; p++ {
 			for i := 0; i < k; i++ {
 				bitActive[i] = active[i] && frames[i][p]
@@ -280,15 +294,25 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 	k := cfg.k()
 	density := cfg.density()
 	maxSlots := cfg.maxSlots()
+	sc := cfg.Scratch
+	trialMark := sc.Mark()
+	defer sc.Release(trialMark)
 
 	// Observations: ys[p][l] is the symbol for bit position p in slot l.
+	// Backing storage for the full slot budget is reserved up front so
+	// the per-slot appends never reallocate.
 	ys := make([][]complex128, frameLen)
-	d := bits.NewMatrix(0, k)
+	ysBacking := sc.Complex(frameLen * maxSlots)
+	for p := range ys {
+		ys[p] = ysBacking[p*maxSlots : p*maxSlots : (p+1)*maxSlots]
+	}
+	d := bits.NewMatrixBacked(k, sc.Bool(maxSlots*k))
 
 	// Decoder state: current estimate per tag, lock flags.
 	estimates := make([]bits.Vector, k)
 	for i := range estimates {
-		estimates[i] = bits.Random(decodeSrc, frameLen)
+		estimates[i] = bits.Vector(sc.Bool(frameLen))
+		bits.RandomInto(decodeSrc, estimates[i])
 	}
 	locked := make([]bool, k)
 	decodedAt := make([]int, k)
@@ -298,16 +322,21 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 		Verified:      locked,
 		DecodedAtSlot: decodedAt,
 		Participation: make([]int, k),
+		Progress:      make([]SlotResult, 0, maxSlots),
 	}
 
-	alive := make([]bool, k)
+	alive := sc.Bool(k)
 	for i := range alive {
 		alive[i] = true
 	}
+	// The decoding graph persists across slots: each slot's Rebuild
+	// reuses its adjacency storage as D grows by one row.
+	var graph bp.Graph
 	totalDecoded := 0
 	for slot := 1; slot <= maxSlots && totalDecoded < k; slot++ {
+		slotMark := sc.Mark()
 		// --- Tag side: who participates, what hits the air. ---
-		row := make(bits.Vector, k)
+		row := bits.Vector(sc.Bool(k))
 		colliders := 0
 		for i, seed := range cfg.Seeds {
 			// A verified tag has been silenced by the reader? No — the
@@ -334,7 +363,7 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 			}
 		}
 		d.AppendRow(row)
-		active := make([]bool, k)
+		active := sc.Bool(k)
 		for i := 0; i < k; i++ {
 			active[i] = bool(row[i]) && alive[i]
 		}
@@ -345,25 +374,27 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 		// --- Reader side: incremental decode. ---
 		taps := decoder.Taps
 		if cfg.RefineChannel && slot > 1 {
-			if refined, ok := refineTaps(d, ys, estimates, decoder.Taps); ok {
+			if refined, ok := refineTaps(d, ys, estimates, decoder.Taps, sc); ok {
 				taps = refined
 				decoder = channel.NewExact(refined, decoder.NoisePower)
 			}
 		}
-		graph := bp.NewGraph(d, taps)
+		graph.Rebuild(d, taps)
 		// minMargin[i] tracks tag i's weakest per-position flip margin;
 		// it gates the CRC check below.
-		minMargin := make([]float64, k)
+		minMargin := sc.Float(k)
 		for i := range minMargin {
 			minMargin[i] = math.Inf(1)
 		}
-		ambiguous := make([]bool, k)
+		ambiguous := sc.Bool(k)
+		marginBuf := sc.Float(k)
 		for p := 0; p < frameLen; p++ {
-			init := make(bits.Vector, k)
+			posMark := sc.Mark()
+			init := bits.Vector(sc.Bool(k))
 			for i := 0; i < k; i++ {
 				init[i] = estimates[i][p]
 			}
-			out := graph.Decode(ys[p], bp.Options{Init: init, Locked: locked, Restarts: cfg.Restarts}, decodeSrc)
+			out := graph.Decode(ys[p], bp.Options{Init: init, Locked: locked, Restarts: cfg.Restarts, Scratch: sc}, decodeSrc)
 			for i := 0; i < k; i++ {
 				if !locked[i] {
 					estimates[i][p] = out.Bits[i]
@@ -375,11 +406,12 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 					ambiguous[i] = true
 				}
 			}
-			for i, m := range graph.Margins(ys[p], out.Bits) {
+			for i, m := range graph.MarginsInto(marginBuf, ys[p], out.Bits, sc) {
 				if m < minMargin[i] {
 					minMargin[i] = m
 				}
 			}
+			sc.Release(posMark)
 		}
 
 		// CRC gate: lock tags whose estimated frame verifies. A bare
@@ -405,12 +437,14 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 		// several tags' bits swap together; this can (see
 		// bp.Graph.ConditionalMargin).
 		condOK := func(i int) bool {
-			joint := make(bits.Vector, k)
+			condMark := sc.Mark()
+			defer sc.Release(condMark)
+			joint := bits.Vector(sc.Bool(k))
 			for p := 0; p < frameLen; p++ {
 				for j := 0; j < k; j++ {
 					joint[j] = estimates[j][p]
 				}
-				if graph.ConditionalMargin(ys[p], joint, i, locked, decodeSrc) < cfg.marginThreshold()/2 {
+				if graph.ConditionalMarginScratch(ys[p], joint, i, locked, decodeSrc, sc) < cfg.marginThreshold()/2 {
 					return false
 				}
 			}
@@ -460,6 +494,7 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 			BitsPerSymbol: float64(totalDecoded) / float64(slot),
 		})
 		res.SlotsUsed = slot
+		sc.Release(slotMark)
 	}
 
 	if res.SlotsUsed > 0 {
@@ -474,7 +509,7 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 // overdetermined (L·P equations for K unknowns), so occasional bit-
 // estimate errors wash out. The result is damped 50/50 against the
 // previous taps; on any numerical failure the old taps are kept.
-func refineTaps(d *bits.Matrix, ys [][]complex128, estimates []bits.Vector, old []complex128) ([]complex128, bool) {
+func refineTaps(d *bits.Matrix, ys [][]complex128, estimates []bits.Vector, old []complex128, sc *scratch.Scratch) ([]complex128, bool) {
 	k := d.Cols
 	if k == 0 || d.Rows == 0 || len(estimates) != k {
 		return nil, false
@@ -488,8 +523,13 @@ func refineTaps(d *bits.Matrix, ys [][]complex128, estimates []bits.Vector, old 
 	if total > maxRows {
 		stride = total / maxRows
 	}
-	var rowsData []complex128
-	var rhs dsp.Vec
+	// At most one equation per stride step survives; reserving that
+	// bound up front keeps the equation assembly inside the caller's
+	// slot-scoped arena region.
+	maxEq := total/stride + 1
+	rowsData := sc.Complex(maxEq * k)[:0]
+	rhs := dsp.Vec(sc.Complex(maxEq))[:0]
+	row := sc.Complex(k)
 	idx := 0
 	for l := 0; l < d.Rows; l++ {
 		for p := 0; p < frameLen; p++ {
@@ -497,7 +537,7 @@ func refineTaps(d *bits.Matrix, ys [][]complex128, estimates []bits.Vector, old 
 			if idx%stride != 0 {
 				continue
 			}
-			row := make([]complex128, k)
+			clear(row)
 			any := false
 			for i := 0; i < k; i++ {
 				if d.At(l, i) && estimates[i][p] {
@@ -517,7 +557,7 @@ func refineTaps(d *bits.Matrix, ys [][]complex128, estimates []bits.Vector, old 
 		return nil, false
 	}
 	a := &dsp.Mat{Rows: n, Cols: k, Data: rowsData}
-	sol, err := dsp.LeastSquares(a, rhs)
+	sol, err := dsp.LeastSquaresScratch(a, rhs, sc)
 	if err != nil {
 		return nil, false
 	}

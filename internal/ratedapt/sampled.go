@@ -109,18 +109,33 @@ func TransferSampled(cfg SampledConfig, messages []bits.Vector, ch *channel.Mode
 		frames[i] = bits.Message{Payload: msg, Kind: cfg.CRC}.Frame()
 	}
 
+	// Staging buffers persist across slots: per-tag chip streams are
+	// rendered once (the frames never change), and the waveform and
+	// observation buffers are reused slot to slot.
+	sc := cfg.Scratch
+	mark := sc.Mark()
+	defer sc.Release(mark)
+	chipStreams := make([][]bool, k)
+	for i := range chipStreams {
+		stream := sc.Bool(frameLen)
+		copy(stream, frames[i])
+		chipStreams[i] = stream
+	}
+	obs := sc.Complex(frameLen)
+	samples := sc.Complex(frameLen * spb)
+	tagsBuf := make([]phy.TagSignal, 0, k)
+
 	// The sampled air: synthesize a slot's waveform and integrate the
 	// central samples of each bit.
 	synthesizeSlot := func(active []bool) []complex128 {
 		noisePower := ch.SlotNoisePower(active)
-		obs := make([]complex128, frameLen)
-		var tags []phy.TagSignal
+		tags := tagsBuf[:0]
 		for i := 0; i < k; i++ {
 			if !active[i] {
 				continue
 			}
 			tags = append(tags, phy.TagSignal{
-				Chips:  phy.OOKChips(frames[i]),
+				Chips:  chipStreams[i],
 				H:      ch.Taps[i],
 				Timing: timings[i],
 			})
@@ -130,7 +145,7 @@ func TransferSampled(cfg SampledConfig, messages []bits.Vector, ch *channel.Mode
 			Carrier:        0, // carrier-removed capture
 			NoisePower:     noisePower * float64(spb),
 		}
-		samples := cap.Synthesize(tags, frameLen, noiseSrc)
+		cap.SynthesizeInto(samples, tags, frameLen, noiseSrc)
 		for p := 0; p < frameLen; p++ {
 			var s complex128
 			for j := 0; j < mid; j++ {

@@ -1,0 +1,181 @@
+// Package scratch provides the per-worker buffer arena the decode hot
+// path runs on. The Buzz pipeline — the per-slot belief-propagation
+// decode, its margin computations, and the stage-C least-squares solves —
+// used to allocate fresh slices in every inner loop; at steady state that
+// garbage dominated the runtime of every figure benchmark. A Scratch owns
+// one growable block per element type and hands out zeroed sub-slices by
+// bump allocation, so a warmed-up worker re-runs the whole per-slot
+// decode without touching the Go allocator at all.
+//
+// Discipline:
+//
+//   - One Scratch per worker goroutine; a Scratch is not safe for
+//     concurrent use.
+//   - Lifetimes nest. Callers bracket a scope with Mark/Release; every
+//     buffer obtained inside the scope dies at Release. Trial-lifetime
+//     buffers come from an outer mark, per-slot and per-bit-position
+//     buffers from inner marks.
+//   - Reset ends a cycle (one trial, one transfer): it rewinds
+//     everything and — the warm-up mechanism — regrows any block whose
+//     demand high-water mark exceeded its capacity, so the next cycle of
+//     the same shape allocates nothing.
+//   - All methods are nil-safe: a nil *Scratch degrades to plain make()
+//     calls, which keeps every scratch-threaded API usable without an
+//     arena and makes "with scratch" versus "without" a pure performance
+//     (never correctness) choice.
+//
+// Buffers are always returned zeroed and with capacity clipped to their
+// length (three-index slicing), so an accidental append escapes to the
+// heap instead of silently corrupting a neighboring buffer.
+package scratch
+
+import "sync"
+
+// arena is one element type's bump allocator.
+type arena[T any] struct {
+	buf []T
+	// used is the current bump offset; peak is the cycle's demand
+	// high-water mark, including requests that overflowed to the heap.
+	used, peak int
+}
+
+func (a *arena[T]) alloc(n int) []T {
+	need := a.used + n
+	if need > a.peak {
+		a.peak = need
+	}
+	if need > len(a.buf) {
+		// Overflow: serve from the heap this cycle, but still advance the
+		// bump offset so peak reflects the full concurrent demand; reset()
+		// then grows buf so the next cycle stays in the arena.
+		a.used = need
+		return make([]T, n)
+	}
+	out := a.buf[a.used:need:need]
+	a.used = need
+	clear(out)
+	return out
+}
+
+func (a *arena[T]) reset() {
+	if a.peak > len(a.buf) {
+		a.buf = make([]T, CeilPow2(a.peak))
+	}
+	a.used = 0
+	a.peak = 0
+}
+
+// CeilPow2 returns the smallest power of two ≥ n — the growth policy
+// shared by the arena blocks and by callers sizing their own reusable
+// buffers (e.g. the decoding graph's adjacency stores).
+func CeilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Scratch is a per-worker arena of reusable typed buffers.
+type Scratch struct {
+	c128 arena[complex128]
+	f64  arena[float64]
+	bl   arena[bool]
+	in   arena[int]
+}
+
+// New returns an empty Scratch. Blocks grow on demand; the first cycle
+// of any workload warms the arena and subsequent same-shaped cycles are
+// allocation-free.
+func New() *Scratch { return &Scratch{} }
+
+var pool = sync.Pool{New: func() any { return New() }}
+
+// Get returns a Scratch from the process-wide pool, already warmed by
+// whatever workload last used it. Short-lived worker pools (the
+// simulator spawns one per sweep) use Get/Put so arenas amortize across
+// sweeps, not just across the few trials of one sweep.
+func Get() *Scratch { return pool.Get().(*Scratch) }
+
+// Put resets s and returns it to the pool. The caller must not use s or
+// any buffer obtained from it afterwards.
+func Put(s *Scratch) {
+	if s == nil {
+		return
+	}
+	s.Reset()
+	pool.Put(s)
+}
+
+// Mark captures the current allocation state of every pool.
+type Mark struct {
+	c128, f64, bl, in int
+}
+
+// Mark opens a scope: buffers allocated after Mark die at the matching
+// Release. On a nil Scratch it returns the zero Mark.
+func (s *Scratch) Mark() Mark {
+	if s == nil {
+		return Mark{}
+	}
+	return Mark{c128: s.c128.used, f64: s.f64.used, bl: s.bl.used, in: s.in.used}
+}
+
+// Release rewinds every pool to the state captured by m, ending the
+// scope m opened. Buffers allocated inside the scope must not be used
+// afterwards. No-op on a nil Scratch.
+func (s *Scratch) Release(m Mark) {
+	if s == nil {
+		return
+	}
+	s.c128.used = m.c128
+	s.f64.used = m.f64
+	s.bl.used = m.bl
+	s.in.used = m.in
+}
+
+// Reset ends a cycle: it rewinds every pool and grows any block whose
+// demand exceeded its capacity, so the next cycle of the same shape is
+// served entirely from the arena. Call it between trials. No-op on a nil
+// Scratch.
+func (s *Scratch) Reset() {
+	if s == nil {
+		return
+	}
+	s.c128.reset()
+	s.f64.reset()
+	s.bl.reset()
+	s.in.reset()
+}
+
+// Complex returns a zeroed []complex128 of length n.
+func (s *Scratch) Complex(n int) []complex128 {
+	if s == nil {
+		return make([]complex128, n)
+	}
+	return s.c128.alloc(n)
+}
+
+// Float returns a zeroed []float64 of length n.
+func (s *Scratch) Float(n int) []float64 {
+	if s == nil {
+		return make([]float64, n)
+	}
+	return s.f64.alloc(n)
+}
+
+// Bool returns a zeroed []bool of length n.
+func (s *Scratch) Bool(n int) []bool {
+	if s == nil {
+		return make([]bool, n)
+	}
+	return s.bl.alloc(n)
+}
+
+// Int returns a zeroed []int of length n.
+func (s *Scratch) Int(n int) []int {
+	if s == nil {
+		return make([]int, n)
+	}
+	return s.in.alloc(n)
+}

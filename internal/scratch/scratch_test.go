@@ -1,0 +1,135 @@
+package scratch
+
+import "testing"
+
+func TestNilScratchDegradesToMake(t *testing.T) {
+	var s *Scratch
+	if got := s.Complex(3); len(got) != 3 {
+		t.Fatalf("nil Complex(3) len = %d", len(got))
+	}
+	if got := s.Float(4); len(got) != 4 {
+		t.Fatalf("nil Float(4) len = %d", len(got))
+	}
+	if got := s.Bool(5); len(got) != 5 {
+		t.Fatalf("nil Bool(5) len = %d", len(got))
+	}
+	if got := s.Int(6); len(got) != 6 {
+		t.Fatalf("nil Int(6) len = %d", len(got))
+	}
+	// Mark/Release/Reset must be safe no-ops.
+	m := s.Mark()
+	s.Release(m)
+	s.Reset()
+}
+
+func TestBuffersAreZeroed(t *testing.T) {
+	s := New()
+	for cycle := 0; cycle < 3; cycle++ {
+		f := s.Float(16)
+		for i := range f {
+			if f[i] != 0 {
+				t.Fatalf("cycle %d: Float not zeroed at %d", cycle, i)
+			}
+			f[i] = 3.5 // dirty it for the next cycle
+		}
+		b := s.Bool(16)
+		for i := range b {
+			if b[i] {
+				t.Fatalf("cycle %d: Bool not zeroed at %d", cycle, i)
+			}
+			b[i] = true
+		}
+		s.Reset()
+	}
+}
+
+func TestMarkReleaseReusesRegion(t *testing.T) {
+	s := New()
+	s.Float(8) // outer allocation
+	m := s.Mark()
+	a := s.Float(4)
+	a[0] = 1
+	s.Release(m)
+	b := s.Float(4)
+	if b[0] != 0 {
+		t.Fatal("released region not re-zeroed on reallocation")
+	}
+	// After warm-up, a and b must share the same backing region.
+	s.Reset()
+	s.Float(8)
+	m = s.Mark()
+	a = s.Float(4)
+	s.Release(m)
+	b = s.Float(4)
+	if &a[0] != &b[0] {
+		t.Fatal("Release did not rewind the bump offset")
+	}
+}
+
+func TestCapacityClipPreventsBufferBleed(t *testing.T) {
+	s := New()
+	s.Int(4)
+	s.Reset()
+	a := s.Int(2)
+	b := s.Int(2)
+	a = append(a, 99) // must reallocate, not overwrite b
+	_ = a
+	if b[0] != 0 {
+		t.Fatal("append onto an arena slice bled into the next buffer")
+	}
+}
+
+func TestResetWarmsToZeroAllocs(t *testing.T) {
+	s := New()
+	run := func() {
+		m := s.Mark()
+		_ = s.Complex(64)
+		_ = s.Float(128)
+		inner := s.Mark()
+		_ = s.Bool(32)
+		_ = s.Int(16)
+		s.Release(inner)
+		_ = s.Bool(32)
+		s.Release(m)
+	}
+	run()
+	s.Reset() // warm-up: grows blocks to the observed peak
+	allocs := testing.AllocsPerRun(100, func() {
+		run()
+		s.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed scratch cycle allocates %v times", allocs)
+	}
+}
+
+func TestOverflowServedFromHeapThenGrows(t *testing.T) {
+	s := New()
+	a := s.Float(4)
+	s.Reset() // block is now ≥ 4
+	b := s.Float(4)
+	c := s.Float(1024) // overflow: heap this cycle
+	c[0] = 7
+	b[0] = 1
+	if c[0] != 7 {
+		t.Fatal("overflow buffer corrupted")
+	}
+	s.Reset() // grows to the peak demand
+	m := s.Mark()
+	_ = s.Float(4)
+	d := s.Float(1024)
+	s.Release(m)
+	if cap(d) == 0 {
+		t.Fatal("post-reset block did not grow")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		mm := s.Mark()
+		_ = s.Float(4)
+		_ = s.Float(1024)
+		s.Release(mm)
+	})
+	if allocs != 0 {
+		t.Fatalf("grown arena still allocates %v times", allocs)
+	}
+	_ = a
+}

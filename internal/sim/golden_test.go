@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// The constants below were captured from the pre-arena decoder (the
+// last all-heap implementation) at the stated seeds. The scratch-buffer
+// refactor must preserve them bit for bit: same seed → same floats, no
+// tolerance. If a future change legitimately alters the numerics
+// (a different decoder, not a different allocator), recapture them and
+// say so in the commit message.
+
+// TestGoldenHeadlineDeterminism pins RunHeadline(2, 12345) to the
+// pre-refactor output and re-runs it to prove the result is independent
+// of worker scheduling and arena reuse.
+func TestGoldenHeadlineDeterminism(t *testing.T) {
+	const (
+		wantIdent   = 4.1596255581538797
+		wantData    = 1.1989304812834225
+		wantOverall = 1.7639017228762173
+	)
+	for round := 0; round < 2; round++ {
+		h, err := RunHeadline(2, 12345)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.IdentSpeedup != wantIdent || h.DataRateGain != wantData || h.OverallSpeedup != wantOverall {
+			t.Fatalf("round %d: RunHeadline(2, 12345) = {%.17g, %.17g, %.17g}, golden {%.17g, %.17g, %.17g}",
+				round, h.IdentSpeedup, h.DataRateGain, h.OverallSpeedup, wantIdent, wantData, wantOverall)
+		}
+	}
+}
+
+// TestGoldenDataPhaseDeterminism pins the Fig. 10 experiment the same
+// way: CompareDataPhase(K=8, Trials=4, Seed=777) must reproduce the
+// pre-refactor means exactly.
+func TestGoldenDataPhaseDeterminism(t *testing.T) {
+	want := map[string]struct{ ms, lost, rate float64 }{
+		"buzz": {ms: 3.2374999999999998, lost: 0, rate: 1.2444444444444445},
+		"tdma": {ms: 3.7000000000000002, lost: 0, rate: 1},
+		"cdma": {ms: 3.7000000000000002, lost: 0, rate: 1},
+	}
+	out, err := CompareDataPhase(DataPhaseConfig{K: 8, Trials: 4, Seed: 777, Profile: DefaultProfile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range out {
+		w, ok := want[o.Scheme]
+		if !ok {
+			t.Fatalf("unexpected scheme %q", o.Scheme)
+		}
+		if o.TransferMillis.Mean != w.ms || o.Undecoded.Mean != w.lost || o.BitsPerSymbol.Mean != w.rate {
+			t.Fatalf("%s: got ms=%.17g lost=%.17g rate=%.17g, golden ms=%.17g lost=%.17g rate=%.17g",
+				o.Scheme, o.TransferMillis.Mean, o.Undecoded.Mean, o.BitsPerSymbol.Mean, w.ms, w.lost, w.rate)
+		}
+		if o.WrongPayload != 0 {
+			t.Fatalf("%s delivered %d wrong payloads", o.Scheme, o.WrongPayload)
+		}
+	}
+	if math.IsNaN(out[0].TransferMillis.Std) {
+		t.Fatal("buzz stddev is NaN")
+	}
+}

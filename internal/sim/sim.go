@@ -22,6 +22,7 @@ import (
 	"repro/internal/phy"
 	"repro/internal/prng"
 	"repro/internal/ratedapt"
+	"repro/internal/scratch"
 	"repro/internal/stats"
 )
 
@@ -88,8 +89,11 @@ func frameMillis(bitSlots int) float64 {
 // forEachTrial runs the trial body for indices [0, trials) across a
 // bounded worker pool. Each trial derives its own deterministic source
 // from (seed, trial), so results are independent of scheduling order;
-// the body writes into per-trial slots, never shared state.
-func forEachTrial(trials int, seed uint64, body func(trial int, setup *prng.Source) error) error {
+// the body writes into per-trial slots, never shared state. Every worker
+// owns one scratch arena, Reset between trials: the first trial a worker
+// runs warms the arena and later same-shaped trials allocate nothing in
+// the decode hot path.
+func forEachTrial(trials int, seed uint64, body func(trial int, setup *prng.Source, sc *scratch.Scratch) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > trials {
 		workers = trials
@@ -104,8 +108,11 @@ func forEachTrial(trials int, seed uint64, body func(trial int, setup *prng.Sour
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := scratch.Get()
+			defer scratch.Put(sc)
 			for trial := range next {
-				errs[trial] = body(trial, prng.NewSource(prng.Mix2(seed, uint64(trial))))
+				errs[trial] = body(trial, prng.NewSource(prng.Mix2(seed, uint64(trial))), sc)
+				sc.Reset()
 			}
 		}()
 	}
@@ -165,7 +172,7 @@ func CompareDataPhase(cfg DataPhaseConfig) ([]SchemeOutcome, error) {
 		buzzWrong, tdmaWrong, cdmaWrong int
 	}
 	rows := make([]trialRow, cfg.Trials)
-	err := forEachTrial(cfg.Trials, cfg.Seed, func(trial int, setup *prng.Source) error {
+	err := forEachTrial(cfg.Trials, cfg.Seed, func(trial int, setup *prng.Source, sc *scratch.Scratch) error {
 		msgs := cfg.Profile.messages(cfg.K, setup)
 		ch := cfg.Profile.channel(cfg.K, setup)
 		seeds := tagSeeds(cfg.K, setup)
@@ -177,6 +184,7 @@ func CompareDataPhase(cfg DataPhaseConfig) ([]SchemeOutcome, error) {
 			CRC:         cfg.Profile.CRC,
 			Restarts:    2,
 			MaxSlots:    40 * cfg.K,
+			Scratch:     sc,
 		}, msgs, ch, setup.Fork(1), setup.Fork(2))
 		if err != nil {
 			return err
@@ -282,7 +290,7 @@ func RunChallenging(trials int, seed uint64, bands []ChallengingBand) ([]Challen
 	for bi, band := range bands {
 		type row struct{ buzzDec, tdmaDec, buzzRate float64 }
 		rows := make([]row, trials)
-		err := forEachTrial(trials, seed+uint64(bi)*0x9E37, func(trial int, setup *prng.Source) error {
+		err := forEachTrial(trials, seed+uint64(bi)*0x9E37, func(trial int, setup *prng.Source, sc *scratch.Scratch) error {
 			msgs := profile.messages(k, setup)
 			ch := channel.NewFromSNRBand(k, band.LodB, band.HidB, setup)
 			ch.AGCNoiseFraction = profile.AGCNoiseFraction
@@ -294,6 +302,7 @@ func RunChallenging(trials int, seed uint64, bands []ChallengingBand) ([]Challen
 				CRC:         profile.CRC,
 				Restarts:    3,
 				MaxSlots:    600,
+				Scratch:     sc,
 			}, msgs, ch, setup.Fork(1), setup.Fork(2))
 			if err != nil {
 				return err
@@ -362,7 +371,10 @@ func RunEnergy(trials int, seed uint64, voltages []float64) ([]EnergyOutcome, er
 	// voltage scales the pricing. Collect tallies once per trial.
 	var buzzT, tdmaT, cdmaT energy.Tally
 	tags := 0
+	sc := scratch.Get()
+	defer scratch.Put(sc)
 	for trial := 0; trial < trials; trial++ {
+		sc.Reset()
 		setup := root.Fork(uint64(trial))
 		msgs := profile.messages(k, setup)
 		ch := profile.channel(k, setup)
@@ -374,6 +386,7 @@ func RunEnergy(trials int, seed uint64, voltages []float64) ([]EnergyOutcome, er
 			CRC:         profile.CRC,
 			Restarts:    2,
 			MaxSlots:    40 * k,
+			Scratch:     sc,
 		}, msgs, ch, setup.Fork(1), setup.Fork(2))
 		if err != nil {
 			return nil, err
@@ -453,14 +466,14 @@ func RunIdentification(trials int, seed uint64, ks []int) ([]IdentificationOutco
 		k := k
 		type row struct{ buzzMs, fsaMs, fsakMs, btreeMs, identified float64 }
 		rows := make([]row, trials)
-		err := forEachTrial(trials, seed+uint64(k)*0x51F1, func(trial int, setup *prng.Source) error {
+		err := forEachTrial(trials, seed+uint64(k)*0x51F1, func(trial int, setup *prng.Source, sc *scratch.Scratch) error {
 			ch := profile.channel(k, setup)
 			ids := make([]uint64, k)
 			for i := range ids {
 				ids[i] = setup.Uint64()
 			}
 
-			res, err := identify.Run(identify.Config{Salt: setup.Uint64()}, ids, ch, setup.Fork(1))
+			res, err := identify.Run(identify.Config{Salt: setup.Uint64(), Scratch: sc}, ids, ch, setup.Fork(1))
 			if err != nil {
 				return err
 			}
@@ -534,7 +547,10 @@ func DecodeProgress(k int, seed uint64) ([]ratedapt.SlotResult, error) {
 	profile.MessageBits = 96
 	profile.CRC = bits.CRC16
 	root := prng.NewSource(seed)
+	sc := scratch.Get()
+	defer scratch.Put(sc)
 	for attempt := 0; attempt < 20; attempt++ {
+		sc.Reset()
 		setup := root.Fork(uint64(attempt))
 		msgs := profile.messages(k, setup)
 		ch := profile.channel(k, setup)
@@ -545,6 +561,7 @@ func DecodeProgress(k int, seed uint64) ([]ratedapt.SlotResult, error) {
 			CRC:         profile.CRC,
 			Restarts:    2,
 			MaxSlots:    40 * k,
+			Scratch:     sc,
 		}, msgs, ch, setup.Fork(1), setup.Fork(2))
 		if err != nil {
 			return nil, err
