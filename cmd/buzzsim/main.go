@@ -5,6 +5,7 @@
 // Usage:
 //
 //	buzzsim [-k 8] [-snr-lo 14] [-snr-hi 30] [-bytes 4] [-seed 1] [-periodic]
+//	        [-repeat 1] [-cpuprofile out.prof] [-memprofile heap.prof]
 //
 // Example:
 //
@@ -13,12 +14,19 @@
 //	transfer: 17 slots, 7.86 ms, 0.71 bits/symbol
 //	tag 0xe9c0000: delivered at slot 3, payload 74616730
 //	...
+//
+// Profiling the real decode loop (not just microbenches):
+//
+//	$ buzzsim -k 16 -repeat 200 -cpuprofile decode.prof
+//	$ go tool pprof decode.prof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/buzz"
 )
@@ -30,58 +38,104 @@ func main() {
 	nBytes := flag.Int("bytes", 4, "payload size per tag in bytes")
 	seed := flag.Uint64("seed", 1, "session seed (deterministic replay)")
 	periodic := flag.Bool("periodic", false, "periodic network: skip identification (§4b)")
+	repeat := flag.Int("repeat", 1, "run the session this many times (iterating the seed); profiling runs want more samples than one session provides")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the full run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
 	flag.Parse()
 
-	if *k < 1 || *nBytes < 1 {
-		fmt.Fprintln(os.Stderr, "buzzsim: -k and -bytes must be positive")
+	if *k < 1 || *nBytes < 1 || *repeat < 1 {
+		fmt.Fprintln(os.Stderr, "buzzsim: -k, -bytes and -repeat must be positive")
 		os.Exit(2)
 	}
-
-	tags := make([]buzz.Tag, *k)
-	for i := range tags {
-		payload := make([]byte, *nBytes)
-		for j := range payload {
-			payload[j] = byte(i*31 + j*7 + 1)
-		}
-		tags[i] = buzz.Tag{ID: uint64(0xE9C0000 + i*7919), Payload: payload}
-	}
-
-	sess, err := buzz.NewSession(tags, buzz.Options{
-		Seed:          *seed,
-		Channel:       buzz.ChannelSpec{SNRLodB: *snrLo, SNRHidB: *snrHi},
-		KnownSchedule: *periodic,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "buzzsim: %v\n", err)
-		os.Exit(1)
-	}
-
-	if !*periodic {
-		id, err := sess.Identify()
+	// Profile teardown must run before exiting, so the session work
+	// lives in run() and every error path returns through it.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "buzzsim: identify: %v\n", err)
+			fmt.Fprintf(os.Stderr, "buzzsim: -cpuprofile: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("identification: K̂=%d, %d slots, %.2f ms, %d/%d identified\n",
-			id.KEstimate, id.Slots, id.Millis, id.IdentifiedCount(), *k)
-	}
-
-	res, err := sess.TransferData()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "buzzsim: transfer: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Printf("transfer: %d slots, %.2f ms, %.2f bits/symbol, %d/%d delivered\n",
-		res.Slots, res.Millis, res.BitsPerSymbol, res.Delivered(), *k)
-	for i, tr := range res.Tags {
-		switch {
-		case tr.Delivered:
-			fmt.Printf("tag %#x: delivered at slot %d, payload %x (snr %.1f dB)\n",
-				tr.ID, tr.DecodedAtSlot, tr.Payload, sess.SNRdB(i))
-		case tr.Identified:
-			fmt.Printf("tag %#x: identified but NOT delivered (snr %.1f dB)\n", tr.ID, sess.SNRdB(i))
-		default:
-			fmt.Printf("tag %#x: NOT identified this round (snr %.1f dB)\n", tr.ID, sess.SNRdB(i))
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "buzzsim: -cpuprofile: %v\n", err)
+			os.Exit(1)
 		}
 	}
+	runErr := run(*k, *nBytes, *repeat, *seed, *snrLo, *snrHi, *periodic)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		if err := writeHeapProfile(*memProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "buzzsim: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "buzzsim: %v\n", runErr)
+		os.Exit(1)
+	}
+}
+
+func run(k, nBytes, repeat int, seed uint64, snrLo, snrHi float64, periodic bool) error {
+	for r := 0; r < repeat; r++ {
+		tags := make([]buzz.Tag, k)
+		for i := range tags {
+			payload := make([]byte, nBytes)
+			for j := range payload {
+				payload[j] = byte(i*31 + j*7 + 1)
+			}
+			tags[i] = buzz.Tag{ID: uint64(0xE9C0000 + i*7919), Payload: payload}
+		}
+
+		sess, err := buzz.NewSession(tags, buzz.Options{
+			Seed:          seed + uint64(r),
+			Channel:       buzz.ChannelSpec{SNRLodB: snrLo, SNRHidB: snrHi},
+			KnownSchedule: periodic,
+		})
+		if err != nil {
+			return err
+		}
+
+		if !periodic {
+			id, err := sess.Identify()
+			if err != nil {
+				return fmt.Errorf("identify: %w", err)
+			}
+			fmt.Printf("identification: K̂=%d, %d slots, %.2f ms, %d/%d identified\n",
+				id.KEstimate, id.Slots, id.Millis, id.IdentifiedCount(), k)
+		}
+
+		res, err := sess.TransferData()
+		if err != nil {
+			return fmt.Errorf("transfer: %w", err)
+		}
+		fmt.Printf("transfer: %d slots, %.2f ms, %.2f bits/symbol, %d/%d delivered\n",
+			res.Slots, res.Millis, res.BitsPerSymbol, res.Delivered(), k)
+		if repeat > 1 {
+			continue // per-tag detail only makes sense for a single session
+		}
+		for i, tr := range res.Tags {
+			switch {
+			case tr.Delivered:
+				fmt.Printf("tag %#x: delivered at slot %d, payload %x (snr %.1f dB)\n",
+					tr.ID, tr.DecodedAtSlot, tr.Payload, sess.SNRdB(i))
+			case tr.Identified:
+				fmt.Printf("tag %#x: identified but NOT delivered (snr %.1f dB)\n", tr.ID, sess.SNRdB(i))
+			default:
+				fmt.Printf("tag %#x: NOT identified this round (snr %.1f dB)\n", tr.ID, sess.SNRdB(i))
+			}
+		}
+	}
+	return nil
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }

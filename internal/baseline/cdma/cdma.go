@@ -26,7 +26,6 @@ package cdma
 import (
 	"fmt"
 	"math"
-	"math/cmplx"
 
 	"repro/internal/bits"
 	"repro/internal/channel"
@@ -148,8 +147,11 @@ func Run(cfg Config, messages []bits.Vector, ch *channel.Model, noiseSrc *prng.S
 	res.Verified = make([]bool, k)
 	res.SwitchCounts = make([]int, k)
 
-	// Encode: tag i's chip stream, BPSK values ±1, frameLen·ns chips.
+	// Encode: tag i's chip stream, BPSK values ±1, frameLen·ns chips,
+	// all tags packed into one flat block.
+	nChips := frameLen * ns
 	frames := make([]bits.Vector, k)
+	streamsFlat := make([]int8, k*nChips)
 	streams := make([][]int8, k)
 	codes := make([][]int8, k)
 	for i, msg := range messages {
@@ -158,7 +160,7 @@ func Run(cfg Config, messages []bits.Vector, ch *channel.Model, noiseSrc *prng.S
 		}
 		frames[i] = bits.Message{Payload: msg, Kind: cfg.CRC}.Frame()
 		codes[i] = WalshRow(i, ns)
-		stream := make([]int8, frameLen*ns)
+		stream := streamsFlat[i*nChips : (i+1)*nChips]
 		for p, b := range frames[i] {
 			d := int8(-1)
 			if b {
@@ -202,48 +204,71 @@ func Run(cfg Config, messages []bits.Vector, ch *channel.Model, noiseSrc *prng.S
 	for i := range allActive {
 		allActive[i] = true
 	}
-	nChips := frameLen * ns
-	sigma := math.Sqrt(ch.SlotNoisePower(allActive))
+	sigma := complex(math.Sqrt(ch.SlotNoisePower(allActive)), 0)
 	chipObs := make([]complex128, nChips)
-	for chip := 0; chip < nChips; chip++ {
-		var y complex128
-		for i := 0; i < k; i++ {
-			// Total delay of tag i's waveform at this point in the
-			// frame: initial offset plus accumulated drift. The reader
-			// window [chip, chip+1) then overlaps source chips
-			// chip−q−1 (fraction f) and chip−q (fraction 1−f).
-			delta := offsets[i] + drifts[i]*float64(chip)
-			q := math.Floor(delta)
-			f := delta - q
-			idxCur := chip - int(q)
-			idxPrev := idxCur - 1
+	// Accumulate tag-major: each tag's delayed waveform streams
+	// contiguously into the shared observation, with its offset, drift
+	// and tap hoisted out of the chip loop. Per-chip accumulation order
+	// across tags (0..K−1) matches the chip-major form, so the floats
+	// are identical; only the traversal order changed.
+	for i := 0; i < k; i++ {
+		h := ch.Taps[i]
+		off, drift := offsets[i], drifts[i]
+		stream := streams[i]
+		// Total delay of tag i's waveform: initial offset plus
+		// accumulated drift. The reader window [chip, chip+1) overlaps
+		// source chips chip−q−1 (fraction f) and chip−q (fraction
+		// 1−f). q is piecewise constant in chip (the drift walks a
+		// fraction of a chip over the whole frame), so track it with a
+		// comparison instead of a Floor per chip; the source index
+		// then advances in lockstep with the reader chip.
+		q := int(math.Floor(off))
+		for chip := 0; chip < nChips; chip++ {
+			delta := off + drift*float64(chip)
+			if delta-float64(q) >= 1 {
+				q++
+			} else if delta < float64(q) {
+				q--
+			}
+			f := delta - float64(q)
+			idxCur := chip - q
 			cur, prev := 0.0, 0.0
 			if idxCur >= 0 && idxCur < nChips {
-				cur = float64(streams[i][idxCur])
+				cur = float64(stream[idxCur])
 			}
-			if idxPrev >= 0 && idxPrev < nChips {
-				prev = float64(streams[i][idxPrev])
+			if idxCur >= 1 && idxCur <= nChips {
+				prev = float64(stream[idxCur-1])
 			}
-			y += ch.Taps[i] * complex((1-f)*cur+f*prev, 0)
+			w := (1-f)*cur + f*prev
+			if w != 0 {
+				chipObs[chip] += complex(real(h)*w, imag(h)*w)
+			}
 		}
-		y += noiseSrc.ComplexNorm() * complex(sigma, 0)
-		chipObs[chip] = y
+	}
+	for chip := 0; chip < nChips; chip++ {
+		chipObs[chip] += noiseSrc.ComplexNorm() * sigma
 	}
 
 	// Despread and decide per tag, per bit.
 	for i := 0; i < k; i++ {
 		decoded := make(bits.Vector, frameLen)
 		h := ch.Taps[i]
+		code := codes[i]
 		for p := 0; p < frameLen; p++ {
 			var z complex128
-			for c := 0; c < ns; c++ {
-				z += chipObs[p*ns+c] * complex(float64(codes[i][c]), 0)
+			win := chipObs[p*ns : (p+1)*ns]
+			for c, w := range code {
+				if w > 0 {
+					z += win[c]
+				} else {
+					z -= win[c]
+				}
 			}
-			z /= complex(float64(ns), 0)
-			// Coherent decision: closer to +h (bit 1) or −h (bit 0).
-			dPlus := cmplx.Abs(z - h)
-			dMinus := cmplx.Abs(z + h)
-			decoded[p] = dPlus < dMinus
+			// Coherent decision: closer to +h (bit 1) or −h (bit 0),
+			// i.e. |z−ns·h|² < |z+ns·h|² ⟺ Re(conj(h)·z) > 0 — the
+			// same decision as the distance compare, without the two
+			// square roots (and without dividing z by ns first).
+			decoded[p] = real(h)*real(z)+imag(h)*imag(z) > 0
 		}
 		res.Frames[i] = decoded
 		res.Verified[i] = bits.Verify(decoded, cfg.CRC)

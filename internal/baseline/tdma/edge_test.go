@@ -1,0 +1,42 @@
+package tdma
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/channel"
+	"repro/internal/prng"
+)
+
+// TestRunZeroTags pins the empty-schedule edge: no tags means an empty
+// result, not a panic (the staging-buffer reuse must not assume
+// messages[0] exists).
+func TestRunZeroTags(t *testing.T) {
+	res, err := Run(Config{UseMiller: true}, nil, channel.NewExact(nil, 1), prng.NewSource(1))
+	if err != nil || res.Lost() != 0 || res.BitSlots != 0 {
+		t.Fatalf("zero-tag run: res=%+v err=%v", res, err)
+	}
+}
+
+// TestRunUnequalMessageLengths pins that TDMA (unlike CDMA) accepts
+// per-tag message lengths: each tag gets its own slot, so nothing
+// forces uniformity, and the reused staging buffers must regrow.
+func TestRunUnequalMessageLengths(t *testing.T) {
+	src := prng.NewSource(2)
+	msgs := []bits.Vector{bits.Random(src, 8), bits.Random(src, 64), bits.Random(src, 16)}
+	ch := channel.NewUniform(len(msgs), 25, src)
+	res, err := Run(Config{CRC: bits.CRC5, UseMiller: true}, msgs, ch, src.Fork(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost() != 0 {
+		t.Fatalf("lost %d messages at 25 dB", res.Lost())
+	}
+	wantSlots := 0
+	for _, m := range msgs {
+		wantSlots += len(m) + bits.CRC5.Width()
+	}
+	if res.BitSlots != wantSlots {
+		t.Fatalf("BitSlots = %d, want %d", res.BitSlots, wantSlots)
+	}
+}

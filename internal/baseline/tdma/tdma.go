@@ -94,9 +94,24 @@ func Run(cfg Config, messages []bits.Vector, ch *channel.Model, noiseSrc *prng.S
 		SwitchCounts: make([]int, k),
 	}
 	soloActive := make([]bool, k)
+	// Per-tag staging buffers, reused across the schedule: the chip
+	// stream and the received waveform are the run's only large
+	// working sets, and one slot's worth serves every tag in turn
+	// (regrown if a later message is longer — unlike CDMA, TDMA does
+	// not require equal message lengths).
+	var chipBuf []bool
+	var rxBuf []complex128
+	var wander []complex128
 	for i, msg := range messages {
 		frame := bits.Message{Payload: msg, Kind: cfg.CRC}.Frame()
 		res.BitSlots += len(frame)
+		if need := len(frame) * phy.ChipsPerBit; cap(chipBuf) < need {
+			chipBuf = make([]bool, 0, need)
+			rxBuf = make([]complex128, need)
+		}
+		if cfg.DCWander > 0 && len(wander) < len(frame) {
+			wander = make([]complex128, len(frame))
+		}
 		h := ch.Taps[i]
 		// Only tag i is on the air during its slot; the receiver's
 		// effective noise floor reflects that.
@@ -105,10 +120,9 @@ func Run(cfg Config, messages []bits.Vector, ch *channel.Model, noiseSrc *prng.S
 		soloActive[i] = false
 
 		// Baseline drift: a complex random walk stepping once per bit.
-		wander := make([]complex128, len(frame))
-		if cfg.DCWander > 0 {
+		if wander != nil {
 			var w complex128
-			for p := range wander {
+			for p := 0; p < len(frame); p++ {
 				w += noiseSrc.ComplexNorm() * complex(cfg.DCWander, 0)
 				wander[p] = w
 			}
@@ -116,7 +130,7 @@ func Run(cfg Config, messages []bits.Vector, ch *channel.Model, noiseSrc *prng.S
 
 		var decoded bits.Vector
 		if cfg.UseMiller {
-			decoded = runMiller(frame, h, noisePower, wander, noiseSrc, &res.SwitchCounts[i])
+			decoded = runMiller(frame, h, noisePower, wander, noiseSrc, &res.SwitchCounts[i], chipBuf, rxBuf)
 		} else {
 			decoded = runPlainOOK(frame, h, noisePower, wander, noiseSrc, &res.SwitchCounts[i])
 		}
@@ -133,17 +147,20 @@ func Run(cfg Config, messages []bits.Vector, ch *channel.Model, noiseSrc *prng.S
 // so the front end averages 8× fewer samples into it. The matched filter
 // over the 8 chips of a bit recovers exactly the per-bit SNR — Miller
 // buys robustness structure, not an AWGN miracle.
-func runMiller(frame bits.Vector, h complex128, noisePower float64, wander []complex128, noiseSrc *prng.Source, switches *int) bits.Vector {
-	chips := phy.MillerEncode(frame)
+func runMiller(frame bits.Vector, h complex128, noisePower float64, wander []complex128, noiseSrc *prng.Source, switches *int, chipBuf []bool, rxBuf []complex128) bits.Vector {
+	chips := phy.MillerEncodeInto(frame, chipBuf)
 	*switches += phy.SwitchCount(chips)
-	sigma := math.Sqrt(noisePower * float64(phy.ChipsPerBit))
-	rx := make([]complex128, len(chips))
+	sigma := complex(math.Sqrt(noisePower*float64(phy.ChipsPerBit)), 0)
+	rx := rxBuf[:len(chips)]
 	for c, chip := range chips {
+		var y complex128
 		if chip {
-			rx[c] = h
+			y = h
 		}
-		rx[c] += wander[c/phy.ChipsPerBit]
-		rx[c] += noiseSrc.ComplexNorm() * complex(sigma, 0)
+		if wander != nil {
+			y += wander[c/phy.ChipsPerBit]
+		}
+		rx[c] = y + noiseSrc.ComplexNorm()*sigma
 	}
 	return phy.MillerDecoder{H: h}.Decode(rx, len(frame))
 }
@@ -162,7 +179,9 @@ func runPlainOOK(frame bits.Vector, h complex128, noisePower float64, wander []c
 		if b {
 			y = h
 		}
-		y += wander[p]
+		if wander != nil {
+			y += wander[p]
+		}
 		y += noiseSrc.ComplexNorm() * complex(sigma, 0)
 		out[p] = cmplx.Abs(y) > threshold
 	}

@@ -16,20 +16,35 @@
 //
 //	G_i = ‖r‖² − ‖r − δ·h_i·d_i‖² = 2δ·Re⟨h_i·d_i, r⟩ − |h_i|²·w_i
 //
-// where d_i is column i of D and w_i its weight. Each gain refresh is
-// O(w_i) — no norms are ever recomputed from scratch.
+// where d_i is column i of D and w_i its weight. Two further structural
+// facts keep every step cheap:
+//
+//   - Re⟨h_i·d_i, r⟩ = Re(conj(h_i)·S_i) where S_i = Σ_{rows ∋ i} r[row].
+//     The search maintains S_i incrementally: a flip of bit j changes
+//     every touched residual entry by the same constant −δ·h_j, so each
+//     neighbor's S update is one complex subtraction — O(1) instead of
+//     re-accumulating the O(w_i) correlation.
+//   - The "flip the highest-gain bit" selection runs on a tournament
+//     tree over the gain table (argmax with ties broken toward the lower
+//     index, exactly the order the straight scan produced), so a flip
+//     costs O(touched·log K) instead of an O(K) rescan per flip.
 //
 // CRC-gated freezing (§6d): once a tag's message passes its checksum in
 // the outer loop, the caller locks that tag. Locked bits get gain −∞ so
 // later flips can never undo a verified message — the paper's
 // "set their gains to be negative infinite" interference-cancellation
 // trick.
+//
+// The graph itself is rateless-friendly: the outer loop grows it one
+// collision row at a time with AppendRow (O(colliders)), and Session
+// (session.go) carries each bit position's residual, S-sums and gains
+// across slots so a new collision costs O(colliders) per position rather
+// than a from-scratch rebuild.
 package bp
 
 import (
 	"fmt"
 	"math"
-	"math/cmplx"
 
 	"repro/internal/bits"
 	"repro/internal/dsp"
@@ -38,7 +53,10 @@ import (
 )
 
 // Graph is the decoding graph for one block of collisions: the sparse
-// participation structure D plus the tags' channel taps.
+// participation structure D plus the tags' channel taps. It grows one
+// row per collision slot (AppendRow); every adjacency list owns its
+// backing storage with power-of-two headroom, so a steady-state transfer
+// (same shape as a previous one on the same Graph) allocates nothing.
 type Graph struct {
 	// K is the number of tags (left vertices).
 	K int
@@ -48,19 +66,40 @@ type Graph struct {
 	colRows [][]int
 	// rowCols[j] lists the tags participating in symbol j.
 	rowCols [][]int
+	// rowActive[j] is rowCols[j] minus deactivated (CRC-locked) tags —
+	// the flip fan-out's view. A locked tag's bits never change and its
+	// gain is pinned at −∞, so the descent has no reason to update its
+	// sums; dropping it here makes late-transfer flips (when most tags
+	// are verified) touch only the remaining stragglers.
+	rowActive   [][]int
+	deactivated []bool
+	// activeRows lists (ascending) the rows whose rowActive is still
+	// non-empty — the only rows a restart build or re-descent can ever
+	// touch. Rows whose every collider has locked drop out; their
+	// residual entries are frozen and the Session carries their error
+	// contribution as a per-position constant.
+	activeRows []int
+	// flatTags/flatStart are a CSR snapshot of the active adjacency,
+	// rebuilt by SnapshotActive once per slot: flatTags[flatStart[x] :
+	// flatStart[x+1]] are the active tags of activeRows[x], packed
+	// contiguously so the restart builder streams one array instead of
+	// chasing per-row slice headers.
+	flatTags  []int
+	flatStart []int
+	// newlyInactive accumulates rows emptied by DeactivateTag calls
+	// until the caller consumes them (TakeNewlyInactive).
+	newlyInactive []int
 	// taps[i] is tag i's channel coefficient h_i.
 	taps []complex128
 	// tapPower[i] caches |h_i|².
 	tapPower []float64
-	// colFlat and rowFlat are the CSR-style backing stores the adjacency
-	// lists above are views into: one contiguous block per direction,
-	// reused across Rebuild calls so the rateless loop's once-per-slot
-	// rebuilds stop allocating once the blocks have grown to the
-	// transfer's final size.
-	colFlat, rowFlat []int
-	// colDeg and rowDeg are per-vertex degree counters for the CSR
-	// two-pass build.
-	colDeg, rowDeg []int
+	// tapRe and tapIm cache Re(h_i) and Im(h_i) — the hoisted conjugate
+	// taps of the correlation kernels: Re(conj(h)·s) = Re(h)·Re(s) +
+	// Im(h)·Im(s), two real multiplies instead of a complex one.
+	tapRe, tapIm []float64
+	// wPow[i] caches |h_i|²·w_i — the gain formula's constant term,
+	// updated as rows append so gainOf is pure arithmetic on loads.
+	wPow []float64
 }
 
 // NewGraph builds the decoding graph from the participation matrix D
@@ -73,85 +112,178 @@ func NewGraph(d *bits.Matrix, taps []complex128) *Graph {
 	return g
 }
 
+// Reset empties the graph to K tags and zero rows, keeping every
+// adjacency list's capacity, and installs the taps. The rateless loop
+// calls it once per transfer on a long-lived Graph and then grows the
+// rows back with AppendRow.
+func (g *Graph) Reset(k int, taps []complex128) {
+	if k != len(taps) {
+		panic(fmt.Sprintf("bp: graph has %d columns but %d taps supplied", k, len(taps)))
+	}
+	if cap(g.colRows) < k {
+		next := make([][]int, k, scratch.CeilPow2(k))
+		copy(next, g.colRows)
+		g.colRows = next
+	}
+	g.colRows = g.colRows[:k]
+	for i := range g.colRows {
+		g.colRows[i] = g.colRows[i][:0]
+	}
+	g.rowCols = g.rowCols[:0]
+	g.rowActive = g.rowActive[:0]
+	g.activeRows = g.activeRows[:0]
+	g.newlyInactive = g.newlyInactive[:0]
+	if cap(g.deactivated) < k {
+		g.deactivated = make([]bool, k, scratch.CeilPow2(k))
+	}
+	g.deactivated = g.deactivated[:k]
+	clear(g.deactivated)
+	g.K = k
+	g.L = 0
+	g.SetTaps(taps)
+}
+
+// SetTaps replaces the channel taps without touching the collision
+// structure — the decision-directed channel-refinement path re-taps the
+// graph every slot while D keeps growing incrementally.
+func (g *Graph) SetTaps(taps []complex128) {
+	if len(taps) != g.K {
+		panic(fmt.Sprintf("bp: SetTaps got %d taps for %d columns", len(taps), g.K))
+	}
+	g.taps = append(g.taps[:0], taps...)
+	g.tapPower = g.tapPower[:0]
+	g.tapRe = g.tapRe[:0]
+	g.tapIm = g.tapIm[:0]
+	for _, h := range taps {
+		re, im := real(h), imag(h)
+		g.tapPower = append(g.tapPower, re*re+im*im)
+		g.tapRe = append(g.tapRe, re)
+		g.tapIm = append(g.tapIm, im)
+	}
+	g.wPow = g.wPow[:0]
+	for i := range taps {
+		g.wPow = append(g.wPow, g.tapPower[i]*float64(len(g.colRows[i])))
+	}
+}
+
+// AppendRow grows the graph by one collision row: row[i] reports whether
+// tag i participates in the new symbol. Cost is O(K) for the scan and
+// O(colliders) for the adjacency updates; storage is reused across
+// Reset cycles.
+func (g *Graph) AppendRow(row bits.Vector) {
+	if len(row) != g.K {
+		panic(fmt.Sprintf("bp: AppendRow length %d != K %d", len(row), g.K))
+	}
+	r := g.L
+	if r < cap(g.rowCols) {
+		g.rowCols = g.rowCols[:r+1]
+	} else {
+		g.rowCols = append(g.rowCols, nil)
+	}
+	if r < cap(g.rowActive) {
+		g.rowActive = g.rowActive[:r+1]
+	} else {
+		g.rowActive = append(g.rowActive, nil)
+	}
+	rc := g.rowCols[r][:0]
+	ra := g.rowActive[r][:0]
+	for i, on := range row {
+		if on {
+			rc = append(rc, i)
+			g.colRows[i] = append(g.colRows[i], r)
+			g.wPow[i] += g.tapPower[i]
+			if !g.deactivated[i] {
+				ra = append(ra, i)
+			}
+		}
+	}
+	g.rowCols[r] = rc
+	g.rowActive[r] = ra
+	if len(ra) > 0 {
+		g.activeRows = append(g.activeRows, r)
+	}
+	g.L = r + 1
+}
+
+// DeactivateTag drops tag i from every row's flip fan-out: callers do
+// this when the outer loop CRC-locks the tag, whose sums and gains are
+// dead state from then on. Rows left with no active tags are pruned
+// from activeRows and reported via TakeNewlyInactive.
+// O(w_i · colliders), once per locked tag.
+func (g *Graph) DeactivateTag(i int) {
+	if g.deactivated[i] {
+		return
+	}
+	g.deactivated[i] = true
+	emptied := false
+	for _, row := range g.colRows[i] {
+		ra := g.rowActive[row]
+		for x, j := range ra {
+			if j == i {
+				g.rowActive[row] = append(ra[:x], ra[x+1:]...)
+				break
+			}
+		}
+		if len(g.rowActive[row]) == 0 {
+			g.newlyInactive = append(g.newlyInactive, row)
+			emptied = true
+		}
+	}
+	if emptied {
+		// Compact activeRows in place, preserving ascending order.
+		keep := g.activeRows[:0]
+		for _, row := range g.activeRows {
+			if len(g.rowActive[row]) > 0 {
+				keep = append(keep, row)
+			}
+		}
+		g.activeRows = keep
+	}
+}
+
+// TakeNewlyInactive returns the rows emptied since the last call and
+// resets the accumulator. The Session folds their frozen residual
+// energy into its per-position error constant.
+func (g *Graph) TakeNewlyInactive() []int {
+	rows := g.newlyInactive
+	g.newlyInactive = g.newlyInactive[:0]
+	return rows
+}
+
+// SnapshotActive packs the active adjacency into the flat CSR the
+// restart builder streams. The Session calls it once per slot, after
+// the graph grew and locks folded in; it is O(active nnz).
+func (g *Graph) SnapshotActive() {
+	g.flatStart = g.flatStart[:0]
+	g.flatTags = g.flatTags[:0]
+	for _, row := range g.activeRows {
+		g.flatStart = append(g.flatStart, len(g.flatTags))
+		g.flatTags = append(g.flatTags, g.rowActive[row]...)
+	}
+	g.flatStart = append(g.flatStart, len(g.flatTags))
+}
+
 // Rebuild re-derives the graph from d and taps in place, reusing the
-// adjacency storage of earlier builds. The rateless outer loop calls it
-// once per slot on a long-lived Graph: D has grown by one row, the flat
-// CSR blocks keep their capacity, and a steady-state rebuild (same
-// dimensions as a previous one) allocates nothing.
+// adjacency storage of earlier builds; a steady-state rebuild (same
+// dimensions as a previous one) allocates nothing. Callers that grow D
+// one row per slot should prefer Reset + AppendRow, which skips the
+// full matrix scan.
 func (g *Graph) Rebuild(d *bits.Matrix, taps []complex128) {
 	if d.Cols != len(taps) {
 		panic(fmt.Sprintf("bp: D has %d columns but %d taps supplied", d.Cols, len(taps)))
 	}
-	g.K = d.Cols
-	g.L = d.Rows
-	g.taps = append(g.taps[:0], taps...)
-	g.tapPower = g.tapPower[:0]
-	for _, h := range taps {
-		g.tapPower = append(g.tapPower, real(h)*real(h)+imag(h)*imag(h))
-	}
-	// Pass 1: vertex degrees, to carve the flat blocks into per-vertex
-	// segments.
-	g.colDeg = resizeInts(g.colDeg, d.Cols)
-	g.rowDeg = resizeInts(g.rowDeg, d.Rows)
-	nnz := 0
+	g.Reset(d.Cols, taps)
 	for r := 0; r < d.Rows; r++ {
-		for c := 0; c < d.Cols; c++ {
-			if d.At(r, c) {
-				g.colDeg[c]++
-				g.rowDeg[r]++
-				nnz++
-			}
-		}
+		g.AppendRow(d.RowView(r))
 	}
-	g.colFlat = resizeInts(g.colFlat, nnz)
-	g.rowFlat = resizeInts(g.rowFlat, nnz)
-	g.colRows = resizeHeaders(g.colRows, d.Cols)
-	g.rowCols = resizeHeaders(g.rowCols, d.Rows)
-	off := 0
-	for c := range g.colRows {
-		g.colRows[c] = g.colFlat[off : off : off+g.colDeg[c]]
-		off += g.colDeg[c]
-	}
-	off = 0
-	for r := range g.rowCols {
-		g.rowCols[r] = g.rowFlat[off : off : off+g.rowDeg[r]]
-		off += g.rowDeg[r]
-	}
-	// Pass 2: fill the segments.
-	for r := 0; r < d.Rows; r++ {
-		for c := 0; c < d.Cols; c++ {
-			if d.At(r, c) {
-				g.colRows[c] = append(g.colRows[c], r)
-				g.rowCols[r] = append(g.rowCols[r], c)
-			}
-		}
-	}
-}
-
-// resizeInts returns s with length n and every element zero, reusing
-// capacity. Growth reserves power-of-two headroom: the rateless loop
-// calls Rebuild with a size that creeps up one row per slot, and exact
-// sizing would reallocate every slot.
-func resizeInts(s []int, n int) []int {
-	if cap(s) < n {
-		return make([]int, n, scratch.CeilPow2(n))
-	}
-	s = s[:n]
-	clear(s)
-	return s
-}
-
-// resizeHeaders sizes s to n slice headers, reusing capacity, with the
-// same headroom policy as resizeInts.
-func resizeHeaders(s [][]int, n int) [][]int {
-	if cap(s) < n {
-		return make([][]int, n, scratch.CeilPow2(n))
-	}
-	return s[:n]
 }
 
 // Degree returns the participation count of tag i.
 func (g *Graph) Degree(i int) int { return len(g.colRows[i]) }
+
+// RowTags returns the tags participating in collision row r. The slice
+// aliases the graph's storage; callers must not modify it.
+func (g *Graph) RowTags(r int) []int { return g.rowCols[r] }
 
 // residualInto computes r = y − D·H·b into dst (length L) and returns
 // dst — the one definition of the residual model shared by the descent,
@@ -160,8 +292,9 @@ func (g *Graph) residualInto(dst dsp.Vec, y dsp.Vec, b bits.Vector) dsp.Vec {
 	copy(dst, y)
 	for i, on := range b {
 		if on {
+			h := g.taps[i]
 			for _, row := range g.colRows[i] {
-				dst[row] -= g.taps[i]
+				dst[row] -= h
 			}
 		}
 	}
@@ -217,6 +350,388 @@ type Result struct {
 	Ambiguous []bool
 }
 
+// descentState is the incremental working set of one bit-flipping search:
+// the residual, the per-tag residual row-sums S_i, the gain table derived
+// from them, and the tournament tree that serves argmax queries. Session
+// persists one of these per bit position across collision slots; the
+// standalone Decode builds them in scratch per pass.
+type descentState struct {
+	// residual is r = y − D·H·b for the state's current bits.
+	residual dsp.Vec
+	// sum[i] is S_i = Σ_{rows ∋ i} residual[row].
+	sum []complex128
+	// gain[i] is G_i (−∞ for locked tags).
+	gain []float64
+	// bSign[i] is −1 when b[i] is set, +1 otherwise — the flip
+	// direction δ as a multiplicand, so the gain kernel needs no
+	// data-dependent branch (random candidate bits made the old
+	// `if bit { corr = −corr }` a steady branch-mispredict).
+	bSign []float64
+	// maskTap[i] is taps[i] where b[i] is set and unlocked, 0
+	// elsewhere — the restart builder's branchless row kernel
+	// (subtracting complex(0,0) is exact).
+	maskTap []complex128
+	// tree is a tournament tree over gain: tree[1] is the root, leaves
+	// start at leafBase, node values are tag indices (−1 = empty).
+	tree     []int
+	leafBase int
+	// dirty and inDirty are the flip loop's dirty-list: a flip touches
+	// each neighbor once per shared row, but its gain and tree path are
+	// repaired once per unique neighbor after the sums settle.
+	dirty   []int
+	inDirty []bool
+	// useTree selects the argmax structure: the tournament tree pays
+	// off past treeCutoverK tags; below it a contiguous scan of the
+	// gain table beats the tree's pointer-chasing constants. Both
+	// implement the same (gain desc, index asc) total order, so the
+	// flip sequence is identical either way.
+	useTree bool
+}
+
+// treeCutoverK is the tag count above which descents query the
+// tournament tree instead of scanning the gain table. At the paper's
+// K ≤ 16 the scan is 16 contiguous float compares — cheaper than any
+// tree walk — while the tree keeps per-flip selection O(touched·log K)
+// when a deployment scales K into the hundreds.
+const treeCutoverK = 64
+
+// alloc sizes the state's buffers for k tags and l symbols from sc.
+func (st *descentState) alloc(k, l int, sc *scratch.Scratch) {
+	st.residual = dsp.Vec(sc.Complex(l))
+	st.sum = sc.Complex(k)
+	st.gain = sc.Float(k)
+	st.bSign = sc.Float(k)
+	st.maskTap = sc.Complex(k)
+	st.allocTree(k, sc.Int(2*scratch.CeilPow2(max(k, 1))))
+	st.allocDirty(sc.Int(k), sc.Bool(k))
+}
+
+// allocTree installs the tournament-tree backing (length must be
+// 2·CeilPow2(k)) and records the leaf offset.
+func (st *descentState) allocTree(k int, buf []int) {
+	st.tree = buf
+	st.leafBase = len(buf) / 2
+	st.useTree = k > treeCutoverK
+}
+
+// allocDirty installs the dirty-list backing (length k each; inDirty
+// must be all-false).
+func (st *descentState) allocDirty(dirty []int, inDirty []bool) {
+	st.dirty = dirty
+	st.inDirty = inDirty
+}
+
+// gainOf computes tag i's gain from the cached S_i — the hoisted-conj
+// correlation kernel of the package comment, with the |h|²·w constant
+// served from the graph's wPow cache and the flip direction from the
+// state's sign table (branch-free on the candidate bit).
+func (st *descentState) gainOf(g *Graph, i int) float64 {
+	s := st.sum[i]
+	corr := g.tapRe[i]*real(s) + g.tapIm[i]*imag(s)
+	return 2*corr*st.bSign[i] - g.wPow[i]
+}
+
+// better reports whether candidate tag a beats b under the search's
+// total order: higher gain first, ties broken toward the lower index —
+// exactly the order the original first-strictly-greater scan produced.
+func (st *descentState) better(a, b int) bool {
+	if b < 0 {
+		return true
+	}
+	if a < 0 {
+		return false
+	}
+	ga, gb := st.gain[a], st.gain[b]
+	if ga != gb {
+		return ga > gb
+	}
+	return a < b
+}
+
+// treeFix re-plays the tournament on the path from leaf i to the root
+// after gain[i] changed. The walk cannot stop early even when a node's
+// winning index is unchanged: the winner's key (its gain) changed, so
+// every ancestor's comparison must be re-evaluated.
+func (st *descentState) treeFix(i int) {
+	n := st.leafBase + i
+	for n > 1 {
+		p := n >> 1
+		l, r := st.tree[2*p], st.tree[2*p+1]
+		win := l
+		if st.better(r, l) {
+			win = r
+		}
+		st.tree[p] = win
+		n = p
+	}
+}
+
+// treeBuild populates the whole tree from the gain table.
+func (st *descentState) treeBuild(k int) {
+	for i := 0; i < st.leafBase; i++ {
+		if i < k {
+			st.tree[st.leafBase+i] = i
+		} else {
+			st.tree[st.leafBase+i] = -1
+		}
+	}
+	for p := st.leafBase - 1; p >= 1; p-- {
+		l, r := st.tree[2*p], st.tree[2*p+1]
+		win := l
+		if st.better(r, l) {
+			win = r
+		}
+		st.tree[p] = win
+	}
+}
+
+// build derives the full state — residual, S-sums, gains, tree — for
+// candidate b against observation y. O(L + nnz + K).
+func (st *descentState) build(g *Graph, y dsp.Vec, b bits.Vector, locked []bool) {
+	g.residualInto(st.residual, y, b)
+	st.rederive(g, b, locked)
+}
+
+// buildFromBase derives residual, S-sums, gains and tree for candidate
+// b in ONE row-major sweep, starting from a base residual that already
+// carries the locked tags' contributions (the Session's locked-base).
+// Only the active (unlocked) adjacency is traversed, once: each row's
+// residual entry is finished and immediately scattered into the S-sums
+// of the row's active tags. This is the restart passes' builder — the
+// column-major build + rederive pair costs two traversals and O(K·w̄)
+// pointer chasing; this costs one.
+//
+// Callers must guarantee that the graph's deactivated set equals the
+// locked set (the Session maintains exactly that invariant).
+// Only the graph's active rows are visited: rows whose every collider
+// is locked keep whatever the residual buffer holds (the caller
+// accounts for their frozen energy separately — see normSqActive).
+func (st *descentState) buildFromBase(g *Graph, base []complex128, b bits.Vector, locked []bool) {
+	for i := 0; i < g.K; i++ {
+		if b[i] {
+			st.bSign[i] = -1
+			st.maskTap[i] = g.taps[i]
+		} else {
+			st.bSign[i] = 1
+			st.maskTap[i] = 0
+		}
+		if locked != nil && locked[i] {
+			st.gain[i] = math.Inf(-1)
+			st.maskTap[i] = 0 // locked contributions already live in base
+		} else {
+			st.sum[i] = 0
+		}
+	}
+	for x, row := range g.activeRows {
+		r := base[row]
+		ra := g.flatTags[g.flatStart[x]:g.flatStart[x+1]]
+		// Branch-free: subtracting a zero masked tap is an exact
+		// no-op, and the candidate bits are random — a conditional
+		// here mispredicts half the time.
+		for _, i := range ra {
+			r -= st.maskTap[i]
+		}
+		st.residual[row] = r
+		for _, i := range ra {
+			st.sum[i] += r
+		}
+	}
+	for i := 0; i < g.K; i++ {
+		if locked == nil || !locked[i] {
+			st.gain[i] = st.gainOf(g, i)
+		}
+	}
+	if st.useTree {
+		st.treeBuild(g.K)
+	}
+}
+
+// normSqActive returns the squared norm of the residual restricted to
+// the graph's active rows; adding the Session's frozen-row constant
+// yields the full ‖r‖².
+func (st *descentState) normSqActive(g *Graph) float64 {
+	var s float64
+	for _, row := range g.activeRows {
+		x := st.residual[row]
+		s += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return s
+}
+
+// copyActiveFrom copies src's state into st, restricting the residual
+// transfer to the graph's active rows (the only entries src's builder
+// materialized; st's frozen entries stay valid).
+func (st *descentState) copyActiveFrom(g *Graph, src *descentState) {
+	st.residual = st.residual[:len(src.residual)]
+	for _, row := range g.activeRows {
+		st.residual[row] = src.residual[row]
+	}
+	copy(st.sum, src.sum)
+	copy(st.gain, src.gain)
+	copy(st.bSign, src.bSign)
+	if src.useTree {
+		copy(st.tree, src.tree)
+	}
+	st.leafBase = src.leafBase
+	st.useTree = src.useTree
+}
+
+// rederive recomputes S-sums, gains and the tree from the state's
+// current residual and the candidate bits — the taps-changed and
+// copied-state entry points.
+func (st *descentState) rederive(g *Graph, b bits.Vector, locked []bool) {
+	for i := 0; i < g.K; i++ {
+		if b[i] {
+			st.bSign[i] = -1
+		} else {
+			st.bSign[i] = 1
+		}
+		if locked != nil && locked[i] {
+			// A locked tag's sum is dead state: its gain is pinned at
+			// −∞ and nothing ever reads S_i again.
+			st.gain[i] = math.Inf(-1)
+			continue
+		}
+		var s complex128
+		for _, row := range g.colRows[i] {
+			s += st.residual[row]
+		}
+		st.sum[i] = s
+		st.gain[i] = st.gainOf(g, i)
+	}
+	if st.useTree {
+		st.treeBuild(g.K)
+	}
+}
+
+// appendRow folds collision row `row` into the state in O(colliders):
+// the new residual entry, the touched S-sums and gains. obs is the new
+// symbol's observation. Rows must be appended in order.
+func (st *descentState) appendRow(g *Graph, row int, obs complex128, b bits.Vector, locked []bool) {
+	r := obs
+	tags := g.rowCols[row]
+	for _, i := range tags {
+		if b[i] {
+			r -= g.taps[i]
+		}
+	}
+	st.residual = append(st.residual, r)
+	for _, i := range g.rowActive[row] {
+		if locked != nil && locked[i] {
+			st.gain[i] = math.Inf(-1)
+		} else {
+			st.sum[i] += r
+			st.gain[i] = st.gainOf(g, i)
+		}
+		if st.useTree {
+			st.treeFix(i)
+		}
+	}
+}
+
+// applyFlip flips bit i in b and updates residual, S-sums and the gains
+// of every touched tag: O(w_i · colliders) sum updates (one complex
+// subtraction each — every touched residual entry moves by the same
+// −δ·h_i), then one gain recompute and tree repair per unique neighbor
+// via the dirty-list.
+func (st *descentState) applyFlip(g *Graph, b bits.Vector, locked []bool, i int) {
+	delta := g.taps[i]
+	if b[i] {
+		delta = -delta
+	}
+	b[i] = !b[i]
+	st.bSign[i] = -st.bSign[i]
+	nd := 0
+	for _, row := range g.colRows[i] {
+		st.residual[row] -= delta
+		for _, j := range g.rowActive[row] {
+			st.sum[j] -= delta
+			if !st.inDirty[j] {
+				st.inDirty[j] = true
+				st.dirty[nd] = j
+				nd++
+			}
+		}
+	}
+	for _, j := range st.dirty[:nd] {
+		st.inDirty[j] = false
+		if locked != nil && locked[j] {
+			continue
+		}
+		st.gain[j] = st.gainOf(g, j)
+	}
+	if !st.useTree {
+		return
+	}
+	// Tree repair: per-leaf paths cost ~log K comparisons each, a full
+	// rebuild K−1 — pick whichever is cheaper for this flip's fan-out.
+	if nd*treeDepth(st.leafBase) >= st.leafBase {
+		st.treeBuild(len(st.gain))
+	} else {
+		for _, j := range st.dirty[:nd] {
+			st.treeFix(j)
+		}
+	}
+}
+
+// treeDepth returns the leaf-to-root path length of a tournament tree
+// with the given leaf count (a power of two).
+func treeDepth(leaves int) int {
+	d := 0
+	for n := leaves; n > 1; n >>= 1 {
+		d++
+	}
+	return d
+}
+
+// lockTag freezes tag i in the state: its gain drops to −∞ so the
+// descent can never select it. The Session applies this between slots
+// when the outer loop verifies a message.
+func (st *descentState) lockTag(i int) {
+	st.gain[i] = math.Inf(-1)
+	if st.useTree {
+		st.treeFix(i)
+	}
+}
+
+// descend runs the greedy flip loop to a local optimum, mutating b and
+// the state in place; it returns the flip count. The state must be
+// consistent with b on entry and remains so on exit.
+func (st *descentState) descend(g *Graph, b bits.Vector, locked []bool, eps float64) int {
+	flips := 0
+	// Each accepted flip strictly reduces the squared error by at least
+	// eps, and the error is bounded below by 0, so this terminates. The
+	// hard cap is a belt-and-braces guard against pathological float
+	// behaviour.
+	maxFlips := 64 * (g.K + 1) * (g.L + 1)
+	for flips < maxFlips {
+		var best int
+		if st.useTree {
+			best = st.tree[1]
+			if best < 0 || st.gain[best] <= eps {
+				break
+			}
+		} else {
+			// Contiguous scan with the same (gain desc, index asc)
+			// order the tree serves — optimal below the cutover.
+			best = -1
+			bestG := eps
+			for i, gv := range st.gain {
+				if gv > bestG {
+					bestG = gv
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+		}
+		st.applyFlip(g, b, locked, best)
+		flips++
+	}
+	return flips
+}
+
 // Decode runs the bit-flipping search for one bit position. y must hold
 // exactly L symbols. src drives the random initializations.
 func (g *Graph) Decode(y dsp.Vec, opts Options, src *prng.Source) Result {
@@ -241,6 +756,9 @@ func (g *Graph) Decode(y dsp.Vec, opts Options, src *prng.Source) Result {
 	passes := 1 + opts.Restarts
 	allBits := sc.Bool(passes * g.K)
 	passErr := sc.Float(passes)
+	var st descentState
+	stMark := sc.Mark()
+	st.alloc(g.K, g.L, sc)
 	totalFlips := 0
 	bestPass := 0
 	bestErr := math.Inf(1)
@@ -260,14 +778,16 @@ func (g *Graph) Decode(y dsp.Vec, opts Options, src *prng.Source) Result {
 				}
 			}
 		}
-		errV, flips := g.descend(y, bhat, opts.Locked, eps, sc)
+		st.build(g, y, bhat, opts.Locked)
+		totalFlips += st.descend(g, bhat, opts.Locked, eps)
+		errV := st.residual.NormSq()
 		passErr[pass] = errV
-		totalFlips += flips
 		if errV < bestErr {
 			bestErr = errV
 			bestPass = pass
 		}
 	}
+	sc.Release(stMark)
 	best := Result{
 		Bits:      bits.Vector(allBits[bestPass*g.K : (bestPass+1)*g.K]),
 		Error:     bestErr,
@@ -277,85 +797,51 @@ func (g *Graph) Decode(y dsp.Vec, opts Options, src *prng.Source) Result {
 	// Tie detection: any alternative local optimum whose error is within
 	// a tag's own collision energy of the best, yet disagrees on that
 	// tag's bit, marks the tag ambiguous.
-	for pass := 0; pass < passes; pass++ {
-		alt := allBits[pass*g.K : (pass+1)*g.K]
-		gap := passErr[pass] - bestErr
-		for i := 0; i < g.K; i++ {
-			if alt[i] != bool(best.Bits[i]) && gap < 0.15*g.tapPower[i]*float64(len(g.colRows[i])) {
-				best.Ambiguous[i] = true
-			}
-		}
-	}
+	markAmbiguous(g, allBits, passErr, bestPass, best.Bits, best.Ambiguous)
 	return best
 }
 
-// descend runs one greedy descent to a local optimum, mutating bhat in
-// place; it returns the final squared error and the flip count.
-func (g *Graph) descend(y dsp.Vec, bhat bits.Vector, locked []bool, eps float64, sc *scratch.Scratch) (float64, int) {
-	mark := sc.Mark()
-	residual := g.residualInto(dsp.Vec(sc.Complex(len(y))), y, bhat)
+// markAmbiguous runs the cross-pass tie sweep of Result.Ambiguous over
+// the contiguous per-pass candidate block.
+func markAmbiguous(g *Graph, allBits []bool, passErr []float64, bestPass int, bestBits bits.Vector, out []bool) {
+	g.markAmbiguousPruned(allBits, passErr, bestPass, bestBits, out, g.maxTieThreshold())
+}
 
-	// gain[i] per the incremental identity.
-	gain := sc.Float(g.K)
-	refresh := func(i int) {
-		if locked != nil && locked[i] {
-			gain[i] = math.Inf(-1)
-			return
-		}
-		var corr complex128
-		for _, row := range g.colRows[i] {
-			corr += cmplx.Conj(g.taps[i]) * residual[row]
-		}
-		delta := 1.0
-		if bhat[i] {
-			delta = -1
-		}
-		gain[i] = 2*delta*real(corr) - g.tapPower[i]*float64(len(g.colRows[i]))
-	}
+// maxTieThreshold returns the largest per-tag tie threshold of the
+// current graph — the prune bound for the ambiguity sweep. The Session
+// hoists it to once per slot.
+func (g *Graph) maxTieThreshold() float64 {
+	maxThresh := 0.0
 	for i := 0; i < g.K; i++ {
-		refresh(i)
+		if t := 0.15 * g.wPow[i]; t > maxThresh {
+			maxThresh = t
+		}
 	}
+	return maxThresh
+}
 
-	flips := 0
-	// Each accepted flip strictly reduces the squared error by at least
-	// eps, and the error is bounded below by 0, so this terminates. The
-	// hard cap is a belt-and-braces guard against pathological float
-	// behaviour.
-	maxFlips := 64 * (g.K + 1) * (g.L + 1)
-	for flips < maxFlips {
-		bestI, bestG := -1, eps
+// markAmbiguousPruned is markAmbiguous with the prune bound supplied: a
+// pass whose error gap exceeds every tag's tie threshold cannot mark
+// anything, so its bit sweep is skipped entirely (most restarts end far
+// from the optimum, leaving only the interesting few), as is the best
+// pass itself (its bits are bestBits — nothing can differ).
+func (g *Graph) markAmbiguousPruned(allBits []bool, passErr []float64, bestPass int, bestBits bits.Vector, out []bool, maxThresh float64) {
+	bestErr := passErr[bestPass]
+	for pass := 0; pass < len(passErr); pass++ {
+		if pass == bestPass {
+			continue
+		}
+		gap := passErr[pass] - bestErr
+		if gap >= maxThresh {
+			continue
+		}
+		alt := allBits[pass*g.K : (pass+1)*g.K]
 		for i := 0; i < g.K; i++ {
-			if gain[i] > bestG {
-				bestG = gain[i]
-				bestI = i
-			}
-		}
-		if bestI < 0 {
-			break
-		}
-		// Flip bit bestI and update the residual on its rows.
-		delta := complex(1, 0)
-		if bhat[bestI] {
-			delta = -1
-		}
-		bhat[bestI] = !bhat[bestI]
-		for _, row := range g.colRows[bestI] {
-			residual[row] -= delta * g.taps[bestI]
-		}
-		flips++
-		// Refresh the flipped bit and its neighbors' neighbors.
-		refresh(bestI)
-		for _, row := range g.colRows[bestI] {
-			for _, j := range g.rowCols[row] {
-				if j != bestI {
-					refresh(j)
-				}
+			if alt[i] != bool(bestBits[i]) && gap < 0.15*g.wPow[i] {
+				out[i] = true
 			}
 		}
 	}
-	errV := residual.NormSq()
-	sc.Release(mark)
-	return errV, flips
 }
 
 // Margins returns, for each tag, the normalized flip margin of candidate
@@ -378,9 +864,8 @@ func (g *Graph) Margins(y dsp.Vec, b bits.Vector) []float64 {
 }
 
 // MarginsInto is Margins computed into out (which must have length K),
-// with the residual drawn from sc; the allocation-free form the rateless
-// outer loop calls once per bit position per slot. A nil sc falls back
-// to plain allocation.
+// with the residual drawn from sc; the allocation-free form callers on
+// the hot path use. A nil sc falls back to plain allocation.
 func (g *Graph) MarginsInto(out []float64, y dsp.Vec, b bits.Vector, sc *scratch.Scratch) []float64 {
 	if len(b) != g.K || len(y) != g.L {
 		panic("bp: Margins dimension mismatch")
@@ -396,19 +881,28 @@ func (g *Graph) MarginsInto(out []float64, y dsp.Vec, b bits.Vector, sc *scratch
 		if w == 0 || g.tapPower[i] == 0 {
 			continue
 		}
-		var corr complex128
+		var s complex128
 		for _, row := range g.colRows[i] {
-			corr += cmplx.Conj(g.taps[i]) * residual[row]
+			s += residual[row]
 		}
-		delta := 1.0
+		corr := g.tapRe[i]*real(s) + g.tapIm[i]*imag(s)
 		if b[i] {
-			delta = -1
+			corr = -corr
 		}
-		gain := 2*delta*real(corr) - g.tapPower[i]*float64(w)
+		gain := 2*corr - g.tapPower[i]*float64(w)
 		out[i] = -gain / (g.tapPower[i] * float64(w))
 	}
 	sc.Release(mark)
 	return out
+}
+
+// marginOf converts a gain into the normalized flip margin; shared by
+// MarginsInto's formula and the Session's cached-gain fast path.
+func (g *Graph) marginOf(i int, gain float64) float64 {
+	if g.wPow[i] == 0 {
+		return 0
+	}
+	return -gain / g.wPow[i]
 }
 
 // ConditionalMargin measures how much worse the observations can be
@@ -432,6 +926,9 @@ func (g *Graph) ConditionalMargin(y dsp.Vec, b bits.Vector, i int, locked []bool
 // ConditionalMarginScratch is ConditionalMargin with the working buffers
 // — the flipped candidate, the pin mask, and the inner re-decode — drawn
 // from sc. Nothing escapes: the arena is released before returning.
+// Callers holding a Session should prefer Session.ConditionalMargin,
+// which reuses the position's cached residual and error instead of
+// rebuilding both.
 func (g *Graph) ConditionalMarginScratch(y dsp.Vec, b bits.Vector, i int, locked []bool, src *prng.Source, sc *scratch.Scratch) float64 {
 	if len(b) != g.K || len(y) != g.L {
 		panic("bp: ConditionalMargin dimension mismatch")

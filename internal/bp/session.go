@@ -1,0 +1,630 @@
+package bp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/bits"
+	"repro/internal/prng"
+	"repro/internal/scratch"
+)
+
+// Session is the incremental cross-slot decoder state of one rateless
+// transfer: the decoding graph plus, for every bit position of the
+// frame, the cached residual, per-tag residual sums, gain table and
+// current joint decode. Where the naive loop rebuilt all of that from
+// scratch every slot — O(L·K·density) per position — a Session folds a
+// new collision row into each position in O(colliders) and lets the
+// descent continue from where the previous slot left it.
+//
+// A Session also owns the transfer's parallelism: the frame's bit
+// positions are independent decode problems, so DecodeSlot fans them
+// out across a bounded pool of persistent workers. Determinism is by
+// construction, not by luck: every (slot, position) pair derives its
+// own PRNG stream via prng.Mix3 from a base drawn once per transfer, and
+// every mutation a worker performs is confined to its position's state
+// and its own worker arena, so the result is byte-identical no matter
+// how the scheduler interleaves workers — Parallelism 1 and
+// Parallelism N produce the same transfer.
+//
+// Sessions are reusable: Begin re-shapes the state for a new transfer
+// while keeping every buffer's capacity, so a warm Session (see
+// GetSession) runs a steady-state transfer without touching the heap.
+// A Session is not safe for concurrent use by multiple transfers; the
+// worker pool it manages is internal.
+type Session struct {
+	g Graph
+
+	k, frameLen, maxSlots int
+	restarts              int
+	eps                   float64
+
+	// ys[p] collects the observations of bit position p, one symbol per
+	// slot, backed by ysBacking in per-position stripes of cap maxSlots.
+	ys        [][]complex128
+	ysBacking []complex128
+
+	// states[p] is position p's cached descent state; residuals live in
+	// resBacking stripes, sums/gains/trees/dirty-lists in the flat
+	// blocks below.
+	states         []descentState
+	resBacking     []complex128
+	sumBacking     []complex128
+	gainBacking    []float64
+	bSignBacking   []float64
+	treeBacking    []int
+	dirtyBacking   []int
+	inDirtyBacking []bool
+
+	// lockedBase[p] is y_p − Σ_{locked i, b_ip} h_i·d_i — the residual
+	// with only the frozen tags' contributions removed. Restart passes
+	// start from it and subtract just the unlocked tags' terms, so a
+	// random re-initialization costs O(unlocked · density) instead of a
+	// full O(K · density) residual build; late in a transfer, when most
+	// messages are verified, that is nearly free.
+	lockedBase    [][]complex128
+	lockedBacking []complex128
+
+	// posBits[p·K+i] is tag i's bit at position p in the current joint
+	// decode — the init of the next slot's descent and the frame source
+	// for the outer loop's CRC checks.
+	posBits []bool
+	// ambiguous and errs cache each position's post-decode restart-tie
+	// flags and squared error. (Margins need no cache: the merge reads
+	// them straight off the per-position gain tables.)
+	ambiguous []bool
+	errs      []float64
+	// errInactive[p] is Σ|lockedBase[p][row]|² over rows whose every
+	// collider is locked: their residual entries are frozen, so restart
+	// builds and conditional re-decodes sweep only the active rows and
+	// add this constant back when they need a full ‖r‖².
+	errInactive []float64
+
+	// wstates[w] is worker w's private restart workspace (serial decode
+	// uses wstates[0]); cond is the ConditionalMargin workspace, used
+	// only from the caller's goroutine.
+	wstates []workerState
+	cond    workerState
+
+	// stateValid reports whether the cached per-position states match
+	// the graph; SetTaps invalidates, the next DecodeSlot rebuilds.
+	stateValid bool
+	prevLocked []bool
+
+	// Per-DecodeSlot fan-out context, read-only while workers run.
+	curSlot   int
+	curLocked []bool
+	curBase   uint64
+	curThresh float64
+
+	// Worker pool: par is the requested width; workers are started
+	// lazily on the first parallel DecodeSlot and live until Close.
+	par     int
+	posCh   chan int
+	wg      sync.WaitGroup
+	started bool
+}
+
+// workerState is one worker's private descent workspace: a scratch
+// descentState for restart passes plus the per-pass candidate block the
+// ambiguity sweep revisits. All buffers are session-owned and reused
+// across positions, slots and transfers.
+type workerState struct {
+	rst      descentState
+	src      prng.Source
+	allBits  []bool
+	passErr  []float64
+	pin      []bool
+	resBack  []complex128
+	sumBack  []complex128
+	gainBack []float64
+	signBack []float64
+	maskBack []complex128
+	treeBack []int
+	dirtBack []int
+	inDirt   []bool
+}
+
+// shape sizes the worker state for k tags, maxSlots symbols and the
+// given pass count, reusing capacity.
+func (w *workerState) shape(k, maxSlots, passes int) {
+	w.resBack = growComplex(w.resBack, maxSlots)
+	w.sumBack = growComplex(w.sumBack, k)
+	w.gainBack = growFloats(w.gainBack, k)
+	w.signBack = growFloats(w.signBack, k)
+	w.maskBack = growComplex(w.maskBack, k)
+	treeLen := 2 * scratch.CeilPow2(max(k, 1))
+	w.treeBack = growInts(w.treeBack, treeLen)
+	w.dirtBack = growInts(w.dirtBack, k)
+	w.inDirt = growBools(w.inDirt, k)
+	clear(w.inDirt)
+	w.rst.residual = w.resBack[:0:maxSlots]
+	w.rst.sum = w.sumBack
+	w.rst.gain = w.gainBack
+	w.rst.bSign = w.signBack
+	w.rst.maskTap = w.maskBack
+	w.rst.allocTree(k, w.treeBack)
+	w.rst.allocDirty(w.dirtBack, w.inDirt)
+	w.allBits = growBools(w.allBits, passes*k)
+	w.passErr = growFloats(w.passErr, passes)
+	w.pin = growBools(w.pin, k)
+}
+
+// NewSession returns an empty Session; Begin shapes it.
+func NewSession() *Session { return &Session{} }
+
+var sessionPool = sync.Pool{New: func() any { return NewSession() }}
+
+// GetSession returns a Session from the process-wide pool, warm from
+// whatever transfer last used it — the per-transfer analogue of
+// scratch.Get.
+func GetSession() *Session { return sessionPool.Get().(*Session) }
+
+// PutSession stops s's workers and returns it to the pool. The caller
+// must not use s afterwards.
+func PutSession(s *Session) {
+	if s == nil {
+		return
+	}
+	s.Close()
+	sessionPool.Put(s)
+}
+
+// Close stops the session's worker goroutines, if any are running. The
+// session remains usable — the next parallel DecodeSlot restarts them.
+func (s *Session) Close() {
+	if s.started {
+		close(s.posCh)
+		s.started = false
+	}
+}
+
+// Begin shapes the session for a transfer of k tags, frameLen bit
+// positions and at most maxSlots collision slots, decoding with the
+// given taps, restarts random re-initializations per position per slot,
+// and par-way position fan-out (par ≤ 1 decodes inline on the caller's
+// goroutine). Buffer capacities survive from earlier transfers; a
+// same-shaped Begin allocates nothing.
+func (s *Session) Begin(k, frameLen, maxSlots, par, restarts int, taps []complex128) {
+	if par < 1 {
+		par = 1
+	}
+	if par != s.par {
+		s.Close()
+	}
+	s.k, s.frameLen, s.maxSlots, s.par = k, frameLen, maxSlots, par
+	s.restarts = restarts
+	s.eps = 1e-12
+	s.g.Reset(k, taps)
+
+	s.ysBacking = growComplex(s.ysBacking, frameLen*maxSlots)
+	s.ys = growSlices(s.ys, frameLen)
+	s.lockedBacking = growComplex(s.lockedBacking, frameLen*maxSlots)
+	s.lockedBase = growSlices(s.lockedBase, frameLen)
+	s.resBacking = growComplex(s.resBacking, frameLen*maxSlots)
+	s.sumBacking = growComplex(s.sumBacking, frameLen*k)
+	s.gainBacking = growFloats(s.gainBacking, frameLen*k)
+	s.bSignBacking = growFloats(s.bSignBacking, frameLen*k)
+	treeLen := 2 * scratch.CeilPow2(max(k, 1))
+	s.treeBacking = growInts(s.treeBacking, frameLen*treeLen)
+	s.dirtyBacking = growInts(s.dirtyBacking, frameLen*k)
+	s.inDirtyBacking = growBools(s.inDirtyBacking, frameLen*k)
+	clear(s.inDirtyBacking)
+	if cap(s.states) < frameLen {
+		next := make([]descentState, frameLen, scratch.CeilPow2(frameLen))
+		s.states = next
+	}
+	s.states = s.states[:frameLen]
+	for p := 0; p < frameLen; p++ {
+		s.ys[p] = s.ysBacking[p*maxSlots : p*maxSlots : (p+1)*maxSlots]
+		s.lockedBase[p] = s.lockedBacking[p*maxSlots : p*maxSlots : (p+1)*maxSlots]
+		st := &s.states[p]
+		st.residual = s.resBacking[p*maxSlots : p*maxSlots : (p+1)*maxSlots]
+		st.sum = s.sumBacking[p*k : (p+1)*k]
+		st.gain = s.gainBacking[p*k : (p+1)*k]
+		st.bSign = s.bSignBacking[p*k : (p+1)*k]
+		st.allocTree(k, s.treeBacking[p*treeLen:(p+1)*treeLen])
+		st.allocDirty(s.dirtyBacking[p*k:(p+1)*k], s.inDirtyBacking[p*k:(p+1)*k])
+	}
+	s.posBits = growBools(s.posBits, frameLen*k)
+	s.ambiguous = growBools(s.ambiguous, frameLen*k)
+	s.errs = growFloats(s.errs, frameLen)
+	s.errInactive = growFloats(s.errInactive, frameLen)
+	clear(s.errInactive)
+	s.prevLocked = growBools(s.prevLocked, k)
+	clear(s.prevLocked)
+	if cap(s.wstates) < par {
+		s.wstates = make([]workerState, par)
+	}
+	s.wstates = s.wstates[:par]
+	for w := range s.wstates {
+		s.wstates[w].shape(k, maxSlots, 1+restarts)
+	}
+	s.cond.shape(k, maxSlots, 1)
+	s.stateValid = false
+}
+
+// InitPositions seeds every position's joint decode from the outer
+// loop's initial per-tag estimates (est[i][p] = tag i's bit at position
+// p) — the uniform random start of the paper's Alg. 1.
+func (s *Session) InitPositions(est []bits.Vector) {
+	if len(est) != s.k {
+		panic(fmt.Sprintf("bp: InitPositions got %d estimates for %d tags", len(est), s.k))
+	}
+	for i, e := range est {
+		if len(e) != s.frameLen {
+			panic(fmt.Sprintf("bp: estimate %d has %d bits, frame has %d", i, len(e), s.frameLen))
+		}
+		for p := 0; p < s.frameLen; p++ {
+			s.posBits[p*s.k+i] = bool(e[p])
+		}
+	}
+	s.stateValid = false
+}
+
+// SetTaps installs refined channel taps. The cached residuals and gains
+// were derived under the old taps, so the next DecodeSlot rebuilds every
+// position from its current bits — the price of decision-directed
+// channel tracking, paid only on slots that actually re-tap.
+func (s *Session) SetTaps(taps []complex128) {
+	s.g.SetTaps(taps)
+	s.stateValid = false
+}
+
+// AppendSlot feeds the session one new collision slot: the
+// participation row and one observed symbol per bit position. The graph
+// grows by one row; each position's cached state absorbs the new
+// observation lazily at its next decode, in O(colliders).
+func (s *Session) AppendSlot(row bits.Vector, obs []complex128) {
+	if len(obs) != s.frameLen {
+		panic(fmt.Sprintf("bp: AppendSlot got %d observations for frame length %d", len(obs), s.frameLen))
+	}
+	if s.g.L >= s.maxSlots {
+		panic("bp: AppendSlot past the session's maxSlots")
+	}
+	s.g.AppendRow(row)
+	for p, o := range obs {
+		s.ys[p] = append(s.ys[p], o)
+	}
+}
+
+// Degree returns the participation count of tag i.
+func (s *Session) Degree(i int) int { return s.g.Degree(i) }
+
+// Slots returns the number of collision slots absorbed so far.
+func (s *Session) Slots() int { return s.g.L }
+
+// Ys exposes the per-position observation store (ys[p][l] = position
+// p's symbol in slot l) for the channel-refinement fit. Callers must
+// not modify it.
+func (s *Session) Ys() [][]complex128 { return s.ys }
+
+// PosBits returns position p's current joint decode (one bit per tag),
+// aliasing the session's state: valid until the next DecodeSlot.
+func (s *Session) PosBits(p int) []bool { return s.posBits[p*s.k : (p+1)*s.k] }
+
+// PosError returns ‖residual‖² at position p's current decode.
+func (s *Session) PosError(p int) float64 { return s.errs[p] }
+
+// DecodeSlot decodes every bit position against the slot just appended:
+// pass 0 continues each position's cached descent (or rebuilds it when
+// taps changed), then the configured number of random re-initializations,
+// keeping the lowest-error candidate. base is the transfer's decode-PRNG
+// root; slot the 1-based slot index — every position derives stream
+// Mix3(base, slot, p), making the result independent of worker
+// scheduling.
+//
+// minMargin[i] receives the minimum over positions of tag i's flip
+// margin; anyAmbiguous[i] reports whether any position's restarts
+// exposed a near-tie on tag i.
+func (s *Session) DecodeSlot(slot int, locked []bool, base uint64, minMargin []float64, anyAmbiguous []bool) {
+	if locked != nil && len(locked) != s.k {
+		panic(fmt.Sprintf("bp: DecodeSlot locked length %d != K %d", len(locked), s.k))
+	}
+	// Fold newly locked tags into the graph and the cached gain tables
+	// before fanning out — a frozen tag's gain is −∞ and its fan-out
+	// entries are dead from here on (§6d).
+	if locked != nil {
+		for i, l := range locked {
+			if l && !s.prevLocked[i] {
+				s.g.DeactivateTag(i)
+				if s.stateValid {
+					h := s.g.taps[i]
+					for p := 0; p < s.frameLen; p++ {
+						s.states[p].lockTag(i)
+						// Fold the frozen tag into the locked-base
+						// residual of every absorbed row it touches.
+						if s.posBits[p*s.k+i] {
+							lbp := s.lockedBase[p]
+							for _, row := range s.g.colRows[i] {
+								if row >= len(lbp) {
+									break
+								}
+								lbp[row] -= h
+							}
+						}
+					}
+				}
+			}
+		}
+		// Rows whose last active collider just locked are frozen from
+		// here on: bank their energy into the per-position constant.
+		// (Consumed after all folds so lockedBase is final.)
+		if rows := s.g.TakeNewlyInactive(); len(rows) > 0 && s.stateValid {
+			for p := 0; p < s.frameLen; p++ {
+				lbp := s.lockedBase[p]
+				acc := s.errInactive[p]
+				for _, row := range rows {
+					if row < len(lbp) {
+						x := lbp[row]
+						acc += real(x)*real(x) + imag(x)*imag(x)
+					}
+				}
+				s.errInactive[p] = acc
+			}
+		}
+		copy(s.prevLocked, locked)
+	}
+
+	s.curSlot = slot
+	s.curLocked = locked
+	s.curBase = base
+	s.curThresh = s.g.maxTieThreshold()
+	s.g.SnapshotActive()
+
+	if s.par > 1 {
+		s.ensureWorkers()
+		s.wg.Add(s.frameLen)
+		for p := 0; p < s.frameLen; p++ {
+			s.posCh <- p
+		}
+		s.wg.Wait()
+	} else {
+		for p := 0; p < s.frameLen; p++ {
+			s.decodePosition(p, &s.wstates[0])
+		}
+	}
+	s.stateValid = true
+
+	// Deterministic merge of the per-position results, in position
+	// order, after the barrier: min/max and OR are order-independent,
+	// but keeping the merge single-threaded makes that fact irrelevant.
+	// The flip margin is m_i(p) = −gain_i(p)/(|h_i|²·w_i) with a
+	// p-independent denominator, so the minimum margin is one division
+	// from the maximum gain — the per-position margin rows of the naive
+	// loop disappear entirely.
+	for i := 0; i < s.k; i++ {
+		minMargin[i] = math.Inf(-1) // staging: max gain over positions
+		anyAmbiguous[i] = false
+	}
+	for p := 0; p < s.frameLen; p++ {
+		grow := s.states[p].gain
+		arow := s.ambiguous[p*s.k : (p+1)*s.k]
+		for i := 0; i < s.k; i++ {
+			if grow[i] > minMargin[i] {
+				minMargin[i] = grow[i]
+			}
+			if arow[i] {
+				anyAmbiguous[i] = true
+			}
+		}
+	}
+	for i := 0; i < s.k; i++ {
+		minMargin[i] = s.g.marginOf(i, minMargin[i])
+	}
+}
+
+// ensureWorkers starts the persistent position workers, each bound to
+// its private workerState. The pool is torn down by Close/PutSession.
+func (s *Session) ensureWorkers() {
+	if s.started {
+		return
+	}
+	s.posCh = make(chan int)
+	for w := 0; w < s.par; w++ {
+		go func(ch chan int, ws *workerState) {
+			for p := range ch {
+				s.decodePosition(p, ws)
+				s.wg.Done()
+			}
+		}(s.posCh, &s.wstates[w])
+	}
+	s.started = true
+}
+
+// randomBitsInto fills b with fair bits for the unlocked tags, packing
+// 64 draws per PRNG word (the restart inits are the decode loop's only
+// bulk randomness; one splitmix step per tag would dominate the fill).
+func randomBitsInto(src *prng.Source, b bits.Vector) {
+	var w uint64
+	for i := range b {
+		if i&63 == 0 {
+			w = src.Uint64()
+		}
+		b[i] = w&1 == 1
+		w >>= 1
+	}
+}
+
+// decodePosition runs one position's full per-slot decode: state
+// catch-up, pass-0 descent, random restarts, margin and ambiguity
+// bookkeeping. All mutations are confined to position p's stripes and
+// the caller's workerState.
+func (s *Session) decodePosition(p int, ws *workerState) {
+	g := &s.g
+	st := &s.states[p]
+	myBits := bits.Vector(s.posBits[p*s.k : (p+1)*s.k])
+	locked := s.curLocked
+
+	if s.stateValid {
+		// O(colliders) per pending row: absorb what AppendSlot added
+		// into both the descent state and the locked-base residual. A
+		// row born with every collider already locked is frozen on
+		// arrival — its energy goes straight to the error constant.
+		for len(st.residual) < g.L {
+			row := len(st.residual)
+			obs := s.ys[p][row]
+			lb := obs
+			if locked != nil {
+				for _, i := range g.rowCols[row] {
+					if locked[i] && myBits[i] {
+						lb -= g.taps[i]
+					}
+				}
+			}
+			s.lockedBase[p] = append(s.lockedBase[p], lb)
+			if len(g.rowActive[row]) == 0 {
+				s.errInactive[p] += real(lb)*real(lb) + imag(lb)*imag(lb)
+			}
+			st.appendRow(g, row, obs, myBits, locked)
+		}
+	} else {
+		lbp := s.lockedBase[p][:g.L]
+		copy(lbp, s.ys[p][:g.L])
+		if locked != nil {
+			for i, l := range locked {
+				if l && myBits[i] {
+					h := g.taps[i]
+					for _, row := range g.colRows[i] {
+						lbp[row] -= h
+					}
+				}
+			}
+		}
+		s.lockedBase[p] = lbp
+		acc := 0.0
+		for row := 0; row < g.L; row++ {
+			if len(g.rowActive[row]) == 0 {
+				x := lbp[row]
+				acc += real(x)*real(x) + imag(x)*imag(x)
+			}
+		}
+		s.errInactive[p] = acc
+		st.residual = st.residual[:g.L]
+		st.build(g, s.ys[p], myBits, locked)
+	}
+	st.descend(g, myBits, locked, s.eps)
+	bestErr := st.normSqActive(g) + s.errInactive[p]
+
+	passes := 1 + s.restarts
+	allBits := ws.allBits[:passes*s.k]
+	passErr := ws.passErr[:passes]
+	copy(allBits[:s.k], myBits)
+	passErr[0] = bestErr
+	bestPass := 0
+
+	if s.restarts > 0 {
+		ws.src.Reseed(prng.Mix3(s.curBase, uint64(s.curSlot), uint64(p)))
+		rst := &ws.rst
+		for pass := 1; pass < passes; pass++ {
+			bhat := bits.Vector(allBits[pass*s.k : (pass+1)*s.k])
+			randomBitsInto(&ws.src, bhat)
+			if locked != nil {
+				for i, l := range locked {
+					if l {
+						bhat[i] = myBits[i]
+					}
+				}
+			}
+			// Build the restart's state from the locked-base residual
+			// in one fused sweep over the active rows only: unlocked
+			// contributions and live rows are all that remain.
+			rst.residual = rst.residual[:g.L]
+			rst.buildFromBase(g, s.lockedBase[p], bhat, locked)
+			rst.descend(g, bhat, locked, s.eps)
+			errV := rst.normSqActive(g) + s.errInactive[p]
+			passErr[pass] = errV
+			if errV < bestErr {
+				bestErr = errV
+				bestPass = pass
+				st.copyActiveFrom(g, rst)
+				copy(myBits, bhat)
+			}
+		}
+	}
+	s.errs[p] = bestErr
+
+	// Margins are not materialized here: the adopted state's gain table
+	// is exactly the fresh-margin formula's input, and DecodeSlot's
+	// merge reads the gains directly. Locked tags' −∞ gains surface as
+	// +∞ margins; the outer loop never gates on a locked tag's margin.
+	arow := s.ambiguous[p*s.k : (p+1)*s.k]
+	clear(arow)
+	g.markAmbiguousPruned(allBits, passErr, bestPass, myBits, arow, s.curThresh)
+}
+
+// ConditionalMargin is the session-cached form of
+// Graph.ConditionalMarginScratch: it reuses position p's residual,
+// S-sums, gains and error instead of rebuilding them, so the outer
+// loop's acceptance gate costs one O(w_i) flip plus the re-descent
+// rather than two from-scratch residual builds per (position, tag).
+// It must be called from the session's owning goroutine (it shares one
+// workspace), between DecodeSlot calls.
+func (s *Session) ConditionalMargin(p, i int, locked []bool) float64 {
+	g := &s.g
+	w := g.Degree(i)
+	if w == 0 || g.tapPower[i] == 0 {
+		return 0
+	}
+	base := s.errs[p]
+
+	st := &s.cond.rst
+	st.residual = st.residual[:len(s.states[p].residual)]
+	st.copyActiveFrom(g, &s.states[p])
+	bhat := bits.Vector(s.cond.allBits[:s.k])
+	copy(bhat, s.posBits[p*s.k:(p+1)*s.k])
+	pin := s.cond.pin
+	if locked != nil {
+		copy(pin, locked)
+	} else {
+		clear(pin)
+	}
+	pin[i] = true
+	// Force the opposite bit and freeze it, then let the rest
+	// re-optimize — the cached gains of other tags are already
+	// consistent, so only the flip's neighborhood updates.
+	st.applyFlip(g, bhat, pin, i)
+	st.lockTag(i)
+	st.descend(g, bhat, pin, s.eps)
+	errV := st.normSqActive(g) + s.errInactive[p]
+	return (errV - base) / (g.tapPower[i] * float64(w))
+}
+
+// growComplex and friends resize a session-owned buffer to length n,
+// reusing capacity with power-of-two headroom. Contents are not
+// preserved; callers re-derive them.
+func growComplex(buf []complex128, n int) []complex128 {
+	if cap(buf) < n {
+		return make([]complex128, n, scratch.CeilPow2(n))
+	}
+	return buf[:n]
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n, scratch.CeilPow2(n))
+	}
+	return buf[:n]
+}
+
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n, scratch.CeilPow2(n))
+	}
+	return buf[:n]
+}
+
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n, scratch.CeilPow2(n))
+	}
+	return buf[:n]
+}
+
+func growSlices(buf [][]complex128, n int) [][]complex128 {
+	if cap(buf) < n {
+		return make([][]complex128, n, scratch.CeilPow2(n))
+	}
+	return buf[:n]
+}

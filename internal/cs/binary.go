@@ -1,0 +1,311 @@
+package cs
+
+import (
+	"fmt"
+	"math"
+	mbits "math/bits"
+	"math/cmplx"
+
+	"repro/internal/dsp"
+	"repro/internal/scratch"
+)
+
+// BinaryMat is a binary measurement matrix stored as column bitsets:
+// column c's rows live in Words words of 64 row-bits each. Stage C's
+// pattern matrix A′ is binary by construction (tags either transmit in
+// a pattern row or stay silent), which makes every quantity OMP needs
+// integer-combinatorial:
+//
+//   - column norms are popcounts,
+//   - Gram entries AᵀA are AND-popcounts of two columns,
+//   - correlations Aᴴy are sums of observation entries at set bits.
+//
+// OMPBits exploits all three; no complex m×s matrix is ever formed.
+type BinaryMat struct {
+	Rows, Cols int
+	// Words is the stride: number of 64-bit words per column.
+	Words int
+	// Bits holds the columns contiguously: column c occupies
+	// Bits[c*Words : (c+1)*Words], row r at word r/64, bit r%64. Bits
+	// beyond Rows must be zero.
+	Bits []uint64
+}
+
+// NewBinaryMatScratch sizes a rows×cols binary matrix with its bitset
+// drawn from sc (nil sc falls back to the heap).
+func NewBinaryMatScratch(rows, cols int, sc *scratch.Scratch) *BinaryMat {
+	words := (rows + 63) / 64
+	return &BinaryMat{Rows: rows, Cols: cols, Words: words, Bits: sc.Uint64(cols * words)}
+}
+
+// Col returns column c's bitset words.
+func (m *BinaryMat) Col(c int) []uint64 { return m.Bits[c*m.Words : (c+1)*m.Words] }
+
+// Set sets entry (r, c) to 1.
+func (m *BinaryMat) Set(r, c int) {
+	m.Bits[c*m.Words+r/64] |= 1 << uint(r%64)
+}
+
+// ColWeight returns the popcount of column c.
+func (m *BinaryMat) ColWeight(c int) int {
+	n := 0
+	for _, w := range m.Col(c) {
+		n += mbits.OnesCount64(w)
+	}
+	return n
+}
+
+// andCount returns popcount(col(a) AND col(b)) — one Gram entry.
+func (m *BinaryMat) andCount(a, b int) int {
+	ca, cb := m.Col(a), m.Col(b)
+	n := 0
+	for w := range ca {
+		n += mbits.OnesCount64(ca[w] & cb[w])
+	}
+	return n
+}
+
+// dotY returns Σ_{r: col(c)[r]=1} y[r] — the column's correlation with
+// y (the column is real 0/1, so no conjugation is involved).
+func (m *BinaryMat) dotY(c int, y dsp.Vec) complex128 {
+	var s complex128
+	col := m.Col(c)
+	for w, word := range col {
+		base := w * 64
+		for word != 0 {
+			b := mbits.TrailingZeros64(word)
+			s += y[base+b]
+			word &= word - 1
+		}
+	}
+	return s
+}
+
+// OMPBits runs Orthogonal Matching Pursuit on y = A·z for a binary A,
+// solving each growing least-squares subproblem through the normal
+// equations G·x = Bᴴy with an incrementally-updated Cholesky factor of
+// the integer Gram matrix G = BᴴB. Per pursuit iteration the cost is
+// O(cols·words) popcount work for the new Gram column, O(cols·s) for
+// the score refresh and O(s²) for the triangular solves — no dense
+// matrix assembly, no Householder QR, no residual vector at all (its
+// norm comes from ‖y‖² − 2Re(xᴴBᴴy) + xᴴGx).
+//
+// Options mean the same as for OMP. The recovered supports match the
+// dense solver's; coefficients agree to least-squares accuracy (the
+// normal equations square the conditioning, which is harmless at the
+// well-conditioned sizes stage C produces — see TestOMPBitsMatchesDense).
+func OMPBits(a *BinaryMat, y dsp.Vec, opts OMPOptions) (*Result, error) {
+	if len(y) != a.Rows {
+		return nil, fmt.Errorf("cs: OMPBits rhs length %d != rows %d", len(y), a.Rows)
+	}
+	if opts.MaxSparsity <= 0 {
+		return nil, fmt.Errorf("cs: OMPBits MaxSparsity must be positive, got %d", opts.MaxSparsity)
+	}
+	tol := opts.ResidualTol
+	if tol == 0 {
+		tol = 1e-6
+	}
+	yNormSq := y.NormSq()
+	if yNormSq == 0 {
+		return &Result{Support: nil, Coeffs: nil, Residual: 0}, nil
+	}
+	yNorm := math.Sqrt(yNormSq)
+	sc := opts.Scratch
+	mark := sc.Mark()
+	defer sc.Release(mark)
+
+	supCap := opts.MaxSparsity
+	if supCap > a.Rows {
+		supCap = a.Rows
+	}
+	dim := supCap + 1 // +1 for the optional DC atom
+
+	// Per-column constants: weight (squared norm) and correlation with y.
+	weight := sc.Int(a.Cols)
+	aty := dsp.Vec(sc.Complex(a.Cols))
+	for c := 0; c < a.Cols; c++ {
+		weight[c] = a.ColWeight(c)
+		if weight[c] > 0 {
+			aty[c] = a.dotY(c, y)
+		}
+	}
+
+	// Support state. Column index −1 denotes the DC (all-ones) atom.
+	support := sc.Int(dim)[:0]
+	inSupport := sc.Bool(a.Cols)
+	// gcols[j][c] = <col_c, B_j> for every candidate column c — the
+	// cross-Gram row of support atom j, used by the score refresh.
+	gcols := sc.Float(dim * a.Cols)
+	// chol is the lower-triangular Cholesky factor of G, row-major;
+	// bty and x are the projected RHS and the current solution.
+	chol := sc.Float(dim * dim)
+	bty := dsp.Vec(sc.Complex(dim))
+	x := dsp.Vec(sc.Complex(dim))
+	lrow := sc.Float(dim)
+
+	// addAtom grows the factorization by column col (−1 = DC). It
+	// returns false when the new atom is numerically dependent on the
+	// current support.
+	addAtom := func(col int) bool {
+		s := len(support)
+		// New Gram column against the existing support and the
+		// candidate pool.
+		var g []float64
+		var diag float64
+		var rhs complex128
+		g = gcols[s*a.Cols : (s+1)*a.Cols]
+		if col < 0 {
+			for c := 0; c < a.Cols; c++ {
+				g[c] = float64(weight[c])
+			}
+			diag = float64(a.Rows)
+			var sum complex128
+			for _, v := range y {
+				sum += v
+			}
+			rhs = sum
+		} else {
+			for c := 0; c < a.Cols; c++ {
+				g[c] = float64(a.andCount(col, c))
+			}
+			diag = float64(weight[col])
+			rhs = aty[col]
+		}
+		// lrow = inner products of the new atom with each support atom.
+		for j, sj := range support {
+			if sj < 0 {
+				if col < 0 {
+					lrow[j] = float64(a.Rows)
+				} else {
+					lrow[j] = float64(weight[col])
+				}
+			} else {
+				lrow[j] = g[sj]
+			}
+		}
+		// Forward-substitute to extend the Cholesky factor.
+		for j := 0; j < s; j++ {
+			v := lrow[j]
+			for t := 0; t < j; t++ {
+				v -= chol[j*dim+t] * lrow[t]
+			}
+			lrow[j] = v / chol[j*dim+j]
+		}
+		d := diag
+		for t := 0; t < s; t++ {
+			d -= lrow[t] * lrow[t]
+		}
+		if d <= 1e-9*math.Max(diag, 1) {
+			return false
+		}
+		copy(chol[s*dim:s*dim+s], lrow[:s])
+		chol[s*dim+s] = math.Sqrt(d)
+		bty[s] = rhs
+		support = append(support, col)
+		return true
+	}
+
+	// solve refreshes x for the current support: L·Lᵀ·x = bty.
+	solve := func() {
+		s := len(support)
+		for j := 0; j < s; j++ {
+			v := bty[j]
+			for t := 0; t < j; t++ {
+				v -= complex(chol[j*dim+t], 0) * x[t]
+			}
+			x[j] = v / complex(chol[j*dim+j], 0)
+		}
+		for j := s - 1; j >= 0; j-- {
+			v := x[j]
+			for t := j + 1; t < s; t++ {
+				v -= complex(chol[t*dim+j], 0) * x[t]
+			}
+			x[j] = v / complex(chol[j*dim+j], 0)
+		}
+	}
+
+	// resNormSq computes ‖y − Bx‖² from the cached inner products.
+	resNormSq := func() float64 {
+		s := len(support)
+		v := yNormSq
+		for j := 0; j < s; j++ {
+			v -= 2 * (real(x[j])*real(bty[j]) + imag(x[j])*imag(bty[j]))
+		}
+		// xᴴGx via G_jl: G rows are recoverable from gcols/lrow terms;
+		// use the factor instead: xᴴGx = ‖Lᵀx‖².
+		for j := 0; j < s; j++ {
+			var t complex128
+			for l := j; l < s; l++ {
+				t += complex(chol[l*dim+j], 0) * x[l]
+			}
+			v += real(t)*real(t) + imag(t)*imag(t)
+		}
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+
+	dcAtoms := 0
+	if opts.DCAtom {
+		if addAtom(-1) {
+			dcAtoms = 1
+			solve()
+		}
+	}
+
+	iters := 0
+	for len(support)-dcAtoms < opts.MaxSparsity && len(support) < a.Rows {
+		iters++
+		// Atom selection: candidate column most correlated with the
+		// residual, z_c = aty_c − Σ_j gcols[j][c]·x_j, normalized by
+		// the column norm √weight.
+		best, bestScore := -1, 0.0
+		for c := 0; c < a.Cols; c++ {
+			if inSupport[c] || weight[c] == 0 {
+				continue
+			}
+			z := aty[c]
+			for j := range support {
+				z -= complex(gcols[j*a.Cols+c], 0) * x[j]
+			}
+			s := cmplx.Abs(z) / math.Sqrt(float64(weight[c]))
+			if s > bestScore {
+				bestScore = s
+				best = c
+			}
+		}
+		if best < 0 || bestScore < 1e-12 {
+			break // nothing left to explain
+		}
+		if !addAtom(best) {
+			// Numerically dependent atom (e.g. two candidate ids with
+			// identical patterns): drop it and stop — more atoms
+			// cannot help.
+			break
+		}
+		inSupport[best] = true
+		solve()
+		if math.Sqrt(resNormSq()) <= tol*yNorm {
+			break
+		}
+	}
+
+	res := &Result{Residual: math.Sqrt(resNormSq()), Iterations: iters}
+	// Prune tiny coefficients, then re-sort the support.
+	for j, col := range support {
+		if col < 0 {
+			continue // the DC coefficient is never reported
+		}
+		if cmplx.Abs(x[j]) >= opts.MinCoeffMag {
+			res.Support = append(res.Support, col)
+			res.Coeffs = append(res.Coeffs, x[j])
+		}
+	}
+	sortSupport(res)
+
+	if res.Residual > tol*yNorm && len(support)-dcAtoms >= opts.MaxSparsity {
+		return res, ErrNoConvergence
+	}
+	return res, nil
+}

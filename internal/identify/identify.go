@@ -182,17 +182,27 @@ func TempIDFor(globalID, salt, idSpace uint64) uint64 {
 	return uint64(prng.UintN(prng.Mix2(globalID, salt), int(idSpace)))
 }
 
-// PatternBit is the stage-C pattern: whether the tag with the given
-// temporary id transmits in pattern row m. Both the tag (to transmit)
-// and the reader (to rebuild A′ columns) evaluate it.
-func PatternBit(tempID, salt uint64, m int) bool {
-	return prng.BitAt(prng.Mix3(tempID, salt, 0xC5), uint64(m))
+// PatternSeed is the per-session pattern key of a temporary id — the
+// hoisted common factor of every PatternBit/PatternWord evaluation for
+// that id.
+func PatternSeed(tempID, salt uint64) uint64 {
+	return prng.Mix3(tempID, salt, 0xC5)
 }
 
-// stageABit is the stage-A participation draw for step j, slot t at
-// probability p.
-func stageABit(globalID, salt uint64, step, slot int, p float64) bool {
-	return prng.BiasedBitAt(prng.Mix3(globalID, salt, uint64(step)), uint64(slot), p)
+// PatternWord returns 64 consecutive stage-C pattern bits — rows
+// 64·w … 64·w+63 — for the pattern seed, bit b of the word being row
+// 64·w+b. One hash yields 64 rows, which is how the reader regenerates
+// whole A′ columns; a tag shifts the same word out bit by bit.
+func PatternWord(seed uint64, w int) uint64 {
+	return prng.Mix2(seed, uint64(w))
+}
+
+// PatternBit is the stage-C pattern: whether the tag with the given
+// temporary id transmits in pattern row m. Both the tag (to transmit)
+// and the reader (to rebuild A′ columns) evaluate it — the tag reads
+// its bit out of the same 64-row word the reader batches.
+func PatternBit(tempID, salt uint64, m int) bool {
+	return PatternWord(PatternSeed(tempID, salt), m/64)>>(uint(m)%64)&1 == 1
 }
 
 // nextCandidate steps through the K grid the likelihood scan evaluates:
@@ -247,16 +257,25 @@ func Run(cfg Config, activeIDs []uint64, ch *channel.Model, noiseSrc *prng.Sourc
 	threshold := cfg.emptyThreshold()
 	type stepObs struct {
 		p     float64
+		logQ  float64 // ln(1−p), hoisted for the likelihood scan
 		empty int
 	}
 	var observations []stepObs
+	stepSeeds := sc.Uint64(k)
 	extra := 0
 	for step := 1; step <= cfg.maxSteps(); step++ {
 		p := math.Pow(2, -float64(step))
+		// Stage-A participation: tag side and reader side both draw
+		// BiasedBitAt(Mix3(id, salt, step), slot, p). The per-(id,
+		// step) seed is the hot inner loop's only hash; hoist it
+		// across the step's slots.
+		for i, id := range activeIDs {
+			stepSeeds[i] = prng.Mix3(id, cfg.Salt, uint64(step))
+		}
 		empty := 0
 		for slot := 0; slot < s; slot++ {
-			for i, id := range activeIDs {
-				active[i] = stageABit(id, cfg.Salt, step, slot, p)
+			for i := range activeIDs {
+				active[i] = prng.BiasedBitAt(stepSeeds[i], uint64(slot), p)
 			}
 			y := ch.Symbol(active, noiseSrc)
 			if real(y)*real(y)+imag(y)*imag(y) <= detect {
@@ -265,7 +284,7 @@ func Run(cfg Config, activeIDs []uint64, ch *channel.Model, noiseSrc *prng.Sourc
 		}
 		res.KEstSlots += s
 		res.Steps = step
-		observations = append(observations, stepObs{p: p, empty: empty})
+		observations = append(observations, stepObs{p: p, logQ: math.Log1p(-p), empty: empty})
 		if float64(empty)/float64(s) >= threshold {
 			extra++
 		}
@@ -278,16 +297,19 @@ func Run(cfg Config, activeIDs []uint64, ch *channel.Model, noiseSrc *prng.Sourc
 	for kCand := 1; kCand <= 1<<20; kCand = nextCandidate(kCand) {
 		ll := 0.0
 		for _, o := range observations {
-			pEmpty := math.Pow(1-o.p, float64(kCand))
-			// Guard the log at the extremes.
+			// pEmpty = (1−p)^K = exp(K·ln(1−p)), with the log guards of
+			// the direct form.
+			logP := float64(kCand) * o.logQ
+			pEmpty := math.Exp(logP)
 			if pEmpty < 1e-300 {
 				pEmpty = 1e-300
+				logP = math.Log(pEmpty)
 			}
 			if pEmpty > 1-1e-12 {
 				pEmpty = 1 - 1e-12
+				logP = math.Log(pEmpty)
 			}
-			ll += float64(o.empty)*math.Log(pEmpty) +
-				float64(s-o.empty)*math.Log(1-pEmpty)
+			ll += float64(o.empty)*logP + float64(s-o.empty)*math.Log(1-pEmpty)
 		}
 		if ll > bestLL {
 			bestLL = ll
@@ -305,13 +327,15 @@ func Run(cfg Config, activeIDs []uint64, ch *channel.Model, noiseSrc *prng.Sourc
 	res.BucketSlots = nBuckets
 
 	tempIDs := make([]uint64, k)
+	tagBucket := sc.Int(k)
 	for i, id := range activeIDs {
 		tempIDs[i] = TempIDFor(id, cfg.Salt, idSpace)
+		tagBucket[i] = int(tempIDs[i]) / a
 	}
 	occupied := sc.Bool(nBuckets)
 	for b := 0; b < nBuckets; b++ {
 		for i := range tempIDs {
-			active[i] = int(tempIDs[i])/a == b
+			active[i] = tagBucket[i] == b
 		}
 		y := ch.Symbol(active, noiseSrc)
 		if real(y)*real(y)+imag(y)*imag(y) > detect {
@@ -364,23 +388,42 @@ func Run(cfg Config, activeIDs []uint64, ch *channel.Model, noiseSrc *prng.Sourc
 	res.CSSlots = m
 
 	// Air: tags transmit their pattern bits; reader records symbols.
+	// Each tag's 64-row pattern words are staged once per word index
+	// rather than re-hashed per row.
 	y := dsp.Vec(sc.Complex(m))
+	tagSeeds := sc.Uint64(k)
+	tagWords := sc.Uint64(k)
+	for i, tid := range tempIDs {
+		tagSeeds[i] = PatternSeed(tid, cfg.Salt)
+	}
 	for row := 0; row < m; row++ {
+		if row%64 == 0 {
+			for i := range tagWords {
+				tagWords[i] = PatternWord(tagSeeds[i], row/64)
+			}
+		}
+		bit := uint(row % 64)
 		for i := range tempIDs {
-			active[i] = PatternBit(tempIDs[i], cfg.Salt, row)
+			active[i] = tagWords[i]>>bit&1 == 1
 		}
 		y[row] = ch.Symbol(active, noiseSrc)
 	}
 
 	// Reader: regenerate A′ columns for the candidates only (never for
-	// the whole population — the point of stages A and B).
-	aPrime := &dsp.Mat{Rows: m, Cols: len(candidates), Data: sc.Complex(m * len(candidates))}
+	// the whole population — the point of stages A and B), directly as
+	// column bitsets: 64 rows per hash, no dense matrix.
+	aPrime := cs.NewBinaryMatScratch(m, len(candidates), sc)
+	lastMask := ^uint64(0)
+	if m%64 != 0 {
+		lastMask = 1<<uint(m%64) - 1
+	}
 	for col, id := range candidates {
-		for row := 0; row < m; row++ {
-			if PatternBit(id, cfg.Salt, row) {
-				aPrime.Set(row, col, 1)
-			}
+		seed := PatternSeed(id, cfg.Salt)
+		words := aPrime.Col(col)
+		for w := range words {
+			words[w] = PatternWord(seed, w)
 		}
+		words[len(words)-1] &= lastMask
 	}
 
 	noiseFloor := math.Sqrt(ch.NoisePower)
@@ -388,7 +431,7 @@ func Run(cfg Config, activeIDs []uint64, ch *channel.Model, noiseSrc *prng.Sourc
 	if yn := y.Norm(); yn > 0 {
 		relTol = 1.5 * noiseFloor * math.Sqrt(float64(m)) / yn
 	}
-	sol, err := cs.OMP(aPrime, y, cs.OMPOptions{
+	sol, err := cs.OMPBits(aPrime, y, cs.OMPOptions{
 		MaxSparsity: kForC + cfg.sparsitySlack(kForC),
 		ResidualTol: relTol,
 		MinCoeffMag: 2 * noiseFloor,

@@ -168,6 +168,41 @@ func MillerEncode(v bits.Vector) []bool {
 	return out
 }
 
+// MillerEncodeInto encodes v into dst (which must have capacity for
+// len(v)·ChipsPerBit chips) and returns the filled slice. It produces
+// exactly MillerEncode's stream, written half-bit blocks at a time
+// instead of chip by chip — the form the TDMA baseline's inner loop
+// uses.
+func MillerEncodeInto(v bits.Vector, dst []bool) []bool {
+	dst = dst[:len(v)*ChipsPerBit]
+	level := false
+	prevBit := false
+	started := false
+	const half = ChipsPerBit / 2
+	for p, b := range v {
+		if started && !b && !prevBit {
+			level = !level
+		}
+		out := dst[p*ChipsPerBit : (p+1)*ChipsPerBit]
+		// First half-bit: subcarrier alternation starting at `level`
+		// (chip = level == sub, sub true on even chips).
+		for c := 0; c < half; c += 2 {
+			out[c] = level
+			out[c+1] = !level
+		}
+		if b {
+			level = !level
+		}
+		for c := half; c < ChipsPerBit; c += 2 {
+			out[c] = level
+			out[c+1] = !level
+		}
+		prevBit = b
+		started = true
+	}
+	return dst
+}
+
 // MillerDecoder performs maximum-likelihood per-bit decoding of a
 // Miller-M chip stream observed through a known single-tap channel. For
 // each bit it synthesizes the two candidate chip sequences its state
@@ -181,11 +216,21 @@ type MillerDecoder struct {
 // Decode recovers nBits bits from the received chip observations. One
 // observation per chip is expected; extra observations are ignored and a
 // short stream truncates the decode.
+//
+// Scoring identity: for a candidate chip e_c ∈ {0, h},
+// |w_c − e_c|² = |w_c|² + [e_c = h]·(|h|² − 2·Re(conj(h)·w_c)), so the
+// per-hypothesis squared distance is a shared constant plus the sum of
+// t_c = |h|² − 2·Re(conj(h)·w_c) over the chips the hypothesis reflects
+// in. Comparing hypotheses therefore needs one real t_c per chip and
+// two masked sums — half the arithmetic of forming both distances.
 func (d MillerDecoder) Decode(rx []complex128, nBits int) bits.Vector {
 	out := make(bits.Vector, 0, nBits)
-	// Track both the running encoder state for each hypothesis. The
+	// Track the running encoder state for each hypothesis. The
 	// candidate chips stage through one stack buffer across all bits.
 	var hypBuf [ChipsPerBit]bool
+	var tBuf [ChipsPerBit]float64
+	hRe, hIm := real(d.H), imag(d.H)
+	hPow := hRe*hRe + hIm*hIm
 	state := MillerEncoder{}
 	for i := 0; i < nBits; i++ {
 		lo := i * ChipsPerBit
@@ -194,6 +239,9 @@ func (d MillerDecoder) Decode(rx []complex128, nBits int) bits.Vector {
 			break
 		}
 		window := rx[lo:hi]
+		for c, w := range window {
+			tBuf[c] = hPow - 2*(hRe*real(w)+hIm*imag(w))
+		}
 
 		best := false
 		bestScore := math.Inf(1)
@@ -203,12 +251,9 @@ func (d MillerDecoder) Decode(rx []complex128, nBits int) bits.Vector {
 			chips := st.EncodeBit(hyp, hypBuf[:0])
 			var score float64
 			for c, chip := range chips {
-				var expect complex128
 				if chip {
-					expect = d.H
+					score += tBuf[c]
 				}
-				diff := window[c] - expect
-				score += real(diff)*real(diff) + imag(diff)*imag(diff)
 			}
 			if score < bestScore {
 				bestScore = score

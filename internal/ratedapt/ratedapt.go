@@ -20,7 +20,6 @@ package ratedapt
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/bits"
 	"repro/internal/bp"
@@ -112,6 +111,18 @@ type Config struct {
 	// state decode loop allocates only the escaping Result. Results are
 	// bit-identical with and without a Scratch.
 	Scratch *scratch.Scratch
+	// Session, when non-nil, supplies the transfer's incremental decoder
+	// state (graph, per-position residual/gain caches, worker pool) from
+	// a long-lived bp.Session instead of a pooled one. The simulator
+	// hands each trial worker one Session so buffers and workers warm
+	// across trials. Results are identical with and without it.
+	Session *bp.Session
+	// Parallelism bounds the number of bit positions decoded
+	// concurrently within each slot. 0 or 1 decodes inline on the
+	// calling goroutine. Results are byte-identical at every setting:
+	// each (slot, position) pair owns a PRNG stream derived with
+	// prng.Mix3, so scheduling cannot reorder randomness.
+	Parallelism int
 }
 
 func (c *Config) k() int { return len(c.Seeds) }
@@ -265,17 +276,37 @@ func TransferEstimated(cfg Config, messages []bits.Vector, air, decoder *channel
 	mark := sc.Mark()
 	defer sc.Release(mark)
 	// The symbol-level air: one complex observation per bit position,
-	// superposing the taps of tags whose bit is 1 in that position. Its
-	// staging buffers persist across slots; the decode loop copies the
-	// observations out before the next call.
+	// superposing the taps of tags whose bit is 1 in that position. The
+	// active set is staged as an index list once per slot, so each
+	// position's superposition walks only the few colliders instead of
+	// all K tags. Staging buffers persist across slots; the decode loop
+	// copies the observations out before the next call.
 	obs := sc.Complex(frameLen)
-	bitActive := sc.Bool(k)
+	activeIdx := sc.Int(k)
+	bitIdx := sc.Int(k)
+	tagPow := sc.Float(k)
+	for i, h := range air.Taps {
+		tagPow[i] = real(h)*real(h) + imag(h)*imag(h)
+	}
 	airFn := func(active []bool) []complex128 {
-		for p := 0; p < frameLen; p++ {
-			for i := 0; i < k; i++ {
-				bitActive[i] = active[i] && frames[i][p]
+		na := 0
+		for i, on := range active {
+			if on {
+				activeIdx[na] = i
+				na++
 			}
-			obs[p] = air.Symbol(bitActive, noiseSrc)
+		}
+		for p := 0; p < frameLen; p++ {
+			nb := 0
+			pow := 0.0
+			for _, i := range activeIdx[:na] {
+				if frames[i][p] {
+					bitIdx[nb] = i
+					pow += tagPow[i]
+					nb++
+				}
+			}
+			obs[p] = air.SymbolSparsePow(bitIdx[:nb], pow, noiseSrc)
 		}
 		return obs
 	}
@@ -298,14 +329,20 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 	trialMark := sc.Mark()
 	defer sc.Release(trialMark)
 
-	// Observations: ys[p][l] is the symbol for bit position p in slot l.
-	// Backing storage for the full slot budget is reserved up front so
-	// the per-slot appends never reallocate.
-	ys := make([][]complex128, frameLen)
-	ysBacking := sc.Complex(frameLen * maxSlots)
-	for p := range ys {
-		ys[p] = ysBacking[p*maxSlots : p*maxSlots : (p+1)*maxSlots]
+	// The session carries the decoder's incremental cross-slot state:
+	// the growing graph, each bit position's residual/gain caches and
+	// the position worker pool. A caller-supplied Session stays warm
+	// across that caller's transfers; otherwise one comes from the
+	// process pool.
+	sess := cfg.Session
+	if sess == nil {
+		sess = bp.GetSession()
+		defer bp.PutSession(sess)
 	}
+	sess.Begin(k, frameLen, maxSlots, cfg.Parallelism, cfg.Restarts, decoder.Taps)
+
+	// D is still materialized row by row for the channel-refinement
+	// fit; the decoding graph itself grows inside the session.
 	d := bits.NewMatrixBacked(k, sc.Bool(maxSlots*k))
 
 	// Decoder state: current estimate per tag, lock flags.
@@ -314,24 +351,34 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 		estimates[i] = bits.Vector(sc.Bool(frameLen))
 		bits.RandomInto(decodeSrc, estimates[i])
 	}
+	sess.InitPositions(estimates)
+	// Every (slot, position) decode derives its own PRNG stream from
+	// this base via prng.Mix3, so the parallel fan-out is deterministic
+	// and independent of scheduling order.
+	decodeBase := decodeSrc.Uint64()
 	locked := make([]bool, k)
 	decodedAt := make([]int, k)
 	candidates := make([]*pendingFrame, k)
+	// CRC results are memoized per tag: a frame only needs re-checking
+	// when some position's bit actually changed this slot.
+	frameChanged := sc.Bool(k)
+	frameOK := sc.Bool(k)
+	crcValid := sc.Bool(k)
 	res := &Result{
 		Frames:        make([]bits.Vector, k),
 		Verified:      locked,
 		DecodedAtSlot: decodedAt,
 		Participation: make([]int, k),
-		Progress:      make([]SlotResult, 0, maxSlots),
+		// Most transfers finish in a few slots per tag; let the rare
+		// straggler grow the slice rather than reserving the whole
+		// MaxSlots budget every call.
+		Progress: make([]SlotResult, 0, min(maxSlots, 4*k+16)),
 	}
 
 	alive := sc.Bool(k)
 	for i := range alive {
 		alive[i] = true
 	}
-	// The decoding graph persists across slots: each slot's Rebuild
-	// reuses its adjacency storage as D grows by one row.
-	var graph bp.Graph
 	totalDecoded := 0
 	for slot := 1; slot <= maxSlots && totalDecoded < k; slot++ {
 		slotMark := sc.Mark()
@@ -367,51 +414,30 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 		for i := 0; i < k; i++ {
 			active[i] = bool(row[i]) && alive[i]
 		}
-		for p, o := range air(active) {
-			ys[p] = append(ys[p], o)
-		}
+		sess.AppendSlot(row, air(active))
 
 		// --- Reader side: incremental decode. ---
-		taps := decoder.Taps
 		if cfg.RefineChannel && slot > 1 {
-			if refined, ok := refineTaps(d, ys, estimates, decoder.Taps, sc); ok {
-				taps = refined
+			if refined, ok := refineTaps(d, sess.Ys(), estimates, decoder.Taps, sc); ok {
 				decoder = channel.NewExact(refined, decoder.NoisePower)
+				sess.SetTaps(refined)
 			}
 		}
-		graph.Rebuild(d, taps)
 		// minMargin[i] tracks tag i's weakest per-position flip margin;
-		// it gates the CRC check below.
+		// it gates the CRC check below. ambiguous[i] reports restart
+		// near-ties anywhere in the frame: withhold locking such tags
+		// this round (see bp.Result.Ambiguous).
 		minMargin := sc.Float(k)
-		for i := range minMargin {
-			minMargin[i] = math.Inf(1)
-		}
 		ambiguous := sc.Bool(k)
-		marginBuf := sc.Float(k)
+		sess.DecodeSlot(slot, locked, decodeBase, minMargin, ambiguous)
 		for p := 0; p < frameLen; p++ {
-			posMark := sc.Mark()
-			init := bits.Vector(sc.Bool(k))
+			pb := sess.PosBits(p)
 			for i := 0; i < k; i++ {
-				init[i] = estimates[i][p]
-			}
-			out := graph.Decode(ys[p], bp.Options{Init: init, Locked: locked, Restarts: cfg.Restarts, Scratch: sc}, decodeSrc)
-			for i := 0; i < k; i++ {
-				if !locked[i] {
-					estimates[i][p] = out.Bits[i]
-				}
-				if out.Ambiguous[i] {
-					// A near-tied alternative decode disagrees on this
-					// tag somewhere in the frame: withhold locking it
-					// this round (see bp.Result.Ambiguous).
-					ambiguous[i] = true
+				if !locked[i] && bool(estimates[i][p]) != pb[i] {
+					estimates[i][p] = pb[i]
+					frameChanged[i] = true
 				}
 			}
-			for i, m := range graph.MarginsInto(marginBuf, ys[p], out.Bits, sc) {
-				if m < minMargin[i] {
-					minMargin[i] = m
-				}
-			}
-			sc.Release(posMark)
 		}
 
 		// CRC gate: lock tags whose estimated frame verifies. A bare
@@ -432,19 +458,14 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 		//   passes of an unchanged frame alone would re-check the same
 		//   1-in-32 event, not an independent one.
 		// condOK re-tests every bit position of tag i with the bit
-		// forced opposite and the rest re-optimized. Single-flip
+		// forced opposite and the rest re-optimized, reusing the
+		// session's cached residual and error per position. Single-flip
 		// margins cannot see constellation near-coincidences where
 		// several tags' bits swap together; this can (see
 		// bp.Graph.ConditionalMargin).
 		condOK := func(i int) bool {
-			condMark := sc.Mark()
-			defer sc.Release(condMark)
-			joint := bits.Vector(sc.Bool(k))
 			for p := 0; p < frameLen; p++ {
-				for j := 0; j < k; j++ {
-					joint[j] = estimates[j][p]
-				}
-				if graph.ConditionalMarginScratch(ys[p], joint, i, locked, decodeSrc, sc) < cfg.marginThreshold()/2 {
+				if sess.ConditionalMargin(p, i, locked) < cfg.marginThreshold()/2 {
 					return false
 				}
 			}
@@ -453,11 +474,16 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 
 		newly := 0
 		for i := 0; i < k; i++ {
-			deg := graph.Degree(i)
+			deg := sess.Degree(i)
 			if locked[i] || deg < cfg.minDegree() || ambiguous[i] {
 				continue
 			}
-			if !bits.Verify(estimates[i], cfg.CRC) {
+			if frameChanged[i] || !crcValid[i] {
+				frameOK[i] = bits.Verify(estimates[i], cfg.CRC)
+				crcValid[i] = true
+				frameChanged[i] = false
+			}
+			if !frameOK[i] {
 				candidates[i] = nil
 				continue
 			}

@@ -82,6 +82,7 @@ type Scratch struct {
 	f64  arena[float64]
 	bl   arena[bool]
 	in   arena[int]
+	u64  arena[uint64]
 }
 
 // New returns an empty Scratch. Blocks grow on demand; the first cycle
@@ -109,7 +110,7 @@ func Put(s *Scratch) {
 
 // Mark captures the current allocation state of every pool.
 type Mark struct {
-	c128, f64, bl, in int
+	c128, f64, bl, in, u64 int
 }
 
 // Mark opens a scope: buffers allocated after Mark die at the matching
@@ -118,7 +119,7 @@ func (s *Scratch) Mark() Mark {
 	if s == nil {
 		return Mark{}
 	}
-	return Mark{c128: s.c128.used, f64: s.f64.used, bl: s.bl.used, in: s.in.used}
+	return Mark{c128: s.c128.used, f64: s.f64.used, bl: s.bl.used, in: s.in.used, u64: s.u64.used}
 }
 
 // Release rewinds every pool to the state captured by m, ending the
@@ -132,6 +133,7 @@ func (s *Scratch) Release(m Mark) {
 	s.f64.used = m.f64
 	s.bl.used = m.bl
 	s.in.used = m.in
+	s.u64.used = m.u64
 }
 
 // Reset ends a cycle: it rewinds every pool and grows any block whose
@@ -146,6 +148,7 @@ func (s *Scratch) Reset() {
 	s.f64.reset()
 	s.bl.reset()
 	s.in.reset()
+	s.u64.reset()
 }
 
 // Complex returns a zeroed []complex128 of length n.
@@ -178,4 +181,13 @@ func (s *Scratch) Int(n int) []int {
 		return make([]int, n)
 	}
 	return s.in.alloc(n)
+}
+
+// Uint64 returns a zeroed []uint64 of length n — the bitset and seed
+// store of the identification fast path.
+func (s *Scratch) Uint64(n int) []uint64 {
+	if s == nil {
+		return make([]uint64, n)
+	}
+	return s.u64.alloc(n)
 }

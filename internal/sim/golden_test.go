@@ -5,21 +5,25 @@ import (
 	"testing"
 )
 
-// The constants below were captured from the pre-arena decoder (the
-// last all-heap implementation) at the stated seeds. The scratch-buffer
-// refactor must preserve them bit for bit: same seed → same floats, no
-// tolerance. If a future change legitimately alters the numerics
-// (a different decoder, not a different allocator), recapture them and
-// say so in the commit message.
+// The constants below were captured from the PR-2 decoder (incremental
+// cross-slot sessions, deterministic per-(slot, position) PRNG streams,
+// ziggurat noise sampling) at the stated seeds. Any change to the
+// decode path must preserve them bit for bit: same seed → same floats,
+// no tolerance. If a future change legitimately alters the numerics
+// (a different decoder or noise model, not a different allocator or
+// scheduler), recapture them, say so in the commit message, and prove
+// the end-to-end statistics unchanged (see stats_test.go) — exactly the
+// procedure PR 2 followed when the per-position PRNG scheme and the
+// ziggurat sampler re-pinned the pre-PR-2 values.
 
-// TestGoldenHeadlineDeterminism pins RunHeadline(2, 12345) to the
-// pre-refactor output and re-runs it to prove the result is independent
-// of worker scheduling and arena reuse.
+// TestGoldenHeadlineDeterminism pins RunHeadline(2, 12345) and re-runs
+// it to prove the result is independent of worker scheduling, arena
+// reuse and session reuse.
 func TestGoldenHeadlineDeterminism(t *testing.T) {
 	const (
-		wantIdent   = 4.1596255581538797
-		wantData    = 1.1989304812834225
-		wantOverall = 1.7639017228762173
+		wantIdent   = 4.148972352207255
+		wantData    = 1.1402086475615889
+		wantOverall = 1.6925386775710782
 	)
 	for round := 0; round < 2; round++ {
 		h, err := RunHeadline(2, 12345)
@@ -35,12 +39,12 @@ func TestGoldenHeadlineDeterminism(t *testing.T) {
 
 // TestGoldenDataPhaseDeterminism pins the Fig. 10 experiment the same
 // way: CompareDataPhase(K=8, Trials=4, Seed=777) must reproduce the
-// pre-refactor means exactly.
+// captured means exactly.
 func TestGoldenDataPhaseDeterminism(t *testing.T) {
 	want := map[string]struct{ ms, lost, rate float64 }{
-		"buzz": {ms: 3.2374999999999998, lost: 0, rate: 1.2444444444444445},
+		"buzz": {ms: 2.7749999999999999, lost: 0, rate: 1.3523809523809522},
 		"tdma": {ms: 3.7000000000000002, lost: 0, rate: 1},
-		"cdma": {ms: 3.7000000000000002, lost: 0, rate: 1},
+		"cdma": {ms: 3.7000000000000002, lost: 0.25, rate: 1},
 	}
 	out, err := CompareDataPhase(DataPhaseConfig{K: 8, Trials: 4, Seed: 777, Profile: DefaultProfile()})
 	if err != nil {

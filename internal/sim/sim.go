@@ -15,6 +15,7 @@ import (
 	"repro/internal/baseline/fsa"
 	"repro/internal/baseline/tdma"
 	"repro/internal/bits"
+	"repro/internal/bp"
 	"repro/internal/channel"
 	"repro/internal/energy"
 	"repro/internal/epc"
@@ -86,20 +87,46 @@ func frameMillis(bitSlots int) float64 {
 	return epc.UplinkMicros(float64(bitSlots)) / 1000
 }
 
+// trialResources is what forEachTrial equips each trial body with: a
+// per-worker scratch arena and decoder session (warm across the
+// worker's trials), plus the nested-parallelism budget the body should
+// pass to ratedapt.Config.Parallelism.
+type trialResources struct {
+	Scratch *scratch.Scratch
+	Session *bp.Session
+	// Parallelism is the per-trial inner worker budget: the cores left
+	// over after the trial-level fan-out claims its share. Results are
+	// byte-identical at every value (the decoder's per-(slot, position)
+	// PRNG streams make the fan-out deterministic); the budget only
+	// decides how much hardware each trial may use.
+	Parallelism int
+}
+
 // forEachTrial runs the trial body for indices [0, trials) across a
 // bounded worker pool. Each trial derives its own deterministic source
 // from (seed, trial), so results are independent of scheduling order;
 // the body writes into per-trial slots, never shared state. Every worker
-// owns one scratch arena, Reset between trials: the first trial a worker
-// runs warms the arena and later same-shaped trials allocate nothing in
-// the decode hot path.
-func forEachTrial(trials int, seed uint64, body func(trial int, setup *prng.Source, sc *scratch.Scratch) error) error {
-	workers := runtime.GOMAXPROCS(0)
+// owns one scratch arena and one decoder session, Reset between trials:
+// the first trial a worker runs warms them and later same-shaped trials
+// allocate nothing in the decode hot path.
+//
+// Parallelism budgeting: the trial fan-out claims min(GOMAXPROCS,
+// trials) cores; whatever remains is divided among the workers as each
+// trial's inner position-decode budget, so a sweep of few trials on a
+// many-core machine still saturates the hardware without
+// oversubscribing it.
+func forEachTrial(trials int, seed uint64, body func(trial int, setup *prng.Source, res trialResources) error) error {
+	procs := runtime.GOMAXPROCS(0)
+	workers := procs
 	if workers > trials {
 		workers = trials
 	}
 	if workers < 1 {
 		workers = 1
+	}
+	inner := procs / workers
+	if inner < 1 {
+		inner = 1
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, trials)
@@ -110,8 +137,11 @@ func forEachTrial(trials int, seed uint64, body func(trial int, setup *prng.Sour
 			defer wg.Done()
 			sc := scratch.Get()
 			defer scratch.Put(sc)
+			sess := bp.GetSession()
+			defer bp.PutSession(sess)
+			res := trialResources{Scratch: sc, Session: sess, Parallelism: inner}
 			for trial := range next {
-				errs[trial] = body(trial, prng.NewSource(prng.Mix2(seed, uint64(trial))), sc)
+				errs[trial] = body(trial, prng.NewSource(prng.Mix2(seed, uint64(trial))), res)
 				sc.Reset()
 			}
 		}()
@@ -172,7 +202,7 @@ func CompareDataPhase(cfg DataPhaseConfig) ([]SchemeOutcome, error) {
 		buzzWrong, tdmaWrong, cdmaWrong int
 	}
 	rows := make([]trialRow, cfg.Trials)
-	err := forEachTrial(cfg.Trials, cfg.Seed, func(trial int, setup *prng.Source, sc *scratch.Scratch) error {
+	err := forEachTrial(cfg.Trials, cfg.Seed, func(trial int, setup *prng.Source, res trialResources) error {
 		msgs := cfg.Profile.messages(cfg.K, setup)
 		ch := cfg.Profile.channel(cfg.K, setup)
 		seeds := tagSeeds(cfg.K, setup)
@@ -184,7 +214,9 @@ func CompareDataPhase(cfg DataPhaseConfig) ([]SchemeOutcome, error) {
 			CRC:         cfg.Profile.CRC,
 			Restarts:    2,
 			MaxSlots:    40 * cfg.K,
-			Scratch:     sc,
+			Scratch:     res.Scratch,
+			Session:     res.Session,
+			Parallelism: res.Parallelism,
 		}, msgs, ch, setup.Fork(1), setup.Fork(2))
 		if err != nil {
 			return err
@@ -290,7 +322,7 @@ func RunChallenging(trials int, seed uint64, bands []ChallengingBand) ([]Challen
 	for bi, band := range bands {
 		type row struct{ buzzDec, tdmaDec, buzzRate float64 }
 		rows := make([]row, trials)
-		err := forEachTrial(trials, seed+uint64(bi)*0x9E37, func(trial int, setup *prng.Source, sc *scratch.Scratch) error {
+		err := forEachTrial(trials, seed+uint64(bi)*0x9E37, func(trial int, setup *prng.Source, res trialResources) error {
 			msgs := profile.messages(k, setup)
 			ch := channel.NewFromSNRBand(k, band.LodB, band.HidB, setup)
 			ch.AGCNoiseFraction = profile.AGCNoiseFraction
@@ -302,7 +334,9 @@ func RunChallenging(trials int, seed uint64, bands []ChallengingBand) ([]Challen
 				CRC:         profile.CRC,
 				Restarts:    3,
 				MaxSlots:    600,
-				Scratch:     sc,
+				Scratch:     res.Scratch,
+				Session:     res.Session,
+				Parallelism: res.Parallelism,
 			}, msgs, ch, setup.Fork(1), setup.Fork(2))
 			if err != nil {
 				return err
@@ -466,14 +500,14 @@ func RunIdentification(trials int, seed uint64, ks []int) ([]IdentificationOutco
 		k := k
 		type row struct{ buzzMs, fsaMs, fsakMs, btreeMs, identified float64 }
 		rows := make([]row, trials)
-		err := forEachTrial(trials, seed+uint64(k)*0x51F1, func(trial int, setup *prng.Source, sc *scratch.Scratch) error {
+		err := forEachTrial(trials, seed+uint64(k)*0x51F1, func(trial int, setup *prng.Source, res trialResources) error {
 			ch := profile.channel(k, setup)
 			ids := make([]uint64, k)
 			for i := range ids {
 				ids[i] = setup.Uint64()
 			}
 
-			res, err := identify.Run(identify.Config{Salt: setup.Uint64(), Scratch: sc}, ids, ch, setup.Fork(1))
+			ident, err := identify.Run(identify.Config{Salt: setup.Uint64(), Scratch: res.Scratch}, ids, ch, setup.Fork(1))
 			if err != nil {
 				return err
 			}
@@ -483,9 +517,9 @@ func RunIdentification(trials int, seed uint64, ks []int) ([]IdentificationOutco
 			var acct epc.TimeAccount
 			acct.AddDownlink(epc.QueryBits)
 			acct.AddTurnaround(1)
-			acct.AddUplink(float64(res.TotalSlots))
+			acct.AddUplink(float64(ident.TotalSlots))
 			rows[trial].buzzMs = acct.Millis()
-			ok, _ := identify.Match(res, ids)
+			ok, _ := identify.Match(ident, ids)
 			for _, b := range ok {
 				if b {
 					rows[trial].identified++
@@ -498,13 +532,13 @@ func RunIdentification(trials int, seed uint64, ks []int) ([]IdentificationOutco
 			}
 			rows[trial].fsaMs = rf.Time.Millis()
 
-			rk, err := fsa.Run(fsa.KnownKConfig(res.KEstimate), k, setup.Fork(3))
+			rk, err := fsa.Run(fsa.KnownKConfig(ident.KEstimate), k, setup.Fork(3))
 			if err != nil {
 				return err
 			}
 			// The known-K variant pays for Buzz's stage A on top.
 			var kacct epc.TimeAccount
-			kacct.AddUplink(float64(res.KEstSlots))
+			kacct.AddUplink(float64(ident.KEstSlots))
 			rows[trial].fsakMs = rk.Time.Millis() + kacct.Millis()
 
 			rb, err := btree.Run(btree.Config{}, k, setup.Fork(4))

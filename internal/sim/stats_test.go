@@ -1,0 +1,78 @@
+package sim
+
+import "testing"
+
+// The PR-2 rework re-pinned the golden values (per-(slot, position)
+// PRNG streams, incremental residual float ordering, ziggurat noise
+// sampling shift individual trajectories), so this file carries the
+// other half of the contract: the end-to-end *statistics* — message
+// loss, false decodes, and transfer lengths — must match the pre-rework
+// decoder. The bands below bracket the pre-PR-2 implementation's
+// behaviour over the same seeds with generous slack; a decoder whose
+// acceptance gates or convergence regressed blows through them.
+
+// TestDataPhaseStatisticsUnchanged checks Buzz's loss/false-decode/
+// transfer-time statistics across tag counts on the benign default
+// profile: everything decodes, nothing decodes wrongly, and transfers
+// stay in the pre-rework slot range.
+func TestDataPhaseStatisticsUnchanged(t *testing.T) {
+	// msBands bracket the pre-PR-2 mean transfer times (K=8: 3.24 ms,
+	// K=16: ~5.5 ms) with ±50% slack — wide enough for PRNG-scheme
+	// luck, far too tight for a convergence regression (a decoder that
+	// stopped locking tags runs to MaxSlots = 40·K ≈ 15–30 ms).
+	cases := []struct {
+		k          int
+		seed       uint64
+		msLo, msHi float64
+	}{
+		{k: 4, seed: 41, msLo: 0.8, msHi: 4.0},
+		{k: 8, seed: 777, msLo: 1.6, msHi: 5.0},
+		{k: 16, seed: 1001, msLo: 3.0, msHi: 11.0},
+	}
+	for _, c := range cases {
+		out, err := CompareDataPhase(DataPhaseConfig{K: c.k, Trials: 6, Seed: c.seed, Profile: DefaultProfile()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buzz := out[0]
+		if buzz.Undecoded.Mean != 0 {
+			t.Errorf("K=%d: buzz lost %.2f messages per trial, want 0", c.k, buzz.Undecoded.Mean)
+		}
+		if buzz.WrongPayload != 0 {
+			t.Errorf("K=%d: buzz delivered %d wrong payloads, want 0", c.k, buzz.WrongPayload)
+		}
+		if ms := buzz.TransferMillis.Mean; ms < c.msLo || ms > c.msHi {
+			t.Errorf("K=%d: mean transfer %.3f ms outside pre-rework band [%.1f, %.1f]",
+				c.k, ms, c.msLo, c.msHi)
+		}
+		// Small K can land exactly at 1 bit/symbol (K slots for K
+		// tags); larger K must beat TDMA's rate outright.
+		rateFloor := 1.0
+		if c.k >= 8 {
+			rateFloor = 1.05
+		}
+		if buzz.BitsPerSymbol.Mean < rateFloor {
+			t.Errorf("K=%d: aggregate rate %.3f below %.2f bits/symbol — the rateless gain is gone",
+				c.k, buzz.BitsPerSymbol.Mean, rateFloor)
+		}
+	}
+}
+
+// TestHeadlineStatisticsUnchanged keeps the abstract's summary ratios in
+// the pre-rework range: identification speedup ~4–5× and a positive
+// data-phase gain.
+func TestHeadlineStatisticsUnchanged(t *testing.T) {
+	h, err := RunHeadline(3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.IdentSpeedup < 2.5 || h.IdentSpeedup > 8 {
+		t.Errorf("identification speedup %.2f outside the pre-rework range [2.5, 8]", h.IdentSpeedup)
+	}
+	if h.DataRateGain < 0.8 || h.DataRateGain > 2.5 {
+		t.Errorf("data-phase gain %.2f outside the pre-rework range [0.8, 2.5]", h.DataRateGain)
+	}
+	if h.OverallSpeedup < 1.2 {
+		t.Errorf("overall speedup %.2f below the pre-rework floor 1.2", h.OverallSpeedup)
+	}
+}

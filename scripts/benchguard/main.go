@@ -1,0 +1,96 @@
+// Command benchguard is the CI bench-regression gate: it reads `go test
+// -bench` output on stdin, extracts the named benchmark's ns/op
+// measurements, and fails (exit 1) when their median regresses more
+// than -max-regress relative to the "after" series recorded in the
+// committed bench JSON (see scripts/bench.sh and BENCH_PR2.json).
+//
+//	go test -run '^$' -bench 'BenchmarkHeadline_Overall$' -count=3 . |
+//	    go run ./scripts/benchguard -json BENCH_PR2.json -bench BenchmarkHeadline_Overall
+//
+// The committed numbers come from the machine that produced the PR, so
+// the default 20% threshold is a catastrophic-regression catch, not a
+// microbenchmark referee; heterogeneous CI runners can raise it with
+// -max-regress.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	jsonPath := flag.String("json", "BENCH_PR2.json", "bench JSON with the recorded \"after\" series")
+	benchName := flag.String("bench", "BenchmarkHeadline_Overall", "benchmark to gate on")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed fractional ns/op regression")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*jsonPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+	var doc map[string]map[string]struct {
+		NsOp []float64 `json:"ns_op"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: parsing %s: %v\n", *jsonPath, err)
+		os.Exit(1)
+	}
+	ref, ok := doc["after"][*benchName]
+	if !ok || len(ref.NsOp) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: no recorded \"after\" ns/op for %s in %s\n", *benchName, *jsonPath)
+		os.Exit(1)
+	}
+	refMedian := median(ref.NsOp)
+
+	var got []float64
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if !strings.HasPrefix(line, *benchName) {
+			continue
+		}
+		fields := strings.Fields(line)
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] == "ns/op" {
+				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+					got = append(got, v)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(got) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: no %s measurements on stdin\n", *benchName)
+		os.Exit(1)
+	}
+	gotMedian := median(got)
+	ratio := gotMedian/refMedian - 1
+	fmt.Fprintf(os.Stderr, "benchguard: %s median %.0f ns/op vs recorded %.0f ns/op (%+.1f%%), limit +%.0f%%\n",
+		*benchName, gotMedian, refMedian, ratio*100, *maxRegress*100)
+	if ratio > *maxRegress {
+		fmt.Fprintln(os.Stderr, "benchguard: REGRESSION over limit")
+		os.Exit(1)
+	}
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

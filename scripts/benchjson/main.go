@@ -1,0 +1,122 @@
+// Command benchjson converts `go test -bench` output into the
+// repository's BENCH_*.json format. It reads bench output on stdin and
+// merges the parsed series into the JSON file given by -out under the
+// stage name given by -stage ("baseline" or "after"), so the same file
+// can accumulate a before/after pair across two runs:
+//
+//	go test -run '^$' -bench X -benchmem -count=5 | \
+//	    go run ./scripts/benchjson -out BENCH_PR2.json -stage baseline
+//
+// The JSON shape is
+//
+//	{
+//	  "baseline": {"BenchmarkX": {"ns_op": [..], "b_op": [..], "allocs_op": [..]}},
+//	  "after":    {...}
+//	}
+//
+// with one array element per -count repetition. CI's regression gate and
+// scripts/bench.sh both consume this format.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// series collects the repeated measurements of one benchmark.
+type series struct {
+	NsOp     []float64 `json:"ns_op"`
+	BOp      []float64 `json:"b_op,omitempty"`
+	AllocsOp []float64 `json:"allocs_op,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "JSON file to create or merge into")
+	stage := flag.String("stage", "after", "stage name to store the series under (baseline|after)")
+	flag.Parse()
+
+	doc := map[string]map[string]*series{}
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not valid bench JSON: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	// Merge per benchmark: a name seen on stdin starts a fresh series,
+	// but benchmarks absent from this run keep their recorded values —
+	// re-running a single benchmark must not drop the others.
+	stageMap := doc[*stage]
+	if stageMap == nil {
+		stageMap = map[string]*series{}
+		doc[*stage] = stageMap
+	}
+	fresh := map[string]bool{}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays readable
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		// Strip the -N GOMAXPROCS suffix go test appends to the name.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		s := stageMap[name]
+		if s == nil || !fresh[name] {
+			s = &series{}
+			stageMap[name] = s
+			fresh[name] = true
+		}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.NsOp = append(s.NsOp, v)
+			case "B/op":
+				s.BOp = append(s.BOp, v)
+			case "allocs/op":
+				s.AllocsOp = append(s.AllocsOp, v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(fresh) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no Benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote stage %q (%d benchmarks updated, %d total) to %s\n",
+		*stage, len(fresh), len(stageMap), *out)
+}
