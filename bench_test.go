@@ -22,6 +22,7 @@ import (
 	"repro/internal/phy"
 	"repro/internal/prng"
 	"repro/internal/ratedapt"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -207,6 +208,54 @@ func BenchmarkHeadline_Overall(b *testing.B) {
 	b.ReportMetric(res.IdentSpeedup, "ident-speedup-x")
 	b.ReportMetric(res.DataRateGain, "data-gain-x")
 	b.ReportMetric(res.OverallSpeedup, "overall-x")
+}
+
+// --- Scenario engine ----------------------------------------------------------------
+
+// benchScenario runs one declarative workload per iteration, stepping
+// the seed; the scenario-engine paths these cover (block fading,
+// Gauss–Markov retap, population churn with session growth) are the
+// series BENCH_PR3.json records and CI gates.
+func benchScenario(b *testing.B, spec scenario.Spec) {
+	b.ReportAllocs()
+	var lost, rate float64
+	for i := 0; i < b.N; i++ {
+		s := spec
+		s.Seed = spec.Seed + uint64(i)
+		out, err := sim.RunScenario(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lost = out.Schemes[0].Undecoded.Mean
+		rate = out.Schemes[0].BitsPerSymbol.Mean
+	}
+	b.ReportMetric(lost, "lost")
+	b.ReportMetric(rate, "bits/sym")
+}
+
+func BenchmarkScenario_BlockFading_K8(b *testing.B) {
+	benchScenario(b, scenario.Spec{
+		K: 8, Trials: 5, Seed: 4242, SNRLodB: 14, SNRHidB: 30,
+		Channel: scenario.ChannelSpec{Kind: scenario.KindBlockFading, BlockLen: 32},
+	})
+}
+
+func BenchmarkScenario_GaussMarkov_K8(b *testing.B) {
+	benchScenario(b, scenario.Spec{
+		K: 8, Trials: 5, Seed: 4242, SNRLodB: 14, SNRHidB: 30,
+		Channel: scenario.ChannelSpec{Kind: scenario.KindGaussMarkov, Rho: 0.999},
+	})
+}
+
+func BenchmarkScenario_PopulationChurn(b *testing.B) {
+	benchScenario(b, scenario.Spec{
+		K: 6, Trials: 5, Seed: 4242, SNRLodB: 14, SNRHidB: 30, MaxSlots: 400,
+		Channel: scenario.ChannelSpec{Kind: scenario.KindGaussMarkov, Rho: 0.998},
+		Population: []scenario.PopulationEvent{
+			{Slot: 5, Arrive: 2},
+			{Slot: 9, Depart: 1},
+		},
+	})
 }
 
 // --- Ablations ----------------------------------------------------------------------

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	buzzsim [-k 8] [-snr-lo 14] [-snr-hi 30] [-bytes 4] [-seed 1] [-periodic]
-//	        [-repeat 1] [-cpuprofile out.prof] [-memprofile heap.prof]
+//	        [-scenario spec.json] [-repeat 1]
+//	        [-cpuprofile out.prof] [-memprofile heap.prof]
 //
 // Example:
 //
@@ -14,6 +15,16 @@
 //	transfer: 17 slots, 7.86 ms, 0.71 bits/symbol
 //	tag 0xe9c0000: delivered at slot 3, payload 74616730
 //	...
+//
+// Declarative workloads run through the scenario engine (see the
+// README's "Writing scenario specs" section for the format):
+//
+//	$ buzzsim -scenario examples/scenarios/mobility.json
+//	scenario "forklift-aisle": 24 trials
+//	  buzz: 12.41 ms mean transfer, 0.12 lost, 0.86 bits/symbol, 0 wrong
+//
+// With -repeat N the spec is parsed once and run N times, stepping the
+// seed each run — the profiling loop for scenario paths.
 //
 // Profiling the real decode loop (not just microbenches):
 //
@@ -29,6 +40,8 @@ import (
 	"runtime/pprof"
 
 	"repro/buzz"
+	"repro/internal/scenario"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -38,7 +51,8 @@ func main() {
 	nBytes := flag.Int("bytes", 4, "payload size per tag in bytes")
 	seed := flag.Uint64("seed", 1, "session seed (deterministic replay)")
 	periodic := flag.Bool("periodic", false, "periodic network: skip identification (§4b)")
-	repeat := flag.Int("repeat", 1, "run the session this many times (iterating the seed); profiling runs want more samples than one session provides")
+	scenarioPath := flag.String("scenario", "", "run a declarative scenario spec (JSON) through the scenario engine instead of a single session")
+	repeat := flag.Int("repeat", 1, "run the session (or scenario) this many times (iterating the seed); profiling runs want more samples than one session provides")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the full run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
 	flag.Parse()
@@ -46,6 +60,19 @@ func main() {
 	if *k < 1 || *nBytes < 1 || *repeat < 1 {
 		fmt.Fprintln(os.Stderr, "buzzsim: -k, -bytes and -repeat must be positive")
 		os.Exit(2)
+	}
+	if *scenarioPath != "" {
+		// The spec is the whole workload: session flags do not compose
+		// with it, and silently ignoring an explicit -seed or -k would
+		// hand a seed sweep N copies of the same realization.
+		for _, name := range []string{"k", "snr-lo", "snr-hi", "bytes", "seed", "periodic"} {
+			set := false
+			flag.Visit(func(f *flag.Flag) { set = set || f.Name == name })
+			if set {
+				fmt.Fprintf(os.Stderr, "buzzsim: -%s does not apply with -scenario (set it in the spec file)\n", name)
+				os.Exit(2)
+			}
+		}
 	}
 	// Profile teardown must run before exiting, so the session work
 	// lives in run() and every error path returns through it.
@@ -61,7 +88,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	runErr := run(*k, *nBytes, *repeat, *seed, *snrLo, *snrHi, *periodic)
+	var runErr error
+	if *scenarioPath != "" {
+		runErr = runScenario(*scenarioPath, *repeat)
+	} else {
+		runErr = run(*k, *nBytes, *repeat, *seed, *snrLo, *snrHi, *periodic)
+	}
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -75,6 +107,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "buzzsim: %v\n", runErr)
 		os.Exit(1)
 	}
+}
+
+// runScenario parses the spec once and executes it repeat times,
+// stepping the seed per run — the parse is hoisted out of the loop so
+// profiling runs measure the engine, not JSON decoding.
+func runScenario(path string, repeat int) error {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	name := spec.Name
+	if name == "" {
+		name = path
+	}
+	for r := 0; r < repeat; r++ {
+		runSpec := spec
+		runSpec.Seed = spec.Seed + uint64(r)
+		out, err := sim.RunScenario(runSpec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scenario %q: %d trials, %d tags (%d initial), channel %s, seed %d\n",
+			name, runSpec.Trials, runSpec.TotalTags(), runSpec.K, runSpec.Channel.Kind, runSpec.Seed)
+		for _, sch := range out.Schemes {
+			fmt.Printf("  %-4s: %6.2f ms mean transfer, %.2f lost, %.2f bits/symbol, %.2f/%d delivered correct, %d wrong\n",
+				sch.Scheme, sch.TransferMillis.Mean, sch.Undecoded.Mean, sch.BitsPerSymbol.Mean,
+				sch.DeliveredCorrect.Mean, runSpec.TotalTags(), sch.WrongPayload)
+		}
+	}
+	return nil
 }
 
 func run(k, nBytes, repeat int, seed uint64, snrLo, snrHi float64, periodic bool) error {

@@ -8,6 +8,10 @@
 // rateless collision code slides below 1 bit/symbol instead and keeps
 // delivering.
 //
+// Each band is one declarative spec run through the scenario engine
+// (sim.RunScenario) — the same engine behind `buzzsim -scenario` —
+// rather than a hand-rolled trial loop over sim internals.
+//
 //	go run ./examples/challenged
 package main
 
@@ -15,12 +19,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/baseline/cdma"
-	"repro/internal/baseline/tdma"
-	"repro/internal/bits"
-	"repro/internal/channel"
-	"repro/internal/prng"
-	"repro/internal/ratedapt"
+	"repro/internal/scenario"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -29,51 +29,27 @@ func main() {
 	bands := [][2]float64{{19, 26}, {15, 22}, {6, 14}, {3, 15}, {4, 12}}
 
 	fmt.Printf("%-12s | %-18s | %-18s | %-18s\n", "SNR band", "BUZZ loss  [b/s]", "TDMA loss", "CDMA loss")
-	root := prng.NewSource(1234)
-	for _, band := range bands {
-		var buzzLost, tdmaLost, cdmaLost int
-		var buzzRate float64
-		for trial := 0; trial < trials; trial++ {
-			setup := root.Fork(uint64(trial))
-			msgs := make([]bits.Vector, k)
-			for i := range msgs {
-				msgs[i] = bits.Random(setup, 32)
-			}
-			ch := channel.NewFromSNRBand(k, band[0], band[1], setup)
-			ch.AGCNoiseFraction = 0.002
-			seeds := make([]uint64, k)
-			for i := range seeds {
-				seeds[i] = setup.Uint64()
-			}
-
-			rb, err := ratedapt.Transfer(ratedapt.Config{
-				Seeds: seeds, SessionSalt: setup.Uint64(), CRC: bits.CRC5,
-				Restarts: 3, MaxSlots: 600,
-			}, msgs, ch, setup.Fork(1), setup.Fork(2))
-			if err != nil {
-				log.Fatal(err)
-			}
-			buzzLost += rb.Lost()
-			buzzRate += rb.BitsPerSymbol
-
-			rt, err := tdma.Run(tdma.Config{CRC: bits.CRC5, UseMiller: true}, msgs, ch, setup.Fork(3))
-			if err != nil {
-				log.Fatal(err)
-			}
-			tdmaLost += rt.Lost()
-
-			rc, err := cdma.Run(cdma.Config{CRC: bits.CRC5}, msgs, ch, setup.Fork(4))
-			if err != nil {
-				log.Fatal(err)
-			}
-			cdmaLost += rc.Lost()
+	for bi, band := range bands {
+		out, err := sim.RunScenario(scenario.Spec{
+			Name:     fmt.Sprintf("challenged-band-%d", bi),
+			K:        k,
+			Trials:   trials,
+			Seed:     1234 + uint64(bi),
+			SNRLodB:  band[0],
+			SNRHidB:  band[1],
+			Restarts: 3,
+			MaxSlots: 600,
+			Schemes:  []string{scenario.SchemeBuzz, scenario.SchemeTDMA, scenario.SchemeCDMA},
+		})
+		if err != nil {
+			log.Fatal(err)
 		}
-		total := k * trials
+		buzz, tdma, cdma := out.Scheme("buzz"), out.Scheme("tdma"), out.Scheme("cdma")
 		fmt.Printf("(%2.0f-%2.0f) dB  | %5.1f%%     [%4.2f] | %5.1f%%            | %5.1f%%\n",
 			band[0], band[1],
-			100*float64(buzzLost)/float64(total), buzzRate/float64(trials),
-			100*float64(tdmaLost)/float64(total),
-			100*float64(cdmaLost)/float64(total))
+			100*buzz.Undecoded.Mean/float64(k), buzz.BitsPerSymbol.Mean,
+			100*tdma.Undecoded.Mean/float64(k),
+			100*cdma.Undecoded.Mean/float64(k))
 	}
 	fmt.Println("\n(paper: in the worst bands TDMA loses ~50% and CDMA up to 100%, while Buzz")
 	fmt.Println(" adapts its aggregate rate below 1 bit/symbol and loses nothing)")

@@ -3,11 +3,12 @@
 // every round to build a live heat map.
 //
 // In a periodic network the set of transmitting tags is known a priori,
-// so there is no identification phase at all: the session jumps straight
-// to the rateless data phase each round, using the tags' own ids as
-// code seeds. The example runs several reporting rounds and shows the
-// aggregate rate adapting round by round as the (simulated) environment
-// changes.
+// so there is no identification phase at all: each reporting round is
+// one rateless data-phase trial. The example declares the deployment as
+// a scenario spec — twelve sensors, a gently drifting (Gauss–Markov)
+// channel as the room's air and people move — feeds the per-round
+// temperature readings in through the engine's message hook, and reads
+// each round's deliveries back from the per-trial detail.
 //
 //	go run ./examples/heatmap
 package main
@@ -16,53 +17,71 @@ import (
 	"fmt"
 	"log"
 
-	"repro/buzz"
+	"repro/internal/bits"
+	"repro/internal/scenario"
+	"repro/internal/sim"
 )
 
 // sensorGrid is a 4x3 rack layout; each sensor reports its own
 // temperature as tenths of a degree in two bytes.
 const (
-	rows = 3
-	cols = 4
+	rows   = 3
+	cols   = 4
+	rounds = 3
 )
 
-func main() {
-	for round := 1; round <= 3; round++ {
-		// Synthesize this round's readings: a hot spot wanders across
-		// the rack row by row.
-		var tags []buzz.Tag
-		for r := 0; r < rows; r++ {
-			for c := 0; c < cols; c++ {
-				temp := 180 + 5*r + 3*c + 20*boolToInt(r == round%rows) // tenths of °C
-				tags = append(tags, buzz.Tag{
-					ID:      uint64(0x5E5000 + r*cols + c),
-					Payload: []byte{byte(temp >> 8), byte(temp)},
-				})
+// readingsFor synthesizes round r's readings: a hot spot wanders across
+// the rack row by row. (Rounds are the scenario's trials, 0-based.)
+func readingsFor(round int) []bits.Vector {
+	msgs := make([]bits.Vector, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			temp := 180 + 5*r + 3*c // tenths of °C
+			if r == (round+1)%rows {
+				temp += 20
 			}
+			v := make(bits.Vector, 16)
+			for b := 0; b < 16; b++ {
+				v[b] = temp>>(15-b)&1 == 1
+			}
+			msgs[r*cols+c] = v
 		}
+	}
+	return msgs
+}
 
-		// KnownSchedule: no identification round — the defining
-		// property of periodic backscatter networks.
-		sess, err := buzz.NewSession(tags, buzz.Options{
-			Seed:          uint64(9000 + round), // each round sees a fresh channel realization
-			KnownSchedule: true,
-			Channel:       buzz.ChannelSpec{SNRLodB: 12, SNRHidB: 26},
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := sess.TransferData()
-		if err != nil {
-			log.Fatal(err)
-		}
+func main() {
+	spec := scenario.Spec{
+		Name:        "heatmap",
+		K:           rows * cols,
+		Trials:      rounds,
+		Seed:        9001,
+		SNRLodB:     12,
+		SNRHidB:     26,
+		MessageBits: 16,
+		Channel:     scenario.ChannelSpec{Kind: scenario.KindGaussMarkov, Rho: 0.999},
+	}
+	out, err := sim.RunScenarioOpts(spec, sim.ScenarioOptions{
+		Messages:   readingsFor,
+		KeepTrials: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
+	for round, tr := range out.Trials {
 		fmt.Printf("round %d: %d/%d sensors in %d slots (%.2f ms, %.2f bits/symbol)\n",
-			round, res.Delivered(), rows*cols, res.Slots, res.Millis, res.BitsPerSymbol)
+			round+1, delivered(tr), rows*cols, tr.SlotsUsed, tr.Millis, tr.BitsPerSymbol)
 		for r := 0; r < rows; r++ {
 			for c := 0; c < cols; c++ {
-				tr := res.Tags[r*cols+c]
-				if tr.Delivered {
-					temp := int(tr.Payload[0])<<8 | int(tr.Payload[1])
+				if p := tr.Payloads[r*cols+c]; p != nil {
+					temp := 0
+					for _, bit := range p {
+						temp <<= 1
+						if bit {
+							temp |= 1
+						}
+					}
 					fmt.Printf(" %4.1f°C", float64(temp)/10)
 				} else {
 					fmt.Printf("   ?   ")
@@ -74,9 +93,12 @@ func main() {
 	}
 }
 
-func boolToInt(b bool) int {
-	if b {
-		return 1
+func delivered(tr sim.BuzzTrial) int {
+	n := 0
+	for _, ok := range tr.Verified {
+		if ok {
+			n++
+		}
 	}
-	return 0
+	return n
 }

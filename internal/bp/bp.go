@@ -166,6 +166,39 @@ func (g *Graph) SetTaps(taps []complex128) {
 	}
 }
 
+// RetapTag installs a new tap for tag i, updating the derived caches
+// (|h|², hoisted conjugate parts, |h|²·w) in O(1). Callers owning
+// cached descent state must patch or rebuild it themselves — that is
+// Session.RetapAll's job.
+func (g *Graph) RetapTag(i int, h complex128) {
+	re, im := real(h), imag(h)
+	g.taps[i] = h
+	g.tapPower[i] = re*re + im*im
+	g.tapRe[i], g.tapIm[i] = re, im
+	g.wPow[i] = g.tapPower[i] * float64(len(g.colRows[i]))
+}
+
+// AddTag grows the graph by one column: a tag joining the round
+// mid-transfer, with no participation yet, active, carrying the given
+// tap. Existing rows are untouched (the tag was silent in them).
+func (g *Graph) AddTag(h complex128) {
+	k := g.K
+	if k < cap(g.colRows) {
+		g.colRows = g.colRows[:k+1]
+		g.colRows[k] = g.colRows[k][:0]
+	} else {
+		g.colRows = append(g.colRows, nil)
+	}
+	g.deactivated = append(g.deactivated, false)
+	re, im := real(h), imag(h)
+	g.taps = append(g.taps, h)
+	g.tapPower = append(g.tapPower, re*re+im*im)
+	g.tapRe = append(g.tapRe, re)
+	g.tapIm = append(g.tapIm, im)
+	g.wPow = append(g.wPow, 0)
+	g.K = k + 1
+}
+
 // AppendRow grows the graph by one collision row: row[i] reports whether
 // tag i participates in the new symbol. Cost is O(K) for the scan and
 // O(colliders) for the adjacency updates; storage is reused across

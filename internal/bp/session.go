@@ -91,6 +91,8 @@ type Session struct {
 	// the graph; SetTaps invalidates, the next DecodeSlot rebuilds.
 	stateValid bool
 	prevLocked []bool
+	// retapIdx is RetapAll's changed-tag staging buffer.
+	retapIdx []int
 
 	// Per-DecodeSlot fan-out context, read-only while workers run.
 	curSlot   int
@@ -270,6 +272,193 @@ func (s *Session) InitPositions(est []bits.Vector) {
 func (s *Session) SetTaps(taps []complex128) {
 	s.g.SetTaps(taps)
 	s.stateValid = false
+}
+
+// RetapAll installs new channel taps, patching the cached per-position
+// state incrementally where that is cheaper than a rebuild. For each
+// changed unlocked tag i the patch is O(frameLen · w_i · colliders):
+// every absorbed residual entry of a row tag i transmits a 1 in moves
+// by h_old − h_new, the touched S-sums move with it, and one O(K) sweep
+// per position re-derives the gains. Two cases fall back to full
+// invalidation (the next DecodeSlot rebuilds from the observations):
+// a locked tag's tap moved (its contribution lives in the locked-base
+// residuals and the frozen-row error constants), or at least half the
+// taps moved (block fade — the rebuild touches less memory than the
+// per-tag patches would). The two paths agree up to floating-point
+// association (the patch adds tap deltas onto cached residuals instead
+// of re-summing them), and the path taken depends only on which taps
+// moved — never on parallelism or scheduling — so same-seed transfers
+// remain byte-identical.
+//
+// RetapAll does NOT refresh the cached per-position errors (that would
+// cost a full O(frameLen·L) residual-norm sweep, more than the patch
+// itself): like AppendSlot, it invalidates PosError and
+// ConditionalMargin until the next DecodeSlot recomputes them. Call
+// order per slot is retap → append → decode → gates, as the transfer
+// loops do.
+func (s *Session) RetapAll(taps []complex128) {
+	if len(taps) != s.k {
+		panic(fmt.Sprintf("bp: RetapAll got %d taps for %d tags", len(taps), s.k))
+	}
+	changed := s.retapIdx[:0]
+	for i, h := range taps {
+		if h != s.g.taps[i] {
+			changed = append(changed, i)
+		}
+	}
+	s.retapIdx = changed[:0]
+	if len(changed) == 0 {
+		return
+	}
+	full := !s.stateValid || 2*len(changed) >= s.k
+	if !full {
+		for _, i := range changed {
+			if s.prevLocked[i] {
+				full = true
+				break
+			}
+		}
+	}
+	if full {
+		for _, i := range changed {
+			s.g.RetapTag(i, taps[i])
+		}
+		s.stateValid = false
+		return
+	}
+	for _, i := range changed {
+		delta := s.g.taps[i] - taps[i]
+		s.g.RetapTag(i, taps[i])
+		for p := 0; p < s.frameLen; p++ {
+			if !s.posBits[p*s.k+i] {
+				continue
+			}
+			st := &s.states[p]
+			for _, row := range s.g.colRows[i] {
+				if row >= len(st.residual) {
+					break // not yet absorbed; appendRow uses the new taps
+				}
+				st.residual[row] += delta
+				for _, j := range s.g.rowActive[row] {
+					st.sum[j] += delta
+				}
+			}
+		}
+	}
+	// Sums and tap caches moved under the gains; one sweep per position
+	// re-derives every unlocked gain and rebuilds the argmax tree.
+	for p := 0; p < s.frameLen; p++ {
+		st := &s.states[p]
+		for i := 0; i < s.k; i++ {
+			if !s.prevLocked[i] {
+				st.gain[i] = st.gainOf(&s.g, i)
+			}
+		}
+		if st.useTree {
+			st.treeBuild(s.k)
+		}
+	}
+}
+
+// restripe resizes a per-position striped backing from stride oldK to
+// stride newK, preserving each position's first oldK entries; the new
+// tail entries of each stripe are garbage the caller initializes.
+func restripe[T any](buf []T, frameLen, oldK, newK int) []T {
+	need := frameLen * newK
+	if cap(buf) < need {
+		next := make([]T, need, scratch.CeilPow2(need))
+		for p := 0; p < frameLen; p++ {
+			copy(next[p*newK:p*newK+oldK], buf[p*oldK:(p+1)*oldK])
+		}
+		return next
+	}
+	buf = buf[:need]
+	// In place: destination stripes sit at or above their sources, so a
+	// top-down walk never clobbers an uncopied source (copy is memmove).
+	for p := frameLen - 1; p >= 0; p-- {
+		copy(buf[p*newK:p*newK+oldK], buf[p*oldK:(p+1)*oldK])
+	}
+	return buf
+}
+
+// Grow admits tags into a mid-transfer session — the dynamic-population
+// path, where a tag identified mid-round joins the decode without
+// restarting it. Each new tag gets the given decoder tap and initial
+// per-position bit estimates (est[j][p] = new tag j's starting bit at
+// position p). The graph gains empty active columns (the tag was silent
+// in every absorbed row), every per-position stripe is re-laid for the
+// larger K, and all cached residuals, S-sums, gains and locks of the
+// existing tags survive: the next DecodeSlot continues their descent
+// exactly where it left off. Growth is a rare event (an arrival burst),
+// so this path may allocate.
+func (s *Session) Grow(taps []complex128, est []bits.Vector) {
+	n := len(taps)
+	if n == 0 {
+		return
+	}
+	if len(est) != n {
+		panic(fmt.Sprintf("bp: Grow got %d estimates for %d new tags", len(est), n))
+	}
+	for j, e := range est {
+		if len(e) != s.frameLen {
+			panic(fmt.Sprintf("bp: Grow estimate %d has %d bits, frame has %d", j, len(e), s.frameLen))
+		}
+	}
+	oldK := s.k
+	k2 := oldK + n
+	for _, h := range taps {
+		s.g.AddTag(h)
+	}
+
+	s.sumBacking = restripe(s.sumBacking, s.frameLen, oldK, k2)
+	s.gainBacking = restripe(s.gainBacking, s.frameLen, oldK, k2)
+	s.bSignBacking = restripe(s.bSignBacking, s.frameLen, oldK, k2)
+	s.posBits = restripe(s.posBits, s.frameLen, oldK, k2)
+	s.ambiguous = growBools(s.ambiguous, s.frameLen*k2)
+	treeLen := 2 * scratch.CeilPow2(k2)
+	s.treeBacking = growInts(s.treeBacking, s.frameLen*treeLen)
+	s.dirtyBacking = growInts(s.dirtyBacking, s.frameLen*k2)
+	s.inDirtyBacking = growBools(s.inDirtyBacking, s.frameLen*k2)
+	clear(s.inDirtyBacking)
+	if cap(s.prevLocked) < k2 {
+		next := make([]bool, k2, scratch.CeilPow2(k2))
+		copy(next, s.prevLocked)
+		s.prevLocked = next
+	} else {
+		s.prevLocked = s.prevLocked[:k2]
+		clear(s.prevLocked[oldK:])
+	}
+	s.k = k2
+
+	for p := 0; p < s.frameLen; p++ {
+		st := &s.states[p]
+		st.sum = s.sumBacking[p*k2 : (p+1)*k2]
+		st.gain = s.gainBacking[p*k2 : (p+1)*k2]
+		st.bSign = s.bSignBacking[p*k2 : (p+1)*k2]
+		st.allocTree(k2, s.treeBacking[p*treeLen:(p+1)*treeLen])
+		st.allocDirty(s.dirtyBacking[p*k2:(p+1)*k2], s.inDirtyBacking[p*k2:(p+1)*k2])
+		for j := range est {
+			i := oldK + j
+			bit := bool(est[j][p])
+			s.posBits[p*k2+i] = bit
+			st.sum[i] = 0
+			if bit {
+				st.bSign[i] = -1
+			} else {
+				st.bSign[i] = 1
+			}
+			// No observations constrain the new tag yet: w = 0, so its
+			// gain is exactly 0 — never worth flipping, never −∞.
+			st.gain[i] = st.gainOf(&s.g, i)
+		}
+		if st.useTree {
+			st.treeBuild(k2)
+		}
+	}
+	for w := range s.wstates {
+		s.wstates[w].shape(k2, s.maxSlots, 1+s.restarts)
+	}
+	s.cond.shape(k2, s.maxSlots, 1)
 }
 
 // AppendSlot feeds the session one new collision slot: the
@@ -560,7 +749,9 @@ func (s *Session) decodePosition(p int, ws *workerState) {
 // loop's acceptance gate costs one O(w_i) flip plus the re-descent
 // rather than two from-scratch residual builds per (position, tag).
 // It must be called from the session's owning goroutine (it shares one
-// workspace), between DecodeSlot calls.
+// workspace), after a DecodeSlot and before the next state mutation
+// (AppendSlot, RetapAll, Grow) — the cached error it reuses is only
+// valid inside that window.
 func (s *Session) ConditionalMargin(p, i int, locked []bool) float64 {
 	g := &s.g
 	w := g.Degree(i)

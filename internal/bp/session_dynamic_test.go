@@ -1,0 +1,306 @@
+package bp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/prng"
+)
+
+// sessionDriver drives a bare Session through synthetic collision
+// slots: random participation rows and observations, deterministic
+// from the seed.
+type sessionDriver struct {
+	k, frameLen int
+	src         *prng.Source
+}
+
+func (d *sessionDriver) slot() (bits.Vector, []complex128) {
+	row := make(bits.Vector, d.k)
+	any := false
+	for i := range row {
+		row[i] = d.src.Bernoulli(0.4)
+		any = any || bool(row[i])
+	}
+	if !any {
+		row[d.src.IntN(d.k)] = true
+	}
+	obs := make([]complex128, d.frameLen)
+	for p := range obs {
+		obs[p] = complex(d.src.NormFloat64(), d.src.NormFloat64())
+	}
+	return row, obs
+}
+
+func randomTaps(k int, src *prng.Source) []complex128 {
+	taps := make([]complex128, k)
+	for i := range taps {
+		taps[i] = complex(1+src.Float64(), src.Float64()-0.5)
+	}
+	return taps
+}
+
+func randomEstimates(k, frameLen int, src *prng.Source) []bits.Vector {
+	est := make([]bits.Vector, k)
+	for i := range est {
+		est[i] = make(bits.Vector, frameLen)
+		bits.RandomInto(src, est[i])
+	}
+	return est
+}
+
+// closeTo compares within relative tolerance tol; tol 0 demands exact
+// equality.
+func closeTo(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// decodeCompare runs DecodeSlot on both sessions and fails on any
+// divergence in margins, ambiguity flags, per-position bits or errors.
+// tol bounds the float divergence: 0 before any incremental retap
+// (identical code paths must agree exactly), a few ULPs' worth after
+// one (the patch adds tap deltas onto cached residuals instead of
+// re-summing, a different float association than the rebuild). Bits
+// and ambiguity flags must always match exactly.
+func decodeCompare(t *testing.T, a, b *Session, slot int, locked []bool, base uint64, k, frameLen int, tol float64) {
+	t.Helper()
+	am, bm := make([]float64, k), make([]float64, k)
+	aa, ba := make([]bool, k), make([]bool, k)
+	a.DecodeSlot(slot, locked, base, am, aa)
+	b.DecodeSlot(slot, locked, base, bm, ba)
+	for i := 0; i < k; i++ {
+		if !closeTo(am[i], bm[i], tol) || aa[i] != ba[i] {
+			t.Fatalf("slot %d tag %d: margins/ambiguity diverged: (%v,%v) vs (%v,%v)", slot, i, am[i], aa[i], bm[i], ba[i])
+		}
+	}
+	for p := 0; p < frameLen; p++ {
+		if !closeTo(a.PosError(p), b.PosError(p), tol) {
+			t.Fatalf("slot %d position %d: error diverged: %v vs %v", slot, p, a.PosError(p), b.PosError(p))
+		}
+		pa, pb := a.PosBits(p), b.PosBits(p)
+		for i := 0; i < k; i++ {
+			if pa[i] != pb[i] {
+				t.Fatalf("slot %d position %d tag %d: bits diverged", slot, p, i)
+			}
+		}
+	}
+}
+
+// verifyState recomputes every position's residual, unlocked S-sums
+// and gains from the session's observations, current bits and current
+// taps, and fails if the cached state disagrees beyond tol — the
+// white-box contract RetapAll's incremental patch must keep. (Exact
+// equality is not required: the patch adds tap deltas onto cached
+// residuals, a different float association than the rebuild.)
+func verifyState(t *testing.T, s *Session, locked []bool, tol float64, what string) {
+	t.Helper()
+	if !s.stateValid {
+		t.Fatalf("%s: state invalidated, expected an incremental patch", what)
+	}
+	g := &s.g
+	for p := 0; p < s.frameLen; p++ {
+		st := &s.states[p]
+		myBits := s.PosBits(p)
+		for row := 0; row < g.L; row++ {
+			want := s.ys[p][row]
+			for _, i := range g.rowCols[row] {
+				if myBits[i] {
+					want -= g.taps[i]
+				}
+			}
+			got := st.residual[row]
+			if !closeTo(real(got), real(want), tol) || !closeTo(imag(got), imag(want), tol) {
+				t.Fatalf("%s: position %d row %d residual %v, want %v", what, p, row, got, want)
+			}
+		}
+		for i := 0; i < s.k; i++ {
+			if locked[i] {
+				if !math.IsInf(st.gain[i], -1) {
+					t.Fatalf("%s: position %d locked tag %d gain %v, want -Inf", what, p, i, st.gain[i])
+				}
+				continue
+			}
+			var sum complex128
+			for _, row := range g.colRows[i] {
+				sum += st.residual[row]
+			}
+			if !closeTo(real(st.sum[i]), real(sum), tol) || !closeTo(imag(st.sum[i]), imag(sum), tol) {
+				t.Fatalf("%s: position %d tag %d sum %v, want %v", what, p, i, st.sum[i], sum)
+			}
+			corr := g.tapRe[i]*real(st.sum[i]) + g.tapIm[i]*imag(st.sum[i])
+			want := 2*corr*st.bSign[i] - g.wPow[i]
+			if !closeTo(st.gain[i], want, tol) {
+				t.Fatalf("%s: position %d tag %d gain %v, want %v", what, p, i, st.gain[i], want)
+			}
+		}
+	}
+}
+
+// TestSessionRetapAllPatchesState pins the incremental retap path: a
+// minority-tap perturbation must keep the session's cached residuals,
+// S-sums and gains consistent with a from-scratch recompute under the
+// new taps (within float round-off) without invalidating the state,
+// and decoding must continue cleanly; a majority perturbation or a
+// locked tag's move must take the rebuild fall-back.
+func TestSessionRetapAllPatchesState(t *testing.T) {
+	const (
+		k        = 9
+		frameLen = 7
+		maxSlots = 32
+		restarts = 2
+	)
+	src := prng.NewSource(0x137A)
+	taps := randomTaps(k, src)
+	est := randomEstimates(k, frameLen, src)
+	drv := &sessionDriver{k: k, frameLen: frameLen, src: src}
+
+	s := NewSession()
+	defer s.Close()
+	s.Begin(k, frameLen, maxSlots, 1, restarts, taps)
+	s.InitPositions(est)
+
+	locked := make([]bool, k)
+	minMargin := make([]float64, k)
+	ambiguous := make([]bool, k)
+	const base = 0xBA5E
+	slot := 1
+	for ; slot <= 4; slot++ {
+		row, obs := drv.slot()
+		s.AppendSlot(row, obs)
+		s.DecodeSlot(slot, locked, base, minMargin, ambiguous)
+		if slot == 2 {
+			locked[3] = true // a mid-transfer CRC lock, folded next decode
+		}
+	}
+
+	// Perturb a minority of unlocked taps: the incremental patch path.
+	newTaps := append([]complex128(nil), taps...)
+	newTaps[0] *= complex(1.02, 0.01)
+	newTaps[5] *= complex(0.97, -0.02)
+	s.RetapAll(newTaps)
+	verifyState(t, s, locked, 1e-9, "after first retap")
+
+	for ; slot <= 8; slot++ {
+		row, obs := drv.slot()
+		s.AppendSlot(row, obs)
+		s.DecodeSlot(slot, locked, base, minMargin, ambiguous)
+		for p := 0; p < frameLen; p++ {
+			if math.IsNaN(s.PosError(p)) {
+				t.Fatalf("slot %d position %d: error is NaN", slot, p)
+			}
+		}
+	}
+	// Patch again on the warm post-decode state.
+	newTaps[6] *= complex(0.99, 0.015)
+	s.RetapAll(newTaps)
+	verifyState(t, s, locked, 1e-9, "after second retap")
+
+	// A locked tag's move forces the rebuild fall-back.
+	lockedMove := append([]complex128(nil), newTaps...)
+	lockedMove[3] *= complex(1.01, 0)
+	s.RetapAll(lockedMove)
+	if s.stateValid {
+		t.Fatal("locked-tag retap did not invalidate the cached state")
+	}
+	row, obs := drv.slot()
+	s.AppendSlot(row, obs)
+	s.DecodeSlot(slot, locked, base, minMargin, ambiguous)
+	verifyState(t, s, locked, 1e-9, "after rebuild")
+
+	// A majority move also falls back to the rebuild.
+	for i := range lockedMove {
+		lockedMove[i] *= complex(1.01, -0.005)
+	}
+	s.RetapAll(lockedMove)
+	if s.stateValid {
+		t.Fatal("majority retap did not invalidate the cached state")
+	}
+}
+
+// TestSessionGrowMatchesFresh pins Grow against a from-scratch session:
+// a session that starts with k0 tags, absorbs slots, then grows to k2
+// must decode exactly like a session born with k2 tags whose extra
+// columns simply never participated in the early rows. Restarts are 0
+// here so per-position random draws don't depend on K; the restart path
+// under growth is covered end to end by the ratedapt dynamic tests.
+func TestSessionGrowMatchesFresh(t *testing.T) {
+	const (
+		k0       = 5
+		kNew     = 2
+		k2       = k0 + kNew
+		frameLen = 6
+		maxSlots = 24
+	)
+	src := prng.NewSource(0x6120)
+	taps := randomTaps(k2, src)
+	est := randomEstimates(k2, frameLen, src)
+	drv := &sessionDriver{k: k2, frameLen: frameLen, src: src}
+	rows := make([]bits.Vector, 0, 8)
+	obss := make([][]complex128, 0, 8)
+	for s := 0; s < 8; s++ {
+		row, obs := drv.slot()
+		if s < 4 {
+			// Pre-growth slots: the latecomers are silent.
+			for i := k0; i < k2; i++ {
+				row[i] = false
+			}
+		}
+		rows = append(rows, row)
+		obss = append(obss, obs)
+	}
+
+	grown := NewSession()
+	defer grown.Close()
+	grown.Begin(k0, frameLen, maxSlots, 1, 0, taps[:k0])
+	grown.InitPositions(est[:k0])
+	fresh := NewSession()
+	defer fresh.Close()
+	fresh.Begin(k2, frameLen, maxSlots, 1, 0, taps)
+	fresh.InitPositions(est)
+
+	locked := make([]bool, k2)
+	const base = 0x9120
+	for s := 0; s < 4; s++ {
+		grown.AppendSlot(rows[s][:k0], obss[s])
+		fresh.AppendSlot(rows[s], obss[s])
+		gm, fm := make([]float64, k0), make([]float64, k2)
+		ga, fa := make([]bool, k0), make([]bool, k2)
+		grown.DecodeSlot(s+1, locked[:k0], base, gm, ga)
+		fresh.DecodeSlot(s+1, locked, base, fm, fa)
+		for i := 0; i < k0; i++ {
+			if gm[i] != fm[i] || ga[i] != fa[i] {
+				t.Fatalf("pre-growth slot %d tag %d diverged", s+1, i)
+			}
+		}
+		if s == 1 {
+			locked[1] = true
+		}
+	}
+	grown.Grow(taps[k0:], est[k0:])
+	if grown.Slots() != fresh.Slots() {
+		t.Fatalf("slot counts diverged: %d vs %d", grown.Slots(), fresh.Slots())
+	}
+	for s := 4; s < 8; s++ {
+		grown.AppendSlot(rows[s], obss[s])
+		fresh.AppendSlot(rows[s], obss[s])
+		decodeCompare(t, grown, fresh, s+1, locked, base, k2, frameLen, 0)
+		if s == 5 {
+			locked[k0] = true // lock a latecomer too
+		}
+	}
+	for i := 0; i < k2; i++ {
+		if d := grown.Degree(i); d != fresh.Degree(i) {
+			t.Fatalf("degree diverged for tag %d: %d vs %d", i, d, fresh.Degree(i))
+		}
+	}
+	for p := 0; p < frameLen; p++ {
+		if math.IsNaN(grown.PosError(p)) {
+			t.Fatalf("position %d error is NaN", p)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package ratedapt
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/bp"
+	"repro/internal/channel"
+	"repro/internal/prng"
+)
+
+// RosterTag is one tag of a dynamic-population transfer: the scenario
+// engine's unit of churn. The full roster is fixed up front (it indexes
+// the channel process's taps), but tags enter and leave the round at
+// their scheduled slots.
+type RosterTag struct {
+	// Seed is the tag's data-phase temporary id — what re-identification
+	// assigned it when it joined the round.
+	Seed uint64
+	// Message is the tag's payload. All roster messages must have equal
+	// length (§6 footnote 5).
+	Message bits.Vector
+	// ArriveSlot is the 1-based slot from which the tag is present; 0 or
+	// 1 means present from the start. Roster tags must be ordered by
+	// nondecreasing ArriveSlot — the decode session grows columns in
+	// roster order.
+	ArriveSlot int
+	// DepartSlot, when positive, is the slot from which the tag's radio
+	// is gone (it left the reader's field). The reader learns of the
+	// departure (the same upper layer that schedules the inventory
+	// round reports it) and retires the tag: its current estimate is
+	// frozen out of the decode fan-out, and its message — unless
+	// already verified — counts as lost.
+	DepartSlot int
+}
+
+// Arrive returns the tag's effective arrival slot: ArriveSlot clamped
+// up to 1 ("present from the start"). Presence accounting everywhere —
+// the transfer engine and the scenario layer's re-identification hook —
+// goes through this one definition.
+func (r *RosterTag) Arrive() int {
+	if r.ArriveSlot < 1 {
+		return 1
+	}
+	return r.ArriveSlot
+}
+
+// DynamicResult is a Result plus population accounting. Per-tag slices
+// are in roster order.
+type DynamicResult struct {
+	Result
+	// Retired flags tags that departed before their message verified.
+	Retired []bool
+	// ReidentBitSlots accumulates the uplink bit-slot cost that
+	// Config.OnArrival charged for mid-round re-identification bursts.
+	ReidentBitSlots int
+}
+
+// TransferDynamic runs the rateless data phase over a time-varying
+// channel and a dynamic tag population: the scenario engine's transfer
+// primitive. air synthesizes the received symbols from the taps in
+// effect at each slot; decoder supplies the taps the reader decodes
+// with (pass the same Process for the genie-aided condition the sim
+// package's experiments use). Both processes cover the full roster,
+// column i = roster tag i.
+//
+// Arrivals grow the decode session mid-round (bp.Session.Grow): locked
+// tags stay locked, absorbed collisions are kept, and the newcomer
+// joins the code from its arrival slot on. Departures retire tags from
+// the flip fan-out without restarting the round. Channel drift is
+// folded into the cached decoder state incrementally
+// (bp.Session.RetapAll).
+//
+// With a static process and an event-free roster, TransferDynamic is
+// byte-identical to Transfer — the equivalence tests pin that, so the
+// scenario engine's static workloads reproduce the classic
+// experiments exactly.
+//
+// cfg.Seeds must be empty (seeds ride on the roster); RefineChannel,
+// SilenceDecoded and DiesAtSlot are not supported on this path
+// (departures subsume radio death, and decision-directed refinement
+// of a drifting genie channel is a contradiction).
+func TransferDynamic(cfg Config, roster []RosterTag, air, decoder channel.Process, noiseSrc, decodeSrc *prng.Source) (*DynamicResult, error) {
+	kTot := len(roster)
+	if kTot == 0 {
+		return &DynamicResult{}, nil
+	}
+	if len(cfg.Seeds) != 0 {
+		return nil, fmt.Errorf("ratedapt: TransferDynamic takes seeds from the roster; Config.Seeds must be empty")
+	}
+	if cfg.RefineChannel || cfg.SilenceDecoded || cfg.DiesAtSlot != nil {
+		return nil, fmt.Errorf("ratedapt: RefineChannel/SilenceDecoded/DiesAtSlot are not supported by TransferDynamic")
+	}
+	if air.K() != kTot || decoder.K() != kTot {
+		return nil, fmt.Errorf("ratedapt: air covers %d tags, decoder %d, roster has %d", air.K(), decoder.K(), kTot)
+	}
+	msgLen := len(roster[0].Message)
+	k0 := 0
+	for i := range roster {
+		rt := &roster[i]
+		if len(rt.Message) != msgLen {
+			return nil, fmt.Errorf("ratedapt: roster message %d has %d bits, others %d — equal lengths required", i, len(rt.Message), msgLen)
+		}
+		if i > 0 && rt.Arrive() < roster[i-1].Arrive() {
+			return nil, fmt.Errorf("ratedapt: roster not ordered by arrival (tag %d arrives at %d after tag %d at %d)",
+				i, rt.Arrive(), i-1, roster[i-1].Arrive())
+		}
+		if rt.DepartSlot > 0 && rt.DepartSlot <= rt.Arrive() {
+			return nil, fmt.Errorf("ratedapt: roster tag %d departs at slot %d but only arrives at %d", i, rt.DepartSlot, rt.Arrive())
+		}
+		if rt.Arrive() == 1 {
+			k0++
+		}
+	}
+	if k0 == 0 {
+		return nil, fmt.Errorf("ratedapt: at least one roster tag must be present at slot 1")
+	}
+	frameLen := msgLen + cfg.CRC.Width()
+	frames := make([]bits.Vector, kTot)
+	for i := range roster {
+		frames[i] = bits.Message{Payload: roster[i].Message, Kind: cfg.CRC}.Frame()
+	}
+	maxSlots := cfg.MaxSlots
+	if maxSlots <= 0 {
+		maxSlots = 40 * kTot
+	}
+	sc := cfg.Scratch
+	trialMark := sc.Mark()
+	defer sc.Release(trialMark)
+	sess := cfg.Session
+	if sess == nil {
+		sess = bp.GetSession()
+		defer bp.PutSession(sess)
+	}
+	dm := decoder.ModelAt(1)
+	sess.Begin(k0, frameLen, maxSlots, cfg.Parallelism, cfg.Restarts, dm.Taps[:k0])
+
+	estimates := make([]bits.Vector, kTot)
+	for i := 0; i < k0; i++ {
+		estimates[i] = bits.Vector(sc.Bool(frameLen))
+		bits.RandomInto(decodeSrc, estimates[i])
+	}
+	sess.InitPositions(estimates[:k0])
+	decodeBase := decodeSrc.Uint64()
+	// Arrivals seed their initial estimates from per-(slot, tag)
+	// addressable streams under a separate base, so joining mid-round
+	// consumes nothing from decodeSrc and cannot shift any other stream.
+	arrivalBase := prng.Mix2(decodeBase, 0xA221)
+
+	locked := make([]bool, kTot)   // frozen in the decode: verified or retired
+	verified := make([]bool, kTot) // CRC-accepted
+	departed := sc.Bool(kTot)
+	decodedAt := make([]int, kTot)
+	res := &DynamicResult{
+		Result: Result{
+			Frames:        make([]bits.Vector, kTot),
+			Verified:      verified,
+			DecodedAtSlot: decodedAt,
+			Participation: make([]int, kTot),
+			Progress:      make([]SlotResult, 0, min(maxSlots, 4*kTot+16)),
+		},
+		Retired: make([]bool, kTot),
+	}
+	gs := gateState{
+		estimates:    estimates,
+		locked:       locked,
+		decodedAt:    decodedAt,
+		candidates:   make([]*pendingFrame, kTot),
+		frameChanged: sc.Bool(kTot),
+		frameOK:      sc.Bool(kTot),
+		crcValid:     sc.Bool(kTot),
+		frames:       res.Frames,
+	}
+
+	// Air staging, as in TransferEstimated: per-slot index lists so each
+	// position's superposition walks only the colliders. tagPow mirrors
+	// the air model's tap powers and is refreshed whenever the air moves
+	// or the population grows.
+	obs := sc.Complex(frameLen)
+	activeIdx := sc.Int(kTot)
+	bitIdx := sc.Int(kTot)
+	tagPow := sc.Float(kTot)
+	var am *channel.Model
+	powStale := true
+
+	nJ := k0       // roster tags joined so far (graph columns)
+	nextArr := k0  // next roster index awaiting arrival
+	nResolved := 0 // joined tags locked (verified or retired)
+	density := participationDensity(cfg.Density, k0)
+	totalDecoded := 0
+
+	popChanged := false
+	for slot := 1; slot <= maxSlots && !(nextArr == kTot && nResolved == nJ); slot++ {
+		// --- Population events. ---
+		if nextArr < kTot && roster[nextArr].Arrive() <= slot {
+			first := nextArr
+			for nextArr < kTot && roster[nextArr].Arrive() <= slot {
+				nextArr++
+			}
+			dm = decoder.ModelAt(slot)
+			newEst := make([]bits.Vector, nextArr-first)
+			var src prng.Source
+			for j := range newEst {
+				e := make(bits.Vector, frameLen)
+				src.Reseed(prng.Mix3(arrivalBase, uint64(slot), uint64(first+j)))
+				bits.RandomInto(&src, e)
+				newEst[j] = e
+				estimates[first+j] = e
+			}
+			sess.Grow(dm.Taps[first:nextArr], newEst)
+			nJ = nextArr
+			popChanged = true
+			powStale = true
+			if cfg.OnArrival != nil {
+				arriving := make([]int, 0, nextArr-first)
+				for i := first; i < nextArr; i++ {
+					arriving = append(arriving, i)
+				}
+				res.ReidentBitSlots += cfg.OnArrival(slot, arriving)
+			}
+		}
+		for i := 0; i < nJ; i++ {
+			if roster[i].DepartSlot > 0 && slot >= roster[i].DepartSlot && !departed[i] {
+				departed[i] = true
+				popChanged = true
+				if !locked[i] {
+					// Retire: freeze the reader's best estimate of the
+					// departed tag out of the fan-out; its message is lost.
+					locked[i] = true
+					res.Retired[i] = true
+					nResolved++
+				}
+			}
+		}
+		if popChanged {
+			// The reader re-tunes the participation density to the tags
+			// actually on the air, once per slot after both event kinds.
+			present := 0
+			for i := 0; i < nJ; i++ {
+				if !departed[i] {
+					present++
+				}
+			}
+			density = participationDensity(cfg.Density, present)
+			popChanged = false
+		}
+
+		// --- Channel drift: fold the slot's decoder taps in. ---
+		if !decoder.Static() {
+			dm = decoder.ModelAt(slot)
+			sess.RetapAll(dm.Taps[:nJ])
+		}
+
+		slotMark := sc.Mark()
+		// --- Tag side: who participates, what hits the air. ---
+		row := bits.Vector(sc.Bool(nJ))
+		colliders := 0
+		for i := 0; i < nJ; i++ {
+			row[i] = !departed[i] && Participates(roster[i].Seed, cfg.SessionSalt, slot, density)
+			if row[i] {
+				colliders++
+				res.Participation[i]++
+			}
+		}
+		am = air.ModelAt(slot)
+		if powStale || !air.Static() {
+			for i := 0; i < nJ; i++ {
+				h := am.Taps[i]
+				tagPow[i] = real(h)*real(h) + imag(h)*imag(h)
+			}
+			powStale = false
+		}
+		sparseAir(am, frames, row, obs, activeIdx, bitIdx, tagPow, noiseSrc)
+		sess.AppendSlot(row, obs)
+
+		// --- Reader side: incremental decode + acceptance gates, as in
+		// runDecodeLoop (see there for the gate rationale). ---
+		minMargin := sc.Float(nJ)
+		ambiguous := sc.Bool(nJ)
+		sess.DecodeSlot(slot, locked[:nJ], decodeBase, minMargin, ambiguous)
+		// Acceptance gates shared verbatim with the static loop (see
+		// runDecodeLoop's gate comment); only the bookkeeping differs —
+		// here a locked tag is additionally marked verified (locked
+		// alone also covers retirement) and counted resolved.
+		newly := cfg.acceptSlot(sess, slot, nJ, frameLen, &gs, minMargin, ambiguous, func(i int) {
+			verified[i] = true
+			nResolved++
+		})
+		totalDecoded += newly
+		res.Progress = append(res.Progress, SlotResult{
+			Slot:          slot,
+			Colliders:     colliders,
+			NewlyDecoded:  newly,
+			TotalDecoded:  totalDecoded,
+			BitsPerSymbol: float64(totalDecoded) / float64(slot),
+		})
+		res.SlotsUsed = slot
+		sc.Release(slotMark)
+	}
+
+	if res.SlotsUsed > 0 {
+		res.BitsPerSymbol = float64(totalDecoded) / float64(res.SlotsUsed)
+	}
+	return res, nil
+}

@@ -123,19 +123,32 @@ type Config struct {
 	// each (slot, position) pair owns a PRNG stream derived with
 	// prng.Mix3, so scheduling cannot reorder randomness.
 	Parallelism int
+	// OnArrival, used only by TransferDynamic, is invoked once per slot
+	// that admits new roster tags, before their first collision slot,
+	// with the arriving roster indices. It returns the uplink bit-slot
+	// cost of the reader's re-identification burst (charged to
+	// DynamicResult.ReidentBitSlots); the scenario layer runs the actual
+	// identification protocol here. Nil charges nothing.
+	OnArrival func(slot int, arriving []int) int
 }
 
 func (c *Config) k() int { return len(c.Seeds) }
 
-func (c *Config) density() float64 {
-	if c.Density > 0 {
-		return c.Density
+func (c *Config) density() float64 { return participationDensity(c.Density, c.k()) }
+
+// participationDensity derives the per-slot participation probability
+// for n transmitting tags: an explicit configured density wins;
+// otherwise DefaultMeanColliders/n clamped to MaxDensity. The one
+// definition both the static loop (fixed K) and the dynamic loop
+// (re-derived as the population churns) use.
+func participationDensity(explicit float64, n int) float64 {
+	if explicit > 0 {
+		return explicit
 	}
-	k := float64(c.k())
-	if k == 0 {
+	if n == 0 {
 		return 1
 	}
-	d := DefaultMeanColliders / k
+	d := DefaultMeanColliders / float64(n)
 	if d > MaxDensity {
 		return MaxDensity
 	}
@@ -172,6 +185,89 @@ func (c *Config) marginThreshold() float64 {
 type pendingFrame struct {
 	frame  bits.Vector
 	degree int
+}
+
+// gateState is the per-tag acceptance bookkeeping shared by the static
+// and dynamic decode loops. All slices have one entry per decodable
+// tag; estimates/locked/candidates persist across slots, the CRC
+// memoization trio avoids re-checking unchanged frames.
+type gateState struct {
+	estimates    []bits.Vector
+	locked       []bool
+	decodedAt    []int
+	candidates   []*pendingFrame
+	frameChanged []bool
+	frameOK      []bool
+	crcValid     []bool
+	frames       []bits.Vector // Result.Frames destination
+}
+
+// acceptSlot applies one slot's estimate refresh and acceptance gates —
+// the logic is documented at its (sole) static call site in
+// runDecodeLoop; TransferDynamic shares it verbatim so the gates cannot
+// drift apart. It folds the session's per-position decode into the
+// per-tag estimates, then locks every tag whose frame passes the CRC
+// plus the margin/confirmation/conditional-margin gates, calling
+// onAccept(i) for each newly locked tag (the callers' extra
+// bookkeeping: ACK accounting, verified flags). Returns the number of
+// tags locked this slot.
+func (cfg *Config) acceptSlot(sess *bp.Session, slot, k, frameLen int, gs *gateState,
+	minMargin []float64, ambiguous []bool, onAccept func(i int)) int {
+
+	for p := 0; p < frameLen; p++ {
+		pb := sess.PosBits(p)
+		for i := 0; i < k; i++ {
+			if !gs.locked[i] && bool(gs.estimates[i][p]) != pb[i] {
+				gs.estimates[i][p] = pb[i]
+				gs.frameChanged[i] = true
+			}
+		}
+	}
+	condOK := func(i int) bool {
+		for p := 0; p < frameLen; p++ {
+			if sess.ConditionalMargin(p, i, gs.locked[:k]) < cfg.marginThreshold()/2 {
+				return false
+			}
+		}
+		return true
+	}
+	newly := 0
+	for i := 0; i < k; i++ {
+		deg := sess.Degree(i)
+		if gs.locked[i] || deg < cfg.minDegree() || ambiguous[i] {
+			continue
+		}
+		if gs.frameChanged[i] || !gs.crcValid[i] {
+			gs.frameOK[i] = bits.Verify(gs.estimates[i], cfg.CRC)
+			gs.crcValid[i] = true
+			gs.frameChanged[i] = false
+		}
+		if !gs.frameOK[i] {
+			gs.candidates[i] = nil
+			continue
+		}
+		accept := minMargin[i] >= cfg.marginThreshold()
+		if !accept && minMargin[i] >= cfg.marginThreshold()/2 {
+			if c := gs.candidates[i]; c != nil && c.frame.Equal(gs.estimates[i]) {
+				if deg >= c.degree+1 {
+					accept = true
+				}
+			} else {
+				gs.candidates[i] = &pendingFrame{frame: gs.estimates[i].Clone(), degree: deg}
+			}
+		}
+		if accept && condOK(i) {
+			gs.locked[i] = true
+			gs.decodedAt[i] = slot
+			gs.frames[i] = gs.estimates[i].Clone()
+			gs.candidates[i] = nil
+			newly++
+			if onAccept != nil {
+				onAccept(i)
+			}
+		}
+	}
+	return newly
 }
 
 // Participates reports whether the tag with the given seed transmits in
@@ -276,10 +372,8 @@ func TransferEstimated(cfg Config, messages []bits.Vector, air, decoder *channel
 	mark := sc.Mark()
 	defer sc.Release(mark)
 	// The symbol-level air: one complex observation per bit position,
-	// superposing the taps of tags whose bit is 1 in that position. The
-	// active set is staged as an index list once per slot, so each
-	// position's superposition walks only the few colliders instead of
-	// all K tags. Staging buffers persist across slots; the decode loop
+	// superposing the taps of tags whose bit is 1 in that position (see
+	// sparseAir). Staging buffers persist across slots; the decode loop
 	// copies the observations out before the next call.
 	obs := sc.Complex(frameLen)
 	activeIdx := sc.Int(k)
@@ -289,28 +383,43 @@ func TransferEstimated(cfg Config, messages []bits.Vector, air, decoder *channel
 		tagPow[i] = real(h)*real(h) + imag(h)*imag(h)
 	}
 	airFn := func(active []bool) []complex128 {
-		na := 0
-		for i, on := range active {
-			if on {
-				activeIdx[na] = i
-				na++
-			}
-		}
-		for p := 0; p < frameLen; p++ {
-			nb := 0
-			pow := 0.0
-			for _, i := range activeIdx[:na] {
-				if frames[i][p] {
-					bitIdx[nb] = i
-					pow += tagPow[i]
-					nb++
-				}
-			}
-			obs[p] = air.SymbolSparsePow(bitIdx[:nb], pow, noiseSrc)
-		}
+		sparseAir(air, frames, active, obs, activeIdx, bitIdx, tagPow, noiseSrc)
 		return obs
 	}
 	return runDecodeLoop(cfg, frames, frameLen, decoder, airFn, decodeSrc)
+}
+
+// sparseAir synthesizes one collision slot of received symbols:
+// obs[p] = the superposition of the taps of this slot's transmitting
+// tags whose frame bit p is 1, plus one AWGN sample — the index-staged
+// form shared by Transfer's symbol-level air and TransferDynamic. The
+// active set is staged as an index list once per slot, so each
+// position's superposition walks only the few colliders instead of all
+// K tags. activeIdx and bitIdx are caller-owned staging of at least
+// len(active) entries; tagPow[i] must hold |m.Taps[i]|² for every tag
+// that can be active.
+func sparseAir(m *channel.Model, frames []bits.Vector, active []bool, obs []complex128,
+	activeIdx, bitIdx []int, tagPow []float64, noise *prng.Source) {
+
+	na := 0
+	for i, on := range active {
+		if on {
+			activeIdx[na] = i
+			na++
+		}
+	}
+	for p := range obs {
+		nb := 0
+		pow := 0.0
+		for _, i := range activeIdx[:na] {
+			if frames[i][p] {
+				bitIdx[nb] = i
+				pow += tagPow[i]
+				nb++
+			}
+		}
+		obs[p] = m.SymbolSparsePow(bitIdx[:nb], pow, noise)
+	}
 }
 
 // runDecodeLoop is the rateless decode engine shared by the symbol-level
@@ -358,12 +467,6 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 	decodeBase := decodeSrc.Uint64()
 	locked := make([]bool, k)
 	decodedAt := make([]int, k)
-	candidates := make([]*pendingFrame, k)
-	// CRC results are memoized per tag: a frame only needs re-checking
-	// when some position's bit actually changed this slot.
-	frameChanged := sc.Bool(k)
-	frameOK := sc.Bool(k)
-	crcValid := sc.Bool(k)
 	res := &Result{
 		Frames:        make([]bits.Vector, k),
 		Verified:      locked,
@@ -373,6 +476,19 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 		// straggler grow the slice rather than reserving the whole
 		// MaxSlots budget every call.
 		Progress: make([]SlotResult, 0, min(maxSlots, 4*k+16)),
+	}
+	gs := gateState{
+		estimates:  estimates,
+		locked:     locked,
+		decodedAt:  decodedAt,
+		candidates: make([]*pendingFrame, k),
+		// CRC results are memoized per tag: a frame only needs
+		// re-checking when some position's bit actually changed this
+		// slot.
+		frameChanged: sc.Bool(k),
+		frameOK:      sc.Bool(k),
+		crcValid:     sc.Bool(k),
+		frames:       res.Frames,
 	}
 
 	alive := sc.Bool(k)
@@ -430,20 +546,11 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 		minMargin := sc.Float(k)
 		ambiguous := sc.Bool(k)
 		sess.DecodeSlot(slot, locked, decodeBase, minMargin, ambiguous)
-		for p := 0; p < frameLen; p++ {
-			pb := sess.PosBits(p)
-			for i := 0; i < k; i++ {
-				if !locked[i] && bool(estimates[i][p]) != pb[i] {
-					estimates[i][p] = pb[i]
-					frameChanged[i] = true
-				}
-			}
-		}
 
-		// CRC gate: lock tags whose estimated frame verifies. A bare
-		// 5-bit CRC would false-accept 1 in 32 of the garbage frames
-		// the reader sees before convergence, so acceptance takes one
-		// of two paths:
+		// CRC gate (acceptSlot): lock tags whose estimated frame
+		// verifies. A bare 5-bit CRC would false-accept 1 in 32 of the
+		// garbage frames the reader sees before convergence, so
+		// acceptance takes one of two paths:
 		//
 		//   confident — every bit position's flip margin clears the
 		//   threshold (strong tags; enables the paper's slot-1
@@ -457,60 +564,21 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 		//   its wrong bits develop negative flip margins — repeated CRC
 		//   passes of an unchanged frame alone would re-check the same
 		//   1-in-32 event, not an independent one.
-		// condOK re-tests every bit position of tag i with the bit
-		// forced opposite and the rest re-optimized, reusing the
+		//
+		// acceptSlot's condOK re-tests every bit position of tag i with
+		// the bit forced opposite and the rest re-optimized, reusing the
 		// session's cached residual and error per position. Single-flip
 		// margins cannot see constellation near-coincidences where
 		// several tags' bits swap together; this can (see
 		// bp.Graph.ConditionalMargin).
-		condOK := func(i int) bool {
-			for p := 0; p < frameLen; p++ {
-				if sess.ConditionalMargin(p, i, locked) < cfg.marginThreshold()/2 {
-					return false
-				}
+		newly := cfg.acceptSlot(sess, slot, k, frameLen, &gs, minMargin, ambiguous, func(int) {
+			if cfg.SilenceDecoded {
+				// ACK = 2-bit command code + 16-bit temporary id
+				// echo, plus two link turnarounds.
+				res.AckDownlinkBits += 18
+				res.AckTurnarounds += 2
 			}
-			return true
-		}
-
-		newly := 0
-		for i := 0; i < k; i++ {
-			deg := sess.Degree(i)
-			if locked[i] || deg < cfg.minDegree() || ambiguous[i] {
-				continue
-			}
-			if frameChanged[i] || !crcValid[i] {
-				frameOK[i] = bits.Verify(estimates[i], cfg.CRC)
-				crcValid[i] = true
-				frameChanged[i] = false
-			}
-			if !frameOK[i] {
-				candidates[i] = nil
-				continue
-			}
-			accept := minMargin[i] >= cfg.marginThreshold()
-			if !accept && minMargin[i] >= cfg.marginThreshold()/2 {
-				if c := candidates[i]; c != nil && c.frame.Equal(estimates[i]) {
-					if deg >= c.degree+1 {
-						accept = true
-					}
-				} else {
-					candidates[i] = &pendingFrame{frame: estimates[i].Clone(), degree: deg}
-				}
-			}
-			if accept && condOK(i) {
-				locked[i] = true
-				decodedAt[i] = slot
-				res.Frames[i] = estimates[i].Clone()
-				candidates[i] = nil
-				newly++
-				if cfg.SilenceDecoded {
-					// ACK = 2-bit command code + 16-bit temporary id
-					// echo, plus two link turnarounds.
-					res.AckDownlinkBits += 18
-					res.AckTurnarounds += 2
-				}
-			}
-		}
+		})
 		totalDecoded += newly
 		res.Progress = append(res.Progress, SlotResult{
 			Slot:          slot,

@@ -1,0 +1,356 @@
+// Package scenario defines the declarative workload specifications the
+// simulator's scenario engine executes (sim.RunScenario). A Spec fixes
+// everything a workload needs — tag count, SNR band, channel process,
+// population schedule, trial count — as plain data, loadable from JSON
+// (`buzzsim -scenario cart.json`) or built in code; the sim package
+// turns it into channels, rosters and trials. The paper's hard-coded
+// experiments (Fig. 10's data-phase comparison, Fig. 12's challenging
+// bands) are just particular static Specs, and the goldens pin that a
+// static Spec reproduces them byte for byte.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bits"
+	"repro/internal/channel"
+)
+
+// Channel process kinds.
+const (
+	// KindStatic freezes taps for the whole round (the paper's model).
+	KindStatic = "static"
+	// KindBlockFading redraws every tap independently each BlockLen
+	// slots.
+	KindBlockFading = "block-fading"
+	// KindGaussMarkov evolves taps by the first-order correlated-
+	// Rayleigh recursion with per-tag mobility coefficient ρ.
+	KindGaussMarkov = "gauss-markov"
+)
+
+// Scheme names accepted in Spec.Schemes.
+const (
+	SchemeBuzz = "buzz"
+	SchemeTDMA = "tdma"
+	SchemeCDMA = "cdma"
+)
+
+// ChannelSpec selects and parameterizes the tap process.
+type ChannelSpec struct {
+	// Kind is one of the Kind* constants; empty means static.
+	Kind string `json:"kind,omitempty"`
+	// BlockLen is the block-fading coherence block in slots.
+	BlockLen int `json:"block_len,omitempty"`
+	// Rho is the Gauss–Markov mobility coefficient applied to every
+	// tag, in (0, 1]; 1 freezes a tag.
+	Rho float64 `json:"rho,omitempty"`
+	// PerTagRho, when non-empty, overrides Rho per tag and must cover
+	// the full roster (initial tags first, then arrivals in schedule
+	// order) — how a spec mixes parked and moving tags.
+	PerTagRho []float64 `json:"per_tag_rho,omitempty"`
+}
+
+// PopulationEvent is one entry of the population schedule: tags joining
+// and/or leaving immediately before the given collision slot.
+type PopulationEvent struct {
+	// Slot is the 1-based collision slot the event precedes; must be
+	// ≥ 2 (slot-1 tags are the initial population) and strictly
+	// increasing across events.
+	Slot int `json:"slot"`
+	// Arrive is the number of tags joining. Arrivals trigger a
+	// re-identification burst whose slot cost the engine charges.
+	Arrive int `json:"arrive,omitempty"`
+	// Depart is the number of tags leaving; the longest-present tags
+	// leave first (FIFO), and a departing tag's message — unless
+	// already delivered — is lost.
+	Depart int `json:"depart,omitempty"`
+}
+
+// Spec is a complete declarative workload.
+type Spec struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name,omitempty"`
+	// K is the initial tag population.
+	K int `json:"k"`
+	// Trials is the number of independent channel/message draws.
+	Trials int `json:"trials"`
+	// Seed makes the whole scenario reproducible.
+	Seed uint64 `json:"seed"`
+	// SNRLodB and SNRHidB bound the per-tag SNR band (Fig. 12's
+	// channel-quality axis). Leaving BOTH at zero selects the default
+	// 14–30 dB bench band; a band pinned exactly at {0, 0} needs
+	// NoSNRDefault.
+	SNRLodB float64 `json:"snr_lo_db"`
+	SNRHidB float64 `json:"snr_hi_db"`
+	// NoSNRDefault keeps a {0, 0} band literal (every tap exactly at
+	// the noise floor) instead of selecting the default band — the
+	// explicit form of "zero", mirroring NoAGC. The classic experiment
+	// wrappers set it: their Profile bands are explicit by
+	// construction.
+	NoSNRDefault bool `json:"no_snr_default,omitempty"`
+	// AGCNoiseFraction is the receiver dynamic-range impairment; 0
+	// takes the default bench value 0.002.
+	AGCNoiseFraction float64 `json:"agc_noise_fraction,omitempty"`
+	// NoAGC disables the dynamic-range impairment outright (an ideal
+	// front end) — the explicit form of "zero", which would otherwise
+	// mean "default".
+	NoAGC bool `json:"no_agc,omitempty"`
+	// MessageBits is the per-tag payload size; 0 means 32.
+	MessageBits int `json:"message_bits,omitempty"`
+	// CRC is "crc5" (default) or "crc16".
+	CRC string `json:"crc,omitempty"`
+	// Restarts is the decoder's extra random initializations per bit
+	// position per slot; 0 means 2.
+	Restarts int `json:"restarts,omitempty"`
+	// MaxSlots caps the rateless round; 0 means 40 per roster tag.
+	MaxSlots int `json:"max_slots,omitempty"`
+	// Parallelism overrides the per-trial position-decode fan-out; 0
+	// lets the trial runner budget GOMAXPROCS itself.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Channel selects the tap process.
+	Channel ChannelSpec `json:"channel,omitempty"`
+	// Population schedules mid-round arrivals and departures.
+	Population []PopulationEvent `json:"population,omitempty"`
+	// Schemes lists the contenders to run: "buzz" (always required),
+	// plus optionally "tdma" and "cdma" on static population-free
+	// specs. Empty means just buzz.
+	Schemes []string `json:"schemes,omitempty"`
+}
+
+// Parse decodes a JSON spec, rejecting unknown fields (a typo in a
+// workload file should fail loudly, not silently fall back to a
+// default), and applies defaults.
+func Parse(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	s = s.WithDefaults()
+	return s, s.Validate()
+}
+
+// Load reads and parses a JSON spec file.
+func Load(path string) (Spec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(raw)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return s, nil
+}
+
+// WithDefaults fills the zero-value fields with the bench defaults the
+// classic experiments use.
+func (s Spec) WithDefaults() Spec {
+	if s.SNRLodB == 0 && s.SNRHidB == 0 && !s.NoSNRDefault {
+		s.SNRLodB, s.SNRHidB = 14, 30
+	}
+	switch {
+	case s.NoAGC:
+		s.AGCNoiseFraction = 0
+	case s.AGCNoiseFraction == 0:
+		s.AGCNoiseFraction = 0.002
+	}
+	if s.MessageBits == 0 {
+		s.MessageBits = 32
+	}
+	if s.CRC == "" {
+		s.CRC = "crc5"
+	}
+	if s.Restarts == 0 {
+		s.Restarts = 2
+	}
+	if s.Channel.Kind == "" {
+		s.Channel.Kind = KindStatic
+	}
+	if s.MaxSlots == 0 {
+		s.MaxSlots = 40 * s.TotalTags()
+	}
+	if len(s.Schemes) == 0 {
+		s.Schemes = []string{SchemeBuzz}
+	}
+	return s
+}
+
+// TotalTags returns the roster size: the initial population plus every
+// scheduled arrival.
+func (s Spec) TotalTags() int {
+	n := s.K
+	for _, e := range s.Population {
+		n += e.Arrive
+	}
+	return n
+}
+
+// Dynamic reports whether the spec needs the dynamic transfer engine —
+// a time-varying channel or a population schedule.
+func (s Spec) Dynamic() bool {
+	return s.Channel.Kind != KindStatic || len(s.Population) > 0
+}
+
+// CRCKind maps the spec's checksum name.
+func (s Spec) CRCKind() (bits.CRCKind, error) {
+	switch strings.ToLower(s.CRC) {
+	case "crc5":
+		return bits.CRC5, nil
+	case "crc16":
+		return bits.CRC16, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown crc %q (want crc5 or crc16)", s.CRC)
+}
+
+// HasScheme reports whether the spec runs the named scheme.
+func (s Spec) HasScheme(name string) bool {
+	for _, sch := range s.Schemes {
+		if sch == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Window is one tag's presence interval: present from ArriveSlot on,
+// gone from DepartSlot on (0 = stays to the end).
+type Window struct {
+	ArriveSlot int
+	DepartSlot int
+}
+
+// PresenceWindows resolves the population schedule into per-roster-tag
+// presence windows: the K initial tags first (arriving at slot 1), then
+// every scheduled arrival in event order. Departures retire the
+// longest-present tags first.
+func (s Spec) PresenceWindows() ([]Window, error) {
+	windows := make([]Window, 0, s.TotalTags())
+	for i := 0; i < s.K; i++ {
+		windows = append(windows, Window{ArriveSlot: 1})
+	}
+	for _, e := range s.Population {
+		departed := 0
+		for i := range windows {
+			if departed == e.Depart {
+				break
+			}
+			if windows[i].DepartSlot == 0 && windows[i].ArriveSlot < e.Slot {
+				windows[i].DepartSlot = e.Slot
+				departed++
+			}
+		}
+		if departed < e.Depart {
+			return nil, fmt.Errorf("scenario: event at slot %d departs %d tags but only %d are present", e.Slot, e.Depart, departed)
+		}
+		for j := 0; j < e.Arrive; j++ {
+			windows = append(windows, Window{ArriveSlot: e.Slot})
+		}
+	}
+	return windows, nil
+}
+
+// NewProcess builds the spec's channel process over the full roster.
+// init is the trial's initial model (one tap per roster tag, drawn from
+// the spec's SNR band); seed feeds the process's addressable
+// randomness. Static and Gauss–Markov specs start from init; block
+// fading redraws from the same SNR band every block.
+func (s Spec) NewProcess(init *channel.Model, seed uint64) channel.Process {
+	switch s.Channel.Kind {
+	case KindBlockFading:
+		return channel.NewBlockFading(init.K(), s.SNRLodB, s.SNRHidB, s.Channel.BlockLen, s.AGCNoiseFraction, seed)
+	case KindGaussMarkov:
+		rho := s.Channel.PerTagRho
+		if len(rho) == 0 {
+			rho = []float64{s.Channel.Rho}
+		}
+		return channel.NewGaussMarkov(init, rho, seed)
+	default:
+		return channel.NewStatic(init)
+	}
+}
+
+// Validate checks the spec for structural errors. It assumes defaults
+// have been applied (Parse does both).
+func (s Spec) Validate() error {
+	if s.K < 1 {
+		return fmt.Errorf("scenario: k must be >= 1, got %d", s.K)
+	}
+	if s.Trials < 1 {
+		return fmt.Errorf("scenario: trials must be >= 1, got %d", s.Trials)
+	}
+	if s.SNRHidB < s.SNRLodB {
+		return fmt.Errorf("scenario: snr band [%v, %v] is inverted", s.SNRLodB, s.SNRHidB)
+	}
+	if s.MessageBits < 1 {
+		return fmt.Errorf("scenario: message_bits must be >= 1, got %d", s.MessageBits)
+	}
+	if _, err := s.CRCKind(); err != nil {
+		return err
+	}
+	if s.Restarts < 0 || s.MaxSlots < 1 || s.Parallelism < 0 {
+		return fmt.Errorf("scenario: negative or zero budget (restarts %d, max_slots %d, parallelism %d)", s.Restarts, s.MaxSlots, s.Parallelism)
+	}
+	switch s.Channel.Kind {
+	case KindStatic:
+	case KindBlockFading:
+		if s.Channel.BlockLen < 1 {
+			return fmt.Errorf("scenario: block-fading needs block_len >= 1, got %d", s.Channel.BlockLen)
+		}
+	case KindGaussMarkov:
+		rho := s.Channel.PerTagRho
+		if len(rho) == 0 {
+			rho = []float64{s.Channel.Rho}
+		} else if len(rho) != s.TotalTags() {
+			return fmt.Errorf("scenario: per_tag_rho has %d entries for %d roster tags", len(rho), s.TotalTags())
+		}
+		for i, r := range rho {
+			if r <= 0 || r > 1 {
+				return fmt.Errorf("scenario: rho[%d] = %v outside (0, 1]", i, r)
+			}
+		}
+	default:
+		return fmt.Errorf("scenario: unknown channel kind %q", s.Channel.Kind)
+	}
+	prev := 1
+	for _, e := range s.Population {
+		if e.Slot < 2 {
+			return fmt.Errorf("scenario: population event at slot %d; mid-round events start at slot 2", e.Slot)
+		}
+		if e.Slot > s.MaxSlots {
+			// A typoed event slot would otherwise silently turn its
+			// arrivals into never-joined, 100%-lost tags.
+			return fmt.Errorf("scenario: population event at slot %d is beyond max_slots %d — it could never fire", e.Slot, s.MaxSlots)
+		}
+		if e.Slot <= prev {
+			return fmt.Errorf("scenario: population events must have strictly increasing slots (saw %d after %d)", e.Slot, prev)
+		}
+		prev = e.Slot
+		if e.Arrive < 0 || e.Depart < 0 || (e.Arrive == 0 && e.Depart == 0) {
+			return fmt.Errorf("scenario: event at slot %d must arrive and/or depart a positive number of tags", e.Slot)
+		}
+	}
+	if _, err := s.PresenceWindows(); err != nil {
+		return err
+	}
+	if !s.HasScheme(SchemeBuzz) {
+		return fmt.Errorf("scenario: schemes must include %q", SchemeBuzz)
+	}
+	for _, sch := range s.Schemes {
+		switch sch {
+		case SchemeBuzz:
+		case SchemeTDMA, SchemeCDMA:
+			if s.Dynamic() {
+				return fmt.Errorf("scenario: scheme %q only runs on static population-free specs (the baselines have no dynamic story)", sch)
+			}
+		default:
+			return fmt.Errorf("scenario: unknown scheme %q", sch)
+		}
+	}
+	return nil
+}

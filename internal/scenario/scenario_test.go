@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/channel"
+	"repro/internal/prng"
+)
+
+func TestParseDefaults(t *testing.T) {
+	s, err := Parse([]byte(`{"k": 4, "trials": 2, "seed": 9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SNRLodB != 14 || s.SNRHidB != 30 || s.AGCNoiseFraction != 0.002 ||
+		s.MessageBits != 32 || s.CRC != "crc5" || s.Restarts != 2 ||
+		s.MaxSlots != 160 || s.Channel.Kind != KindStatic || len(s.Schemes) != 1 || s.Schemes[0] != SchemeBuzz {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	if kind, err := s.CRCKind(); err != nil || kind != bits.CRC5 {
+		t.Fatalf("CRCKind = %v, %v", kind, err)
+	}
+	if s.Dynamic() {
+		t.Fatal("static spec reported dynamic")
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"k": 4, "trials": 2, "snr_low_db": 10}`)); err == nil {
+		t.Fatal("typo field accepted")
+	}
+}
+
+func TestParseNoAGC(t *testing.T) {
+	s, err := Parse([]byte(`{"k": 2, "trials": 1, "no_agc": true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AGCNoiseFraction != 0 {
+		t.Fatalf("no_agc left AGCNoiseFraction = %v", s.AGCNoiseFraction)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	base := func() Spec {
+		return Spec{K: 4, Trials: 2}.WithDefaults()
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"zero k", func(s *Spec) { s.K = 0 }, "k must be"},
+		{"inverted band", func(s *Spec) { s.SNRLodB, s.SNRHidB = 20, 10 }, "inverted"},
+		{"bad crc", func(s *Spec) { s.CRC = "crc32" }, "unknown crc"},
+		{"bad kind", func(s *Spec) { s.Channel.Kind = "rician" }, "unknown channel kind"},
+		{"block without len", func(s *Spec) { s.Channel.Kind = KindBlockFading }, "block_len"},
+		{"rho out of range", func(s *Spec) { s.Channel = ChannelSpec{Kind: KindGaussMarkov, Rho: 1.5} }, "outside (0, 1]"},
+		{"per-tag rho length", func(s *Spec) {
+			s.Channel = ChannelSpec{Kind: KindGaussMarkov, PerTagRho: []float64{0.9}}
+		}, "per_tag_rho"},
+		{"event too early", func(s *Spec) { s.Population = []PopulationEvent{{Slot: 1, Arrive: 1}} }, "start at slot 2"},
+		{"event past the cap", func(s *Spec) { s.Population = []PopulationEvent{{Slot: 9999, Arrive: 1}} }, "beyond max_slots"},
+		{"events unsorted", func(s *Spec) {
+			s.Population = []PopulationEvent{{Slot: 5, Arrive: 1}, {Slot: 5, Arrive: 1}}
+		}, "strictly increasing"},
+		{"empty event", func(s *Spec) { s.Population = []PopulationEvent{{Slot: 3}} }, "positive number"},
+		{"over-depart", func(s *Spec) { s.Population = []PopulationEvent{{Slot: 2, Depart: 9}} }, "only"},
+		{"no buzz", func(s *Spec) { s.Schemes = []string{SchemeTDMA} }, "must include"},
+		{"bad scheme", func(s *Spec) { s.Schemes = []string{SchemeBuzz, "aloha"} }, "unknown scheme"},
+		{"tdma on dynamic", func(s *Spec) {
+			s.Population = []PopulationEvent{{Slot: 3, Arrive: 1}}
+			s.Schemes = []string{SchemeBuzz, SchemeTDMA}
+		}, "static population-free"},
+	}
+	for _, tc := range cases {
+		s := base()
+		tc.mut(&s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base spec invalid: %v", err)
+	}
+}
+
+// TestPresenceWindows pins the FIFO departure semantics: the
+// longest-present tags leave first, arrivals stack in event order.
+func TestPresenceWindows(t *testing.T) {
+	s := Spec{
+		K: 3, Trials: 1,
+		Population: []PopulationEvent{
+			{Slot: 4, Arrive: 2},
+			{Slot: 7, Depart: 2},
+			{Slot: 9, Arrive: 1, Depart: 2},
+		},
+	}.WithDefaults()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalTags() != 6 {
+		t.Fatalf("TotalTags = %d, want 6", s.TotalTags())
+	}
+	w, err := s.PresenceWindows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Window{
+		{1, 7}, {1, 7}, // FIFO: the two oldest leave at 7
+		{1, 9}, // next oldest leaves at 9...
+		{4, 9}, // ...along with the older slot-4 arrival
+		{4, 0},
+		{9, 0},
+	}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("window %d = %+v, want %+v (all: %+v)", i, w[i], want[i], w)
+		}
+	}
+}
+
+// TestNewProcess checks the spec-to-process mapping, including the
+// per-tag rho plumbing.
+func TestNewProcess(t *testing.T) {
+	init := channel.NewFromSNRBand(3, 14, 30, prng.NewSource(1))
+	s := Spec{K: 3, Trials: 1}.WithDefaults()
+	if _, ok := s.NewProcess(init, 5).(*channel.StaticProcess); !ok {
+		t.Error("static spec did not build a StaticProcess")
+	}
+	s.Channel = ChannelSpec{Kind: KindBlockFading, BlockLen: 4}
+	if _, ok := s.NewProcess(init, 5).(*channel.BlockFading); !ok {
+		t.Error("block spec did not build a BlockFading")
+	}
+	s.Channel = ChannelSpec{Kind: KindGaussMarkov, PerTagRho: []float64{0.9, 1, 0.99}}
+	gm, ok := s.NewProcess(init, 5).(*channel.GaussMarkov)
+	if !ok {
+		t.Fatal("gauss-markov spec did not build a GaussMarkov")
+	}
+	frozen := gm.ModelAt(1).Taps[1]
+	if gm.ModelAt(50).Taps[1] != frozen {
+		t.Error("per-tag rho=1 tag moved")
+	}
+}

@@ -1,0 +1,346 @@
+// Scenario engine: the generic streaming-trials entrypoint that turns a
+// declarative scenario.Spec into channels, rosters and trials. The
+// classic experiment functions (CompareDataPhase, RunChallenging) are
+// thin wrappers over RunScenario with static specs — the goldens pin
+// that the wrapping is byte-exact — while time-varying channels and
+// dynamic populations route through ratedapt.TransferDynamic with
+// mid-round re-identification charged via the identify package.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/baseline/cdma"
+	"repro/internal/baseline/tdma"
+	"repro/internal/bits"
+	"repro/internal/channel"
+	"repro/internal/epc"
+	"repro/internal/identify"
+	"repro/internal/prng"
+	"repro/internal/ratedapt"
+	"repro/internal/scenario"
+	"repro/internal/scratch"
+	"repro/internal/stats"
+)
+
+// BuzzTrial is one trial's Buzz outcome in roster order — the per-trial
+// detail KeepTrials retains (examples use it to show which tag
+// delivered what).
+type BuzzTrial struct {
+	// Verified flags roster tags whose message passed its CRC.
+	Verified []bool
+	// Payloads holds the delivered payloads (nil where unverified).
+	Payloads []bits.Vector
+	// Retired flags tags that departed before delivering.
+	Retired []bool
+	// SlotsUsed, Millis and BitsPerSymbol summarize the round; Millis
+	// includes the re-identification air time.
+	SlotsUsed     int
+	Millis        float64
+	BitsPerSymbol float64
+	// ReidentBitSlots is the uplink cost of mid-round
+	// re-identification bursts.
+	ReidentBitSlots int
+}
+
+// ScenarioOptions tune a RunScenario call beyond the declarative spec.
+type ScenarioOptions struct {
+	// Messages, when non-nil, supplies each trial's payloads (one per
+	// roster tag, each spec.MessageBits long) instead of the default
+	// random draw. Custom messages shift the trial's setup stream, so
+	// golden comparisons only hold for the default. Trials run on a
+	// worker pool, so the hook is called concurrently from multiple
+	// goroutines — it must be safe for concurrent use (a pure function
+	// of the trial index, like the examples', is the easy way).
+	Messages func(trial int) []bits.Vector
+	// KeepTrials retains per-trial Buzz detail in Outcome.Trials.
+	KeepTrials bool
+}
+
+// ScenarioOutcome aggregates a scenario run.
+type ScenarioOutcome struct {
+	// Name echoes the spec.
+	Name string
+	// Schemes holds one aggregate per requested scheme, in canonical
+	// buzz, tdma, cdma order.
+	Schemes []SchemeOutcome
+	// Trials holds per-trial Buzz detail when ScenarioOptions.KeepTrials
+	// is set (trial order).
+	Trials []BuzzTrial
+}
+
+// Scheme returns the named aggregate, or nil.
+func (o *ScenarioOutcome) Scheme(name string) *SchemeOutcome {
+	for i := range o.Schemes {
+		if o.Schemes[i].Scheme == name {
+			return &o.Schemes[i]
+		}
+	}
+	return nil
+}
+
+// RunScenario executes a declarative scenario spec: Trials independent
+// draws of messages, channels and (for dynamic specs) tap processes and
+// population churn, streamed across the trial worker pool. Static
+// population-free specs take exactly the code path of the classic
+// experiments — a static Spec reproduces CompareDataPhase bit for bit —
+// while dynamic specs run the TransferDynamic engine. Results are
+// deterministic in (Spec, options) at any parallelism.
+func RunScenario(spec scenario.Spec) (*ScenarioOutcome, error) {
+	return RunScenarioOpts(spec, ScenarioOptions{})
+}
+
+// scenarioRow is one trial's per-scheme raw numbers.
+type scenarioRow struct {
+	ms, lost, rate, correct float64
+	wrong                   int
+}
+
+// RunScenarioOpts is RunScenario with options.
+func RunScenarioOpts(spec scenario.Spec, opts ScenarioOptions) (*ScenarioOutcome, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	crc, err := spec.CRCKind()
+	if err != nil {
+		return nil, err
+	}
+	kTot := spec.TotalTags()
+	windows, err := spec.PresenceWindows()
+	if err != nil {
+		return nil, err
+	}
+	frameLen := spec.MessageBits + crc.Width()
+	dynamic := spec.Dynamic()
+	runTDMA := spec.HasScheme(scenario.SchemeTDMA)
+	runCDMA := spec.HasScheme(scenario.SchemeCDMA)
+
+	const maxSchemes = 3
+	rows := make([][maxSchemes]scenarioRow, spec.Trials)
+	var trials []BuzzTrial
+	if opts.KeepTrials {
+		trials = make([]BuzzTrial, spec.Trials)
+	}
+
+	err = forEachTrial(spec.Trials, spec.Seed, func(trial int, setup *prng.Source, res trialResources) error {
+		var msgs []bits.Vector
+		if opts.Messages != nil {
+			msgs = opts.Messages(trial)
+			if len(msgs) != kTot {
+				return fmt.Errorf("sim: options supplied %d messages for %d roster tags", len(msgs), kTot)
+			}
+			for i, m := range msgs {
+				if len(m) != spec.MessageBits {
+					return fmt.Errorf("sim: options message %d has %d bits, spec says %d", i, len(m), spec.MessageBits)
+				}
+			}
+		} else {
+			msgs = make([]bits.Vector, kTot)
+			for i := range msgs {
+				msgs[i] = bits.Random(setup, spec.MessageBits)
+			}
+		}
+		ch := channel.NewFromSNRBand(kTot, spec.SNRLodB, spec.SNRHidB, setup)
+		ch.AGCNoiseFraction = spec.AGCNoiseFraction
+		seeds := tagSeeds(kTot, setup)
+		salt := setup.Uint64()
+		par := res.Parallelism
+		if spec.Parallelism > 0 {
+			par = spec.Parallelism
+		}
+		row := &rows[trial]
+
+		cfg := ratedapt.Config{
+			SessionSalt: salt,
+			CRC:         crc,
+			Restarts:    spec.Restarts,
+			MaxSlots:    spec.MaxSlots,
+			Scratch:     res.Scratch,
+			Session:     res.Session,
+			Parallelism: par,
+		}
+		var (
+			verified      []bool
+			frames        []bits.Vector
+			slotsUsed     int
+			lost          int
+			rate          float64
+			reidentSlots  int
+			transferMilli float64
+		)
+		// Roster-length even for static specs, where nothing can retire —
+		// BuzzTrial promises index-aligned per-tag slices.
+		retired := make([]bool, kTot)
+		if !dynamic {
+			cfg.Seeds = seeds
+			rb, err := ratedapt.Transfer(cfg, msgs, ch, setup.Fork(1), setup.Fork(2))
+			if err != nil {
+				return err
+			}
+			verified, frames = rb.Verified, rb.Frames
+			slotsUsed, lost, rate = rb.SlotsUsed, rb.Lost(), rb.BitsPerSymbol
+			transferMilli = frameMillis(rb.SlotsUsed * frameLen)
+		} else {
+			procSeed := setup.Uint64()
+			proc := spec.NewProcess(ch, procSeed)
+			roster := make([]ratedapt.RosterTag, kTot)
+			for i := range roster {
+				roster[i] = ratedapt.RosterTag{
+					Seed:       seeds[i],
+					Message:    msgs[i],
+					ArriveSlot: windows[i].ArriveSlot,
+					DepartSlot: windows[i].DepartSlot,
+				}
+			}
+			var identErr error
+			cfg.OnArrival = reidentifier(roster, proc, salt, res.Scratch, &identErr)
+			rb, err := ratedapt.TransferDynamic(cfg, roster, proc, proc, setup.Fork(1), setup.Fork(2))
+			if err != nil {
+				return err
+			}
+			if identErr != nil {
+				return identErr
+			}
+			verified, frames, retired = rb.Verified, rb.Frames, rb.Retired
+			slotsUsed, lost, rate = rb.SlotsUsed, rb.Lost(), rb.BitsPerSymbol
+			reidentSlots = rb.ReidentBitSlots
+			transferMilli = frameMillis(rb.SlotsUsed*frameLen) + epc.UplinkMicros(float64(reidentSlots))/1000
+		}
+		buzz := &row[0]
+		buzz.ms = transferMilli
+		buzz.lost = float64(lost)
+		buzz.rate = rate
+		var payloads []bits.Vector
+		if opts.KeepTrials {
+			payloads = make([]bits.Vector, kTot)
+		}
+		scoreFrames(buzz, verified, frames, msgs, crc, payloads)
+		if opts.KeepTrials {
+			trials[trial] = BuzzTrial{
+				Verified:        append([]bool(nil), verified...),
+				Payloads:        payloads,
+				Retired:         append([]bool(nil), retired...),
+				SlotsUsed:       slotsUsed,
+				Millis:          transferMilli,
+				BitsPerSymbol:   rate,
+				ReidentBitSlots: reidentSlots,
+			}
+		}
+
+		if runTDMA {
+			rt, err := tdma.Run(tdma.Config{CRC: crc, UseMiller: true}, msgs, ch, setup.Fork(3))
+			if err != nil {
+				return err
+			}
+			r := &row[1]
+			r.ms = frameMillis(rt.BitSlots)
+			r.lost = float64(rt.Lost())
+			r.rate = 1
+			scoreFrames(r, rt.Verified, rt.Frames, msgs, crc, nil)
+		}
+		if runCDMA {
+			rc, err := cdma.Run(cdma.Config{CRC: crc}, msgs, ch, setup.Fork(4))
+			if err != nil {
+				return err
+			}
+			r := &row[2]
+			r.ms = frameMillis(rc.BitSlots)
+			r.lost = float64(rc.Lost())
+			r.rate = float64(kTot) / float64(rc.SpreadingFactor)
+			scoreFrames(r, rc.Verified, rc.Frames, msgs, crc, nil)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ScenarioOutcome{Name: spec.Name, Trials: trials}
+	schemes := []struct {
+		name string
+		idx  int
+		on   bool
+	}{
+		{scenario.SchemeBuzz, 0, true},
+		{scenario.SchemeTDMA, 1, runTDMA},
+		{scenario.SchemeCDMA, 2, runCDMA},
+	}
+	for _, sch := range schemes {
+		if !sch.on {
+			continue
+		}
+		var ms, lost, rate, correct []float64
+		wrong := 0
+		for t := range rows {
+			r := &rows[t][sch.idx]
+			ms = append(ms, r.ms)
+			lost = append(lost, r.lost)
+			rate = append(rate, r.rate)
+			correct = append(correct, r.correct)
+			wrong += r.wrong
+		}
+		out.Schemes = append(out.Schemes, SchemeOutcome{
+			Scheme:           sch.name,
+			TransferMillis:   stats.Summarize(ms),
+			Undecoded:        stats.Summarize(lost),
+			BitsPerSymbol:    stats.Summarize(rate),
+			DeliveredCorrect: stats.Summarize(correct),
+			WrongPayload:     wrong,
+		})
+	}
+	return out, nil
+}
+
+// scoreFrames tallies one scheme's verified frames into the trial row —
+// payload matches the sent message = correct, a CRC false-accept =
+// wrong. When payloads is non-nil (KeepTrials), each verified payload
+// is also stored at its tag's index.
+func scoreFrames(r *scenarioRow, verified []bool, frames []bits.Vector, msgs []bits.Vector, crc bits.CRCKind, payloads []bits.Vector) {
+	for i, ok := range verified {
+		if !ok {
+			continue
+		}
+		p := bits.PayloadOf(frames[i], crc)
+		if p.Equal(msgs[i]) {
+			r.correct++
+		} else {
+			r.wrong++
+		}
+		if payloads != nil {
+			payloads[i] = p
+		}
+	}
+}
+
+// reidentifier builds the OnArrival hook: a mid-round re-identification
+// burst over the tags present at the arrival slot, run with the real
+// three-stage protocol so the charged slot cost carries the actual
+// stage-A/B/C budget for the instantaneous population. Errors are
+// captured into errOut (the hook signature cannot return one).
+func reidentifier(roster []ratedapt.RosterTag, proc channel.Process, salt uint64, sc *scratch.Scratch, errOut *error) func(slot int, arriving []int) int {
+	return func(slot int, arriving []int) int {
+		if *errOut != nil {
+			return 0
+		}
+		m := proc.ModelAt(slot)
+		var ids []uint64
+		var taps []complex128
+		for i := range roster {
+			rt := &roster[i]
+			if rt.Arrive() <= slot && (rt.DepartSlot == 0 || rt.DepartSlot > slot) {
+				ids = append(ids, rt.Seed)
+				taps = append(taps, m.Taps[i])
+			}
+		}
+		ch := channel.NewExact(taps, m.NoisePower)
+		ch.AGCNoiseFraction = m.AGCNoiseFraction
+		burstSeed := prng.Mix3(salt, 0x1DE7, uint64(slot))
+		res, err := identify.Run(identify.Config{Salt: burstSeed, Scratch: sc}, ids, ch, prng.NewSource(prng.Mix2(burstSeed, 0xA1)))
+		if err != nil {
+			*errOut = fmt.Errorf("sim: re-identification at slot %d: %w", slot, err)
+			return 0
+		}
+		return res.TotalSlots
+	}
+}

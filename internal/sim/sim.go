@@ -23,6 +23,7 @@ import (
 	"repro/internal/phy"
 	"repro/internal/prng"
 	"repro/internal/ratedapt"
+	"repro/internal/scenario"
 	"repro/internal/scratch"
 	"repro/internal/stats"
 )
@@ -170,6 +171,9 @@ type SchemeOutcome struct {
 	// BitsPerSymbol summarizes the aggregate rate per trial (fixed at 1
 	// for TDMA and CDMA by construction).
 	BitsPerSymbol stats.Summary
+	// DeliveredCorrect summarizes correctly delivered messages per
+	// trial (the Fig. 12 y-axis).
+	DeliveredCorrect stats.Summary
 	// WrongPayload counts verified-but-wrong messages across all
 	// trials (possible in principle with short CRCs; should be zero).
 	WrongPayload int
@@ -187,104 +191,47 @@ type DataPhaseConfig struct {
 	Profile Profile
 }
 
+// profileSpec folds a Profile into a scenario spec — the bridge the
+// classic wrappers use. Profile values are explicit by construction, so
+// the zero-means-default sentinels are disarmed via NoAGC/NoSNRDefault:
+// a literal 0 AGC fraction or 0 dB band keeps its pre-engine meaning.
+func profileSpec(p Profile, s scenario.Spec) scenario.Spec {
+	s.SNRLodB, s.SNRHidB = p.SNRLodB, p.SNRHidB
+	s.NoSNRDefault = true
+	s.AGCNoiseFraction = p.AGCNoiseFraction
+	s.NoAGC = p.AGCNoiseFraction == 0
+	s.MessageBits = p.MessageBits
+	if p.CRC == bits.CRC16 {
+		s.CRC = "crc16"
+	} else {
+		s.CRC = "crc5"
+	}
+	return s
+}
+
 // CompareDataPhase runs Buzz, TDMA and CDMA on identical channels and
 // messages, trial by trial — the experiment behind Fig. 10 (transfer
-// time) and Fig. 11 (message errors).
+// time) and Fig. 11 (message errors). It is a thin wrapper over the
+// scenario engine: a static spec with all three schemes. The golden
+// tests pin that this wrapping reproduces the pre-engine results byte
+// for byte.
 func CompareDataPhase(cfg DataPhaseConfig) ([]SchemeOutcome, error) {
 	if cfg.K <= 0 || cfg.Trials <= 0 {
 		return nil, fmt.Errorf("sim: K and Trials must be positive, got %d/%d", cfg.K, cfg.Trials)
 	}
-	frameLen := cfg.Profile.MessageBits + cfg.Profile.CRC.Width()
-	type trialRow struct {
-		buzzMs, tdmaMs, cdmaMs          float64
-		buzzLost, tdmaLost, cdmaLost    float64
-		buzzRate, tdmaRate, cdmaRate    float64
-		buzzWrong, tdmaWrong, cdmaWrong int
-	}
-	rows := make([]trialRow, cfg.Trials)
-	err := forEachTrial(cfg.Trials, cfg.Seed, func(trial int, setup *prng.Source, res trialResources) error {
-		msgs := cfg.Profile.messages(cfg.K, setup)
-		ch := cfg.Profile.channel(cfg.K, setup)
-		seeds := tagSeeds(cfg.K, setup)
-		row := &rows[trial]
-
-		rb, err := ratedapt.Transfer(ratedapt.Config{
-			Seeds:       seeds,
-			SessionSalt: setup.Uint64(),
-			CRC:         cfg.Profile.CRC,
-			Restarts:    2,
-			MaxSlots:    40 * cfg.K,
-			Scratch:     res.Scratch,
-			Session:     res.Session,
-			Parallelism: res.Parallelism,
-		}, msgs, ch, setup.Fork(1), setup.Fork(2))
-		if err != nil {
-			return err
-		}
-		row.buzzMs = frameMillis(rb.SlotsUsed * frameLen)
-		row.buzzLost = float64(rb.Lost())
-		row.buzzRate = rb.BitsPerSymbol
-		for i, p := range rb.Payloads(cfg.Profile.CRC) {
-			if rb.Verified[i] && !p.Equal(msgs[i]) {
-				row.buzzWrong++
-			}
-		}
-
-		rt, err := tdma.Run(tdma.Config{CRC: cfg.Profile.CRC, UseMiller: true}, msgs, ch, setup.Fork(3))
-		if err != nil {
-			return err
-		}
-		row.tdmaMs = frameMillis(rt.BitSlots)
-		row.tdmaLost = float64(rt.Lost())
-		row.tdmaRate = 1
-		for i, f := range rt.Frames {
-			if rt.Verified[i] && !bits.PayloadOf(f, cfg.Profile.CRC).Equal(msgs[i]) {
-				row.tdmaWrong++
-			}
-		}
-
-		rc, err := cdma.Run(cdma.Config{CRC: cfg.Profile.CRC}, msgs, ch, setup.Fork(4))
-		if err != nil {
-			return err
-		}
-		row.cdmaMs = frameMillis(rc.BitSlots)
-		row.cdmaLost = float64(rc.Lost())
-		row.cdmaRate = float64(cfg.K) / float64(rc.SpreadingFactor)
-		for i, f := range rc.Frames {
-			if rc.Verified[i] && !bits.PayloadOf(f, cfg.Profile.CRC).Equal(msgs[i]) {
-				row.cdmaWrong++
-			}
-		}
-		return nil
-	})
+	out, err := RunScenario(profileSpec(cfg.Profile, scenario.Spec{
+		Name:     "data-phase-comparison",
+		K:        cfg.K,
+		Trials:   cfg.Trials,
+		Seed:     cfg.Seed,
+		Restarts: 2,
+		MaxSlots: 40 * cfg.K,
+		Schemes:  []string{scenario.SchemeBuzz, scenario.SchemeTDMA, scenario.SchemeCDMA},
+	}))
 	if err != nil {
 		return nil, err
 	}
-	var (
-		buzzMs, tdmaMs, cdmaMs          []float64
-		buzzLost, tdmaLost, cdmaLost    []float64
-		buzzRate, tdmaRate, cdmaRate    []float64
-		buzzWrong, tdmaWrong, cdmaWrong int
-	)
-	for _, row := range rows {
-		buzzMs = append(buzzMs, row.buzzMs)
-		tdmaMs = append(tdmaMs, row.tdmaMs)
-		cdmaMs = append(cdmaMs, row.cdmaMs)
-		buzzLost = append(buzzLost, row.buzzLost)
-		tdmaLost = append(tdmaLost, row.tdmaLost)
-		cdmaLost = append(cdmaLost, row.cdmaLost)
-		buzzRate = append(buzzRate, row.buzzRate)
-		tdmaRate = append(tdmaRate, row.tdmaRate)
-		cdmaRate = append(cdmaRate, row.cdmaRate)
-		buzzWrong += row.buzzWrong
-		tdmaWrong += row.tdmaWrong
-		cdmaWrong += row.cdmaWrong
-	}
-	return []SchemeOutcome{
-		{Scheme: "buzz", TransferMillis: stats.Summarize(buzzMs), Undecoded: stats.Summarize(buzzLost), BitsPerSymbol: stats.Summarize(buzzRate), WrongPayload: buzzWrong},
-		{Scheme: "tdma", TransferMillis: stats.Summarize(tdmaMs), Undecoded: stats.Summarize(tdmaLost), BitsPerSymbol: stats.Summarize(tdmaRate), WrongPayload: tdmaWrong},
-		{Scheme: "cdma", TransferMillis: stats.Summarize(cdmaMs), Undecoded: stats.Summarize(cdmaLost), BitsPerSymbol: stats.Summarize(cdmaRate), WrongPayload: cdmaWrong},
-	}, nil
+	return out.Schemes, nil
 }
 
 // ChallengingBand is one x-axis point of Fig. 12.
@@ -311,7 +258,8 @@ type ChallengingOutcome struct {
 
 // RunChallenging reproduces Fig. 12: K = 4 tags pushed through
 // progressively worse channel-quality bands; Buzz adapts its rate below
-// 1 bit/symbol where TDMA starts losing messages outright.
+// 1 bit/symbol where TDMA starts losing messages outright. Each band is
+// one static scenario spec with the buzz and tdma schemes.
 func RunChallenging(trials int, seed uint64, bands []ChallengingBand) ([]ChallengingOutcome, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("sim: trials must be positive")
@@ -320,60 +268,25 @@ func RunChallenging(trials int, seed uint64, bands []ChallengingBand) ([]Challen
 	profile := DefaultProfile()
 	var out []ChallengingOutcome
 	for bi, band := range bands {
-		type row struct{ buzzDec, tdmaDec, buzzRate float64 }
-		rows := make([]row, trials)
-		err := forEachTrial(trials, seed+uint64(bi)*0x9E37, func(trial int, setup *prng.Source, res trialResources) error {
-			msgs := profile.messages(k, setup)
-			ch := channel.NewFromSNRBand(k, band.LodB, band.HidB, setup)
-			ch.AGCNoiseFraction = profile.AGCNoiseFraction
-			seeds := tagSeeds(k, setup)
-
-			rb, err := ratedapt.Transfer(ratedapt.Config{
-				Seeds:       seeds,
-				SessionSalt: setup.Uint64(),
-				CRC:         profile.CRC,
-				Restarts:    3,
-				MaxSlots:    600,
-				Scratch:     res.Scratch,
-				Session:     res.Session,
-				Parallelism: res.Parallelism,
-			}, msgs, ch, setup.Fork(1), setup.Fork(2))
-			if err != nil {
-				return err
-			}
-			for i, p := range rb.Payloads(profile.CRC) {
-				if rb.Verified[i] && p.Equal(msgs[i]) {
-					rows[trial].buzzDec++
-				}
-			}
-			rows[trial].buzzRate = rb.BitsPerSymbol
-
-			rt, err := tdma.Run(tdma.Config{CRC: profile.CRC, UseMiller: true}, msgs, ch, setup.Fork(3))
-			if err != nil {
-				return err
-			}
-			for i, f := range rt.Frames {
-				if rt.Verified[i] && bits.PayloadOf(f, profile.CRC).Equal(msgs[i]) {
-					rows[trial].tdmaDec++
-				}
-			}
-			return nil
+		spec := profileSpec(profile, scenario.Spec{
+			Name:     "challenging-band",
+			K:        k,
+			Trials:   trials,
+			Seed:     seed + uint64(bi)*0x9E37,
+			Restarts: 3,
+			MaxSlots: 600,
+			Schemes:  []string{scenario.SchemeBuzz, scenario.SchemeTDMA},
 		})
+		spec.SNRLodB, spec.SNRHidB = band.LodB, band.HidB
+		res, err := RunScenario(spec)
 		if err != nil {
 			return nil, err
 		}
-		var buzzDec, tdmaDec, buzzRate float64
-		for _, r := range rows {
-			buzzDec += r.buzzDec
-			tdmaDec += r.tdmaDec
-			buzzRate += r.buzzRate
-		}
-		n := float64(trials)
 		out = append(out, ChallengingOutcome{
 			Band:        band,
-			BuzzDecoded: buzzDec / n,
-			TDMADecoded: tdmaDec / n,
-			BuzzRate:    buzzRate / n,
+			BuzzDecoded: res.Schemes[0].DeliveredCorrect.Mean,
+			TDMADecoded: res.Schemes[1].DeliveredCorrect.Mean,
+			BuzzRate:    res.Schemes[0].BitsPerSymbol.Mean,
 			TDMARate:    1,
 		})
 	}

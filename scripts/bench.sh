@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the repository's headline performance benchmarks and
-# record the series into BENCH_PR2.json.
+# record the series into BENCH_PR3.json.
 #
 # Usage:
 #   scripts/bench.sh [stage] [count]
@@ -8,18 +8,18 @@
 #   stage  JSON stage to record under: "baseline" or "after" (default: after)
 #   count  -count repetitions per benchmark (default: 5)
 #
-# The recorded benchmarks are the two the PR-2 acceptance criteria gate
-# on — the end-to-end headline reproduction and the K=16 data-phase
-# comparison — plus the per-K Fig. 10 sweep for context. CI re-runs a
-# smoke subset and compares against the "after" stage (see
-# .github/workflows/ci.yml).
+# The recorded benchmarks are the end-to-end headline reproduction, the
+# Fig. 10 data-phase comparisons, and the scenario-engine paths (block
+# fading, Gauss–Markov drift, population churn) added by PR 3. CI reruns
+# the same set and gates every benchmark recorded in the "after" stage
+# (see scripts/benchguard and .github/workflows/ci.yml).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 STAGE="${1:-after}"
 COUNT="${2:-5}"
-OUT="BENCH_PR2.json"
-BENCHES='BenchmarkHeadline_Overall$|BenchmarkFig10_TransferTime_K16$|BenchmarkFig10_TransferTime_K8$|BenchmarkFig9_DecodeProgress$'
+OUT="BENCH_PR3.json"
+BENCHES='BenchmarkHeadline_Overall$|BenchmarkFig10_TransferTime_K16$|BenchmarkFig10_TransferTime_K8$|BenchmarkScenario_BlockFading_K8$|BenchmarkScenario_GaussMarkov_K8$|BenchmarkScenario_PopulationChurn$'
 
 go test -run '^$' -bench "$BENCHES" -benchmem -count="$COUNT" -timeout 60m . |
     go run ./scripts/benchjson -out "$OUT" -stage "$STAGE"

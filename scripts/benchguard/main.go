@@ -1,11 +1,19 @@
 // Command benchguard is the CI bench-regression gate: it reads `go test
-// -bench` output on stdin, extracts the named benchmark's ns/op
-// measurements, and fails (exit 1) when their median regresses more
-// than -max-regress relative to the "after" series recorded in the
-// committed bench JSON (see scripts/bench.sh and BENCH_PR2.json).
+// -bench` output on stdin, extracts ns/op measurements, and fails (exit
+// 1) when any gated benchmark's median regresses more than -max-regress
+// relative to the "after" series recorded in the committed bench JSON
+// (see scripts/bench.sh and BENCH_PR3.json).
 //
-//	go test -run '^$' -bench 'BenchmarkHeadline_Overall$' -count=3 . |
-//	    go run ./scripts/benchguard -json BENCH_PR2.json -bench BenchmarkHeadline_Overall
+// By default every benchmark recorded in the JSON's "after" stage is
+// gated, and a benchmark that is recorded but missing from stdin is an
+// error — the gate cannot silently narrow. A comma-separated -bench
+// list restricts the gate explicitly.
+//
+//	go test -run '^$' -bench 'Headline|Fig10|Scenario' -count=3 . |
+//	    go run ./scripts/benchguard -json BENCH_PR3.json -summary "$GITHUB_STEP_SUMMARY"
+//
+// With -summary the verdict is also appended as a markdown table —
+// point it at $GITHUB_STEP_SUMMARY for the Actions job page.
 //
 // The committed numbers come from the machine that produced the PR, so
 // the default 20% threshold is a catastrophic-regression catch, not a
@@ -24,10 +32,18 @@ import (
 	"strings"
 )
 
+type gateRow struct {
+	name          string
+	recorded, got float64
+	ratio         float64
+	missing, over bool
+}
+
 func main() {
-	jsonPath := flag.String("json", "BENCH_PR2.json", "bench JSON with the recorded \"after\" series")
-	benchName := flag.String("bench", "BenchmarkHeadline_Overall", "benchmark to gate on")
+	jsonPath := flag.String("json", "BENCH_PR3.json", "bench JSON with the recorded \"after\" series")
+	benchList := flag.String("bench", "", "comma-separated benchmarks to gate (default: every benchmark recorded in the JSON)")
 	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed fractional ns/op regression")
+	summaryPath := flag.String("summary", "", "append a markdown summary table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*jsonPath)
@@ -42,27 +58,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchguard: parsing %s: %v\n", *jsonPath, err)
 		os.Exit(1)
 	}
-	ref, ok := doc["after"][*benchName]
-	if !ok || len(ref.NsOp) == 0 {
-		fmt.Fprintf(os.Stderr, "benchguard: no recorded \"after\" ns/op for %s in %s\n", *benchName, *jsonPath)
+	after := doc["after"]
+	var gated []string
+	if *benchList != "" {
+		gated = strings.Split(*benchList, ",")
+	} else {
+		for name := range after {
+			gated = append(gated, name)
+		}
+		sort.Strings(gated)
+	}
+	if len(gated) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: nothing to gate: no \"after\" series in %s\n", *jsonPath)
 		os.Exit(1)
 	}
-	refMedian := median(ref.NsOp)
 
-	var got []float64
+	// Collect every benchmark's ns/op measurements from stdin (passing
+	// the output through so the run stays readable in the CI log).
+	got := map[string][]float64{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line)
-		if !strings.HasPrefix(line, *benchName) {
+		if !strings.HasPrefix(line, "Benchmark") {
 			continue
 		}
 		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		// Strip the -N GOMAXPROCS suffix go test appends to the name.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
 		for i := 2; i+1 < len(fields); i += 2 {
 			if fields[i+1] == "ns/op" {
 				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
-					got = append(got, v)
+					got[name] = append(got[name], v)
 				}
 			}
 		}
@@ -71,18 +107,65 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchguard: reading stdin: %v\n", err)
 		os.Exit(1)
 	}
-	if len(got) == 0 {
-		fmt.Fprintf(os.Stderr, "benchguard: no %s measurements on stdin\n", *benchName)
-		os.Exit(1)
+
+	fail := false
+	var rows []gateRow
+	for _, name := range gated {
+		ref, ok := after[name]
+		if !ok || len(ref.NsOp) == 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: no recorded \"after\" ns/op for %s in %s\n", name, *jsonPath)
+			os.Exit(1)
+		}
+		row := gateRow{name: name, recorded: median(ref.NsOp)}
+		if len(got[name]) == 0 {
+			row.missing = true
+			fail = true
+			fmt.Fprintf(os.Stderr, "benchguard: %s: recorded in %s but not measured on stdin\n", name, *jsonPath)
+		} else {
+			row.got = median(got[name])
+			row.ratio = row.got/row.recorded - 1
+			row.over = row.ratio > *maxRegress
+			fail = fail || row.over
+			fmt.Fprintf(os.Stderr, "benchguard: %s median %.0f ns/op vs recorded %.0f ns/op (%+.1f%%), limit +%.0f%%\n",
+				name, row.got, row.recorded, row.ratio*100, *maxRegress*100)
+		}
+		rows = append(rows, row)
 	}
-	gotMedian := median(got)
-	ratio := gotMedian/refMedian - 1
-	fmt.Fprintf(os.Stderr, "benchguard: %s median %.0f ns/op vs recorded %.0f ns/op (%+.1f%%), limit +%.0f%%\n",
-		*benchName, gotMedian, refMedian, ratio*100, *maxRegress*100)
-	if ratio > *maxRegress {
+	if *summaryPath != "" {
+		if err := writeSummary(*summaryPath, rows, *maxRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: writing summary: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if fail {
 		fmt.Fprintln(os.Stderr, "benchguard: REGRESSION over limit")
 		os.Exit(1)
 	}
+}
+
+// writeSummary appends the verdict table as GitHub-flavored markdown.
+func writeSummary(path string, rows []gateRow, limit float64) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "### Bench regression gate (limit +%.0f%% on median ns/op)\n\n", limit*100)
+	fmt.Fprintln(w, "| benchmark | recorded ns/op | measured ns/op | delta | verdict |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---|")
+	for _, r := range rows {
+		switch {
+		case r.missing:
+			fmt.Fprintf(w, "| %s | %.0f | — | — | :x: not measured |\n", r.name, r.recorded)
+		case r.over:
+			fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%% | :x: regression |\n", r.name, r.recorded, r.got, r.ratio*100)
+		default:
+			fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%% | :white_check_mark: |\n", r.name, r.recorded, r.got, r.ratio*100)
+		}
+	}
+	fmt.Fprintln(w)
+	return w.Flush()
 }
 
 func median(xs []float64) float64 {
