@@ -247,6 +247,20 @@ func BenchmarkScenario_GaussMarkov_K8(b *testing.B) {
 	})
 }
 
+// BenchmarkScenario_FastMobility_K8 is the coherence-windowed decode
+// path end to end: Gauss–Markov drift at ρ = 0.9 with the auto window
+// — per-slot RetapAll rebuilds plus per-slot Session.Retire. Transfers
+// in this regime legitimately run long (margins are drift-limited), so
+// the bench is expected to sit well above the slow-drift scenarios;
+// benchguard gates it with a looser tolerance.
+func BenchmarkScenario_FastMobility_K8(b *testing.B) {
+	benchScenario(b, scenario.Spec{
+		K: 8, Trials: 5, Seed: 2026, SNRLodB: 14, SNRHidB: 30, MaxSlots: 320,
+		Channel: scenario.ChannelSpec{Kind: scenario.KindGaussMarkov, Rho: 0.9},
+		Window:  scenario.WindowAuto,
+	})
+}
+
 func BenchmarkScenario_PopulationChurn(b *testing.B) {
 	benchScenario(b, scenario.Spec{
 		K: 6, Trials: 5, Seed: 4242, SNRLodB: 14, SNRHidB: 30, MaxSlots: 400,

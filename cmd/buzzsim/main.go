@@ -5,8 +5,14 @@
 // Usage:
 //
 //	buzzsim [-k 8] [-snr-lo 14] [-snr-hi 30] [-bytes 4] [-seed 1] [-periodic]
-//	        [-scenario spec.json] [-repeat 1]
+//	        [-scenario spec.json] [-check] [-repeat 1]
 //	        [-cpuprofile out.prof] [-memprofile heap.prof]
+//
+// With -check the spec is parsed and validated (including the decode
+// window fields) and a summary of what would run is printed — no
+// trials execute. A misspelled field, an inverted SNR band or an
+// impossible population event fails loudly here instead of after a
+// long run.
 //
 // Example:
 //
@@ -52,6 +58,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "session seed (deterministic replay)")
 	periodic := flag.Bool("periodic", false, "periodic network: skip identification (§4b)")
 	scenarioPath := flag.String("scenario", "", "run a declarative scenario spec (JSON) through the scenario engine instead of a single session")
+	check := flag.Bool("check", false, "parse and validate the -scenario spec, print what it would run, and exit without running any trials")
 	repeat := flag.Int("repeat", 1, "run the session (or scenario) this many times (iterating the seed); profiling runs want more samples than one session provides")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the full run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
@@ -73,6 +80,16 @@ func main() {
 				os.Exit(2)
 			}
 		}
+	} else if *check {
+		fmt.Fprintln(os.Stderr, "buzzsim: -check validates a spec file; it requires -scenario")
+		os.Exit(2)
+	}
+	if *check {
+		if err := checkScenario(*scenarioPath); err != nil {
+			fmt.Fprintf(os.Stderr, "buzzsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	// Profile teardown must run before exiting, so the session work
 	// lives in run() and every error path returns through it.
@@ -107,6 +124,52 @@ func main() {
 		fmt.Fprintf(os.Stderr, "buzzsim: %v\n", runErr)
 		os.Exit(1)
 	}
+}
+
+// checkScenario parses and validates a spec without running a single
+// trial — the pre-flight for expensive workload files. scenario.Load
+// already rejects unknown fields and inconsistent values with
+// actionable messages; this adds a human summary of what would run so
+// a typo that *is* valid JSON (say, a wrong rho) is visible too.
+func checkScenario(path string) error {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	name := spec.Name
+	if name == "" {
+		name = path
+	}
+	fmt.Printf("spec OK: %q\n", name)
+	fmt.Printf("  tags:       %d initial, %d roster total\n", spec.K, spec.TotalTags())
+	fmt.Printf("  trials:     %d (seed %d, max %d slots, %d restarts)\n", spec.Trials, spec.Seed, spec.MaxSlots, spec.Restarts)
+	fmt.Printf("  snr band:   %g..%g dB, agc %g\n", spec.SNRLodB, spec.SNRHidB, spec.AGCNoiseFraction)
+	fmt.Printf("  payload:    %d bits + %s\n", spec.MessageBits, spec.CRC)
+	switch spec.Channel.Kind {
+	case scenario.KindBlockFading:
+		fmt.Printf("  channel:    block-fading, block_len %d\n", spec.Channel.BlockLen)
+	case scenario.KindGaussMarkov:
+		if len(spec.Channel.PerTagRho) > 0 {
+			fmt.Printf("  channel:    gauss-markov, per-tag rho %v\n", spec.Channel.PerTagRho)
+		} else {
+			fmt.Printf("  channel:    gauss-markov, rho %g\n", spec.Channel.Rho)
+		}
+	default:
+		fmt.Printf("  channel:    static\n")
+	}
+	switch spec.Window {
+	case scenario.WindowAuto:
+		fmt.Printf("  window:     auto (from the channel's coherence time)\n")
+	case scenario.WindowFixed:
+		fmt.Printf("  window:     fixed, %d slots\n", spec.DecodeWindow)
+	default:
+		fmt.Printf("  window:     none (whole-round decode)\n")
+	}
+	for _, e := range spec.Population {
+		fmt.Printf("  population: slot %d: +%d/-%d\n", e.Slot, e.Arrive, e.Depart)
+	}
+	fmt.Printf("  schemes:    %v\n", spec.Schemes)
+	return nil
 }
 
 // runScenario parses the spec once and executes it repeat times,

@@ -54,7 +54,8 @@ import (
 
 // Graph is the decoding graph for one block of collisions: the sparse
 // participation structure D plus the tags' channel taps. It grows one
-// row per collision slot (AppendRow); every adjacency list owns its
+// row per collision slot (AppendRow) and, under a coherence-windowed
+// decode, retires the oldest (RetireRow); every adjacency list owns its
 // backing storage with power-of-two headroom, so a steady-state transfer
 // (same shape as a previous one on the same Graph) allocates nothing.
 type Graph struct {
@@ -89,6 +90,17 @@ type Graph struct {
 	// newlyInactive accumulates rows emptied by DeactivateTag calls
 	// until the caller consumes them (TakeNewlyInactive).
 	newlyInactive []int
+	// retired counts the dead prefix rows dropped by RetireRow: rows
+	// [0, retired) have left every adjacency list but keep their indices,
+	// so L and all later row numbers never shift under a caller's cached
+	// per-row state. The graph invariant "rows only append" becomes
+	// "live rows are the window [retired, L)".
+	retired int
+	// spare recycles retired rows' adjacency backing: row indices are
+	// never reused, so without it a sliding window would allocate fresh
+	// row storage every slot forever. RetireRow pushes, AppendRow pops —
+	// the windowed steady state is allocation-free like the growing one.
+	spare [][]int
 	// taps[i] is tag i's channel coefficient h_i.
 	taps []complex128
 	// tapPower[i] caches |h_i|².
@@ -140,6 +152,7 @@ func (g *Graph) Reset(k int, taps []complex128) {
 	clear(g.deactivated)
 	g.K = k
 	g.L = 0
+	g.retired = 0
 	g.SetTaps(taps)
 }
 
@@ -218,8 +231,16 @@ func (g *Graph) AppendRow(row bits.Vector) {
 	} else {
 		g.rowActive = append(g.rowActive, nil)
 	}
-	rc := g.rowCols[r][:0]
-	ra := g.rowActive[r][:0]
+	rc := g.rowCols[r]
+	if rc == nil {
+		rc = g.popSpare()
+	}
+	rc = rc[:0]
+	ra := g.rowActive[r]
+	if ra == nil {
+		ra = g.popSpare()
+	}
+	ra = ra[:0]
 	for i, on := range row {
 		if on {
 			rc = append(rc, i)
@@ -237,6 +258,92 @@ func (g *Graph) AppendRow(row bits.Vector) {
 	}
 	g.L = r + 1
 }
+
+// RetireRow removes the oldest live collision row from the graph — the
+// symmetric inverse of AppendRow, for the coherence-windowed decode in
+// which rows older than the channel's coherence time are model error
+// rather than evidence. The row leaves every collider's adjacency list
+// and the per-tag |h|²·w constants in O(colliders) (plus an O(live
+// rows) activeRows prune when the row was still active), but its index
+// is never reused: rows [0, retired) keep their numbers, so L and
+// every cached per-row index a Session holds stay stable. Callers
+// owning cached descent state must subtract the row's contribution
+// first — that is Session.Retire's job.
+func (g *Graph) RetireRow() {
+	r := g.retired
+	if r >= g.L {
+		panic("bp: RetireRow with no live rows")
+	}
+	for _, i := range g.rowCols[r] {
+		cr := g.colRows[i]
+		// Rows append in ascending order and retire in ascending order,
+		// so the oldest live row heads every collider's row list.
+		if cr[0] != r {
+			panic("bp: adjacency out of order in RetireRow")
+		}
+		copy(cr, cr[1:])
+		g.colRows[i] = cr[:len(cr)-1]
+		if len(cr) == 1 {
+			// Snap to exact zero: |h|²·w must vanish with the degree,
+			// and the incremental subtractions leave float dust that
+			// would poison the margin normalization −G/(|h|²·w).
+			g.wPow[i] = 0
+		} else {
+			g.wPow[i] -= g.tapPower[i]
+		}
+	}
+	if len(g.rowActive[r]) > 0 {
+		// activeRows is ascending, so a live oldest row can only be
+		// its first entry.
+		if g.activeRows[0] != r {
+			panic("bp: activeRows out of order in RetireRow")
+		}
+		copy(g.activeRows, g.activeRows[1:])
+		g.activeRows = g.activeRows[:len(g.activeRows)-1]
+	}
+	if c := g.rowCols[r]; cap(c) > 0 {
+		g.spare = append(g.spare, c[:0])
+	}
+	g.rowCols[r] = nil
+	if c := g.rowActive[r]; cap(c) > 0 {
+		g.spare = append(g.spare, c[:0])
+	}
+	g.rowActive[r] = nil
+	g.retired = r + 1
+}
+
+// popSpare hands back a retired row's adjacency backing, or nil.
+func (g *Graph) popSpare() []int {
+	n := len(g.spare)
+	if n == 0 {
+		return nil
+	}
+	s := g.spare[n-1]
+	g.spare[n-1] = nil
+	g.spare = g.spare[:n-1]
+	return s
+}
+
+// ReserveRows pre-sizes the per-row header tables for a transfer of at
+// most n rows, so a sliding-window steady state (whose row indices
+// grow past the live count forever) never reallocates them mid-slot.
+// The Session calls it once per Begin with its slot budget.
+func (g *Graph) ReserveRows(n int) {
+	if cap(g.rowCols) < n {
+		next := make([][]int, g.L, scratch.CeilPow2(n))
+		copy(next, g.rowCols)
+		g.rowCols = next
+	}
+	if cap(g.rowActive) < n {
+		next := make([][]int, g.L, scratch.CeilPow2(n))
+		copy(next, g.rowActive)
+		g.rowActive = next
+	}
+}
+
+// Retired returns the number of retired prefix rows; the live graph is
+// the window [Retired(), L).
+func (g *Graph) Retired() int { return g.retired }
 
 // DeactivateTag drops tag i from every row's flip fan-out: callers do
 // this when the outer loop CRC-locks the tag, whose sums and gains are

@@ -94,6 +94,27 @@ type Session struct {
 	// retapIdx is RetapAll's changed-tag staging buffer.
 	retapIdx []int
 
+	// Coherence-window bookkeeping. rowPower[r] is the absorb-time
+	// signal energy of row r (Σ_{i∈row} |h_i|²/2 — the expected
+	// per-position contribution against fair bits); driftEnergy[r]
+	// accumulates the model error RetapAll folds into the row (|Δh_i|²/2
+	// per moved collider). driftTotal and sigTotal are their running
+	// sums over the live rows: Retire subtracts a retired row's share,
+	// and DriftFraction serves their ratio to the margin gate.
+	rowPower    []float64
+	driftEnergy []float64
+	driftTotal  float64
+	sigTotal    float64
+	// trackDrift arms the banking: an unwindowed transfer never reads
+	// DriftFraction, so AppendSlot, RetapAll and Retire all skip the
+	// accounting unless the owner called TrackDrift(true) after Begin
+	// (and before the first AppendSlot — toggling mid-transfer would
+	// desynchronize the per-row series from the graph).
+	trackDrift bool
+	// retireIdx/retireTouched stage Retire's unique-collider sweep.
+	retireIdx     []int
+	retireTouched []bool
+
 	// Per-DecodeSlot fan-out context, read-only while workers run.
 	curSlot   int
 	curLocked []bool
@@ -199,6 +220,7 @@ func (s *Session) Begin(k, frameLen, maxSlots, par, restarts int, taps []complex
 	s.restarts = restarts
 	s.eps = 1e-12
 	s.g.Reset(k, taps)
+	s.g.ReserveRows(maxSlots)
 
 	s.ysBacking = growComplex(s.ysBacking, frameLen*maxSlots)
 	s.ys = growSlices(s.ys, frameLen)
@@ -236,6 +258,13 @@ func (s *Session) Begin(k, frameLen, maxSlots, par, restarts int, taps []complex
 	clear(s.errInactive)
 	s.prevLocked = growBools(s.prevLocked, k)
 	clear(s.prevLocked)
+	s.rowPower = growFloats(s.rowPower, maxSlots)[:0]
+	s.driftEnergy = growFloats(s.driftEnergy, maxSlots)[:0]
+	s.driftTotal, s.sigTotal = 0, 0
+	s.trackDrift = false
+	s.retireIdx = growInts(s.retireIdx, k)[:0]
+	s.retireTouched = growBools(s.retireTouched, k)
+	clear(s.retireTouched)
 	if cap(s.wstates) < par {
 		s.wstates = make([]workerState, par)
 	}
@@ -309,6 +338,25 @@ func (s *Session) RetapAll(taps []complex128) {
 	s.retapIdx = changed[:0]
 	if len(changed) == 0 {
 		return
+	}
+	// Every tap move turns the rows absorbed under the old tap into
+	// model error: bank |Δh|²/2 per affected live row (the expected
+	// per-position mismatch against a fair bit) for the windowed margin
+	// gate's drift estimate (DriftFraction). Retire reclaims a row's
+	// share when it leaves the window. Armed by TrackDrift — an
+	// unwindowed transfer never reads the estimate, so it skips the
+	// O(nnz) accounting.
+	if s.trackDrift {
+		for _, i := range changed {
+			d := s.g.taps[i] - taps[i]
+			dd := 0.5 * (real(d)*real(d) + imag(d)*imag(d))
+			if w := len(s.g.colRows[i]); w > 0 && dd > 0 {
+				for _, row := range s.g.colRows[i] {
+					s.driftEnergy[row] += dd
+				}
+				s.driftTotal += dd * float64(w)
+			}
+		}
 	}
 	full := !s.stateValid || 2*len(changed) >= s.k
 	if !full {
@@ -428,6 +476,9 @@ func (s *Session) Grow(taps []complex128, est []bits.Vector) {
 		s.prevLocked = s.prevLocked[:k2]
 		clear(s.prevLocked[oldK:])
 	}
+	s.retireIdx = growInts(s.retireIdx, k2)[:0]
+	s.retireTouched = growBools(s.retireTouched, k2)
+	clear(s.retireTouched)
 	s.k = k2
 
 	for p := 0; p < s.frameLen; p++ {
@@ -473,9 +524,139 @@ func (s *Session) AppendSlot(row bits.Vector, obs []complex128) {
 		panic("bp: AppendSlot past the session's maxSlots")
 	}
 	s.g.AppendRow(row)
+	if s.trackDrift {
+		rp := 0.0
+		for _, i := range s.g.rowCols[s.g.L-1] {
+			rp += 0.5 * s.g.tapPower[i]
+		}
+		s.rowPower = append(s.rowPower, rp)
+		s.driftEnergy = append(s.driftEnergy, 0)
+		s.sigTotal += rp
+	}
 	for p, o := range obs {
 		s.ys[p] = append(s.ys[p], o)
 	}
+}
+
+// Retire drops every collision slot up to and including throughSlot
+// (1-based) from the decode — the symmetric inverse of Grow's and
+// AppendSlot's accretion, turning "the graph only grows" into "the
+// graph is a sliding window". Each retired row leaves the graph's
+// adjacency (Graph.RetireRow; indices never shift, so all cached
+// per-row state stays aligned) and each position's cached descent
+// state loses exactly that row's contribution: the S-sums drop the
+// cached residual entry, the touched tags' gains and argmax trees are
+// re-derived once after the sweep, and a row whose energy had been
+// banked into the frozen-row error constant gives it back. Cost is
+// O(frameLen · colliders) per retired row plus one O(frameLen ·
+// touched · log K) gain sweep per call; descent state of the surviving
+// rows is untouched, so the next DecodeSlot continues every position's
+// search where it left off.
+//
+// Two cases fall back to whole-state invalidation, after which the
+// next DecodeSlot rebuilds every position from the surviving rows'
+// observations: the cached state is already invalid (a pending
+// retap/grow rebuild — under fast drift RetapAll invalidates every
+// slot, so windowed fast-mobility decodes take this path), and a call
+// retiring at least half the live rows (a window shrink; the rebuild
+// touches less memory than the patches would). Like AppendSlot, Retire
+// invalidates the cached per-position errors until the next DecodeSlot;
+// call it between a DecodeSlot and the next AppendSlot.
+//
+// Returns the number of rows retired; retiring everything is legal
+// (the decoder then knows nothing and margins collapse to zero until
+// new slots arrive).
+func (s *Session) Retire(throughSlot int) int {
+	g := &s.g
+	hi := min(throughSlot, g.L)
+	lo := g.retired
+	if hi <= lo {
+		return 0
+	}
+	n := hi - lo
+	patch := s.stateValid && 2*n < g.L-lo
+	if patch && s.frameLen > 0 && hi > len(s.states[0].residual) {
+		// Positions have not absorbed the rows being retired yet (Retire
+		// mid-slot, between AppendSlot and DecodeSlot): nothing cached
+		// references them consistently — rebuild.
+		patch = false
+	}
+	touched := s.retireIdx[:0]
+	for r := lo; r < hi; r++ {
+		if patch {
+			inactive := len(g.rowActive[r]) == 0
+			for p := 0; p < s.frameLen; p++ {
+				st := &s.states[p]
+				res := st.residual[r]
+				for _, i := range g.rowCols[r] {
+					if !s.prevLocked[i] {
+						st.sum[i] -= res
+					}
+				}
+				if inactive {
+					lb := s.lockedBase[p][r]
+					s.errInactive[p] -= real(lb)*real(lb) + imag(lb)*imag(lb)
+				}
+			}
+			for _, i := range g.rowCols[r] {
+				if !s.retireTouched[i] && !s.prevLocked[i] {
+					s.retireTouched[i] = true
+					touched = append(touched, i)
+				}
+			}
+		}
+		if s.trackDrift {
+			s.driftTotal -= s.driftEnergy[r]
+			s.sigTotal -= s.rowPower[r]
+		}
+		g.RetireRow()
+	}
+	s.retireIdx = touched
+	if !patch {
+		s.stateValid = false
+		return n
+	}
+	// Sums and the graph's |h|²·w constants moved under the touched
+	// tags' gains; one sweep per position re-derives them and repairs
+	// the argmax trees.
+	for p := 0; p < s.frameLen; p++ {
+		st := &s.states[p]
+		for _, i := range touched {
+			st.gain[i] = st.gainOf(g, i)
+			if st.useTree {
+				st.treeFix(i)
+			}
+		}
+	}
+	for _, i := range touched {
+		s.retireTouched[i] = false
+	}
+	return n
+}
+
+// Retired returns the number of collision slots retired so far.
+func (s *Session) Retired() int { return s.g.retired }
+
+// TrackDrift arms (or disarms) the model-error accounting behind
+// DriftFraction. Begin resets it off; a windowed transfer turns it on
+// before the first slot, everything else skips the per-retap cost.
+func (s *Session) TrackDrift(on bool) { s.trackDrift = on }
+
+// DriftFraction estimates the accumulated channel-model error carried
+// by the live rows, as a fraction of their absorb-time signal energy:
+// RetapAll (when armed via TrackDrift) banks |Δh|²/2 per moved tap per
+// absorbed row, Retire takes a retired row's share back out. The
+// rate-adaptation margin gate deflates its windowed acceptance
+// thresholds by 1/(1 + 2·DriftFraction()) — drift eats margin, so an
+// honest frame's worst-position margin sits below its static-channel
+// value in proportion to the model error — while the disjoint-window
+// double confirmation carries the false-accept protection (see
+// ratedapt's gatePolicy).
+func (s *Session) DriftFraction() float64 {
+	if s.sigTotal <= 0 || s.driftTotal <= 0 {
+		return 0
+	}
+	return s.driftTotal / s.sigTotal
 }
 
 // Degree returns the participation count of tag i.
@@ -683,7 +864,9 @@ func (s *Session) decodePosition(p int, ws *workerState) {
 		}
 		s.lockedBase[p] = lbp
 		acc := 0.0
-		for row := 0; row < g.L; row++ {
+		// Retired rows also have an empty rowActive, but they are gone
+		// from the model entirely — only live frozen rows bank energy.
+		for row := g.retired; row < g.L; row++ {
 			if len(g.rowActive[row]) == 0 {
 				x := lbp[row]
 				acc += real(x)*real(x) + imag(x)*imag(x)

@@ -94,9 +94,10 @@ func decodeCompare(t *testing.T, a, b *Session, slot int, locked []bool, base ui
 // verifyState recomputes every position's residual, unlocked S-sums
 // and gains from the session's observations, current bits and current
 // taps, and fails if the cached state disagrees beyond tol — the
-// white-box contract RetapAll's incremental patch must keep. (Exact
-// equality is not required: the patch adds tap deltas onto cached
-// residuals, a different float association than the rebuild.)
+// white-box contract RetapAll's and Retire's incremental patches must
+// keep. Retired rows are skipped: their cached entries are dead by
+// design. (Exact equality is not required: the patches add deltas onto
+// cached values, a different float association than the rebuild.)
 func verifyState(t *testing.T, s *Session, locked []bool, tol float64, what string) {
 	t.Helper()
 	if !s.stateValid {
@@ -106,7 +107,7 @@ func verifyState(t *testing.T, s *Session, locked []bool, tol float64, what stri
 	for p := 0; p < s.frameLen; p++ {
 		st := &s.states[p]
 		myBits := s.PosBits(p)
-		for row := 0; row < g.L; row++ {
+		for row := g.retired; row < g.L; row++ {
 			want := s.ys[p][row]
 			for _, i := range g.rowCols[row] {
 				if myBits[i] {
@@ -137,6 +138,25 @@ func verifyState(t *testing.T, s *Session, locked []bool, tol float64, what stri
 			if !closeTo(st.gain[i], want, tol) {
 				t.Fatalf("%s: position %d tag %d gain %v, want %v", what, p, i, st.gain[i], want)
 			}
+		}
+		// The frozen-row error constant must equal the energy of the
+		// live rows whose every collider is locked — retired rows give
+		// their banked share back.
+		wantInact := 0.0
+		for row := g.retired; row < g.L; row++ {
+			if len(g.rowActive[row]) != 0 {
+				continue
+			}
+			lb := s.ys[p][row]
+			for _, i := range g.rowCols[row] {
+				if myBits[i] {
+					lb -= g.taps[i]
+				}
+			}
+			wantInact += real(lb)*real(lb) + imag(lb)*imag(lb)
+		}
+		if !closeTo(s.errInactive[p], wantInact, tol) {
+			t.Fatalf("%s: position %d frozen-row error %v, want %v", what, p, s.errInactive[p], wantInact)
 		}
 	}
 }

@@ -1,0 +1,322 @@
+package bp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/prng"
+)
+
+// driveSlots feeds n scripted slots into s, decoding each, and returns
+// the next slot index. rows/obss are the shared script; locked is the
+// session's lock vector (length ≥ s.k; rows are truncated to s.k).
+func driveSlots(t *testing.T, s *Session, rows []bits.Vector, obss [][]complex128, from, n int, locked []bool, base uint64) int {
+	t.Helper()
+	minMargin := make([]float64, s.k)
+	ambiguous := make([]bool, s.k)
+	slot := from
+	for i := 0; i < n; i++ {
+		s.AppendSlot(rows[slot-1][:s.k], obss[slot-1])
+		s.DecodeSlot(slot, locked[:s.k], base, minMargin, ambiguous)
+		slot++
+	}
+	return slot
+}
+
+// scriptSlots pre-draws a deterministic slot script over k tags so the
+// same air can be replayed into differently-driven sessions.
+func scriptSlots(k, frameLen, n int, seed uint64) ([]bits.Vector, [][]complex128) {
+	drv := &sessionDriver{k: k, frameLen: frameLen, src: prng.NewSource(seed)}
+	rows := make([]bits.Vector, n)
+	obss := make([][]complex128, n)
+	for i := range rows {
+		rows[i], obss[i] = drv.slot()
+	}
+	return rows, obss
+}
+
+// TestSessionRetireKeepsStateConsistent drives Retire interleaved with
+// Grow, RetapAll and mid-transfer locks, verifying after every step
+// that the incrementally-patched state matches a from-scratch
+// recompute over the live rows — the white-box equivalence the ISSUE's
+// "interleaved Retire/Grow/RetapAll vs rebuild" criterion asks for.
+func TestSessionRetireKeepsStateConsistent(t *testing.T) {
+	const (
+		k0       = 6
+		kNew     = 2
+		k2       = k0 + kNew
+		frameLen = 7
+		maxSlots = 48
+		base     = 0x51DE
+	)
+	src := prng.NewSource(0x77AB)
+	taps := randomTaps(k2, src)
+	est := randomEstimates(k2, frameLen, src)
+	rows, obss := scriptSlots(k2, frameLen, maxSlots, 0xFEED5)
+
+	s := NewSession()
+	defer s.Close()
+	s.Begin(k0, frameLen, maxSlots, 1, 2, taps[:k0])
+	s.TrackDrift(true) // exercise the armed drift accounting throughout
+	s.InitPositions(est[:k0])
+	locked := make([]bool, k2)
+
+	slot := driveSlots(t, s, rows, obss, 1, 6, locked, base)
+
+	// Patch path: a steady-window retire of the two oldest rows.
+	if n := s.Retire(2); n != 2 {
+		t.Fatalf("Retire(2) retired %d rows, want 2", n)
+	}
+	if s.Retired() != 2 {
+		t.Fatalf("Retired() = %d, want 2", s.Retired())
+	}
+	verifyState(t, s, locked, 1e-9, "after first retire")
+
+	// Lock a tag mid-round, decode, then retire rows that include it.
+	locked[2] = true
+	slot = driveSlots(t, s, rows, obss, slot, 2, locked, base)
+	if n := s.Retire(4); n != 2 {
+		t.Fatalf("Retire(4) retired %d rows, want 2", n)
+	}
+	verifyState(t, s, locked, 1e-9, "after retire with a locked tag")
+
+	// Grow the roster mid-window; earlier rows still exclude the
+	// newcomers, later ones include them.
+	s.Grow(taps[k0:], est[k0:])
+	slot = driveSlots(t, s, rows, obss, slot, 4, locked, base)
+	verifyState(t, s, locked, 1e-9, "after grow")
+	if n := s.Retire(7); n != 3 {
+		t.Fatalf("Retire(7) retired %d rows, want 3", n)
+	}
+	verifyState(t, s, locked, 1e-9, "after retire past grow")
+
+	// RetapAll a minority of unlocked tags (the incremental retap
+	// patch), then retire again on the doubly-patched state.
+	newTaps := append([]complex128(nil), taps...)
+	newTaps[0] *= complex(1.02, 0.013)
+	newTaps[5] *= complex(0.98, -0.02)
+	s.RetapAll(newTaps)
+	verifyState(t, s, locked, 1e-9, "after retap")
+	slot = driveSlots(t, s, rows, obss, slot, 2, locked, base)
+	if n := s.Retire(9); n != 2 {
+		t.Fatalf("Retire(9) retired %d rows, want 2", n)
+	}
+	verifyState(t, s, locked, 1e-9, "after retire on retapped state")
+
+	// Retiring most of the window must take the rebuild fall-back, and
+	// the next decode must land back on a consistent state.
+	if got := s.Retire(slot - 2); got == 0 {
+		t.Fatal("majority retire retired nothing")
+	}
+	if s.stateValid {
+		t.Fatal("majority retire did not take the rebuild fall-back")
+	}
+	driveSlots(t, s, rows, obss, slot, 2, locked, base)
+	verifyState(t, s, locked, 1e-9, "after rebuild")
+}
+
+// TestSessionRetirePatchMatchesRebuild drives two sessions through the
+// identical script; one retires on the incremental patch path, the
+// other is forced onto the rebuild fall-back before every Retire. The
+// two float associations agree to round-off on margins and errors;
+// bits are compared exactly, which holds on this script because no
+// descent decision sits within round-off of a tie (the script seed is
+// chosen for that — a near-tie would make bit equality seed-dependent,
+// as with the RetapAll patch the comment on decodeCompare describes).
+func TestSessionRetirePatchMatchesRebuild(t *testing.T) {
+	const (
+		k        = 7
+		frameLen = 6
+		maxSlots = 40
+		window   = 6
+		base     = 0xB11D
+	)
+	src := prng.NewSource(0x9C31)
+	taps := randomTaps(k, src)
+	est := randomEstimates(k, frameLen, src)
+	rows, obss := scriptSlots(k, frameLen, maxSlots, 0xC0FF)
+
+	mk := func() *Session {
+		s := NewSession()
+		s.Begin(k, frameLen, maxSlots, 1, 2, taps)
+		s.InitPositions(est)
+		return s
+	}
+	patch, rebuild := mk(), mk()
+	defer patch.Close()
+	defer rebuild.Close()
+
+	locked := make([]bool, k)
+	for slot := 1; slot <= 16; slot++ {
+		patch.AppendSlot(rows[slot-1], obss[slot-1])
+		rebuild.AppendSlot(rows[slot-1], obss[slot-1])
+		decodeCompare(t, patch, rebuild, slot, locked, base, k, frameLen, 1e-9)
+		if slot == 5 {
+			locked[1] = true
+		}
+		if slot > window {
+			rebuild.stateValid = false // force the fall-back
+			np := patch.Retire(slot - window)
+			nr := rebuild.Retire(slot - window)
+			if np != nr || np != 1 {
+				t.Fatalf("slot %d: retired %d vs %d rows, want 1", slot, np, nr)
+			}
+			if !patch.stateValid {
+				t.Fatalf("slot %d: patch session fell back to rebuild", slot)
+			}
+		}
+	}
+}
+
+// TestSessionRetireAllRows pins the degenerate edge: retiring every
+// absorbed row is legal, decoding continues (margins collapse to zero
+// — the decoder honestly knows nothing), and fresh slots rebuild a
+// working decode.
+func TestSessionRetireAllRows(t *testing.T) {
+	const (
+		k        = 5
+		frameLen = 6
+		maxSlots = 24
+		base     = 0xA110
+	)
+	src := prng.NewSource(0x4F2)
+	taps := randomTaps(k, src)
+	est := randomEstimates(k, frameLen, src)
+	rows, obss := scriptSlots(k, frameLen, maxSlots, 0xD1CE)
+
+	s := NewSession()
+	defer s.Close()
+	s.Begin(k, frameLen, maxSlots, 1, 1, taps)
+	s.InitPositions(est)
+	locked := make([]bool, k)
+	slot := driveSlots(t, s, rows, obss, 1, 5, locked, base)
+
+	if n := s.Retire(slot - 1); n != 5 {
+		t.Fatalf("retire-all retired %d rows, want 5", n)
+	}
+	for i := 0; i < k; i++ {
+		if d := s.Degree(i); d != 0 {
+			t.Fatalf("tag %d still has degree %d after retire-all", i, d)
+		}
+	}
+	minMargin := make([]float64, k)
+	ambiguous := make([]bool, k)
+	s.AppendSlot(rows[slot-1], obss[slot-1])
+	s.DecodeSlot(slot, locked, base, minMargin, ambiguous)
+	for p := 0; p < frameLen; p++ {
+		if math.IsNaN(s.PosError(p)) {
+			t.Fatalf("position %d error is NaN after retire-all", p)
+		}
+	}
+	for i := 0; i < k; i++ {
+		if rows[slot-1][i] {
+			continue
+		}
+		if minMargin[i] != 0 {
+			t.Fatalf("tag %d silent in the only live row has margin %v, want 0", i, minMargin[i])
+		}
+	}
+	slot++
+	driveSlots(t, s, rows, obss, slot, 4, locked, base)
+	verifyState(t, s, locked, 1e-9, "after refilling the window")
+}
+
+// TestSessionRetireParallelismEquivalence pins that windowed decoding
+// is byte-identical at any position fan-out, exactly like the
+// unwindowed session: a scripted retire-every-slot window at
+// Parallelism 1 and 4 must agree bit for bit. The CI race matrix runs
+// this under -race at GOMAXPROCS ∈ {1, 4}.
+func TestSessionRetireParallelismEquivalence(t *testing.T) {
+	const (
+		k        = 9
+		frameLen = 8
+		maxSlots = 40
+		window   = 7
+		base     = 0x9A7
+	)
+	src := prng.NewSource(0xE0E1)
+	taps := randomTaps(k, src)
+	est := randomEstimates(k, frameLen, src)
+	rows, obss := scriptSlots(k, frameLen, maxSlots, 0xBEE5)
+
+	mk := func(par int) *Session {
+		s := NewSession()
+		s.Begin(k, frameLen, maxSlots, par, 2, taps)
+		s.InitPositions(est)
+		return s
+	}
+	serial, parallel := mk(1), mk(4)
+	defer serial.Close()
+	defer parallel.Close()
+
+	locked := make([]bool, k)
+	for slot := 1; slot <= 20; slot++ {
+		serial.AppendSlot(rows[slot-1], obss[slot-1])
+		parallel.AppendSlot(rows[slot-1], obss[slot-1])
+		decodeCompare(t, serial, parallel, slot, locked, base, k, frameLen, 0)
+		if slot == 6 {
+			locked[4] = true
+		}
+		if slot > window {
+			ns := serial.Retire(slot - window)
+			np := parallel.Retire(slot - window)
+			if ns != np {
+				t.Fatalf("slot %d: retired %d vs %d rows across parallelism", slot, ns, np)
+			}
+		}
+	}
+	if serial.Retired() != parallel.Retired() {
+		t.Fatalf("retired totals diverged: %d vs %d", serial.Retired(), parallel.Retired())
+	}
+}
+
+// TestSessionWindowSteadyStateAllocationFree extends the PR-1/PR-2
+// allocation regression to the windowed decoder: one steady-state slot
+// cycle — AppendSlot, DecodeSlot, Retire — on a warm session must not
+// touch the heap. The retire step's staging (touched-tag sweep, drift
+// bookkeeping) is session-owned, so a sliding window costs zero
+// allocations per slot, exactly like the growing decode it replaces.
+func TestSessionWindowSteadyStateAllocationFree(t *testing.T) {
+	const (
+		k        = 8
+		frameLen = 8
+		window   = 6
+		maxSlots = 600
+		base     = 0x10CA
+	)
+	src := prng.NewSource(0x88F)
+	taps := randomTaps(k, src)
+	est := randomEstimates(k, frameLen, src)
+	rows, obss := scriptSlots(k, frameLen, 32, 0xF00D)
+
+	s := NewSession()
+	defer s.Close()
+	s.Begin(k, frameLen, maxSlots, 1, 2, taps)
+	s.TrackDrift(true) // the armed accounting must be alloc-free too
+	s.InitPositions(est)
+	locked := make([]bool, k)
+	minMargin := make([]float64, k)
+	ambiguous := make([]bool, k)
+
+	slot := 1
+	cycle := func() {
+		i := (slot - 1) % len(rows)
+		s.AppendSlot(rows[i], obss[i])
+		s.DecodeSlot(slot, locked, base, minMargin, ambiguous)
+		if slot > window {
+			s.Retire(slot - window)
+		}
+		slot++
+	}
+	// Warm-up: fill the window and size every internal buffer.
+	for i := 0; i < 10; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Fatalf("steady-state windowed slot cycle allocates %v times, want 0", allocs)
+	}
+	if s.Retired() == 0 {
+		t.Fatal("window never slid — the cycle under test did not exercise Retire")
+	}
+}

@@ -44,6 +44,12 @@ type Process interface {
 	// Static reports whether the taps can never change across slots;
 	// callers use it to skip per-slot retap work entirely.
 	Static() bool
+	// CoherenceSlots reports how long the process's taps stay strongly
+	// correlated, in slots — the horizon beyond which an observation
+	// carries vanishing information about the current channel, and the
+	// natural decode-window length for a coherence-windowed receiver.
+	// 0 means "forever" (a static process).
+	CoherenceSlots() int
 }
 
 // StaticProcess adapts a frozen Model to the Process interface — the
@@ -63,6 +69,9 @@ func (s *StaticProcess) ModelAt(int) *Model { return s.M }
 
 // Static reports true.
 func (s *StaticProcess) Static() bool { return true }
+
+// CoherenceSlots reports 0: frozen taps are coherent forever.
+func (s *StaticProcess) CoherenceSlots() int { return 0 }
 
 // BlockFading redraws every tag's tap independently at the start of
 // each block of BlockLen slots: within a block the channel is the
@@ -104,6 +113,10 @@ func (b *BlockFading) K() int { return b.m.K() }
 
 // Static reports false.
 func (b *BlockFading) Static() bool { return false }
+
+// CoherenceSlots reports the block length: within a block the taps are
+// frozen, across a boundary they decorrelate completely.
+func (b *BlockFading) CoherenceSlots() int { return b.blockLen }
 
 // ModelAt returns the model of the block containing the 1-based slot,
 // redrawing the taps when the block index changed.
@@ -178,6 +191,19 @@ func (g *GaussMarkov) K() int { return g.m.K() }
 // Static reports false.
 func (g *GaussMarkov) Static() bool { return false }
 
+// CoherenceSlots reports the coherence window of the fastest-moving
+// tag: the minimum over tags of CoherenceSlotsFromRho(ρ_i), skipping
+// parked tags (ρ = 1). A roster of parked tags is coherent forever (0).
+func (g *GaussMarkov) CoherenceSlots() int {
+	minW := 0
+	for _, r := range g.rho {
+		if w := CoherenceSlotsFromRho(r); w > 0 && (minW == 0 || w < minW) {
+			minW = w
+		}
+	}
+	return minW
+}
+
 // ModelAt advances the recursion through every slot up to the given
 // 1-based slot (h(0) is the initial model, in effect at slot 1) and
 // returns the evolved model.
@@ -193,6 +219,26 @@ func (g *GaussMarkov) ModelAt(slot int) *Model {
 		g.curSlot = slot - 1
 	}
 	return g.m
+}
+
+// CoherenceSlotsFromRho inverts RhoFromDoppler's role: it converts a
+// per-slot tap autocorrelation ρ into a coherence window, the largest
+// n with ρⁿ ≥ ½ — the discrete analogue of the textbook coherence-time
+// definition (the lag at which the correlation decays to half). ρ = 1
+// returns 0 ("forever", a parked tag); ρ ≤ 0 returns 1 (memoryless:
+// only the newest observation says anything about the current taps).
+func CoherenceSlotsFromRho(rho float64) int {
+	if rho >= 1 {
+		return 0
+	}
+	if rho <= 0 {
+		return 1
+	}
+	n := int(math.Log(0.5) / math.Log(rho))
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // RhoFromDoppler returns the Gauss–Markov coefficient matching Jakes'

@@ -183,3 +183,50 @@ func TestRhoFromDoppler(t *testing.T) {
 		t.Errorf("extreme Doppler rho=%v escapes [0, 1]", got)
 	}
 }
+
+// TestCoherenceSlotsFromRho pins the half-correlation window: the
+// largest n with rho^n >= 1/2, the discrete coherence-time analogue.
+func TestCoherenceSlotsFromRho(t *testing.T) {
+	if got := CoherenceSlotsFromRho(1); got != 0 {
+		t.Errorf("rho=1 (parked): coherence %d slots, want 0 (forever)", got)
+	}
+	if got := CoherenceSlotsFromRho(0); got != 1 {
+		t.Errorf("rho=0 (memoryless): coherence %d slots, want 1", got)
+	}
+	for _, c := range []struct {
+		rho  float64
+		want int
+	}{{0.9, 6}, {0.99, 68}, {0.999, 692}, {0.5, 1}} {
+		if got := CoherenceSlotsFromRho(c.rho); got != c.want {
+			t.Errorf("rho=%v: coherence %d slots, want %d", c.rho, got, c.want)
+		}
+		// The definition itself: rho^n >= 1/2 > rho^(n+1).
+		if n := CoherenceSlotsFromRho(c.rho); n > 0 {
+			if math.Pow(c.rho, float64(n)) < 0.5 || math.Pow(c.rho, float64(n+1)) >= 0.5 {
+				t.Errorf("rho=%v: n=%d violates rho^n >= 1/2 > rho^(n+1)", c.rho, n)
+			}
+		}
+	}
+}
+
+// TestProcessCoherenceSlots pins the per-process coherence reporting
+// the auto window policy consumes.
+func TestProcessCoherenceSlots(t *testing.T) {
+	init := NewFromSNRBand(3, 14, 30, prng.NewSource(3))
+	if got := NewStatic(init).CoherenceSlots(); got != 0 {
+		t.Errorf("static process coherence %d, want 0", got)
+	}
+	if got := NewBlockFading(3, 14, 30, 24, 0, 7).CoherenceSlots(); got != 24 {
+		t.Errorf("block-fading coherence %d, want the block length 24", got)
+	}
+	// Mixed roster: the fastest mover sets the window; parked tags
+	// (rho=1) are skipped.
+	gm := NewGaussMarkov(init, []float64{1, 0.99, 0.9}, 7)
+	if got, want := gm.CoherenceSlots(), CoherenceSlotsFromRho(0.9); got != want {
+		t.Errorf("gauss-markov coherence %d, want the fastest tag's %d", got, want)
+	}
+	parked := NewGaussMarkov(NewFromSNRBand(2, 14, 30, prng.NewSource(4)), []float64{1, 1}, 7)
+	if got := parked.CoherenceSlots(); got != 0 {
+		t.Errorf("all-parked gauss-markov coherence %d, want 0", got)
+	}
+}

@@ -69,7 +69,11 @@ type DynamicResult struct {
 // joins the code from its arrival slot on. Departures retire tags from
 // the flip fan-out without restarting the round. Channel drift is
 // folded into the cached decoder state incrementally
-// (bp.Session.RetapAll).
+// (bp.Session.RetapAll), and under a WindowPolicy collision slots
+// older than the channel's coherence time are retired from the graph
+// (bp.Session.Retire) with the margin gates re-calibrated for the
+// drift that remains — the fast-mobility regime ρ ≲ 0.99 per slot is
+// decodable only this way.
 //
 // With a static process and an event-free roster, TransferDynamic is
 // byte-identical to Transfer — the equivalence tests pin that, so the
@@ -133,7 +137,14 @@ func TransferDynamic(cfg Config, roster []RosterTag, air, decoder channel.Proces
 		defer bp.PutSession(sess)
 	}
 	dm := decoder.ModelAt(1)
-	sess.Begin(k0, frameLen, maxSlots, cfg.Parallelism, cfg.Restarts, dm.Taps[:k0])
+	sess.Begin(k0, frameLen, maxSlots, cfg.parallelism(), cfg.Restarts, dm.Taps[:k0])
+	// Coherence window: Auto resolves against the decoder process's
+	// own coherence time — a fast Gauss–Markov roster gets a short
+	// window, block fading gets the block, a static process none, and
+	// slow drift the round never outgrows (e.g. ρ ≥ 0.999 at this slot
+	// budget) clamps to none, so the classic decoder — optimal inside
+	// the coherence time — runs untouched.
+	win := cfg.beginWindow(sess, decoder.CoherenceSlots(), maxSlots)
 
 	estimates := make([]bits.Vector, kTot)
 	for i := 0; i < k0; i++ {
@@ -158,6 +169,7 @@ func TransferDynamic(cfg Config, roster []RosterTag, air, decoder channel.Proces
 			DecodedAtSlot: decodedAt,
 			Participation: make([]int, kTot),
 			Progress:      make([]SlotResult, 0, min(maxSlots, 4*kTot+16)),
+			WindowSlots:   win,
 		},
 		Retired: make([]bool, kTot),
 	}
@@ -282,10 +294,11 @@ func TransferDynamic(cfg Config, roster []RosterTag, air, decoder channel.Proces
 		// runDecodeLoop's gate comment); only the bookkeeping differs —
 		// here a locked tag is additionally marked verified (locked
 		// alone also covers retirement) and counted resolved.
-		newly := cfg.acceptSlot(sess, slot, nJ, frameLen, &gs, minMargin, ambiguous, func(i int) {
-			verified[i] = true
-			nResolved++
-		})
+		newly := cfg.acceptSlot(sess, slot, nJ, frameLen, &gs, minMargin, ambiguous,
+			cfg.effectiveGates(sess, win), func(i int) {
+				verified[i] = true
+				nResolved++
+			})
 		totalDecoded += newly
 		res.Progress = append(res.Progress, SlotResult{
 			Slot:          slot,
@@ -295,6 +308,9 @@ func TransferDynamic(cfg Config, roster []RosterTag, air, decoder channel.Proces
 			BitsPerSymbol: float64(totalDecoded) / float64(slot),
 		})
 		res.SlotsUsed = slot
+		// Slide the coherence window (see runDecodeLoop): observations
+		// older than the channel's memory stop being evidence.
+		res.RowsRetired += slideWindow(sess, win, slot)
 		sc.Release(slotMark)
 	}
 

@@ -20,6 +20,7 @@ package ratedapt
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/bits"
 	"repro/internal/bp"
@@ -118,11 +119,18 @@ type Config struct {
 	// across trials. Results are identical with and without it.
 	Session *bp.Session
 	// Parallelism bounds the number of bit positions decoded
-	// concurrently within each slot. 0 or 1 decodes inline on the
-	// calling goroutine. Results are byte-identical at every setting:
-	// each (slot, position) pair owns a PRNG stream derived with
-	// prng.Mix3, so scheduling cannot reorder randomness.
+	// concurrently within each slot. 0 defaults to runtime.GOMAXPROCS
+	// (every hardware thread); 1 decodes inline on the calling
+	// goroutine. Results are byte-identical at every setting: each
+	// (slot, position) pair owns a PRNG stream derived with prng.Mix3,
+	// so scheduling cannot reorder randomness. Callers that fan out at
+	// a coarser grain (sim.forEachTrial's trial workers) pass their
+	// per-trial budget explicitly.
 	Parallelism int
+	// Window bounds the collision history the decoder explains — the
+	// coherence-windowed decode for fast-fading channels. The zero
+	// value keeps the classic whole-round decoder; see WindowPolicy.
+	Window WindowPolicy
 	// OnArrival, used only by TransferDynamic, is invoked once per slot
 	// that admits new roster tags, before their first collision slot,
 	// with the arriving roster indices. It returns the uplink bit-slot
@@ -169,6 +177,16 @@ func (c *Config) minDegree() int {
 	return 1
 }
 
+// parallelism resolves the per-slot position fan-out: an explicit
+// setting wins; otherwise every hardware thread. Results are
+// byte-identical at any value, so the default can chase wall clock.
+func (c *Config) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 func (c *Config) marginThreshold() float64 {
 	switch {
 	case c.MarginThreshold < 0:
@@ -181,10 +199,14 @@ func (c *Config) marginThreshold() float64 {
 }
 
 // pendingFrame is a CRC-passing frame awaiting stability confirmation:
-// it locks only if it survives unchanged past new evidence.
+// it locks only if it survives unchanged past new evidence. The classic
+// gates confirm by participation count (degree); the coherence-windowed
+// gates confirm by slot distance (the frame must re-pass the full gate
+// a whole window later, against a disjoint evidence set).
 type pendingFrame struct {
 	frame  bits.Vector
 	degree int
+	slot   int
 }
 
 // gateState is the per-tag acceptance bookkeeping shared by the static
@@ -202,17 +224,55 @@ type gateState struct {
 	frames       []bits.Vector // Result.Frames destination
 }
 
+// gatePolicy is one slot's effective acceptance-gate parameters. The
+// classic (windowless) values are thr = Config.marginThreshold(),
+// condThr = thr/2, confirmWindow 0 — exactly the PR-2 gates, weak-tag
+// half-margin confirmation included. The coherence-windowed gates
+// (confirmWindow > 0) differ in two coupled ways:
+//
+//   - The margin thresholds are rescaled down by the session's
+//     accumulated in-window model-error energy (1 + 2·DriftFraction in
+//     the denominator). Drift eats margin: the residual of a correctly
+//     decoded position still carries the mismatch energy of every
+//     in-window row whose taps have moved since it was absorbed, so
+//     under drift an honest frame's worst-position margin sits well
+//     below its static-channel value and the classic threshold would
+//     starve acceptance entirely. The rescale restores the gate's
+//     operating point — acceptance confidence survives drift.
+//
+//   - What the rescale gives up in single-window selectivity, the
+//     confirmWindow gate wins back with independence: every acceptance
+//     must pass the full gate (margins + conditional re-decode) twice,
+//     for the identical frame, at least confirmWindow slots apart. Two
+//     passes a window apart rest on nearly disjoint collision rows
+//     (they share at most the boundary row, and the channel at the
+//     window edge retains only ~ρ^W ≈ half its correlation), so a
+//     constellation coincidence that fools one window practically
+//     never reproduces the same wrong frame in the next — the
+//     false-accept probability is approximately squared exactly where
+//     in-window margins alone cannot be trusted. The classic weak-tag
+//     half-margin path is off in this mode: under model error a wrong
+//     frame can sit stable for slots (the drifting channel, not the
+//     frame, explains the changing residuals), so "stable + half
+//     margin" is not independent evidence the way two far-apart
+//     windows are.
+type gatePolicy struct {
+	thr, condThr  float64
+	confirmWindow int
+}
+
 // acceptSlot applies one slot's estimate refresh and acceptance gates —
 // the logic is documented at its (sole) static call site in
 // runDecodeLoop; TransferDynamic shares it verbatim so the gates cannot
 // drift apart. It folds the session's per-position decode into the
 // per-tag estimates, then locks every tag whose frame passes the CRC
-// plus the margin/confirmation/conditional-margin gates, calling
+// plus the margin/confirmation/conditional-margin gates of gp (see
+// gatePolicy; both loops derive it via effectiveGates), calling
 // onAccept(i) for each newly locked tag (the callers' extra
 // bookkeeping: ACK accounting, verified flags). Returns the number of
 // tags locked this slot.
 func (cfg *Config) acceptSlot(sess *bp.Session, slot, k, frameLen int, gs *gateState,
-	minMargin []float64, ambiguous []bool, onAccept func(i int)) int {
+	minMargin []float64, ambiguous []bool, gp gatePolicy, onAccept func(i int)) int {
 
 	for p := 0; p < frameLen; p++ {
 		pb := sess.PosBits(p)
@@ -225,7 +285,7 @@ func (cfg *Config) acceptSlot(sess *bp.Session, slot, k, frameLen int, gs *gateS
 	}
 	condOK := func(i int) bool {
 		for p := 0; p < frameLen; p++ {
-			if sess.ConditionalMargin(p, i, gs.locked[:k]) < cfg.marginThreshold()/2 {
+			if sess.ConditionalMargin(p, i, gs.locked[:k]) < gp.condThr {
 				return false
 			}
 		}
@@ -246,17 +306,44 @@ func (cfg *Config) acceptSlot(sess *bp.Session, slot, k, frameLen int, gs *gateS
 			gs.candidates[i] = nil
 			continue
 		}
-		accept := minMargin[i] >= cfg.marginThreshold()
-		if !accept && minMargin[i] >= cfg.marginThreshold()/2 {
-			if c := gs.candidates[i]; c != nil && c.frame.Equal(gs.estimates[i]) {
-				if deg >= c.degree+1 {
-					accept = true
+		accept := minMargin[i] >= gp.thr
+		if gp.confirmWindow > 0 {
+			// Windowed acceptance: the full gate (margins + conditional
+			// re-decode) must pass now AND have passed for the identical
+			// frame at least confirmWindow slots ago. During the wait
+			// interval the conditional re-decode is skipped — its result
+			// could not change the outcome, and it is the expensive part
+			// of the gate. A failed second pass deliberately does NOT
+			// re-stamp the candidate: the first pass stays on record and
+			// the gate retries at the next qualifying slot, trading a
+			// repeat of condOK (rare — margins must clear first) for
+			// delivery latency on a channel where every slot is dear.
+			if accept {
+				switch c := gs.candidates[i]; {
+				case c == nil || !c.frame.Equal(gs.estimates[i]):
+					if condOK(i) { // first full-gate pass
+						gs.candidates[i] = &pendingFrame{frame: gs.estimates[i].Clone(), slot: slot}
+					}
+					accept = false
+				case slot < c.slot+gp.confirmWindow:
+					accept = false
+				default:
+					accept = condOK(i) // second full-gate pass
 				}
-			} else {
-				gs.candidates[i] = &pendingFrame{frame: gs.estimates[i].Clone(), degree: deg}
 			}
+		} else {
+			if !accept && minMargin[i] >= gp.thr/2 {
+				if c := gs.candidates[i]; c != nil && c.frame.Equal(gs.estimates[i]) {
+					if deg >= c.degree+1 {
+						accept = true
+					}
+				} else {
+					gs.candidates[i] = &pendingFrame{frame: gs.estimates[i].Clone(), degree: deg}
+				}
+			}
+			accept = accept && condOK(i)
 		}
-		if accept && condOK(i) {
+		if accept {
 			gs.locked[i] = true
 			gs.decodedAt[i] = slot
 			gs.frames[i] = gs.estimates[i].Clone()
@@ -268,6 +355,24 @@ func (cfg *Config) acceptSlot(sess *bp.Session, slot, k, frameLen int, gs *gateS
 		}
 	}
 	return newly
+}
+
+// effectiveGates returns the slot's acceptance-gate parameters.
+// Without a window (win 0) the classic gates pass through untouched,
+// keeping the PR-2/PR-3 decode paths byte-identical. With the
+// coherence window active the thresholds deflate with the session's
+// measured model-error fraction and the disjoint-window double
+// confirmation switches on — see gatePolicy for why the two must move
+// together. The factor 2 calibrates the rescale to the fast-mobility
+// regime (ρ ≈ 0.9): correct delivery saturates there while the pinned
+// goldens hold zero wrong payloads across seeds.
+func (cfg *Config) effectiveGates(sess *bp.Session, win int) gatePolicy {
+	thr := cfg.marginThreshold()
+	if win <= 0 {
+		return gatePolicy{thr: thr, condThr: thr / 2}
+	}
+	thr /= 1 + 2*sess.DriftFraction()
+	return gatePolicy{thr: thr, condThr: thr / 2, confirmWindow: win}
 }
 
 // Participates reports whether the tag with the given seed transmits in
@@ -318,6 +423,11 @@ type Result struct {
 	// BitsPerSymbol is the final aggregate rate K/L when everything
 	// verified, or verified/L otherwise.
 	BitsPerSymbol float64
+	// WindowSlots is the effective coherence window the decode ran
+	// with (0 = the classic unbounded decoder) and RowsRetired the
+	// total collision rows the session retired under it.
+	WindowSlots int
+	RowsRetired int
 }
 
 // Lost counts messages that never verified.
@@ -448,7 +558,11 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 		sess = bp.GetSession()
 		defer bp.PutSession(sess)
 	}
-	sess.Begin(k, frameLen, maxSlots, cfg.Parallelism, cfg.Restarts, decoder.Taps)
+	sess.Begin(k, frameLen, maxSlots, cfg.parallelism(), cfg.Restarts, decoder.Taps)
+	// This loop's channel model is frozen for the round (infinitely
+	// coherent), so an Auto window resolves to "no window"; a fixed
+	// window still applies — the caller asked the decoder to forget.
+	win := cfg.beginWindow(sess, 0, maxSlots)
 
 	// D is still materialized row by row for the channel-refinement
 	// fit; the decoding graph itself grows inside the session.
@@ -475,7 +589,8 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 		// Most transfers finish in a few slots per tag; let the rare
 		// straggler grow the slice rather than reserving the whole
 		// MaxSlots budget every call.
-		Progress: make([]SlotResult, 0, min(maxSlots, 4*k+16)),
+		Progress:    make([]SlotResult, 0, min(maxSlots, 4*k+16)),
+		WindowSlots: win,
 	}
 	gs := gateState{
 		estimates:  estimates,
@@ -571,14 +686,15 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 		// margins cannot see constellation near-coincidences where
 		// several tags' bits swap together; this can (see
 		// bp.Graph.ConditionalMargin).
-		newly := cfg.acceptSlot(sess, slot, k, frameLen, &gs, minMargin, ambiguous, func(int) {
-			if cfg.SilenceDecoded {
-				// ACK = 2-bit command code + 16-bit temporary id
-				// echo, plus two link turnarounds.
-				res.AckDownlinkBits += 18
-				res.AckTurnarounds += 2
-			}
-		})
+		newly := cfg.acceptSlot(sess, slot, k, frameLen, &gs, minMargin, ambiguous,
+			cfg.effectiveGates(sess, win), func(int) {
+				if cfg.SilenceDecoded {
+					// ACK = 2-bit command code + 16-bit temporary id
+					// echo, plus two link turnarounds.
+					res.AckDownlinkBits += 18
+					res.AckTurnarounds += 2
+				}
+			})
 		totalDecoded += newly
 		res.Progress = append(res.Progress, SlotResult{
 			Slot:          slot,
@@ -588,6 +704,10 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 			BitsPerSymbol: float64(totalDecoded) / float64(slot),
 		})
 		res.SlotsUsed = slot
+		// Slide the coherence window: rows older than win slots are
+		// retired before the next slot's evidence arrives, preserving
+		// the surviving positions' descent state.
+		res.RowsRetired += slideWindow(sess, win, slot)
 		sc.Release(slotMark)
 	}
 

@@ -1,0 +1,89 @@
+package ratedapt
+
+import "repro/internal/bp"
+
+// WindowPolicy selects how much collision history the decoder explains
+// with the current channel taps. The classic decoder (the zero value)
+// explains every accumulated slot — exactly right when taps are frozen
+// for the round, but under fast fading rows older than the channel's
+// coherence time carry vanishing information about the current taps
+// and turn into model error: transfers stretch and the margin gates
+// lose the calibration their false-accept protection rests on. A
+// windowed policy retires rows as they age out (bp.Session.Retire), so
+// the decoder only ever explains observations the current taps can
+// still explain, and scales the margin thresholds by the session's
+// accumulated in-window drift energy (bp.Session.DriftFraction) so the
+// gates stay honest about the residual model error that remains.
+type WindowPolicy struct {
+	// Slots keeps only the most recent Slots collision slots live in
+	// the decode graph; 0 (with Auto unset) disables windowing.
+	Slots int
+	// Auto derives the window from the decoder channel's coherence
+	// time (channel.Process.CoherenceSlots, the ρ → slots inverse of
+	// channel.RhoFromDoppler's Doppler → ρ map) at transfer start,
+	// floored at MinAutoWindow so the code stays decodable; Slots is
+	// ignored. On an infinitely coherent (static) channel Auto
+	// disables windowing — the classic decoder is optimal there.
+	Auto bool
+}
+
+// MinAutoWindow floors the Auto-derived window length. Below ~8 slots
+// a tag has too few participations inside the window for the flip
+// margins to pin its bits regardless of how short the coherence time
+// is; at that point more history is model error the gate must absorb,
+// but less history is no decoder at all.
+const MinAutoWindow = 8
+
+// WindowNone returns the classic unbounded policy.
+func WindowNone() WindowPolicy { return WindowPolicy{} }
+
+// FixedWindow returns a fixed w-slot window policy.
+func FixedWindow(w int) WindowPolicy { return WindowPolicy{Slots: w} }
+
+// AutoWindow returns the coherence-derived policy.
+func AutoWindow() WindowPolicy { return WindowPolicy{Auto: true} }
+
+// resolve returns the effective window length against a channel whose
+// taps stay coherent for coherenceSlots slots (0 = forever); 0 means
+// no window.
+func (w WindowPolicy) resolve(coherenceSlots int) int {
+	if !w.Auto {
+		if w.Slots < 0 {
+			return 0
+		}
+		return w.Slots
+	}
+	if coherenceSlots <= 0 {
+		return 0
+	}
+	if coherenceSlots < MinAutoWindow {
+		return MinAutoWindow
+	}
+	return coherenceSlots
+}
+
+// beginWindow resolves the transfer's effective window — the policy
+// against the channel's coherence time and the slot budget — and arms
+// the session's drift accounting to match. One definition shared by
+// runDecodeLoop and TransferDynamic so the static and dynamic loops
+// cannot drift apart (the acceptSlot pattern). A window the transfer
+// can never outgrow is no window at all: it would never retire a row,
+// and its double-confirmation gate could never fire a second pass.
+func (cfg *Config) beginWindow(sess *bp.Session, coherenceSlots, maxSlots int) int {
+	win := cfg.Window.resolve(coherenceSlots)
+	if win >= maxSlots {
+		win = 0
+	}
+	sess.TrackDrift(win > 0)
+	return win
+}
+
+// slideWindow retires the rows that age out of a win-slot window after
+// the given slot's decode and gates, returning the count (0 when the
+// window is off or not yet full). Shared by both decode loops.
+func slideWindow(sess *bp.Session, win, slot int) int {
+	if win > 0 && slot > win {
+		return sess.Retire(slot - win)
+	}
+	return 0
+}

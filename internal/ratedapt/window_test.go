@@ -1,0 +1,122 @@
+package ratedapt
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/channel"
+	"repro/internal/prng"
+)
+
+// TestWindowPolicyResolve pins the policy table: fixed wins over the
+// channel, auto follows the channel's coherence with the MinAutoWindow
+// floor, static channels never window.
+func TestWindowPolicyResolve(t *testing.T) {
+	cases := []struct {
+		policy    WindowPolicy
+		coherence int
+		want      int
+	}{
+		{WindowNone(), 0, 0},
+		{WindowNone(), 5, 0},
+		{FixedWindow(12), 0, 12},
+		{FixedWindow(12), 100, 12},
+		{WindowPolicy{Slots: -3}, 0, 0},
+		{AutoWindow(), 0, 0},             // static: coherent forever
+		{AutoWindow(), 3, MinAutoWindow}, // floor
+		{AutoWindow(), 22, 22},           // rho 0.97-ish
+		{AutoWindow(), 692, 692},         // rho 0.999: never slides in practice
+	}
+	for _, c := range cases {
+		if got := c.policy.resolve(c.coherence); got != c.want {
+			t.Errorf("resolve(%+v, %d) = %d, want %d", c.policy, c.coherence, got, c.want)
+		}
+	}
+}
+
+// TestTransferOversizedWindowMatchesUnbounded pins the disable
+// contract from the other side: a fixed window the transfer can never
+// outgrow is no window at all — it would never retire a row and its
+// double-confirmation gate could never fire a second pass — so the
+// transfer must be byte-identical to the unbounded decode, reported
+// window included.
+func TestTransferOversizedWindowMatchesUnbounded(t *testing.T) {
+	cfg, msgs, ch := scratchTestSetup(6, 0x5EED)
+	a, err := Transfer(cfg, msgs, ch, prng.NewSource(1), prng.NewSource(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := cfg
+	wcfg.Window = FixedWindow(cfg.MaxSlots)
+	b, err := Transfer(wcfg, msgs, ch, prng.NewSource(1), prng.NewSource(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("oversized window diverged from unbounded:\nunbounded: %+v\nwindowed:  %+v", a, b)
+	}
+}
+
+// TestTransferFixedWindowDelivers runs the static-channel transfer
+// under a genuinely sliding window: the decode must still deliver
+// every message correctly (a static channel has no model error — the
+// window only removes evidence), and the retire accounting must show
+// the window actually slid.
+func TestTransferFixedWindowDelivers(t *testing.T) {
+	const k, w = 6, 12
+	cfg, msgs, ch := scratchTestSetup(k, 0x5EED)
+	cfg.Window = FixedWindow(w)
+	res, err := Transfer(cfg, msgs, ch, prng.NewSource(1), prng.NewSource(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WindowSlots != w {
+		t.Fatalf("window %d slots, want %d", res.WindowSlots, w)
+	}
+	if res.SlotsUsed > w && res.RowsRetired == 0 {
+		t.Fatalf("%d slots used under a %d-slot window but nothing retired", res.SlotsUsed, w)
+	}
+	for i, ok := range res.Verified {
+		if !ok {
+			t.Errorf("tag %d lost under a %d-slot window on a static channel", i, w)
+			continue
+		}
+		if !bits.PayloadOf(res.Frames[i], cfg.CRC).Equal(msgs[i]) {
+			t.Errorf("tag %d delivered a wrong payload", i)
+		}
+	}
+}
+
+// TestTransferDynamicAutoWindow drives the full coherence-windowed
+// path end to end on a fast Gauss–Markov roster: the auto policy must
+// resolve to the channel's coherence window, rows must retire as it
+// slides, and — the property the window exists for — every verified
+// payload must be correct. (The sim-level fast-mobility golden pins
+// the aggregate statistics; this is the engine-level contract.)
+func TestTransferDynamicAutoWindow(t *testing.T) {
+	const k = 8
+	cfg, roster, ch := dynamicTestRoster(k, 0xF457)
+	proc := channel.NewGaussMarkov(ch, []float64{0.9}, 0xF457)
+	cfg.Window = AutoWindow()
+	cfg.MaxSlots = 200
+	res, err := TransferDynamic(cfg, roster, proc, proc, prng.NewSource(3), prng.NewSource(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWin := channel.CoherenceSlotsFromRho(0.9)
+	if wantWin < MinAutoWindow {
+		wantWin = MinAutoWindow
+	}
+	if res.WindowSlots != wantWin {
+		t.Fatalf("auto window resolved to %d slots, want %d", res.WindowSlots, wantWin)
+	}
+	if res.SlotsUsed > wantWin && res.RowsRetired == 0 {
+		t.Fatalf("%d slots used under a %d-slot window but nothing retired", res.SlotsUsed, wantWin)
+	}
+	for i, ok := range res.Verified {
+		if ok && !bits.PayloadOf(res.Frames[i], cfg.CRC).Equal(roster[i].Message) {
+			t.Errorf("tag %d delivered a wrong payload under fast mobility", i)
+		}
+	}
+}

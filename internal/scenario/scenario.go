@@ -39,6 +39,18 @@ const (
 	SchemeCDMA = "cdma"
 )
 
+// Decode-window policies accepted in Spec.Window.
+const (
+	// WindowNone keeps the classic whole-round decoder (the default).
+	WindowNone = "none"
+	// WindowAuto derives the window from the channel process's
+	// coherence time (block length for block fading, the ρ → slots
+	// half-correlation point for Gauss–Markov; no window on static).
+	WindowAuto = "auto"
+	// WindowFixed keeps the most recent DecodeWindow slots.
+	WindowFixed = "fixed"
+)
+
 // ChannelSpec selects and parameterizes the tap process.
 type ChannelSpec struct {
 	// Kind is one of the Kind* constants; empty means static.
@@ -113,6 +125,14 @@ type Spec struct {
 	Parallelism int `json:"parallelism,omitempty"`
 	// Channel selects the tap process.
 	Channel ChannelSpec `json:"channel,omitempty"`
+	// Window selects the decoder's coherence-window policy: "" or
+	// "none" (classic unbounded decode), "auto" (derive the window
+	// from the channel process's coherence time — the fast-mobility
+	// setting), or "fixed" (keep the most recent DecodeWindow slots).
+	Window string `json:"window,omitempty"`
+	// DecodeWindow is the fixed window length in collision slots;
+	// setting it without Window implies "fixed".
+	DecodeWindow int `json:"decode_window,omitempty"`
 	// Population schedules mid-round arrivals and departures.
 	Population []PopulationEvent `json:"population,omitempty"`
 	// Schemes lists the contenders to run: "buzz" (always required),
@@ -171,6 +191,9 @@ func (s Spec) WithDefaults() Spec {
 	}
 	if s.Channel.Kind == "" {
 		s.Channel.Kind = KindStatic
+	}
+	if s.Window == "" && s.DecodeWindow > 0 {
+		s.Window = WindowFixed
 	}
 	if s.MaxSlots == 0 {
 		s.MaxSlots = 40 * s.TotalTags()
@@ -316,6 +339,25 @@ func (s Spec) Validate() error {
 		}
 	default:
 		return fmt.Errorf("scenario: unknown channel kind %q", s.Channel.Kind)
+	}
+	switch s.Window {
+	case "", WindowNone:
+		if s.DecodeWindow != 0 {
+			return fmt.Errorf("scenario: decode_window %d with window %q — use \"fixed\" (or drop decode_window)", s.DecodeWindow, s.Window)
+		}
+	case WindowAuto:
+		if s.DecodeWindow != 0 {
+			return fmt.Errorf("scenario: window \"auto\" derives the length from the channel — drop decode_window %d or use \"fixed\"", s.DecodeWindow)
+		}
+	case WindowFixed:
+		if s.DecodeWindow < 1 {
+			return fmt.Errorf("scenario: window \"fixed\" needs decode_window >= 1, got %d", s.DecodeWindow)
+		}
+		if s.DecodeWindow >= s.MaxSlots {
+			return fmt.Errorf("scenario: decode_window %d is not below max_slots %d — the window could never slide", s.DecodeWindow, s.MaxSlots)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown window %q (want none, fixed or auto)", s.Window)
 	}
 	prev := 1
 	for _, e := range s.Population {

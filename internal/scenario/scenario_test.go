@@ -74,6 +74,12 @@ func TestValidateErrors(t *testing.T) {
 			s.Population = []PopulationEvent{{Slot: 3, Arrive: 1}}
 			s.Schemes = []string{SchemeBuzz, SchemeTDMA}
 		}, "static population-free"},
+		{"unknown window", func(s *Spec) { s.Window = "sliding" }, "unknown window"},
+		{"auto with decode_window", func(s *Spec) { s.Window = WindowAuto; s.DecodeWindow = 8 }, "derives the length"},
+		{"none with decode_window", func(s *Spec) { s.Window = WindowNone; s.DecodeWindow = 8 }, "use \"fixed\""},
+		{"fixed without decode_window", func(s *Spec) { s.Window = WindowFixed }, "decode_window >= 1"},
+		{"negative decode_window", func(s *Spec) { s.Window = WindowFixed; s.DecodeWindow = -2 }, "decode_window >= 1"},
+		{"window past the cap", func(s *Spec) { s.Window = WindowFixed; s.DecodeWindow = s.MaxSlots }, "never slide"},
 	}
 	for _, tc := range cases {
 		s := base()
@@ -85,6 +91,34 @@ func TestValidateErrors(t *testing.T) {
 	}
 	if err := base().Validate(); err != nil {
 		t.Fatalf("base spec invalid: %v", err)
+	}
+}
+
+// TestParseWindowFields pins the window-field defaults: a bare
+// decode_window implies "fixed", "auto" stands alone, and the zero
+// value stays the classic decoder.
+func TestParseWindowFields(t *testing.T) {
+	s, err := Parse([]byte(`{"k": 4, "trials": 2, "decode_window": 12}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Window != WindowFixed || s.DecodeWindow != 12 {
+		t.Fatalf("bare decode_window parsed to window=%q decode_window=%d", s.Window, s.DecodeWindow)
+	}
+	s, err = Parse([]byte(`{"k": 4, "trials": 2, "window": "auto",
+		"channel": {"kind": "gauss-markov", "rho": 0.9}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Window != WindowAuto || s.DecodeWindow != 0 {
+		t.Fatalf("auto parsed to window=%q decode_window=%d", s.Window, s.DecodeWindow)
+	}
+	s, err = Parse([]byte(`{"k": 4, "trials": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Window != "" || s.DecodeWindow != 0 {
+		t.Fatalf("zero value parsed to window=%q decode_window=%d", s.Window, s.DecodeWindow)
 	}
 }
 

@@ -41,6 +41,10 @@ type BuzzTrial struct {
 	// ReidentBitSlots is the uplink cost of mid-round
 	// re-identification bursts.
 	ReidentBitSlots int
+	// WindowSlots is the coherence window the decode ran with (0 =
+	// unbounded) and RowsRetired the collision rows retired under it.
+	WindowSlots int
+	RowsRetired int
 }
 
 // ScenarioOptions tune a RunScenario call beyond the declarative spec.
@@ -160,6 +164,12 @@ func RunScenarioOpts(spec scenario.Spec, opts ScenarioOptions) (*ScenarioOutcome
 			Session:     res.Session,
 			Parallelism: par,
 		}
+		switch spec.Window {
+		case scenario.WindowAuto:
+			cfg.Window = ratedapt.AutoWindow()
+		case scenario.WindowFixed:
+			cfg.Window = ratedapt.FixedWindow(spec.DecodeWindow)
+		}
 		var (
 			verified      []bool
 			frames        []bits.Vector
@@ -168,6 +178,8 @@ func RunScenarioOpts(spec scenario.Spec, opts ScenarioOptions) (*ScenarioOutcome
 			rate          float64
 			reidentSlots  int
 			transferMilli float64
+			windowSlots   int
+			rowsRetired   int
 		)
 		// Roster-length even for static specs, where nothing can retire —
 		// BuzzTrial promises index-aligned per-tag slices.
@@ -180,6 +192,7 @@ func RunScenarioOpts(spec scenario.Spec, opts ScenarioOptions) (*ScenarioOutcome
 			}
 			verified, frames = rb.Verified, rb.Frames
 			slotsUsed, lost, rate = rb.SlotsUsed, rb.Lost(), rb.BitsPerSymbol
+			windowSlots, rowsRetired = rb.WindowSlots, rb.RowsRetired
 			transferMilli = frameMillis(rb.SlotsUsed * frameLen)
 		} else {
 			procSeed := setup.Uint64()
@@ -204,6 +217,7 @@ func RunScenarioOpts(spec scenario.Spec, opts ScenarioOptions) (*ScenarioOutcome
 			}
 			verified, frames, retired = rb.Verified, rb.Frames, rb.Retired
 			slotsUsed, lost, rate = rb.SlotsUsed, rb.Lost(), rb.BitsPerSymbol
+			windowSlots, rowsRetired = rb.WindowSlots, rb.RowsRetired
 			reidentSlots = rb.ReidentBitSlots
 			transferMilli = frameMillis(rb.SlotsUsed*frameLen) + epc.UplinkMicros(float64(reidentSlots))/1000
 		}
@@ -225,6 +239,8 @@ func RunScenarioOpts(spec scenario.Spec, opts ScenarioOptions) (*ScenarioOutcome
 				Millis:          transferMilli,
 				BitsPerSymbol:   rate,
 				ReidentBitSlots: reidentSlots,
+				WindowSlots:     windowSlots,
+				RowsRetired:     rowsRetired,
 			}
 		}
 

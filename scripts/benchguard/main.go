@@ -1,24 +1,33 @@
 // Command benchguard is the CI bench-regression gate: it reads `go test
 // -bench` output on stdin, extracts ns/op measurements, and fails (exit
-// 1) when any gated benchmark's median regresses more than -max-regress
-// relative to the "after" series recorded in the committed bench JSON
-// (see scripts/bench.sh and BENCH_PR3.json).
+// 1) when any gated benchmark's median regresses more than its allowed
+// fraction relative to the "after" series recorded in the committed
+// bench JSON (see scripts/bench.sh and BENCH_PR4.json).
 //
 // By default every benchmark recorded in the JSON's "after" stage is
 // gated, and a benchmark that is recorded but missing from stdin is an
 // error — the gate cannot silently narrow. A comma-separated -bench
 // list restricts the gate explicitly.
 //
+// The allowed regression is -max-regress for every benchmark unless
+// overridden per benchmark with -override: a comma-separated list of
+// name=fraction pairs. This keeps the gate tight on the stable classic
+// paths while tolerating the noisier scenario workloads, whose
+// transfer lengths (and hence runtimes) are legitimately sensitive to
+// gate decisions near thresholds:
+//
 //	go test -run '^$' -bench 'Headline|Fig10|Scenario' -count=3 . |
-//	    go run ./scripts/benchguard -json BENCH_PR3.json -summary "$GITHUB_STEP_SUMMARY"
+//	    go run ./scripts/benchguard -json BENCH_PR4.json \
+//	        -max-regress 0.25 \
+//	        -override 'BenchmarkScenario_FastMobility_K8=0.6,BenchmarkScenario_PopulationChurn=0.5' \
+//	        -summary "$GITHUB_STEP_SUMMARY"
 //
 // With -summary the verdict is also appended as a markdown table —
 // point it at $GITHUB_STEP_SUMMARY for the Actions job page.
 //
 // The committed numbers come from the machine that produced the PR, so
-// the default 20% threshold is a catastrophic-regression catch, not a
-// microbenchmark referee; heterogeneous CI runners can raise it with
-// -max-regress.
+// the thresholds are a catastrophic-regression catch, not a
+// microbenchmark referee; heterogeneous CI runners can raise them.
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -35,16 +45,43 @@ import (
 type gateRow struct {
 	name          string
 	recorded, got float64
-	ratio         float64
+	ratio, limit  float64
 	missing, over bool
 }
 
+// parseOverrides turns "Name=0.5,Other=0.6" into per-benchmark limits.
+func parseOverrides(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	if s == "" {
+		return out, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		name, frac, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("override %q is not name=fraction", pair)
+		}
+		v, err := strconv.ParseFloat(frac, 64)
+		if err != nil || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("override %q has a bad fraction", pair)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
 func main() {
-	jsonPath := flag.String("json", "BENCH_PR3.json", "bench JSON with the recorded \"after\" series")
+	jsonPath := flag.String("json", "BENCH_PR4.json", "bench JSON with the recorded \"after\" series")
 	benchList := flag.String("bench", "", "comma-separated benchmarks to gate (default: every benchmark recorded in the JSON)")
 	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed fractional ns/op regression")
+	overrides := flag.String("override", "", "per-benchmark regression limits as name=fraction pairs, comma-separated (overrides -max-regress)")
 	summaryPath := flag.String("summary", "", "append a markdown summary table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
+
+	limits, err := parseOverrides(*overrides)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: -override: %v\n", err)
+		os.Exit(1)
+	}
 
 	raw, err := os.ReadFile(*jsonPath)
 	if err != nil {
@@ -71,6 +108,20 @@ func main() {
 	if len(gated) == 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: nothing to gate: no \"after\" series in %s\n", *jsonPath)
 		os.Exit(1)
+	}
+	// An override that matches no gated benchmark is a typo or a stale
+	// entry for a renamed bench — either way the caller believes a limit
+	// is in force that is not. Same stance as recorded-but-missing
+	// benchmarks: the gate must not narrow (or loosen) silently.
+	gatedSet := map[string]bool{}
+	for _, name := range gated {
+		gatedSet[name] = true
+	}
+	for name := range limits {
+		if !gatedSet[name] {
+			fmt.Fprintf(os.Stderr, "benchguard: -override names %s, which is not a gated benchmark\n", name)
+			os.Exit(1)
+		}
 	}
 
 	// Collect every benchmark's ns/op measurements from stdin (passing
@@ -116,7 +167,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchguard: no recorded \"after\" ns/op for %s in %s\n", name, *jsonPath)
 			os.Exit(1)
 		}
-		row := gateRow{name: name, recorded: median(ref.NsOp)}
+		limit := *maxRegress
+		if v, ok := limits[name]; ok {
+			limit = v
+		}
+		row := gateRow{name: name, recorded: median(ref.NsOp), limit: limit}
 		if len(got[name]) == 0 {
 			row.missing = true
 			fail = true
@@ -124,15 +179,15 @@ func main() {
 		} else {
 			row.got = median(got[name])
 			row.ratio = row.got/row.recorded - 1
-			row.over = row.ratio > *maxRegress
+			row.over = row.ratio > limit
 			fail = fail || row.over
 			fmt.Fprintf(os.Stderr, "benchguard: %s median %.0f ns/op vs recorded %.0f ns/op (%+.1f%%), limit +%.0f%%\n",
-				name, row.got, row.recorded, row.ratio*100, *maxRegress*100)
+				name, row.got, row.recorded, row.ratio*100, limit*100)
 		}
 		rows = append(rows, row)
 	}
 	if *summaryPath != "" {
-		if err := writeSummary(*summaryPath, rows, *maxRegress); err != nil {
+		if err := writeSummary(*summaryPath, rows); err != nil {
 			fmt.Fprintf(os.Stderr, "benchguard: writing summary: %v\n", err)
 			os.Exit(1)
 		}
@@ -144,24 +199,24 @@ func main() {
 }
 
 // writeSummary appends the verdict table as GitHub-flavored markdown.
-func writeSummary(path string, rows []gateRow, limit float64) error {
+func writeSummary(path string, rows []gateRow) error {
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	w := bufio.NewWriter(f)
-	fmt.Fprintf(w, "### Bench regression gate (limit +%.0f%% on median ns/op)\n\n", limit*100)
-	fmt.Fprintln(w, "| benchmark | recorded ns/op | measured ns/op | delta | verdict |")
-	fmt.Fprintln(w, "|---|---:|---:|---:|---|")
+	fmt.Fprintf(w, "### Bench regression gate (median ns/op, per-benchmark limits)\n\n")
+	fmt.Fprintln(w, "| benchmark | recorded ns/op | measured ns/op | delta | limit | verdict |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---|")
 	for _, r := range rows {
 		switch {
 		case r.missing:
-			fmt.Fprintf(w, "| %s | %.0f | — | — | :x: not measured |\n", r.name, r.recorded)
+			fmt.Fprintf(w, "| %s | %.0f | — | — | +%.0f%% | :x: not measured |\n", r.name, r.recorded, r.limit*100)
 		case r.over:
-			fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%% | :x: regression |\n", r.name, r.recorded, r.got, r.ratio*100)
+			fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%% | +%.0f%% | :x: regression |\n", r.name, r.recorded, r.got, r.ratio*100, r.limit*100)
 		default:
-			fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%% | :white_check_mark: |\n", r.name, r.recorded, r.got, r.ratio*100)
+			fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%% | +%.0f%% | :white_check_mark: |\n", r.name, r.recorded, r.got, r.ratio*100, r.limit*100)
 		}
 	}
 	fmt.Fprintln(w)
