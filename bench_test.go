@@ -261,6 +261,39 @@ func BenchmarkScenario_FastMobility_K8(b *testing.B) {
 	})
 }
 
+// BenchmarkScenario_MixedMobility_K8 is the per-tag-windowed decode
+// path end to end: half the roster parked (ρ = 1), half moving at
+// ρ = 0.9, each mover retiring its own rows (Session.RetireTag) while
+// the parked tags keep their whole history. Like fast-mobility, the
+// drift-limited transfers legitimately run long; benchguard gates it
+// with a looser tolerance.
+func BenchmarkScenario_MixedMobility_K8(b *testing.B) {
+	benchScenario(b, scenario.Spec{
+		K: 8, Trials: 5, Seed: 2026, SNRLodB: 14, SNRHidB: 30, MaxSlots: 320,
+		Channel: scenario.ChannelSpec{
+			Kind:      scenario.KindGaussMarkov,
+			PerTagRho: []float64{1, 1, 1, 1, 0.9, 0.9, 0.9, 0.9},
+		},
+		Window: scenario.WindowPerTag,
+	})
+}
+
+// BenchmarkScenario_MixedMobilitySoft_K8 is the soft sibling: stale
+// rows down-weighted by the movers' banked drift ratio instead of
+// removed — every slot rebuilds the weighted model, the upper end of
+// the windowed cost spectrum (see PERFORMANCE.md).
+func BenchmarkScenario_MixedMobilitySoft_K8(b *testing.B) {
+	benchScenario(b, scenario.Spec{
+		K: 8, Trials: 5, Seed: 2026, SNRLodB: 14, SNRHidB: 30, MaxSlots: 320,
+		Channel: scenario.ChannelSpec{
+			Kind:      scenario.KindGaussMarkov,
+			PerTagRho: []float64{1, 1, 1, 1, 0.9, 0.9, 0.9, 0.9},
+		},
+		Window:     scenario.WindowPerTag,
+		WindowSoft: true,
+	})
+}
+
 func BenchmarkScenario_PopulationChurn(b *testing.B) {
 	benchScenario(b, scenario.Spec{
 		K: 6, Trials: 5, Seed: 4242, SNRLodB: 14, SNRHidB: 30, MaxSlots: 400,

@@ -101,6 +101,28 @@ type Graph struct {
 	// row storage every slot forever. RetireRow pushes, AppendRow pops —
 	// the windowed steady state is allocation-free like the growing one.
 	spare [][]int
+	// Soft stale-tap down-weighting — the per-tag coherence window's
+	// soft mode. Rows of tag i with index below staleCut[i] are "stale":
+	// older than the tag's coherence window, so the current tap h_i is a
+	// poor model of what the tag transmitted there. Instead of removing
+	// the tag from those rows (RetireTagRows, the hard mode), soft mode
+	// scales its tap in them by softAlpha[i] ∈ [0, 1] — a shrinkage of
+	// the stale contribution toward zero, sized by the drift the session
+	// banked against the tag (Session.SoftRetireTag derives α from the
+	// banked drift ratio). All weights are 1 until SetSoftCut arms the
+	// mode, and every kernel keeps its branch-free fast path when soft
+	// is off, so unwindowed decodes are byte-identical to before.
+	soft      bool
+	staleCut  []int
+	softAlpha []float64
+	// staleCnt[i] counts tag i's live stale rows (the colRows[i] prefix
+	// below staleCut[i]) — the bookkeeping behind the effective |h|²·w
+	// constant wPow[i] = |h_i|²·(α_i²·stale + fresh).
+	staleCnt []int
+	// anyStale reports that at least one tag has a nonzero stale cut:
+	// the Session's incremental patch paths (RetapAll, Retire) are not
+	// weight-aware, so they fall back to a rebuild while this holds.
+	anyStale bool
 	// taps[i] is tag i's channel coefficient h_i.
 	taps []complex128
 	// tapPower[i] caches |h_i|².
@@ -150,11 +172,40 @@ func (g *Graph) Reset(k int, taps []complex128) {
 	}
 	g.deactivated = g.deactivated[:k]
 	clear(g.deactivated)
+	if cap(g.staleCut) < k {
+		g.staleCut = make([]int, k, scratch.CeilPow2(k))
+		g.softAlpha = make([]float64, k, scratch.CeilPow2(k))
+		g.staleCnt = make([]int, k, scratch.CeilPow2(k))
+	}
+	g.staleCut = g.staleCut[:k]
+	g.softAlpha = g.softAlpha[:k]
+	g.staleCnt = g.staleCnt[:k]
+	clear(g.staleCut)
+	clear(g.staleCnt)
+	for i := range g.softAlpha {
+		g.softAlpha[i] = 1
+	}
+	g.soft = false
+	g.anyStale = false
 	g.K = k
 	g.L = 0
 	g.retired = 0
 	g.SetTaps(taps)
 }
+
+// alphaAt returns the model weight of tag i's tap in row r: softAlpha[i]
+// when the row is stale under the soft per-tag window, 1 otherwise.
+func (g *Graph) alphaAt(r, i int) float64 {
+	if r < g.staleCut[i] {
+		return g.softAlpha[i]
+	}
+	return 1
+}
+
+// AnyStale reports whether any tag currently has soft-down-weighted
+// stale rows; the Session's weight-unaware incremental patches must
+// take their rebuild fall-backs while it holds.
+func (g *Graph) AnyStale() bool { return g.anyStale }
 
 // SetTaps replaces the channel taps without touching the collision
 // structure — the decision-directed channel-refinement path re-taps the
@@ -175,8 +226,21 @@ func (g *Graph) SetTaps(taps []complex128) {
 	}
 	g.wPow = g.wPow[:0]
 	for i := range taps {
-		g.wPow = append(g.wPow, g.tapPower[i]*float64(len(g.colRows[i])))
+		g.wPow = append(g.wPow, g.tapPower[i]*g.effWeight(i))
 	}
+}
+
+// effWeight returns tag i's effective participation weight: the plain
+// degree w_i, or α_i²·stale + fresh under soft down-weighting. The
+// non-soft form is exactly float64(w_i), so existing decodes are
+// untouched.
+func (g *Graph) effWeight(i int) float64 {
+	w := len(g.colRows[i])
+	if !g.soft || g.staleCnt[i] == 0 {
+		return float64(w)
+	}
+	a := g.softAlpha[i]
+	return a*a*float64(g.staleCnt[i]) + float64(w-g.staleCnt[i])
 }
 
 // RetapTag installs a new tap for tag i, updating the derived caches
@@ -188,7 +252,7 @@ func (g *Graph) RetapTag(i int, h complex128) {
 	g.taps[i] = h
 	g.tapPower[i] = re*re + im*im
 	g.tapRe[i], g.tapIm[i] = re, im
-	g.wPow[i] = g.tapPower[i] * float64(len(g.colRows[i]))
+	g.wPow[i] = g.tapPower[i] * g.effWeight(i)
 }
 
 // AddTag grows the graph by one column: a tag joining the round
@@ -203,6 +267,9 @@ func (g *Graph) AddTag(h complex128) {
 		g.colRows = append(g.colRows, nil)
 	}
 	g.deactivated = append(g.deactivated, false)
+	g.staleCut = append(g.staleCut, 0)
+	g.softAlpha = append(g.softAlpha, 1)
+	g.staleCnt = append(g.staleCnt, 0)
 	re, im := real(h), imag(h)
 	g.taps = append(g.taps, h)
 	g.tapPower = append(g.tapPower, re*re+im*im)
@@ -283,11 +350,16 @@ func (g *Graph) RetireRow() {
 		}
 		copy(cr, cr[1:])
 		g.colRows[i] = cr[:len(cr)-1]
+		if r < g.staleCut[i] {
+			g.staleCnt[i]--
+		}
 		if len(cr) == 1 {
 			// Snap to exact zero: |h|²·w must vanish with the degree,
 			// and the incremental subtractions leave float dust that
 			// would poison the margin normalization −G/(|h|²·w).
 			g.wPow[i] = 0
+		} else if a := g.alphaAt(r, i); a != 1 {
+			g.wPow[i] -= g.tapPower[i] * a * a
 		} else {
 			g.wPow[i] -= g.tapPower[i]
 		}
@@ -311,6 +383,118 @@ func (g *Graph) RetireRow() {
 	g.rowActive[r] = nil
 	g.retired = r + 1
 }
+
+// RetireTagRows removes tag i from every live collision row with index
+// below throughRow — the per-tag analogue of RetireRow, for the
+// heterogeneous-mobility decode in which only a mover's old rows are
+// model error while its stationary neighbors' evidence stays good. The
+// rows themselves stay live for their other colliders: only tag i's
+// adjacency entries, |h_i|²·w constant and row memberships go, in
+// O(rows removed · colliders) plus an O(live rows) activeRows prune
+// when a row's last active collider leaves. Rows emptied of active
+// tags are reported via TakeNewlyInactive, exactly as DeactivateTag
+// reports them. Returns the number of rows the tag was removed from.
+//
+// Callers owning cached descent state must subtract the tag's
+// contribution from those rows first — that is Session.RetireTag's job.
+func (g *Graph) RetireTagRows(i, throughRow int) int {
+	cr := g.colRows[i]
+	n := 0
+	for n < len(cr) && cr[n] < throughRow {
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	active := !g.deactivated[i]
+	emptied := false
+	for _, r := range cr[:n] {
+		rc := g.rowCols[r]
+		for x, j := range rc {
+			if j == i {
+				copy(rc[x:], rc[x+1:])
+				g.rowCols[r] = rc[:len(rc)-1]
+				break
+			}
+		}
+		if active {
+			ra := g.rowActive[r]
+			for x, j := range ra {
+				if j == i {
+					copy(ra[x:], ra[x+1:])
+					g.rowActive[r] = ra[:len(ra)-1]
+					break
+				}
+			}
+			if len(g.rowActive[r]) == 0 {
+				g.newlyInactive = append(g.newlyInactive, r)
+				emptied = true
+			}
+		}
+		if r < g.staleCut[i] {
+			g.staleCnt[i]--
+		}
+	}
+	copy(cr, cr[n:])
+	g.colRows[i] = cr[:len(cr)-n]
+	if len(g.colRows[i]) == 0 {
+		// Snap, as in RetireRow: the margin normalization divides by this.
+		g.wPow[i] = 0
+	} else {
+		g.wPow[i] = g.tapPower[i] * g.effWeight(i)
+	}
+	if emptied {
+		keep := g.activeRows[:0]
+		for _, row := range g.activeRows {
+			if len(g.rowActive[row]) > 0 {
+				keep = append(keep, row)
+			}
+		}
+		g.activeRows = keep
+	}
+	return n
+}
+
+// SetSoftCut advances tag i's soft stale boundary to throughRow and
+// installs the down-weight alpha for its stale rows — the soft
+// alternative to RetireTagRows: the tag keeps participating in its old
+// rows, but at α·h_i instead of h_i. The effective |h|²·w constant is
+// re-derived; cached descent state must be rebuilt by the owner when
+// changed is reported (the weight change touches every stale row of
+// the tag). Returns the number of rows that newly became stale and
+// whether anything (boundary or live weight) actually changed; a call
+// that would only re-stamp an unused alpha is a no-op, leaving the
+// graph byte-identical.
+func (g *Graph) SetSoftCut(i, throughRow int, alpha float64) (newly int, changed bool) {
+	cut := min(throughRow, g.L)
+	if cut < g.staleCut[i] {
+		cut = g.staleCut[i]
+	}
+	for _, r := range g.colRows[i] {
+		if r >= cut {
+			break
+		}
+		if r >= g.staleCut[i] {
+			newly++
+		}
+	}
+	if newly == 0 && (g.staleCnt[i] == 0 || alpha == g.softAlpha[i]) {
+		return 0, false
+	}
+	g.soft = true
+	g.staleCut[i] = cut
+	g.softAlpha[i] = alpha
+	g.staleCnt[i] += newly
+	if g.staleCnt[i] > 0 {
+		g.anyStale = true
+	}
+	g.wPow[i] = g.tapPower[i] * g.effWeight(i)
+	return newly, true
+}
+
+// StaleRows returns the number of tag i's live rows currently under
+// soft down-weighting.
+func (g *Graph) StaleRows(i int) int { return g.staleCnt[i] }
 
 // popSpare hands back a retired row's adjacency backing, or nil.
 func (g *Graph) popSpare() []int {
@@ -430,6 +614,22 @@ func (g *Graph) RowTags(r int) []int { return g.rowCols[r] }
 // the margin computation and the error evaluation.
 func (g *Graph) residualInto(dst dsp.Vec, y dsp.Vec, b bits.Vector) dsp.Vec {
 	copy(dst, y)
+	if g.soft {
+		for i, on := range b {
+			if on {
+				h := g.taps[i]
+				cut, a := g.staleCut[i], complex(g.softAlpha[i], 0)
+				for _, row := range g.colRows[i] {
+					if row < cut {
+						dst[row] -= a * h
+					} else {
+						dst[row] -= h
+					}
+				}
+			}
+		}
+		return dst
+	}
 	for i, on := range b {
 		if on {
 			h := g.taps[i]
@@ -662,18 +862,44 @@ func (st *descentState) buildFromBase(g *Graph, base []complex128, b bits.Vector
 			st.sum[i] = 0
 		}
 	}
-	for x, row := range g.activeRows {
-		r := base[row]
-		ra := g.flatTags[g.flatStart[x]:g.flatStart[x+1]]
-		// Branch-free: subtracting a zero masked tap is an exact
-		// no-op, and the candidate bits are random — a conditional
-		// here mispredicts half the time.
-		for _, i := range ra {
-			r -= st.maskTap[i]
+	if g.soft {
+		// Weighted form: a stale row sees α_i·h_i of tag i and feeds
+		// α_i·r into the tag's S-sum. The extra compare per entry is
+		// paid only in soft mode; the classic path below stays
+		// branch-free.
+		for x, row := range g.activeRows {
+			r := base[row]
+			ra := g.flatTags[g.flatStart[x]:g.flatStart[x+1]]
+			for _, i := range ra {
+				if row < g.staleCut[i] {
+					r -= complex(g.softAlpha[i], 0) * st.maskTap[i]
+				} else {
+					r -= st.maskTap[i]
+				}
+			}
+			st.residual[row] = r
+			for _, i := range ra {
+				if row < g.staleCut[i] {
+					st.sum[i] += complex(g.softAlpha[i], 0) * r
+				} else {
+					st.sum[i] += r
+				}
+			}
 		}
-		st.residual[row] = r
-		for _, i := range ra {
-			st.sum[i] += r
+	} else {
+		for x, row := range g.activeRows {
+			r := base[row]
+			ra := g.flatTags[g.flatStart[x]:g.flatStart[x+1]]
+			// Branch-free: subtracting a zero masked tap is an exact
+			// no-op, and the candidate bits are random — a conditional
+			// here mispredicts half the time.
+			for _, i := range ra {
+				r -= st.maskTap[i]
+			}
+			st.residual[row] = r
+			for _, i := range ra {
+				st.sum[i] += r
+			}
 		}
 	}
 	for i := 0; i < g.K; i++ {
@@ -733,8 +959,19 @@ func (st *descentState) rederive(g *Graph, b bits.Vector, locked []bool) {
 			continue
 		}
 		var s complex128
-		for _, row := range g.colRows[i] {
-			s += st.residual[row]
+		if g.soft && g.staleCnt[i] > 0 {
+			cut, a := g.staleCut[i], complex(g.softAlpha[i], 0)
+			for _, row := range g.colRows[i] {
+				if row < cut {
+					s += a * st.residual[row]
+				} else {
+					s += st.residual[row]
+				}
+			}
+		} else {
+			for _, row := range g.colRows[i] {
+				s += st.residual[row]
+			}
 		}
 		st.sum[i] = s
 		st.gain[i] = st.gainOf(g, i)
@@ -782,14 +1019,37 @@ func (st *descentState) applyFlip(g *Graph, b bits.Vector, locked []bool, i int)
 	b[i] = !b[i]
 	st.bSign[i] = -st.bSign[i]
 	nd := 0
-	for _, row := range g.colRows[i] {
-		st.residual[row] -= delta
-		for _, j := range g.rowActive[row] {
-			st.sum[j] -= delta
-			if !st.inDirty[j] {
-				st.inDirty[j] = true
-				st.dirty[nd] = j
-				nd++
+	if g.soft {
+		cut := g.staleCut[i]
+		for _, row := range g.colRows[i] {
+			d := delta
+			if row < cut {
+				d *= complex(g.softAlpha[i], 0)
+			}
+			st.residual[row] -= d
+			for _, j := range g.rowActive[row] {
+				if row < g.staleCut[j] {
+					st.sum[j] -= complex(g.softAlpha[j], 0) * d
+				} else {
+					st.sum[j] -= d
+				}
+				if !st.inDirty[j] {
+					st.inDirty[j] = true
+					st.dirty[nd] = j
+					nd++
+				}
+			}
+		}
+	} else {
+		for _, row := range g.colRows[i] {
+			st.residual[row] -= delta
+			for _, j := range g.rowActive[row] {
+				st.sum[j] -= delta
+				if !st.inDirty[j] {
+					st.inDirty[j] = true
+					st.dirty[nd] = j
+					nd++
+				}
 			}
 		}
 	}
@@ -1022,15 +1282,33 @@ func (g *Graph) MarginsInto(out []float64, y dsp.Vec, b bits.Vector, sc *scratch
 			continue
 		}
 		var s complex128
-		for _, row := range g.colRows[i] {
-			s += residual[row]
+		den := g.tapPower[i] * float64(w)
+		if g.soft && g.staleCnt[i] > 0 {
+			// Weighted correlation and effective |h|²·w under soft
+			// stale-row down-weighting — the same model the descent ran.
+			cut, a := g.staleCut[i], complex(g.softAlpha[i], 0)
+			for _, row := range g.colRows[i] {
+				if row < cut {
+					s += a * residual[row]
+				} else {
+					s += residual[row]
+				}
+			}
+			den = g.tapPower[i] * g.effWeight(i)
+			if den == 0 {
+				continue
+			}
+		} else {
+			for _, row := range g.colRows[i] {
+				s += residual[row]
+			}
 		}
 		corr := g.tapRe[i]*real(s) + g.tapIm[i]*imag(s)
 		if b[i] {
 			corr = -corr
 		}
-		gain := 2*corr - g.tapPower[i]*float64(w)
-		out[i] = -gain / (g.tapPower[i] * float64(w))
+		gain := 2*corr - den
+		out[i] = -gain / den
 	}
 	sc.Release(mark)
 	return out
@@ -1074,7 +1352,11 @@ func (g *Graph) ConditionalMarginScratch(y dsp.Vec, b bits.Vector, i int, locked
 		panic("bp: ConditionalMargin dimension mismatch")
 	}
 	w := len(g.colRows[i])
-	if w == 0 || g.tapPower[i] == 0 {
+	den := g.tapPower[i] * float64(w)
+	if g.soft {
+		den = g.tapPower[i] * g.effWeight(i)
+	}
+	if w == 0 || den == 0 {
 		return 0
 	}
 	mark := sc.Mark()
@@ -1089,7 +1371,7 @@ func (g *Graph) ConditionalMarginScratch(y dsp.Vec, b bits.Vector, i int, locked
 	}
 	pin[i] = true
 	res := g.Decode(y, Options{Init: init, Locked: pin, Scratch: sc}, src)
-	return (res.Error - base) / (g.tapPower[i] * float64(w))
+	return (res.Error - base) / den
 }
 
 // ErrorOf computes ‖D·H·b − y‖² for an arbitrary candidate without

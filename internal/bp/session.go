@@ -111,9 +111,38 @@ type Session struct {
 	// (and before the first AppendSlot — toggling mid-transfer would
 	// desynchronize the per-row series from the graph).
 	trackDrift bool
-	// retireIdx/retireTouched stage Retire's unique-collider sweep.
+	// retireIdx/retireTouched stage Retire's unique-collider sweep;
+	// retireRows stages RetireTag's removed-row indices across the
+	// graph mutation.
 	retireIdx     []int
 	retireTouched []bool
+	retireRows    []int
+
+	// Per-tag drift ledgers — the per-tag coherence window's margin-gate
+	// input, armed by TrackTagDrift. tagCum[i] is the cumulative model
+	// error RetapAll has banked against tag i (|Δh_i|²/2 summed over
+	// move events, monotone within a transfer). tagLedger[i] interleaves,
+	// per live in-window row of tag i (aligned with the graph's
+	// colRows[i] minus any soft-stale prefix), the value of tagCum[i]
+	// when the row absorbed the tag and the absorb-time signal energy
+	// |h_i|²/2; tagSnapSum and tagSig are their running sums. Tag i's
+	// banked in-window drift is then tagCum[i]·rows − tagSnapSum[i] —
+	// O(1) to serve, O(1) per retap to maintain (where the pooled
+	// per-row banking walks the tag's whole adjacency).
+	trackTagDrift bool
+	tagCum        []float64
+	tagSnapSum    []float64
+	tagSig        []float64
+	tagLedger     [][]float64
+	// orphan[r] is the unexplained signal energy hard tag-retirement
+	// left in live row r: when RetireTag removes a mover from a row,
+	// the mover's transmission stays in the observation with nothing
+	// modeling it — noise from every survivor's point of view.
+	// tagOrphan[i] sums orphan over tag i's live in-window rows, so
+	// DriftFractionTag can charge each tag for the pollution it
+	// actually decodes against, not just its own banked drift.
+	orphan    []float64
+	tagOrphan []float64
 
 	// Per-DecodeSlot fan-out context, read-only while workers run.
 	curSlot   int
@@ -265,6 +294,26 @@ func (s *Session) Begin(k, frameLen, maxSlots, par, restarts int, taps []complex
 	s.retireIdx = growInts(s.retireIdx, k)[:0]
 	s.retireTouched = growBools(s.retireTouched, k)
 	clear(s.retireTouched)
+	s.retireRows = growInts(s.retireRows, maxSlots)[:0]
+	s.trackTagDrift = false
+	s.tagCum = growFloats(s.tagCum, k)
+	clear(s.tagCum)
+	s.tagSnapSum = growFloats(s.tagSnapSum, k)
+	clear(s.tagSnapSum)
+	s.tagSig = growFloats(s.tagSig, k)
+	clear(s.tagSig)
+	if cap(s.tagLedger) < k {
+		next := make([][]float64, k, scratch.CeilPow2(k))
+		copy(next, s.tagLedger)
+		s.tagLedger = next
+	}
+	s.tagLedger = s.tagLedger[:k]
+	for i := range s.tagLedger {
+		s.tagLedger[i] = s.tagLedger[i][:0]
+	}
+	s.orphan = growFloats(s.orphan, maxSlots)[:0]
+	s.tagOrphan = growFloats(s.tagOrphan, k)
+	clear(s.tagOrphan)
 	if cap(s.wstates) < par {
 		s.wstates = make([]workerState, par)
 	}
@@ -358,7 +407,19 @@ func (s *Session) RetapAll(taps []complex128) {
 			}
 		}
 	}
-	full := !s.stateValid || 2*len(changed) >= s.k
+	// The per-tag ledger banks the same |Δh|²/2 against the mover alone,
+	// in O(1): each of its live in-window rows is charged implicitly
+	// (drift_i = tagCum·rows − snapSum, and rows absorbed later snapshot
+	// the larger cum, so they are never charged for this move).
+	if s.trackTagDrift {
+		for _, i := range changed {
+			d := s.g.taps[i] - taps[i]
+			s.tagCum[i] += 0.5 * (real(d)*real(d) + imag(d)*imag(d))
+		}
+	}
+	// Soft-stale rows carry per-(row, tag) weights the patch below does
+	// not know about — rebuild instead.
+	full := !s.stateValid || 2*len(changed) >= s.k || s.g.anyStale
 	if !full {
 		for _, i := range changed {
 			if s.prevLocked[i] {
@@ -479,6 +540,29 @@ func (s *Session) Grow(taps []complex128, est []bits.Vector) {
 	s.retireIdx = growInts(s.retireIdx, k2)[:0]
 	s.retireTouched = growBools(s.retireTouched, k2)
 	clear(s.retireTouched)
+	growTagFloats := func(buf []float64) []float64 {
+		if cap(buf) < k2 {
+			next := make([]float64, k2, scratch.CeilPow2(k2))
+			copy(next, buf)
+			return next
+		}
+		buf = buf[:k2]
+		clear(buf[oldK:])
+		return buf
+	}
+	s.tagCum = growTagFloats(s.tagCum)
+	s.tagSnapSum = growTagFloats(s.tagSnapSum)
+	s.tagSig = growTagFloats(s.tagSig)
+	s.tagOrphan = growTagFloats(s.tagOrphan)
+	if cap(s.tagLedger) < k2 {
+		next := make([][]float64, k2, scratch.CeilPow2(k2))
+		copy(next, s.tagLedger)
+		s.tagLedger = next
+	}
+	s.tagLedger = s.tagLedger[:k2]
+	for i := oldK; i < k2; i++ {
+		s.tagLedger[i] = s.tagLedger[i][:0]
+	}
 	s.k = k2
 
 	for p := 0; p < s.frameLen; p++ {
@@ -533,6 +617,15 @@ func (s *Session) AppendSlot(row bits.Vector, obs []complex128) {
 		s.driftEnergy = append(s.driftEnergy, 0)
 		s.sigTotal += rp
 	}
+	if s.trackTagDrift {
+		s.orphan = append(s.orphan, 0)
+		for _, i := range s.g.rowCols[s.g.L-1] {
+			sig := 0.5 * s.g.tapPower[i]
+			s.tagLedger[i] = append(s.tagLedger[i], s.tagCum[i], sig)
+			s.tagSnapSum[i] += s.tagCum[i]
+			s.tagSig[i] += sig
+		}
+	}
 	for p, o := range obs {
 		s.ys[p] = append(s.ys[p], o)
 	}
@@ -574,7 +667,8 @@ func (s *Session) Retire(throughSlot int) int {
 		return 0
 	}
 	n := hi - lo
-	patch := s.stateValid && 2*n < g.L-lo
+	// Soft-stale rows carry weights the patch does not know about.
+	patch := s.stateValid && 2*n < g.L-lo && !g.anyStale
 	if patch && s.frameLen > 0 && hi > len(s.states[0].residual) {
 		// Positions have not absorbed the rows being retired yet (Retire
 		// mid-slot, between AppendSlot and DecodeSlot): nothing cached
@@ -609,6 +703,22 @@ func (s *Session) Retire(throughSlot int) int {
 			s.driftTotal -= s.driftEnergy[r]
 			s.sigTotal -= s.rowPower[r]
 		}
+		if s.trackTagDrift {
+			// The retiring row heads every surviving collider's ledger
+			// (rows retire oldest-first, per tag and globally alike) —
+			// unless soft aging already dropped it from the ledger.
+			for _, i := range g.rowCols[r] {
+				if r < g.staleCut[i] {
+					continue
+				}
+				led := s.tagLedger[i]
+				s.tagSnapSum[i] -= led[0]
+				s.tagSig[i] -= led[1]
+				copy(led, led[2:])
+				s.tagLedger[i] = led[:len(led)-2]
+				s.tagOrphan[i] -= s.orphan[r]
+			}
+		}
 		g.RetireRow()
 	}
 	s.retireIdx = touched
@@ -636,6 +746,265 @@ func (s *Session) Retire(throughSlot int) int {
 
 // Retired returns the number of collision slots retired so far.
 func (s *Session) Retired() int { return s.g.retired }
+
+// RetireTag drops tag's participation in every collision slot up to and
+// including throughSlot (1-based) from the decode — the per-tag
+// coherence window. Where Retire forgets whole rows for every tag,
+// RetireTag forgets only one mover's contributions: the rows stay live
+// as evidence for its (stationary) neighbors, who would otherwise
+// discard good observations whenever any mover's coherence collapses.
+//
+// Each removed (row, tag) pair leaves the graph's adjacency
+// (Graph.RetireTagRows) and each position's cached descent state loses
+// exactly that pair's terms: the row's residual gains the tag's tap
+// back (where the position's current bit is 1), the surviving active
+// colliders' S-sums move with it, the tag's own S-sum drops the row's
+// entry, and every touched gain and argmax tree is re-derived once
+// after the sweep — O(frameLen · colliders) per removed row, the same
+// shape as Retire. A row whose last active collider was the retired
+// tag freezes exactly as when its last collider locks: its locked-base
+// energy joins the per-position error constant.
+//
+// Falls back to whole-state invalidation (the next DecodeSlot rebuilds
+// from the surviving model) when the cached state is already invalid,
+// the tag is locked (its contribution lives in the locked-base
+// residuals, not the descent state), soft down-weighting is active
+// anywhere, or a removed row has not been absorbed yet. Removing a
+// tag's every row is legal: like a tag that just joined, its margins
+// collapse to zero until it participates again. Like Retire, RetireTag
+// invalidates the cached per-position errors until the next DecodeSlot;
+// call it between a DecodeSlot and the next AppendSlot.
+//
+// Returns the number of rows the tag was removed from.
+func (s *Session) RetireTag(tag, throughSlot int) int {
+	g := &s.g
+	hi := min(throughSlot, g.L)
+	cr := g.colRows[tag]
+	n := 0
+	for n < len(cr) && cr[n] < hi {
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	rows := append(s.retireRows[:0], cr[:n]...)
+	s.retireRows = rows[:0]
+	patch := s.stateValid && !s.prevLocked[tag] && !g.anyStale
+	if patch && s.frameLen > 0 && rows[n-1] >= len(s.states[0].residual) {
+		// Not yet absorbed (RetireTag mid-slot, between AppendSlot and
+		// DecodeSlot): nothing cached references the row — rebuild.
+		patch = false
+	}
+	g.RetireTagRows(tag, hi)
+	if s.trackTagDrift {
+		// The ledger holds only the tag's in-window rows: rows soft
+		// aging already moved past the stale cut left it (and the
+		// orphan sum) back then, so only the fresh removals pop
+		// entries here — same guard as the global Retire's pop.
+		led := s.tagLedger[tag]
+		x := 0
+		for _, row := range rows {
+			if row < g.staleCut[tag] {
+				continue
+			}
+			s.tagSnapSum[tag] -= led[2*x]
+			s.tagSig[tag] -= led[2*x+1]
+			// The removed pair's signal stays in the observation with
+			// nothing modeling it: bank it as orphan energy against the
+			// row, charged to every survivor still decoding the row
+			// in-window — their residuals carry it as noise from here on.
+			s.tagOrphan[tag] -= s.orphan[row]
+			e := led[2*x+1]
+			s.orphan[row] += e
+			for _, j := range g.rowCols[row] {
+				if row >= g.staleCut[j] {
+					s.tagOrphan[j] += e
+				}
+			}
+			x++
+		}
+		copy(led, led[2*x:])
+		s.tagLedger[tag] = led[:len(led)-2*x]
+	}
+	if !patch {
+		g.TakeNewlyInactive() // the rebuild re-derives the frozen-row constants
+		s.stateValid = false
+		return n
+	}
+	h := g.taps[tag]
+	for p := 0; p < s.frameLen; p++ {
+		st := &s.states[p]
+		set := s.posBits[p*s.k+tag]
+		for _, row := range rows {
+			// The tag leaves the row's model: its S-sum drops the row's
+			// entry, and where its bit is 1 the residual gains the tap
+			// back — rowActive already excludes the tag (and the locked,
+			// whose sums are dead), so the survivors' S-sums follow.
+			res := st.residual[row]
+			st.sum[tag] -= res
+			if set {
+				st.residual[row] = res + h
+				for _, j := range g.rowActive[row] {
+					st.sum[j] += h
+				}
+			}
+		}
+	}
+	touched := s.retireIdx[:0]
+	s.retireTouched[tag] = true
+	touched = append(touched, tag)
+	for _, row := range rows {
+		for _, j := range g.rowActive[row] {
+			if !s.retireTouched[j] {
+				s.retireTouched[j] = true
+				touched = append(touched, j)
+			}
+		}
+	}
+	// Rows the tag left empty of active colliders freeze: their residual
+	// entries leave the active error sweep and their locked-base energy
+	// joins the per-position constant, as when a lock empties a row.
+	if inactive := g.TakeNewlyInactive(); len(inactive) > 0 {
+		for p := 0; p < s.frameLen; p++ {
+			lbp := s.lockedBase[p]
+			acc := s.errInactive[p]
+			for _, row := range inactive {
+				x := lbp[row]
+				acc += real(x)*real(x) + imag(x)*imag(x)
+			}
+			s.errInactive[p] = acc
+		}
+	}
+	degZero := g.Degree(tag) == 0
+	for p := 0; p < s.frameLen; p++ {
+		st := &s.states[p]
+		if degZero {
+			// All rows gone: snap the float dust out of the tag's S-sum
+			// so its gain is exactly 0, as for a tag that just joined.
+			st.sum[tag] = 0
+		}
+		for _, i := range touched {
+			st.gain[i] = st.gainOf(g, i)
+			if st.useTree {
+				st.treeFix(i)
+			}
+		}
+	}
+	for _, i := range touched {
+		s.retireTouched[i] = false
+	}
+	s.retireIdx = touched[:0]
+	return n
+}
+
+// SoftRetireTag ages tag's collision slots up to and including
+// throughSlot out of its coherence window softly: instead of removing
+// the tag from those rows (RetireTag's hard edge), their taps are
+// down-weighted to α·h by the tag's banked drift ratio — α =
+// 1/(1 + DriftFractionTag(tag)) at the moment the rows go stale — so a
+// mover's old evidence fades in proportion to how far the channel has
+// been observed to move (Graph.SetSoftCut). The aged rows leave the
+// tag's drift ledger exactly as a hard retire would, keeping the
+// margin gate's per-tag drift fraction an in-window quantity.
+//
+// The weight change touches every stale row of the tag at once, so the
+// cached descent state is invalidated wholesale and the next
+// DecodeSlot rebuilds — soft mode is for heavy-drift transfers whose
+// every slot rebuilds anyway (see PERFORMANCE.md's cost model).
+// Returns the number of rows that newly went stale.
+func (s *Session) SoftRetireTag(tag, throughSlot int) int {
+	g := &s.g
+	hi := min(throughSlot, g.L)
+	alpha := s.softAlphaFor(tag)
+	drop := 0
+	if s.trackTagDrift {
+		cr := g.colRows[tag]
+		for x := g.staleCnt[tag]; x < len(cr) && cr[x] < hi; x++ {
+			s.tagOrphan[tag] -= s.orphan[cr[x]]
+			drop++
+		}
+	}
+	n, changed := g.SetSoftCut(tag, hi, alpha)
+	if !changed {
+		return 0
+	}
+	if drop > 0 {
+		led := s.tagLedger[tag]
+		for x := 0; x < drop; x++ {
+			s.tagSnapSum[tag] -= led[2*x]
+			s.tagSig[tag] -= led[2*x+1]
+		}
+		copy(led, led[2*drop:])
+		s.tagLedger[tag] = led[:len(led)-2*drop]
+	}
+	s.stateValid = false
+	return n
+}
+
+// softAlphaFor derives the soft down-weight for tag's stale rows from
+// its banked drift ratio: the tag's LIFETIME banked drift (tagCum —
+// never reclaimed, unlike the in-window ledger) against the mean
+// absorb-time row energy. The lifetime ratio grows as long as the
+// channel keeps moving, so the weight of old evidence keeps decaying
+// across successive SoftRetireTag calls — a single in-window ratio
+// would pin ancient rows at the window-boundary weight forever, and
+// rows fifty slots past coherence would keep half their vote on taps
+// they know nothing about.
+func (s *Session) softAlphaFor(tag int) float64 {
+	n := len(s.tagLedger[tag]) / 2
+	if n == 0 || s.tagSig[tag] <= 0 || s.tagCum[tag] <= 0 {
+		return 1
+	}
+	meanRowSig := s.tagSig[tag] / float64(n)
+	return 1 / (1 + s.tagCum[tag]/meanRowSig)
+}
+
+// TrackTagDrift arms (or disarms) the per-tag drift ledgers behind
+// DriftFractionTag — the per-tag analogue of TrackDrift, with the same
+// contract: toggle after Begin and before the first AppendSlot. Arming
+// pre-sizes each tag's ledger for the transfer's slot budget (a
+// never-windowed tag's ledger grows for the whole round), so the
+// per-slot cycle stays allocation-free from the first transfer on.
+func (s *Session) TrackTagDrift(on bool) {
+	s.trackTagDrift = on
+	if on {
+		for i := range s.tagLedger {
+			if cap(s.tagLedger[i]) < 2*s.maxSlots {
+				s.tagLedger[i] = make([]float64, 0, 2*scratch.CeilPow2(s.maxSlots))
+			}
+		}
+	}
+}
+
+// DriftFractionTag estimates the model error tag i decodes against,
+// as a fraction of its live in-window rows' absorb-time signal energy
+// — the per-tag analogue of DriftFraction, and the per-tag margin
+// gate's deflator. Two terms: the drift RetapAll banked against the
+// tag's own tap (|Δh_i|²/2 per move, reclaimed by RetireTag and
+// SoftRetireTag as rows age out), plus the orphan energy hard
+// retirement of OTHER tags left unmodeled in rows the tag still
+// decodes — a parked tag among hard-windowed movers is clean of drift
+// but polluted by their orphans, and its honest margins deflate
+// accordingly.
+func (s *Session) DriftFractionTag(i int) float64 {
+	n := len(s.tagLedger[i]) / 2
+	if n == 0 || s.tagSig[i] <= 0 {
+		return 0
+	}
+	bad := s.tagCum[i]*float64(n) - s.tagSnapSum[i]
+	if bad < 0 {
+		bad = 0
+	}
+	bad += s.tagOrphan[i]
+	if bad <= 0 {
+		return 0
+	}
+	return bad / s.tagSig[i]
+}
+
+// StaleRows returns the number of tag i's live rows currently under
+// soft down-weighting.
+func (s *Session) StaleRows(i int) int { return s.g.StaleRows(i) }
 
 // TrackDrift arms (or disarms) the model-error accounting behind
 // DriftFraction. Begin resets it off; a windowed transfer turns it on
@@ -711,7 +1080,11 @@ func (s *Session) DecodeSlot(slot int, locked []bool, base uint64, minMargin []f
 								if row >= len(lbp) {
 									break
 								}
-								lbp[row] -= h
+								if s.g.soft && row < s.g.staleCut[i] {
+									lbp[row] -= complex(s.g.softAlpha[i], 0) * h
+								} else {
+									lbp[row] -= h
+								}
 							}
 						}
 					}
@@ -857,7 +1230,11 @@ func (s *Session) decodePosition(p int, ws *workerState) {
 				if l && myBits[i] {
 					h := g.taps[i]
 					for _, row := range g.colRows[i] {
-						lbp[row] -= h
+						if g.soft && row < g.staleCut[i] {
+							lbp[row] -= complex(g.softAlpha[i], 0) * h
+						} else {
+							lbp[row] -= h
+						}
 					}
 				}
 			}
@@ -938,7 +1315,11 @@ func (s *Session) decodePosition(p int, ws *workerState) {
 func (s *Session) ConditionalMargin(p, i int, locked []bool) float64 {
 	g := &s.g
 	w := g.Degree(i)
-	if w == 0 || g.tapPower[i] == 0 {
+	den := g.tapPower[i] * float64(w)
+	if g.soft {
+		den = g.tapPower[i] * g.effWeight(i)
+	}
+	if w == 0 || den == 0 {
 		return 0
 	}
 	base := s.errs[p]
@@ -962,7 +1343,7 @@ func (s *Session) ConditionalMargin(p, i int, locked []bool) float64 {
 	st.lockTag(i)
 	st.descend(g, bhat, pin, s.eps)
 	errV := st.normSqActive(g) + s.errInactive[p]
-	return (errV - base) / (g.tapPower[i] * float64(w))
+	return (errV - base) / den
 }
 
 // growComplex and friends resize a session-owned buffer to length n,

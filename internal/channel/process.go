@@ -50,6 +50,13 @@ type Process interface {
 	// natural decode-window length for a coherence-windowed receiver.
 	// 0 means "forever" (a static process).
 	CoherenceSlots() int
+	// CoherenceSlotsTag is CoherenceSlots for one tag: processes with
+	// heterogeneous mobility (Gauss–Markov per-tag ρ) report each tag's
+	// own horizon, so a per-tag-windowed receiver can keep a parked
+	// tag's whole history while a forklift tag forgets in a few slots.
+	// Processes whose tags all move together (Static, BlockFading) fall
+	// back to the global value.
+	CoherenceSlotsTag(tag int) int
 }
 
 // StaticProcess adapts a frozen Model to the Process interface — the
@@ -72,6 +79,10 @@ func (s *StaticProcess) Static() bool { return true }
 
 // CoherenceSlots reports 0: frozen taps are coherent forever.
 func (s *StaticProcess) CoherenceSlots() int { return 0 }
+
+// CoherenceSlotsTag falls back to the global value: every frozen tag is
+// coherent forever.
+func (s *StaticProcess) CoherenceSlotsTag(int) int { return 0 }
 
 // BlockFading redraws every tag's tap independently at the start of
 // each block of BlockLen slots: within a block the channel is the
@@ -117,6 +128,10 @@ func (b *BlockFading) Static() bool { return false }
 // CoherenceSlots reports the block length: within a block the taps are
 // frozen, across a boundary they decorrelate completely.
 func (b *BlockFading) CoherenceSlots() int { return b.blockLen }
+
+// CoherenceSlotsTag falls back to the global value: every tap is
+// redrawn on the same block boundaries.
+func (b *BlockFading) CoherenceSlotsTag(int) int { return b.blockLen }
 
 // ModelAt returns the model of the block containing the 1-based slot,
 // redrawing the taps when the block index changed.
@@ -202,6 +217,14 @@ func (g *GaussMarkov) CoherenceSlots() int {
 		}
 	}
 	return minW
+}
+
+// CoherenceSlotsTag reports the coherence window of one tag:
+// CoherenceSlotsFromRho(ρ_i), 0 ("forever") for a parked tag. A
+// heterogeneous roster is exactly where the per-tag view diverges from
+// CoherenceSlots' fastest-mover minimum.
+func (g *GaussMarkov) CoherenceSlotsTag(tag int) int {
+	return CoherenceSlotsFromRho(g.rho[tag])
 }
 
 // ModelAt advances the recursion through every slot up to the given

@@ -230,3 +230,32 @@ func TestProcessCoherenceSlots(t *testing.T) {
 		t.Errorf("all-parked gauss-markov coherence %d, want 0", got)
 	}
 }
+
+// TestProcessCoherenceSlotsPerTag pins the per-tag coherence reporting
+// the per-tag window policy consumes: Gauss–Markov reports each tag's
+// own horizon, Static and BlockFading fall back to the global value.
+func TestProcessCoherenceSlotsPerTag(t *testing.T) {
+	init := NewFromSNRBand(3, 14, 30, prng.NewSource(3))
+	st := NewStatic(init)
+	bf := NewBlockFading(3, 14, 30, 24, 0, 7)
+	for tag := 0; tag < 3; tag++ {
+		if got := st.CoherenceSlotsTag(tag); got != 0 {
+			t.Errorf("static tag %d coherence %d, want 0", tag, got)
+		}
+		if got := bf.CoherenceSlotsTag(tag); got != 24 {
+			t.Errorf("block-fading tag %d coherence %d, want 24", tag, got)
+		}
+	}
+	gm := NewGaussMarkov(init, []float64{1, 0.99, 0.9}, 7)
+	wants := []int{0, CoherenceSlotsFromRho(0.99), CoherenceSlotsFromRho(0.9)}
+	for tag, want := range wants {
+		if got := gm.CoherenceSlotsTag(tag); got != want {
+			t.Errorf("gauss-markov tag %d coherence %d, want %d", tag, got, want)
+		}
+	}
+	// The global view is the min over finite per-tag windows: a roster
+	// of parked tags plus one mover must report the mover's horizon.
+	if got, want := gm.CoherenceSlots(), gm.CoherenceSlotsTag(2); got != want {
+		t.Errorf("global coherence %d, want the fastest tag's %d", got, want)
+	}
+}

@@ -143,8 +143,12 @@ func TransferDynamic(cfg Config, roster []RosterTag, air, decoder channel.Proces
 	// window, block fading gets the block, a static process none, and
 	// slow drift the round never outgrows (e.g. ρ ≥ 0.999 at this slot
 	// budget) clamps to none, so the classic decoder — optimal inside
-	// the coherence time — runs untouched.
+	// the coherence time — runs untouched. A PerTag policy instead
+	// resolves one window per roster tag from that tag's own coherence
+	// time: parked tags keep their whole history while movers forget on
+	// their own clocks (bp.Session.RetireTag / SoftRetireTag).
 	win := cfg.beginWindow(sess, decoder.CoherenceSlots(), maxSlots)
+	wins := cfg.beginTagWindows(sess, decoder, maxSlots, kTot)
 
 	estimates := make([]bits.Vector, kTot)
 	for i := 0; i < k0; i++ {
@@ -172,6 +176,10 @@ func TransferDynamic(cfg Config, roster []RosterTag, air, decoder channel.Proces
 			WindowSlots:   win,
 		},
 		Retired: make([]bool, kTot),
+	}
+	if wins != nil {
+		res.WindowSlotsTag = append([]int(nil), wins...)
+		res.RowsRetiredTag = make([]int, kTot)
 	}
 	gs := gateState{
 		estimates:    estimates,
@@ -295,7 +303,7 @@ func TransferDynamic(cfg Config, roster []RosterTag, air, decoder channel.Proces
 		// here a locked tag is additionally marked verified (locked
 		// alone also covers retirement) and counted resolved.
 		newly := cfg.acceptSlot(sess, slot, nJ, frameLen, &gs, minMargin, ambiguous,
-			cfg.effectiveGates(sess, win), func(i int) {
+			cfg.effectiveGates(sess, win, wins), func(i int) {
 				verified[i] = true
 				nResolved++
 			})
@@ -309,8 +317,12 @@ func TransferDynamic(cfg Config, roster []RosterTag, air, decoder channel.Proces
 		})
 		res.SlotsUsed = slot
 		// Slide the coherence window (see runDecodeLoop): observations
-		// older than the channel's memory stop being evidence.
+		// older than the channel's memory stop being evidence. Under a
+		// per-tag policy each joined tag slides on its own clock.
 		res.RowsRetired += slideWindow(sess, win, slot)
+		if wins != nil {
+			res.RowsRetired += cfg.slideTagWindows(sess, wins, nJ, slot, res.RowsRetiredTag)
+		}
 		sc.Release(slotMark)
 	}
 

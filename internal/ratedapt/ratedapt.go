@@ -259,6 +259,83 @@ type gateState struct {
 type gatePolicy struct {
 	thr, condThr  float64
 	confirmWindow int
+	// winTag, under a per-tag window policy, holds each tag's resolved
+	// window: the double-confirmation distance becomes per tag — a
+	// mover must re-pass the full gate a whole window of its own later.
+	// A never-windowed tag confirms at confirmWindow (the roster's
+	// largest finite window): its margins ride the same drift-deflated
+	// thresholds as everyone's — the movers' model error pollutes the
+	// rows they share — so the classic weak-tag path it would otherwise
+	// keep is exactly the 1-in-32 CRC loophole the deflation reopens.
+	winTag []int
+	// softOverlap marks the soft per-tag mode, where aged rows are
+	// down-weighted rather than removed: every tag's confirmation
+	// passes then share evidence, so the conditional-margin bar stays
+	// at full height for all (see thrFor).
+	softOverlap bool
+}
+
+// confirmCap bounds the per-tag double-confirmation distance. The
+// distance exists to make the two passes rest on (nearly) disjoint
+// evidence, and for a fast mover the window IS that distance — but a
+// slow mover's window can span hundreds of slots, and waiting a whole
+// one before every acceptance would cost more air time than the round
+// itself. Past this cap the coherence time is long enough that the
+// per-slot drift deflation is tiny and the gates are essentially the
+// classic calibrated ones; two full-gate passes a capped distance
+// apart still kill every transient coincidence, and the full-height
+// conditional bar (thrFor) covers the stable ones.
+const confirmCap = 2 * MinAutoWindow
+
+// confirmFor returns the double-confirmation distance for tag i: the
+// tag's own window under a per-tag policy (never-windowed tags use the
+// policy-wide confirmWindow), the global one otherwise (0 = classic
+// gates). Per-tag distances are bounded by confirmCap.
+func (gp *gatePolicy) confirmFor(i int) int {
+	if gp.winTag != nil {
+		w := gp.winTag[i]
+		if w == 0 {
+			w = gp.confirmWindow
+		}
+		return min(w, confirmCap)
+	}
+	return gp.confirmWindow
+}
+
+// thrFor returns tag i's effective margin thresholds. Under a per-tag
+// window the base thresholds deflate by the tag's own maximum
+// in-window drift fraction (bp.Session.DriftFractionTag): a mover's
+// honest margins sit below their static value in proportion to the
+// model error banked against its in-window rows, and a parked tag's in
+// proportion to the orphan energy its movers left behind. The fraction
+// is clamped at 1 — once the banked model error reaches the rows'
+// signal energy the margins carry no more calibration to spend, and a
+// further-deflated bar would wave garbage through (the gate bottoms
+// out at thr/3, the deepest deflation the fast-mobility calibration
+// supports). Global and classic gates pass the pre-computed thresholds
+// through.
+func (gp *gatePolicy) thrFor(sess *bp.Session, i int) (thr, condThr float64) {
+	if gp.winTag == nil {
+		return gp.thr, gp.condThr
+	}
+	f := sess.DriftFractionTag(i)
+	if f > 1 {
+		f = 1
+	}
+	d := 1 + 2*f
+	condThr = gp.condThr / d
+	if gp.winTag[i] == 0 || gp.softOverlap {
+		// Overlapping confirmation evidence — a never-windowed tag's
+		// rows are never retired, and under soft aging every tag's
+		// stale rows persist across passes — so the conditional
+		// re-decode, the one probe that sees coordinated multi-bit
+		// coincidences, is the only real protection: keep that bar at
+		// full height. Pollution inflates BOTH sides of the conditional
+		// comparison equally, so unlike the flip margins it does not
+		// need the deflation to stay reachable.
+		condThr = gp.condThr
+	}
+	return gp.thr / d, condThr
 }
 
 // acceptSlot applies one slot's estimate refresh and acceptance gates —
@@ -283,9 +360,9 @@ func (cfg *Config) acceptSlot(sess *bp.Session, slot, k, frameLen int, gs *gateS
 			}
 		}
 	}
-	condOK := func(i int) bool {
+	condOK := func(i int, condThr float64) bool {
 		for p := 0; p < frameLen; p++ {
-			if sess.ConditionalMargin(p, i, gs.locked[:k]) < gp.condThr {
+			if sess.ConditionalMargin(p, i, gs.locked[:k]) < condThr {
 				return false
 			}
 		}
@@ -306,8 +383,9 @@ func (cfg *Config) acceptSlot(sess *bp.Session, slot, k, frameLen int, gs *gateS
 			gs.candidates[i] = nil
 			continue
 		}
-		accept := minMargin[i] >= gp.thr
-		if gp.confirmWindow > 0 {
+		thr, condThr := gp.thrFor(sess, i)
+		accept := minMargin[i] >= thr
+		if cw := gp.confirmFor(i); cw > 0 {
 			// Windowed acceptance: the full gate (margins + conditional
 			// re-decode) must pass now AND have passed for the identical
 			// frame at least confirmWindow slots ago. During the wait
@@ -321,18 +399,18 @@ func (cfg *Config) acceptSlot(sess *bp.Session, slot, k, frameLen int, gs *gateS
 			if accept {
 				switch c := gs.candidates[i]; {
 				case c == nil || !c.frame.Equal(gs.estimates[i]):
-					if condOK(i) { // first full-gate pass
+					if condOK(i, condThr) { // first full-gate pass
 						gs.candidates[i] = &pendingFrame{frame: gs.estimates[i].Clone(), slot: slot}
 					}
 					accept = false
-				case slot < c.slot+gp.confirmWindow:
+				case slot < c.slot+cw:
 					accept = false
 				default:
-					accept = condOK(i) // second full-gate pass
+					accept = condOK(i, condThr) // second full-gate pass
 				}
 			}
 		} else {
-			if !accept && minMargin[i] >= gp.thr/2 {
+			if !accept && minMargin[i] >= thr/2 {
 				if c := gs.candidates[i]; c != nil && c.frame.Equal(gs.estimates[i]) {
 					if deg >= c.degree+1 {
 						accept = true
@@ -341,7 +419,7 @@ func (cfg *Config) acceptSlot(sess *bp.Session, slot, k, frameLen int, gs *gateS
 					gs.candidates[i] = &pendingFrame{frame: gs.estimates[i].Clone(), degree: deg}
 				}
 			}
-			accept = accept && condOK(i)
+			accept = accept && condOK(i, condThr)
 		}
 		if accept {
 			gs.locked[i] = true
@@ -358,16 +436,33 @@ func (cfg *Config) acceptSlot(sess *bp.Session, slot, k, frameLen int, gs *gateS
 }
 
 // effectiveGates returns the slot's acceptance-gate parameters.
-// Without a window (win 0) the classic gates pass through untouched,
-// keeping the PR-2/PR-3 decode paths byte-identical. With the
-// coherence window active the thresholds deflate with the session's
-// measured model-error fraction and the disjoint-window double
-// confirmation switches on — see gatePolicy for why the two must move
-// together. The factor 2 calibrates the rescale to the fast-mobility
-// regime (ρ ≈ 0.9): correct delivery saturates there while the pinned
-// goldens hold zero wrong payloads across seeds.
-func (cfg *Config) effectiveGates(sess *bp.Session, win int) gatePolicy {
+// Without a window (win 0, wins nil) the classic gates pass through
+// untouched, keeping the PR-2/PR-3 decode paths byte-identical. With
+// the coherence window active the thresholds deflate with the
+// session's measured model-error fraction and the disjoint-window
+// double confirmation switches on — see gatePolicy for why the two
+// must move together. The factor 2 calibrates the rescale to the
+// fast-mobility regime (ρ ≈ 0.9): correct delivery saturates there
+// while the pinned goldens hold zero wrong payloads across seeds.
+//
+// Under a per-tag window (wins non-nil) the gates go per tag: each
+// tag's thresholds deflate by its own maximum in-window drift fraction
+// (gatePolicy.thrFor — a parked tag keeps the full bar), every
+// acceptance double-confirms at the tag's own window distance, and a
+// never-windowed tag confirms at the roster's largest finite window
+// (see gatePolicy.winTag).
+func (cfg *Config) effectiveGates(sess *bp.Session, win int, wins []int) gatePolicy {
 	thr := cfg.marginThreshold()
+	if wins != nil {
+		maxWin := 0
+		for _, w := range wins {
+			if w > maxWin {
+				maxWin = w
+			}
+		}
+		return gatePolicy{thr: thr, condThr: thr / 2, confirmWindow: maxWin, winTag: wins,
+			softOverlap: cfg.Window.SoftWeight}
+	}
 	if win <= 0 {
 		return gatePolicy{thr: thr, condThr: thr / 2}
 	}
@@ -425,9 +520,19 @@ type Result struct {
 	BitsPerSymbol float64
 	// WindowSlots is the effective coherence window the decode ran
 	// with (0 = the classic unbounded decoder) and RowsRetired the
-	// total collision rows the session retired under it.
+	// total rows the session retired under it — whole collision rows
+	// under a global window, (row, tag) removals summed over tags under
+	// a per-tag one.
 	WindowSlots int
 	RowsRetired int
+	// WindowSlotsTag, under a per-tag window policy, holds each roster
+	// tag's resolved window (0 = that tag never windows); nil otherwise.
+	WindowSlotsTag []int
+	// RowsRetiredTag, under a per-tag window policy, counts per roster
+	// tag the collision rows that aged out of that tag's window —
+	// hard-removed from the tag's adjacency, or soft down-weighted;
+	// nil otherwise.
+	RowsRetiredTag []int
 }
 
 // Lost counts messages that never verified.
@@ -687,7 +792,7 @@ func runDecodeLoop(cfg Config, frames []bits.Vector, frameLen int, decoder *chan
 		// several tags' bits swap together; this can (see
 		// bp.Graph.ConditionalMargin).
 		newly := cfg.acceptSlot(sess, slot, k, frameLen, &gs, minMargin, ambiguous,
-			cfg.effectiveGates(sess, win), func(int) {
+			cfg.effectiveGates(sess, win, nil), func(int) {
 				if cfg.SilenceDecoded {
 					// ACK = 2-bit command code + 16-bit temporary id
 					// echo, plus two link turnarounds.

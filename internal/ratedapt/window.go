@@ -1,6 +1,9 @@
 package ratedapt
 
-import "repro/internal/bp"
+import (
+	"repro/internal/bp"
+	"repro/internal/channel"
+)
 
 // WindowPolicy selects how much collision history the decoder explains
 // with the current channel taps. The classic decoder (the zero value)
@@ -25,6 +28,22 @@ type WindowPolicy struct {
 	// ignored. On an infinitely coherent (static) channel Auto
 	// disables windowing — the classic decoder is optimal there.
 	Auto bool
+	// PerTag gives every tag its own auto window, derived from that
+	// tag's coherence time (channel.Process.CoherenceSlotsTag) — the
+	// heterogeneous-mobility policy: one global window forces parked
+	// tags to discard good evidence whenever any mover's coherence
+	// collapses, while per-tag windows age only the mover's rows out
+	// (bp.Session.RetireTag). A tag whose channel is coherent forever
+	// never windows. Takes precedence over Auto and Slots; only
+	// TransferDynamic (the one loop with a channel process) honors it —
+	// the static-channel loops resolve it to no window, like Auto.
+	PerTag bool
+	// SoftWeight, with PerTag, down-weights a mover's stale rows by its
+	// banked drift ratio instead of removing them
+	// (bp.Session.SoftRetireTag): old evidence fades smoothly instead
+	// of vanishing at a hard edge. Every slot rebuilds the cached
+	// decode state under it — see PERFORMANCE.md's cost model.
+	SoftWeight bool
 }
 
 // MinAutoWindow floors the Auto-derived window length. Below ~8 slots
@@ -43,10 +62,22 @@ func FixedWindow(w int) WindowPolicy { return WindowPolicy{Slots: w} }
 // AutoWindow returns the coherence-derived policy.
 func AutoWindow() WindowPolicy { return WindowPolicy{Auto: true} }
 
+// PerTagWindow returns the per-tag coherence-derived policy: each tag
+// ages out of the decode on its own channel's clock. soft selects
+// drift-ratio down-weighting instead of hard removal for stale rows.
+func PerTagWindow(soft bool) WindowPolicy {
+	return WindowPolicy{PerTag: true, SoftWeight: soft}
+}
+
 // resolve returns the effective window length against a channel whose
 // taps stay coherent for coherenceSlots slots (0 = forever); 0 means
-// no window.
+// no window. A PerTag policy resolves to none here — the per-tag
+// resolution (resolveTags) lives on the one loop with a channel
+// process to consult.
 func (w WindowPolicy) resolve(coherenceSlots int) int {
+	if w.PerTag {
+		return 0
+	}
 	if !w.Auto {
 		if w.Slots < 0 {
 			return 0
@@ -86,4 +117,80 @@ func slideWindow(sess *bp.Session, win, slot int) int {
 		return sess.Retire(slot - win)
 	}
 	return 0
+}
+
+// resolveTags resolves a PerTag policy's per-tag effective windows
+// against the decoder process, with resolve's floors and clamps: a tag
+// coherent forever (parked, static, or clamped past the slot budget)
+// never windows, and short coherence floors at MinAutoWindow. Returns
+// nil when no tag windows at all — the policy then degenerates to the
+// classic decode.
+func (w WindowPolicy) resolveTags(proc channel.Process, maxSlots, k int) []int {
+	wins := make([]int, k)
+	any := false
+	for i := range wins {
+		v := 0
+		if c := proc.CoherenceSlotsTag(i); c > 0 {
+			v = c
+			if v < MinAutoWindow {
+				v = MinAutoWindow
+			}
+			if v >= maxSlots {
+				v = 0
+			}
+		}
+		wins[i] = v
+		any = any || v > 0
+	}
+	if !any {
+		return nil
+	}
+	return wins
+}
+
+// ResolveTagWindows reports the per-tag effective windows a PerTag
+// policy would run with against proc at the given slot budget —
+// exported for spec tooling (buzzsim -check), so the printed summary
+// cannot drift from the decode loop's own resolution.
+func ResolveTagWindows(proc channel.Process, maxSlots, k int) []int {
+	return WindowPolicy{PerTag: true}.resolveTags(proc, maxSlots, k)
+}
+
+// beginTagWindows resolves a PerTag policy for the transfer and arms
+// the session's per-tag drift ledgers — beginWindow's per-tag sibling,
+// owned by TransferDynamic. Returns nil when the policy is not PerTag
+// or no tag windows.
+func (cfg *Config) beginTagWindows(sess *bp.Session, proc channel.Process, maxSlots, k int) []int {
+	if !cfg.Window.PerTag {
+		return nil
+	}
+	wins := cfg.Window.resolveTags(proc, maxSlots, k)
+	sess.TrackTagDrift(wins != nil)
+	return wins
+}
+
+// slideTagWindows ages each tag's rows out of its own window after the
+// given slot's decode and gates — hard removal or soft down-weighting
+// per the policy — accumulating per-tag counts into retiredTag and
+// returning the total. Locked tags age out too: a verified mover's
+// stale contribution is model error for its neighbors all the same.
+func (cfg *Config) slideTagWindows(sess *bp.Session, wins []int, nJoined, slot int, retiredTag []int) int {
+	total := 0
+	for i := 0; i < nJoined; i++ {
+		w := wins[i]
+		if w <= 0 || slot <= w {
+			continue
+		}
+		var n int
+		if cfg.Window.SoftWeight {
+			n = sess.SoftRetireTag(i, slot-w)
+		} else {
+			n = sess.RetireTag(i, slot-w)
+		}
+		if n > 0 {
+			retiredTag[i] += n
+			total += n
+		}
+	}
+	return total
 }

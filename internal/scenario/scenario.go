@@ -49,6 +49,12 @@ const (
 	WindowAuto = "auto"
 	// WindowFixed keeps the most recent DecodeWindow slots.
 	WindowFixed = "fixed"
+	// WindowPerTag derives one window per roster tag from that tag's
+	// own coherence time — the heterogeneous-mobility policy: parked
+	// tags keep their whole history while movers forget on their own
+	// clocks. Pair with WindowSoft to down-weight stale rows instead
+	// of removing them.
+	WindowPerTag = "per_tag"
 )
 
 // ChannelSpec selects and parameterizes the tap process.
@@ -133,6 +139,9 @@ type Spec struct {
 	// DecodeWindow is the fixed window length in collision slots;
 	// setting it without Window implies "fixed".
 	DecodeWindow int `json:"decode_window,omitempty"`
+	// WindowSoft, with Window "per_tag", down-weights a mover's stale
+	// rows by its banked drift ratio instead of removing them.
+	WindowSoft bool `json:"window_soft,omitempty"`
 	// Population schedules mid-round arrivals and departures.
 	Population []PopulationEvent `json:"population,omitempty"`
 	// Schemes lists the contenders to run: "buzz" (always required),
@@ -356,8 +365,20 @@ func (s Spec) Validate() error {
 		if s.DecodeWindow >= s.MaxSlots {
 			return fmt.Errorf("scenario: decode_window %d is not below max_slots %d — the window could never slide", s.DecodeWindow, s.MaxSlots)
 		}
+	case WindowPerTag:
+		if s.DecodeWindow != 0 {
+			return fmt.Errorf("scenario: window \"per_tag\" derives each tag's window from its channel — drop decode_window %d or use \"fixed\"", s.DecodeWindow)
+		}
+		if s.Channel.Kind == KindStatic {
+			// On a frozen channel per-tag windows could never resolve to
+			// anything; asking for them is certainly a spec mistake.
+			return fmt.Errorf("scenario: window \"per_tag\" needs a time-varying channel (kind %q is static)", s.Channel.Kind)
+		}
 	default:
-		return fmt.Errorf("scenario: unknown window %q (want none, fixed or auto)", s.Window)
+		return fmt.Errorf("scenario: unknown window %q (want none, fixed, auto or per_tag)", s.Window)
+	}
+	if s.WindowSoft && s.Window != WindowPerTag {
+		return fmt.Errorf("scenario: window_soft only applies to window \"per_tag\" (got window %q)", s.Window)
 	}
 	prev := 1
 	for _, e := range s.Population {

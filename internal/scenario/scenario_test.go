@@ -179,3 +179,42 @@ func TestNewProcess(t *testing.T) {
 		t.Error("per-tag rho=1 tag moved")
 	}
 }
+
+// TestParsePerTagWindow pins the per-tag window spec surface: a valid
+// per_tag spec (with and without the soft flag) parses, and every
+// inconsistent combination fails loudly.
+func TestParsePerTagWindow(t *testing.T) {
+	s, err := Parse([]byte(`{"k": 4, "trials": 2, "window": "per_tag",
+		"channel": {"kind": "gauss-markov", "per_tag_rho": [1, 1, 0.9, 0.9]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Window != WindowPerTag || s.WindowSoft {
+		t.Fatalf("parsed to window=%q soft=%v", s.Window, s.WindowSoft)
+	}
+	s, err = Parse([]byte(`{"k": 4, "trials": 2, "window": "per_tag", "window_soft": true,
+		"channel": {"kind": "block-fading", "block_len": 16}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.WindowSoft {
+		t.Fatal("window_soft did not parse")
+	}
+
+	bad := []string{
+		// per_tag needs a time-varying channel.
+		`{"k": 4, "trials": 2, "window": "per_tag"}`,
+		// per_tag derives its windows; an explicit length conflicts.
+		`{"k": 4, "trials": 2, "window": "per_tag", "decode_window": 8,
+			"channel": {"kind": "gauss-markov", "rho": 0.9}}`,
+		// window_soft only applies to per_tag.
+		`{"k": 4, "trials": 2, "window": "auto", "window_soft": true,
+			"channel": {"kind": "gauss-markov", "rho": 0.9}}`,
+		`{"k": 4, "trials": 2, "window_soft": true}`,
+	}
+	for _, spec := range bad {
+		if _, err := Parse([]byte(spec)); err == nil {
+			t.Errorf("spec %s validated, want an error", spec)
+		}
+	}
+}

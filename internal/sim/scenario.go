@@ -42,9 +42,14 @@ type BuzzTrial struct {
 	// re-identification bursts.
 	ReidentBitSlots int
 	// WindowSlots is the coherence window the decode ran with (0 =
-	// unbounded) and RowsRetired the collision rows retired under it.
+	// unbounded) and RowsRetired the rows retired under it (whole rows
+	// under a global window, (row, tag) removals under a per-tag one).
 	WindowSlots int
 	RowsRetired int
+	// RowsRetiredPerTag, under a per-tag window, counts per roster tag
+	// the rows that aged out of that tag's own window (hard-removed or
+	// soft down-weighted); nil otherwise.
+	RowsRetiredPerTag []int
 }
 
 // ScenarioOptions tune a RunScenario call beyond the declarative spec.
@@ -169,17 +174,20 @@ func RunScenarioOpts(spec scenario.Spec, opts ScenarioOptions) (*ScenarioOutcome
 			cfg.Window = ratedapt.AutoWindow()
 		case scenario.WindowFixed:
 			cfg.Window = ratedapt.FixedWindow(spec.DecodeWindow)
+		case scenario.WindowPerTag:
+			cfg.Window = ratedapt.PerTagWindow(spec.WindowSoft)
 		}
 		var (
-			verified      []bool
-			frames        []bits.Vector
-			slotsUsed     int
-			lost          int
-			rate          float64
-			reidentSlots  int
-			transferMilli float64
-			windowSlots   int
-			rowsRetired   int
+			verified       []bool
+			frames         []bits.Vector
+			slotsUsed      int
+			lost           int
+			rate           float64
+			reidentSlots   int
+			transferMilli  float64
+			windowSlots    int
+			rowsRetired    int
+			rowsRetiredTag []int
 		)
 		// Roster-length even for static specs, where nothing can retire —
 		// BuzzTrial promises index-aligned per-tag slices.
@@ -218,6 +226,7 @@ func RunScenarioOpts(spec scenario.Spec, opts ScenarioOptions) (*ScenarioOutcome
 			verified, frames, retired = rb.Verified, rb.Frames, rb.Retired
 			slotsUsed, lost, rate = rb.SlotsUsed, rb.Lost(), rb.BitsPerSymbol
 			windowSlots, rowsRetired = rb.WindowSlots, rb.RowsRetired
+			rowsRetiredTag = rb.RowsRetiredTag
 			reidentSlots = rb.ReidentBitSlots
 			transferMilli = frameMillis(rb.SlotsUsed*frameLen) + epc.UplinkMicros(float64(reidentSlots))/1000
 		}
@@ -232,15 +241,16 @@ func RunScenarioOpts(spec scenario.Spec, opts ScenarioOptions) (*ScenarioOutcome
 		scoreFrames(buzz, verified, frames, msgs, crc, payloads)
 		if opts.KeepTrials {
 			trials[trial] = BuzzTrial{
-				Verified:        append([]bool(nil), verified...),
-				Payloads:        payloads,
-				Retired:         append([]bool(nil), retired...),
-				SlotsUsed:       slotsUsed,
-				Millis:          transferMilli,
-				BitsPerSymbol:   rate,
-				ReidentBitSlots: reidentSlots,
-				WindowSlots:     windowSlots,
-				RowsRetired:     rowsRetired,
+				Verified:          append([]bool(nil), verified...),
+				Payloads:          payloads,
+				Retired:           append([]bool(nil), retired...),
+				SlotsUsed:         slotsUsed,
+				Millis:            transferMilli,
+				BitsPerSymbol:     rate,
+				ReidentBitSlots:   reidentSlots,
+				WindowSlots:       windowSlots,
+				RowsRetired:       rowsRetired,
+				RowsRetiredPerTag: append([]int(nil), rowsRetiredTag...),
 			}
 		}
 

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the repository's headline performance benchmarks and
-# record the series into BENCH_PR4.json.
+# record the series into BENCH_PR5.json.
 #
 # Usage:
 #   scripts/bench.sh [stage] [count]
@@ -10,8 +10,9 @@
 #
 # The recorded benchmarks are the end-to-end headline reproduction, the
 # Fig. 10 data-phase comparisons, the scenario-engine paths (block
-# fading, Gauss–Markov drift, population churn) and the coherence-
-# windowed fast-mobility path added by PR 4. CI reruns the same set and
+# fading, Gauss–Markov drift, population churn), the coherence-
+# windowed fast-mobility path and the per-tag-windowed mixed-mobility
+# paths (hard retire and soft down-weight). CI reruns the same set and
 # gates every benchmark recorded in the "after" stage — tight on the
 # classic paths, looser on the scenario paths (see scripts/benchguard's
 # -override flag and .github/workflows/ci.yml).
@@ -20,8 +21,8 @@ cd "$(dirname "$0")/.."
 
 STAGE="${1:-after}"
 COUNT="${2:-5}"
-OUT="BENCH_PR4.json"
-BENCHES='BenchmarkHeadline_Overall$|BenchmarkFig10_TransferTime_K16$|BenchmarkFig10_TransferTime_K8$|BenchmarkScenario_BlockFading_K8$|BenchmarkScenario_GaussMarkov_K8$|BenchmarkScenario_FastMobility_K8$|BenchmarkScenario_PopulationChurn$'
+OUT="BENCH_PR5.json"
+BENCHES='BenchmarkHeadline_Overall$|BenchmarkFig10_TransferTime_K16$|BenchmarkFig10_TransferTime_K8$|BenchmarkScenario_BlockFading_K8$|BenchmarkScenario_GaussMarkov_K8$|BenchmarkScenario_FastMobility_K8$|BenchmarkScenario_MixedMobility_K8$|BenchmarkScenario_MixedMobilitySoft_K8$|BenchmarkScenario_PopulationChurn$'
 
 go test -run '^$' -bench "$BENCHES" -benchmem -count="$COUNT" -timeout 60m . |
     go run ./scripts/benchjson -out "$OUT" -stage "$STAGE"

@@ -96,6 +96,26 @@ func main() {
 		os.Exit(1)
 	}
 	after := doc["after"]
+	// A benchmark recorded in the baseline but absent from the after
+	// series means a re-record silently dropped it: the before/after
+	// comparison the JSON exists for no longer covers that benchmark,
+	// and neither does this gate (it walks the after series). Hard
+	// error, not a warning — the gate must not narrow silently.
+	if baseline := doc["baseline"]; baseline != nil {
+		var dropped []string
+		for name := range baseline {
+			if ref, ok := after[name]; !ok || len(ref.NsOp) == 0 {
+				dropped = append(dropped, name)
+			}
+		}
+		if len(dropped) > 0 {
+			sort.Strings(dropped)
+			for _, name := range dropped {
+				fmt.Fprintf(os.Stderr, "benchguard: %s is in the \"baseline\" series of %s but missing from \"after\" — re-record it\n", name, *jsonPath)
+			}
+			os.Exit(1)
+		}
+	}
 	var gated []string
 	if *benchList != "" {
 		gated = strings.Split(*benchList, ",")
