@@ -1,0 +1,229 @@
+// Command buzzd is the streaming decode daemon: many reader front ends
+// stream collision slots at it over the wire protocol
+// (internal/engine/wire) and get payload decisions back, all sessions
+// decoding through the same session-manager engine the batch simulator
+// runs on — the goldens pin that a streamed session and a batch trial
+// at the same seed decide identically.
+//
+// Usage:
+//
+//	buzzd [-listen :4117] [-unix /run/buzzd.sock] [-http :8117]
+//	      [-workers N] [-max-sessions N] [-drain-timeout 30s]
+//
+// The daemon serves the binary protocol on TCP (-listen) and/or a unix
+// socket (-unix), and introspection over HTTP (-http): GET /statsz for
+// the live counters as JSON, GET /healthz for liveness (503 while
+// draining), and /debug/vars (expvar). On SIGINT/SIGTERM it stops
+// accepting, lets live sessions finish for up to -drain-timeout, then
+// force-closes what remains; a clean drain exits 0.
+//
+// Client mode replays a scenario spec against a running daemon and
+// reports what came back — the loopback smoke check:
+//
+//	buzzd -connect localhost:4117 -replay examples/scenarios/mobility.json
+//
+// Every trial's payload decisions are verified against the ground-truth
+// messages the replay client itself transmitted; any wrong payload
+// exits non-zero.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/bits"
+	"repro/internal/engine"
+	"repro/internal/engine/replay"
+	"repro/internal/scenario"
+)
+
+func main() {
+	listen := flag.String("listen", ":4117", "TCP address for the wire protocol (empty disables)")
+	unixPath := flag.String("unix", "", "unix socket path for the wire protocol (empty disables)")
+	httpAddr := flag.String("http", "", "HTTP introspection address: /statsz, /healthz, /debug/vars (empty disables)")
+	workers := flag.Int("workers", 0, "decode shard workers (0 = GOMAXPROCS)")
+	maxSessions := flag.Int("max-sessions", 0, "cap on concurrently live sessions (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for live sessions before force-closing")
+	connect := flag.String("connect", "", "client mode: address of a running daemon")
+	replayPath := flag.String("replay", "", "client mode: scenario spec to replay against -connect")
+	flag.Parse()
+
+	if *connect != "" || *replayPath != "" {
+		if err := runClient(*connect, *replayPath); err != nil {
+			fmt.Fprintln(os.Stderr, "buzzd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runDaemon(*listen, *unixPath, *httpAddr, *workers, *maxSessions, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "buzzd:", err)
+		os.Exit(1)
+	}
+}
+
+func runDaemon(listen, unixPath, httpAddr string, workers, maxSessions int, drainTimeout time.Duration) error {
+	if listen == "" && unixPath == "" {
+		return fmt.Errorf("nothing to serve: both -listen and -unix are empty")
+	}
+	m := engine.New(engine.Config{Workers: workers, MaxSessions: maxSessions})
+	srv := engine.NewServer(m, engine.ServerConfig{})
+
+	var draining bool
+	expvar.Publish("buzzd", expvar.Func(func() any { return m.Snapshot() }))
+
+	serveErr := make(chan error, 3)
+	var listeners []net.Listener
+	addListener := func(network, addr string) error {
+		ln, err := net.Listen(network, addr)
+		if err != nil {
+			return err
+		}
+		listeners = append(listeners, ln)
+		fmt.Printf("buzzd: serving %s on %s\n", network, ln.Addr())
+		go func() { serveErr <- srv.Serve(ln) }()
+		return nil
+	}
+	if listen != "" {
+		if err := addListener("tcp", listen); err != nil {
+			return err
+		}
+	}
+	if unixPath != "" {
+		os.Remove(unixPath)
+		if err := addListener("unix", unixPath); err != nil {
+			return err
+		}
+		defer os.Remove(unixPath)
+	}
+
+	var httpSrv *http.Server
+	if httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(m.Snapshot())
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			if draining {
+				http.Error(w, "draining", http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintln(w, "ok")
+		})
+		mux.Handle("/debug/vars", expvar.Handler())
+		hln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("buzzd: introspection on http://%s\n", hln.Addr())
+		httpSrv = &http.Server{Handler: mux}
+		go func() {
+			if err := httpSrv.Serve(hln); err != nil && err != http.ErrServerClosed {
+				serveErr <- err
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("buzzd: %v — draining (timeout %v)\n", s, drainTimeout)
+	case err := <-serveErr:
+		if err != nil {
+			return err
+		}
+	}
+
+	draining = true
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := srv.Shutdown(ctx)
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
+	snap := m.Snapshot()
+	fmt.Printf("buzzd: drained — %d sessions served, %d slots, %d payloads, %d shed\n",
+		snap.SessionsClosed, snap.SlotsIngested, snap.PayloadsAccepted, snap.SessionsShed)
+	if drainErr != nil {
+		return fmt.Errorf("drain incomplete: %w (%d sessions force-closed)", drainErr, snap.ActiveSessions)
+	}
+	return nil
+}
+
+// runClient replays a scenario against a running daemon and scores the
+// returned payloads against the messages it transmitted.
+func runClient(addr, specPath string) error {
+	if addr == "" || specPath == "" {
+		return fmt.Errorf("client mode needs both -connect and -replay")
+	}
+	spec, err := scenario.Load(specPath)
+	if err != nil {
+		return err
+	}
+	crc, err := spec.CRCKind()
+	if err != nil {
+		return err
+	}
+	conn, err := net.Dial(dialNetwork(addr), addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	start := time.Now()
+	results, err := replay.RunScenario(conn, spec)
+	if err != nil {
+		return err
+	}
+	delivered, wrong, retired := 0, 0, 0
+	for _, tr := range results {
+		pay := tr.Payloads(crc)
+		for i, ok := range tr.Verified {
+			if !ok {
+				continue
+			}
+			delivered++
+			if !pay[i].Equal(bits.Vector(tr.Messages[i])) {
+				wrong++
+			}
+		}
+		for _, r := range tr.Retired {
+			if r {
+				retired++
+			}
+		}
+	}
+	stats, err := replay.FetchStats(conn)
+	if err != nil {
+		return err
+	}
+	kTot := spec.TotalTags()
+	fmt.Printf("scenario %q: %d trials x %d tags streamed in %.2fs\n",
+		spec.Name, len(results), kTot, time.Since(start).Seconds())
+	fmt.Printf("  delivered %d/%d payloads, %d wrong, %d retired by departure\n",
+		delivered, len(results)*kTot, wrong, retired)
+	fmt.Printf("  daemon: %d sessions open, %d opened, %d slots ingested, %d payloads, %d shed\n",
+		stats.ActiveSessions, stats.SessionsOpened, stats.SlotsIngested, stats.PayloadsAccepted, stats.SessionsShed)
+	if wrong > 0 {
+		return fmt.Errorf("%d wrong payloads delivered", wrong)
+	}
+	return nil
+}
+
+// dialNetwork guesses unix vs tcp from the address shape.
+func dialNetwork(addr string) string {
+	if len(addr) > 0 && (addr[0] == '/' || addr[0] == '.') {
+		return "unix"
+	}
+	return "tcp"
+}

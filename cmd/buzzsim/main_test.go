@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary re-exec as buzzsim itself: with
+// BUZZSIM_BE_MAIN set the process runs main() — flags, os.Exit and all
+// — so the error-path tests below observe real exit codes and stderr,
+// not a unit-level approximation.
+func TestMain(m *testing.M) {
+	if os.Getenv("BUZZSIM_BE_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runBuzzsim re-execs the test binary as buzzsim with args.
+func runBuzzsim(t *testing.T, args ...string) (exitCode int, stderr string) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "BUZZSIM_BE_MAIN=1")
+	var errBuf strings.Builder
+	cmd.Stderr = &errBuf
+	err = cmd.Run()
+	if err == nil {
+		return 0, errBuf.String()
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("buzzsim %v: %v", args, err)
+	}
+	return ee.ExitCode(), errBuf.String()
+}
+
+// TestCheckRejectsMalformedSpecs pins buzzsim's spec pre-flight: a
+// malformed workload file must exit non-zero with a validation message
+// naming the problem, never run silently on a misread spec.
+func TestCheckRejectsMalformedSpecs(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		wantMsg string
+	}{
+		{
+			name:    "unknown top-level field",
+			spec:    `{"k": 4, "trials": 2, "seed": 1, "snr_low_db": 10}`,
+			wantMsg: "snr_low_db",
+		},
+		{
+			name:    "trailing content after the spec object",
+			spec:    `{"k": 4, "trials": 2, "seed": 1} {"k": 8}`,
+			wantMsg: "trailing content",
+		},
+		{
+			name:    "trailing garbage token",
+			spec:    `{"k": 4, "trials": 2, "seed": 1}]`,
+			wantMsg: "trailing content",
+		},
+		{
+			name:    "structurally invalid value",
+			spec:    `{"k": 0, "trials": 2, "seed": 1}`,
+			wantMsg: "k",
+		},
+	}
+	dir := t.TempDir()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, "spec.json")
+			if err := os.WriteFile(path, []byte(tc.spec), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			code, stderr := runBuzzsim(t, "-check", "-scenario", path)
+			if code == 0 {
+				t.Fatalf("buzzsim -check accepted a malformed spec\nspec: %s", tc.spec)
+			}
+			if !strings.Contains(stderr, tc.wantMsg) {
+				t.Fatalf("stderr %q does not mention %q", stderr, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestCheckAcceptsValidSpec is the control: -check on a well-formed
+// spec exits 0.
+func TestCheckAcceptsValidSpec(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(`{"k": 4, "trials": 2, "seed": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, stderr := runBuzzsim(t, "-check", "-scenario", path); code != 0 {
+		t.Fatalf("valid spec rejected: exit %d, stderr %q", code, stderr)
+	}
+}

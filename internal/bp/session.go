@@ -232,6 +232,33 @@ func (s *Session) Close() {
 	}
 }
 
+// Reset returns the session to the empty pre-Begin state while keeping
+// every buffer's capacity AND the worker pool — the recycling entry
+// point for session pools (engine.Manager), where PutSession's worker
+// teardown would throw the warmth away. A Reset session carries no
+// decoder state, taps or graph rows from its previous transfer (so a
+// pooled session cannot leak one reader's state into the next), and a
+// following same-shaped Begin allocates nothing: recycled sessions
+// decode byte-identically to fresh ones, pinned by the pool-reuse
+// regression tests.
+func (s *Session) Reset() {
+	s.g.Reset(0, nil)
+	s.k, s.frameLen, s.maxSlots, s.restarts = 0, 0, 0, 0
+	s.ys = s.ys[:0]
+	s.lockedBase = s.lockedBase[:0]
+	s.states = s.states[:0]
+	s.rowPower = s.rowPower[:0]
+	s.driftEnergy = s.driftEnergy[:0]
+	s.driftTotal, s.sigTotal = 0, 0
+	s.trackDrift, s.trackTagDrift = false, false
+	s.orphan = s.orphan[:0]
+	s.retireRows = s.retireRows[:0]
+	s.retireIdx = s.retireIdx[:0]
+	s.stateValid = false
+	s.curLocked = nil
+	s.prevLocked = s.prevLocked[:0]
+}
+
 // Begin shapes the session for a transfer of k tags, frameLen bit
 // positions and at most maxSlots collision slots, decoding with the
 // given taps, restarts random re-initializations per position per slot,

@@ -1,0 +1,491 @@
+// Package engine hosts the decode core behind a session manager: the
+// one owner of bp.Session + scratch-arena lifecycle for every decode
+// path in the repo. Batch simulation (sim.RunScenario's trial pool) and
+// the streaming daemon (cmd/buzzd, over the wire protocol in
+// engine/wire) are both clients of the same SessionManager, so the
+// decode loop they drive — ratedapt.Stream — cannot fork between them;
+// the conformance goldens replay the example scenarios through a
+// loopback daemon against the batch engine and require byte-identical
+// decisions.
+//
+// Architecture (the ndndpdk-svc shape): a fixed worker-per-core shard
+// pool owns all streaming decode work. A live session is pinned to one
+// shard — its slots are processed in arrival order with no further
+// locking — and owns pooled resources (a bp.Session recycled via
+// Session.Reset, a scratch arena) for its whole life. Backpressure is
+// per session: a bounded in-flight token bucket makes Feed block the
+// caller (ultimately the reader's TCP connection) when the session's
+// shard falls behind, and a sink that reports its outbox full marks the
+// session shed — the slow-reader policy — rather than let one stalled
+// connection grow unbounded queues.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bits"
+	"repro/internal/bp"
+	"repro/internal/ratedapt"
+	"repro/internal/scratch"
+)
+
+// Config parameterizes a SessionManager.
+type Config struct {
+	// Workers is the shard count for streaming sessions and the trial
+	// fan-out width for batch runs; 0 = GOMAXPROCS.
+	Workers int
+	// InboxSlots bounds each live session's in-flight slot count; Feed
+	// blocks past it. 0 = 4.
+	InboxSlots int
+	// ShardQueue bounds each shard's pending-job queue. 0 = 128.
+	ShardQueue int
+	// MaxSessions caps concurrently live streaming sessions; 0 = no cap.
+	MaxSessions int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) inboxSlots() int {
+	if c.InboxSlots > 0 {
+		return c.InboxSlots
+	}
+	return 4
+}
+
+func (c Config) shardQueue() int {
+	if c.ShardQueue > 0 {
+		return c.ShardQueue
+	}
+	return 128
+}
+
+// Resources is one worker's pooled decode state: the scratch arena and
+// the bp.Session every transfer of that worker runs on. Recycling goes
+// through Session.Reset (state cleared, capacity and warmth kept), so a
+// pooled pair re-runs a same-shaped workload without reallocating.
+type Resources struct {
+	Scratch *scratch.Scratch
+	Session *bp.Session
+	// Parallelism is the nested per-trial decode budget RunBatch grants
+	// each worker (cores left after the trial fan-out claims its
+	// share). Streaming sessions always run 1 — the shards are the
+	// parallelism.
+	Parallelism int
+}
+
+// Stats is the manager's live counter block. All fields are atomics:
+// shard workers bump them on the hot path, the introspection endpoint
+// snapshots them without coordination.
+type Stats struct {
+	ActiveSessions   atomic.Int64
+	SessionsOpened   atomic.Int64
+	SessionsClosed   atomic.Int64
+	SessionsShed     atomic.Int64
+	SlotsIngested    atomic.Int64
+	RowsRetired      atomic.Int64
+	PayloadsAccepted atomic.Int64
+	TrialsRun        atomic.Int64
+}
+
+// StatsSnapshot is a plain-int copy of Stats for serialization, plus
+// the manager's uptime and the lifetime average slot rate.
+type StatsSnapshot struct {
+	ActiveSessions   int64   `json:"active_sessions"`
+	SessionsOpened   int64   `json:"sessions_opened"`
+	SessionsClosed   int64   `json:"sessions_closed"`
+	SessionsShed     int64   `json:"sessions_shed"`
+	SlotsIngested    int64   `json:"slots_ingested"`
+	RowsRetired      int64   `json:"rows_retired"`
+	PayloadsAccepted int64   `json:"payloads_accepted"`
+	TrialsRun        int64   `json:"trials_run"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	SlotsPerSecond   float64 `json:"slots_per_second"`
+}
+
+// SessionManager owns decode sessions: the pooled Resources behind
+// them, the shard workers that execute them, and the live counters. One
+// manager serves both the batch API (RunBatch) and the streaming API
+// (Open/Feed/Close); a process normally has one.
+type SessionManager struct {
+	cfg   Config
+	pool  sync.Pool // *Resources
+	stats Stats
+	start time.Time
+
+	mu        sync.Mutex
+	shards    []*shard
+	nextShard int
+	draining  bool
+	closed    bool
+	live      sync.WaitGroup
+	nLive     int
+	nextID    atomic.Uint64
+}
+
+// New builds a SessionManager. Shard workers start lazily on the first
+// streaming Open; a batch-only manager never spawns them.
+func New(cfg Config) *SessionManager {
+	return &SessionManager{cfg: cfg, start: time.Now()}
+}
+
+// Stats returns the live counter block.
+func (m *SessionManager) Stats() *Stats { return &m.stats }
+
+// Snapshot copies the counters for serialization.
+func (m *SessionManager) Snapshot() StatsSnapshot {
+	up := time.Since(m.start).Seconds()
+	slots := m.stats.SlotsIngested.Load()
+	snap := StatsSnapshot{
+		ActiveSessions:   m.stats.ActiveSessions.Load(),
+		SessionsOpened:   m.stats.SessionsOpened.Load(),
+		SessionsClosed:   m.stats.SessionsClosed.Load(),
+		SessionsShed:     m.stats.SessionsShed.Load(),
+		SlotsIngested:    slots,
+		RowsRetired:      m.stats.RowsRetired.Load(),
+		PayloadsAccepted: m.stats.PayloadsAccepted.Load(),
+		TrialsRun:        m.stats.TrialsRun.Load(),
+		UptimeSeconds:    up,
+	}
+	if up > 0 {
+		snap.SlotsPerSecond = float64(slots) / up
+	}
+	return snap
+}
+
+func (m *SessionManager) getResources() *Resources {
+	if v := m.pool.Get(); v != nil {
+		return v.(*Resources)
+	}
+	return &Resources{Scratch: scratch.Get(), Session: bp.GetSession()}
+}
+
+// putResources recycles a worker's pair. Reset (not realloc) keeps every
+// buffer's capacity; Close tears the session's worker goroutines down
+// so a pair dropped by the sync.Pool's GC cannot strand them (streaming
+// sessions run Parallelism 1 and never start any, so the warm recycle
+// path is unaffected).
+func (m *SessionManager) putResources(r *Resources) {
+	r.Scratch.Reset()
+	r.Session.Reset()
+	r.Session.Close()
+	r.Parallelism = 0
+	m.pool.Put(r)
+}
+
+// RunBatch fans body out over a worker pool — the re-parented
+// sim.forEachTrial. Worker count is min(Workers, trials); each worker
+// draws pooled Resources, runs trials off a shared queue, and resets
+// the scratch arena between trials. The nested budget
+// (Resources.Parallelism) splits the cores across the fan-out exactly
+// as the simulator always did, so existing goldens are byte-identical
+// at any width. The first body error (lowest trial index) is returned.
+func (m *SessionManager) RunBatch(trials int, body func(trial int, res *Resources) error) error {
+	if trials <= 0 {
+		return nil
+	}
+	procs := m.cfg.workers()
+	workers := min(procs, trials)
+	if workers < 1 {
+		workers = 1
+	}
+	inner := procs / workers
+	if inner < 1 {
+		inner = 1
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, trials)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := m.getResources()
+			defer m.putResources(res)
+			res.Parallelism = inner
+			for trial := range next {
+				errs[trial] = body(trial, res)
+				res.Scratch.Reset()
+				m.stats.TrialsRun.Add(1)
+			}
+		}()
+	}
+	for trial := 0; trial < trials; trial++ {
+		next <- trial
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shard is one streaming worker: a FIFO of session-pinned jobs.
+type shard struct {
+	jobs chan func()
+}
+
+func (m *SessionManager) shardsLocked() []*shard {
+	if m.shards == nil {
+		n := m.cfg.workers()
+		m.shards = make([]*shard, n)
+		for i := range m.shards {
+			sh := &shard{jobs: make(chan func(), m.cfg.shardQueue())}
+			m.shards[i] = sh
+			go func() {
+				for job := range sh.jobs {
+					job()
+				}
+			}()
+		}
+	}
+	return m.shards
+}
+
+// EventKind tags a streaming session event.
+type EventKind uint8
+
+const (
+	// EventDecisions carries one ingested slot's outcome.
+	EventDecisions EventKind = iota + 1
+	// EventClosed is the session's final summary; nothing follows it.
+	EventClosed
+	// EventError reports a failed slot; the session is dead and will be
+	// closed by the manager (an EventClosed still follows).
+	EventError
+)
+
+// AcceptedFrame is one payload decision: the session-local tag index
+// (join order) and the accepted frame (payload + CRC bits), cloned out
+// of the decode state so the event owns it.
+type AcceptedFrame struct {
+	Tag   int
+	Frame bits.Vector
+}
+
+// SessionSummary is the closing state of a streaming session.
+type SessionSummary struct {
+	SlotsUsed   int
+	Joined      int
+	Accepted    int
+	RowsRetired int
+}
+
+// Event is what a streaming session emits to its sink, in slot order.
+// Sinks run on the session's shard worker: they must not block — return
+// false instead ("outbox full"), which sheds the session.
+type Event struct {
+	Kind      EventKind
+	SessionID uint64
+	Step      ratedapt.StepResult
+	Accepted  []AcceptedFrame
+	Summary   SessionSummary
+	Err       error
+}
+
+// LiveSession is one streaming decode session: a ratedapt.Stream pinned
+// to a shard, fed one slot at a time. Feed and Close may be called from
+// any single goroutine (the owning connection's reader); all decode
+// work happens on the shard.
+type LiveSession struct {
+	ID uint64
+
+	m      *SessionManager
+	sh     *shard
+	st     *ratedapt.Stream
+	res    *Resources
+	tokens chan struct{}
+	sink   func(Event) bool
+
+	shed      atomic.Bool
+	dead      bool // shard-worker-local: stop decoding after an error
+	closeOnce sync.Once
+}
+
+// ErrShed reports a session killed by the slow-reader policy.
+var ErrShed = fmt.Errorf("engine: session shed (slow reader)")
+
+// Open starts a streaming session on pooled resources. cfg's Scratch,
+// Session and Parallelism fields are owned by the manager and must be
+// zero. Events arrive at sink from the session's shard worker, in slot
+// order; sink must be non-blocking and return false when it cannot
+// accept (which sheds the session). The returned session must be
+// Closed, even after errors.
+func (m *SessionManager) Open(cfg ratedapt.StreamConfig, sink func(Event) bool) (*LiveSession, error) {
+	if cfg.Scratch != nil || cfg.Session != nil || cfg.Parallelism != 0 {
+		return nil, fmt.Errorf("engine: Open owns Scratch/Session/Parallelism; leave them zero")
+	}
+	m.mu.Lock()
+	if m.closed || m.draining {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("engine: manager is draining; no new sessions")
+	}
+	if m.cfg.MaxSessions > 0 && m.nLive >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("engine: session cap (%d) reached", m.cfg.MaxSessions)
+	}
+	shards := m.shardsLocked()
+	sh := shards[m.nextShard%len(shards)]
+	m.nextShard++
+	m.nLive++
+	m.live.Add(1)
+	m.mu.Unlock()
+
+	res := m.getResources()
+	cfg.Scratch, cfg.Session = res.Scratch, res.Session
+	cfg.Parallelism = 1 // shards are the parallelism
+	st, err := ratedapt.OpenStream(cfg)
+	if err != nil {
+		m.putResources(res)
+		m.mu.Lock()
+		m.nLive--
+		m.mu.Unlock()
+		m.live.Done()
+		return nil, err
+	}
+	m.stats.SessionsOpened.Add(1)
+	m.stats.ActiveSessions.Add(1)
+	return &LiveSession{
+		ID:     m.nextID.Add(1),
+		m:      m,
+		sh:     sh,
+		st:     st,
+		res:    res,
+		tokens: make(chan struct{}, m.cfg.inboxSlots()),
+		sink:   sink,
+	}, nil
+}
+
+// FrameLen returns the session's frame length (payload + CRC bits).
+func (l *LiveSession) FrameLen() int { return l.st.FrameLen() }
+
+// Feed submits one slot — population/channel events plus the received
+// observations — to the session's shard. It blocks when the session's
+// bounded inbox is full (per-session backpressure; the caller's read
+// loop stalls, and TCP pushes back on the reader). The slot's outcome
+// arrives at the sink as an EventDecisions. Feed transfers ownership of
+// ev's slices and obs to the engine; the caller must not reuse them.
+func (l *LiveSession) Feed(ev ratedapt.SlotEvents, obs []complex128) error {
+	if l.shed.Load() {
+		return ErrShed
+	}
+	l.tokens <- struct{}{}
+	l.sh.jobs <- func() {
+		defer func() { <-l.tokens }()
+		if l.dead || l.shed.Load() {
+			return
+		}
+		if _, err := l.st.Advance(ev); err != nil {
+			l.fail(err)
+			return
+		}
+		step, err := l.st.Ingest(obs)
+		if err != nil {
+			l.fail(err)
+			return
+		}
+		l.m.stats.SlotsIngested.Add(1)
+		l.m.stats.RowsRetired.Add(int64(step.RowsRetired))
+		l.m.stats.PayloadsAccepted.Add(int64(step.NewlyAccepted))
+		out := Event{Kind: EventDecisions, SessionID: l.ID, Step: step}
+		if n := len(l.st.Accepted()); n > 0 {
+			out.Accepted = make([]AcceptedFrame, 0, n)
+			for _, tag := range l.st.Accepted() {
+				out.Accepted = append(out.Accepted, AcceptedFrame{Tag: tag, Frame: l.st.Frame(tag).Clone()})
+			}
+		}
+		l.emit(out)
+	}
+	return nil
+}
+
+// fail and emit run on the shard worker only.
+func (l *LiveSession) fail(err error) {
+	l.dead = true
+	l.emit(Event{Kind: EventError, SessionID: l.ID, Err: err})
+}
+
+func (l *LiveSession) emit(ev Event) {
+	if l.shed.Load() {
+		return
+	}
+	if !l.sink(ev) {
+		l.shed.Store(true)
+		l.m.stats.SessionsShed.Add(1)
+	}
+}
+
+// Close retires the session: remaining queued slots are processed (or
+// skipped if the session died), the final EventClosed is emitted, and
+// the resources return to the pool. Idempotent; the caller must not
+// Feed after Close.
+func (l *LiveSession) Close() {
+	l.closeOnce.Do(func() {
+		l.sh.jobs <- func() {
+			summary := SessionSummary{
+				SlotsUsed:   l.st.Slot(),
+				Joined:      l.st.Joined(),
+				Accepted:    l.st.TotalAccepted(),
+				RowsRetired: l.st.RowsRetired(),
+			}
+			l.st.Close()
+			l.m.putResources(l.res)
+			l.m.stats.ActiveSessions.Add(-1)
+			l.m.stats.SessionsClosed.Add(1)
+			l.emit(Event{Kind: EventClosed, SessionID: l.ID, Summary: summary})
+			l.m.mu.Lock()
+			l.m.nLive--
+			l.m.mu.Unlock()
+			l.m.live.Done()
+		}
+	})
+}
+
+// Drain refuses new sessions and waits for the live ones to close —
+// the SIGTERM path. Returns ctx's error if they don't finish in time
+// (the caller then force-closes connections).
+func (m *SessionManager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		m.live.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close shuts the shard workers down. Call after Drain; streaming APIs
+// must not be used afterwards (batch RunBatch stays usable — it owns
+// its own goroutines).
+func (m *SessionManager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.draining = true
+	for _, sh := range m.shards {
+		close(sh.jobs)
+	}
+	m.shards = nil
+}

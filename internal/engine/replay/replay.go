@@ -1,0 +1,326 @@
+// Package replay is the wire protocol's reference client: it plays the
+// tag/air side of a scenario trial against a buzzd daemon, frame by
+// frame, reproducing sim.RunScenario's per-trial randomness exactly.
+// The daemon only ever sees observations — like a real reader front end
+// — while this client draws the messages, channels and noise from the
+// trial's setup stream in the simulator's exact order, so the payload
+// decisions coming back over the socket must be byte-identical to a
+// batch run of the same spec and seed. The engine conformance test
+// holds every example scenario to that.
+package replay
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bits"
+	"repro/internal/channel"
+	"repro/internal/engine/wire"
+	"repro/internal/prng"
+	"repro/internal/ratedapt"
+	"repro/internal/scenario"
+)
+
+// TrialResult is one replayed trial's outcome, in roster order —
+// the streaming counterpart of the fields sim.BuzzTrial keeps.
+type TrialResult struct {
+	// Verified flags roster tags whose frame passed the daemon's gates.
+	Verified []bool
+	// Frames holds each verified tag's accepted frame (payload + CRC).
+	Frames []bits.Vector
+	// Retired flags tags that departed before delivering.
+	Retired []bool
+	// Messages are the payloads the trial transmitted (the ground
+	// truth a caller scores Frames against).
+	Messages []bits.Vector
+	// SlotsUsed and RowsRetired mirror the batch result's accounting.
+	SlotsUsed   int
+	RowsRetired int
+	// Summary is the daemon's closing frame for the session.
+	Summary wire.Closed
+}
+
+// Payloads returns the delivered payloads (nil where unverified).
+func (t *TrialResult) Payloads(crc bits.CRCKind) []bits.Vector {
+	out := make([]bits.Vector, len(t.Frames))
+	for i, f := range t.Frames {
+		if t.Verified[i] {
+			out[i] = bits.PayloadOf(f, crc)
+		}
+	}
+	return out
+}
+
+// RunTrial replays one trial of spec over an open daemon connection in
+// lock step: one Slot frame out, one Decisions frame back. spec must
+// have defaults applied and be valid (scenario.Load guarantees both).
+func RunTrial(rw io.ReadWriter, spec scenario.Spec, trial int) (*TrialResult, error) {
+	crc, err := spec.CRCKind()
+	if err != nil {
+		return nil, err
+	}
+	kTot := spec.TotalTags()
+	windows, err := spec.PresenceWindows()
+	if err != nil {
+		return nil, err
+	}
+	maxSlots := spec.MaxSlots
+	if kTot < 1 || maxSlots < 1 {
+		return nil, fmt.Errorf("replay: spec needs defaults applied (k=%d, max_slots=%d)", kTot, maxSlots)
+	}
+
+	// --- The trial's setup stream, draw for draw as in the simulator:
+	// messages, initial taps, participation seeds, session salt,
+	// process seed, then the noise fork and the decode fork. ---
+	setup := prng.NewSource(prng.Mix2(spec.Seed, uint64(trial)))
+	msgs := make([]bits.Vector, kTot)
+	for i := range msgs {
+		msgs[i] = bits.Random(setup, spec.MessageBits)
+	}
+	ch := channel.NewFromSNRBand(kTot, spec.SNRLodB, spec.SNRHidB, setup)
+	ch.AGCNoiseFraction = spec.AGCNoiseFraction
+	seeds := make([]uint64, kTot)
+	for i := range seeds {
+		seeds[i] = setup.Uint64()
+	}
+	salt := setup.Uint64()
+	var procSeed uint64
+	if spec.Dynamic() {
+		procSeed = setup.Uint64()
+	}
+	proc := spec.NewProcess(ch, procSeed)
+	noiseSrc := setup.Fork(1)
+	// The decode stream lives daemon-side; hand it the fork seed the
+	// batch engine would have used so both ends draw identically.
+	decodeSeed := prng.Mix2(setup.Uint64(), 2)
+
+	// --- Window resolution happens client-side (the client owns the
+	// channel model), exactly as TransferDynamic resolves it. ---
+	var pol ratedapt.WindowPolicy
+	switch spec.Window {
+	case scenario.WindowAuto:
+		pol = ratedapt.AutoWindow()
+	case scenario.WindowFixed:
+		pol = ratedapt.FixedWindow(spec.DecodeWindow)
+	case scenario.WindowPerTag:
+		pol = ratedapt.PerTagWindow(spec.WindowSoft)
+	}
+	win := pol.EffectiveSlots(proc.CoherenceSlots(), maxSlots)
+	var wins []int
+	confirmWin := 0
+	if spec.Window == scenario.WindowPerTag {
+		wins = ratedapt.ResolveTagWindows(proc, maxSlots, kTot)
+		for _, w := range wins {
+			confirmWin = max(confirmWin, w)
+		}
+	}
+
+	k0 := 0
+	for i := range windows {
+		if windows[i].ArriveSlot <= 1 {
+			k0++
+		}
+	}
+	frames := make([]bits.Vector, kTot)
+	for i := range frames {
+		frames[i] = bits.Message{Payload: msgs[i], Kind: crc}.Frame()
+	}
+
+	dm := proc.ModelAt(1)
+	open := &wire.Open{
+		Version:       wire.ProtocolVersion,
+		Salt:          salt,
+		DecodeSeed:    decodeSeed,
+		CRC:           uint8(crc),
+		MessageBits:   uint16(spec.MessageBits),
+		MaxSlots:      uint32(maxSlots),
+		Restarts:      uint16(spec.Restarts),
+		WindowSlots:   uint32(win),
+		ConfirmWindow: uint32(confirmWin),
+		WindowSoft:    spec.WindowSoft,
+		RosterCap:     uint32(kTot),
+		Seeds:         seeds[:k0],
+		Taps:          dm.Taps[:k0],
+	}
+	if wins != nil {
+		open.WindowTag = make([]uint32, k0)
+		for i := 0; i < k0; i++ {
+			open.WindowTag[i] = uint32(wins[i])
+		}
+	}
+	if err := wire.WriteFrame(rw, open); err != nil {
+		return nil, err
+	}
+	rep, err := wire.ReadFrame(rw)
+	if err != nil {
+		return nil, err
+	}
+	opened, ok := rep.(*wire.Opened)
+	if !ok {
+		return nil, replyError("open", rep)
+	}
+	sid := opened.SessionID
+	frameLen := int(opened.FrameLen)
+	if frameLen != spec.MessageBits+crc.Width() {
+		return nil, fmt.Errorf("replay: daemon frame length %d, client computes %d", frameLen, spec.MessageBits+crc.Width())
+	}
+
+	res := &TrialResult{
+		Verified: make([]bool, kTot),
+		Frames:   make([]bits.Vector, kTot),
+		Retired:  make([]bool, kTot),
+		Messages: msgs,
+	}
+
+	// --- The slot loop: the client-side mirror of the daemon's
+	// population/density/participation state, plus the air. ---
+	departed := make([]bool, kTot)
+	row := make([]bool, kTot)
+	obs := make([]complex128, frameLen)
+	activeIdx := make([]int, kTot)
+	bitIdx := make([]int, kTot)
+	tagPow := make([]float64, kTot)
+	density := ratedapt.ParticipationDensity(0, k0)
+	powStale := true
+	nextArr := k0
+	done := false
+
+	for slot := 1; slot <= maxSlots && !(nextArr == kTot && done); slot++ {
+		sf := wire.Slot{SessionID: sid}
+		m := proc.ModelAt(slot)
+		popChanged := false
+		for nextArr < kTot && arriveSlot(windows[nextArr]) <= slot {
+			w := uint32(0)
+			if wins != nil {
+				w = uint32(wins[nextArr])
+			}
+			sf.Arrivals = append(sf.Arrivals, wire.Arrival{
+				Seed:   seeds[nextArr],
+				Tap:    m.Taps[nextArr],
+				Window: w,
+			})
+			nextArr++
+			powStale = true
+			popChanged = true
+		}
+		for i := 0; i < nextArr; i++ {
+			if windows[i].DepartSlot > 0 && slot >= windows[i].DepartSlot {
+				sf.Departs = append(sf.Departs, uint32(i))
+				if !departed[i] {
+					departed[i] = true
+					popChanged = true
+					if !res.Verified[i] {
+						res.Retired[i] = true
+					}
+				}
+			}
+		}
+		if popChanged {
+			present := 0
+			for i := 0; i < nextArr; i++ {
+				if !departed[i] {
+					present++
+				}
+			}
+			density = ratedapt.ParticipationDensity(0, present)
+		}
+		if !proc.Static() {
+			sf.Retap = m.Taps[:nextArr]
+		}
+
+		// Tag side: who transmits this slot (the tags' shared
+		// participation rule), and what the reader's antenna receives.
+		for i := 0; i < nextArr; i++ {
+			row[i] = !departed[i] && ratedapt.Participates(seeds[i], salt, slot, density)
+		}
+		if powStale || !proc.Static() {
+			for i := 0; i < nextArr; i++ {
+				h := m.Taps[i]
+				tagPow[i] = real(h)*real(h) + imag(h)*imag(h)
+			}
+			powStale = false
+		}
+		ratedapt.SynthAir(m, frames, row[:nextArr], obs, activeIdx, bitIdx, tagPow, noiseSrc)
+		sf.Obs = obs
+
+		if err := wire.WriteFrame(rw, &sf); err != nil {
+			return nil, err
+		}
+		rep, err := wire.ReadFrame(rw)
+		if err != nil {
+			return nil, err
+		}
+		dec, ok := rep.(*wire.Decisions)
+		if !ok {
+			return nil, replyError(fmt.Sprintf("slot %d", slot), rep)
+		}
+		for _, d := range dec.Accepted {
+			if int(d.Tag) >= kTot {
+				return nil, fmt.Errorf("replay: daemon accepted unknown tag %d", d.Tag)
+			}
+			res.Verified[d.Tag] = true
+			res.Frames[d.Tag] = d.Frame
+		}
+		res.SlotsUsed = slot
+		res.RowsRetired += int(dec.RowsRetired)
+		done = dec.Done
+	}
+
+	if err := wire.WriteFrame(rw, &wire.Close{SessionID: sid}); err != nil {
+		return nil, err
+	}
+	rep, err = wire.ReadFrame(rw)
+	if err != nil {
+		return nil, err
+	}
+	closed, ok := rep.(*wire.Closed)
+	if !ok {
+		return nil, replyError("close", rep)
+	}
+	res.Summary = *closed
+	return res, nil
+}
+
+// RunScenario replays every trial of spec sequentially over one
+// connection and returns the per-trial results.
+func RunScenario(rw io.ReadWriter, spec scenario.Spec) ([]*TrialResult, error) {
+	out := make([]*TrialResult, spec.Trials)
+	for trial := 0; trial < spec.Trials; trial++ {
+		res, err := RunTrial(rw, spec, trial)
+		if err != nil {
+			return nil, fmt.Errorf("trial %d: %w", trial, err)
+		}
+		out[trial] = res
+	}
+	return out, nil
+}
+
+// FetchStats asks the daemon for its live counters.
+func FetchStats(rw io.ReadWriter) (*wire.StatsReply, error) {
+	if err := wire.WriteFrame(rw, &wire.Stats{}); err != nil {
+		return nil, err
+	}
+	rep, err := wire.ReadFrame(rw)
+	if err != nil {
+		return nil, err
+	}
+	st, ok := rep.(*wire.StatsReply)
+	if !ok {
+		return nil, replyError("stats", rep)
+	}
+	return st, nil
+}
+
+func arriveSlot(w scenario.Window) int {
+	if w.ArriveSlot < 1 {
+		return 1
+	}
+	return w.ArriveSlot
+}
+
+func replyError(ctx string, rep wire.Frame) error {
+	if e, ok := rep.(*wire.Error); ok {
+		return fmt.Errorf("replay: %s: daemon error: %s", ctx, e.Msg)
+	}
+	return fmt.Errorf("replay: %s: unexpected reply type 0x%02x", ctx, rep.Type())
+}

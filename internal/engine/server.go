@@ -1,0 +1,361 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/bits"
+	"repro/internal/engine/wire"
+	"repro/internal/prng"
+	"repro/internal/ratedapt"
+)
+
+// ServerConfig parameterizes the wire-protocol front end.
+type ServerConfig struct {
+	// OutboxFrames bounds each connection's pending reply queue. Decode
+	// events that find it full shed their session (the slow-reader
+	// policy); direct replies block the connection's reader instead,
+	// which is self-backpressure. 0 = 256.
+	OutboxFrames int
+}
+
+func (c ServerConfig) outboxFrames() int {
+	if c.OutboxFrames > 0 {
+		return c.OutboxFrames
+	}
+	return 256
+}
+
+// Server speaks the wire protocol on top of a SessionManager: one
+// reader goroutine per connection parses frames and drives the
+// manager's streaming API, one writer goroutine drains the bounded
+// reply outbox. A connection may multiplex any number of sessions,
+// keyed by the manager-assigned session ID returned in Opened.
+type Server struct {
+	m   *SessionManager
+	cfg ServerConfig
+
+	mu      sync.Mutex
+	lns     map[net.Listener]struct{}
+	conns   map[net.Conn]struct{}
+	closing bool
+	wg      sync.WaitGroup
+}
+
+// NewServer wraps a SessionManager in a wire-protocol server.
+func NewServer(m *SessionManager, cfg ServerConfig) *Server {
+	return &Server{
+		m:     m,
+		cfg:   cfg,
+		lns:   make(map[net.Listener]struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Manager returns the server's session manager.
+func (s *Server) Manager() *SessionManager { return s.m }
+
+// Serve accepts connections on ln until Shutdown closes it (returns
+// nil) or the listener fails (returns the error). Callable on several
+// listeners concurrently (e.g. a TCP and a unix socket).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("engine: server is shut down")
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.lns, ln)
+		s.mu.Unlock()
+	}()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			if closing || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, nc)
+				s.mu.Unlock()
+			}()
+			s.handle(nc)
+		}()
+	}
+}
+
+// Shutdown stops accepting, drains live sessions (bounded by ctx), then
+// force-closes whatever connections remain and waits for their handlers
+// to exit. Returns ctx's error when the drain deadline passed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closing = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	s.mu.Unlock()
+	err := s.m.Drain(ctx)
+	s.mu.Lock()
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// handle runs one connection's reader loop; it returns when the peer
+// hangs up or breaks protocol, closing any sessions left open.
+func (s *Server) handle(nc net.Conn) {
+	c := &serverConn{
+		s:        s,
+		nc:       nc,
+		outbox:   make(chan []byte, s.cfg.outboxFrames()),
+		sessions: make(map[uint64]*connSession),
+	}
+	var writerDone sync.WaitGroup
+	writerDone.Add(1)
+	go func() {
+		defer writerDone.Done()
+		c.writeLoop()
+	}()
+
+	for {
+		f, err := wire.ReadFrame(nc)
+		if err != nil {
+			break
+		}
+		if !c.dispatch(f) {
+			break
+		}
+	}
+	// Retire every session still open; each final event fires its
+	// once-Done, so the wait below cannot hang.
+	for _, cs := range c.sessions {
+		cs.ls.Close()
+	}
+	c.sessWG.Wait()
+	close(c.outbox)
+	writerDone.Wait()
+	nc.Close()
+}
+
+// serverConn is one client connection's state; only its reader
+// goroutine touches sessions.
+type serverConn struct {
+	s        *Server
+	nc       net.Conn
+	outbox   chan []byte
+	sessions map[uint64]*connSession
+	sessWG   sync.WaitGroup
+}
+
+// connSession pairs a live session with the once-guard that releases
+// the connection's teardown wait (fired by EventClosed or by shed).
+type connSession struct {
+	ls   *LiveSession
+	done *sync.Once
+}
+
+// writeLoop drains the outbox to the socket. On a write error it closes
+// the socket (unblocking the reader) and keeps draining so shard-side
+// sinks and the reader never block on a dead connection.
+func (c *serverConn) writeLoop() {
+	var werr error
+	for b := range c.outbox {
+		if werr == nil {
+			if _, werr = c.nc.Write(b); werr != nil {
+				c.nc.Close()
+			}
+		}
+	}
+}
+
+// reply sends a direct (reader-initiated) reply; it blocks when the
+// outbox is full, stalling this connection's reads — self-backpressure.
+func (c *serverConn) reply(f wire.Frame) bool {
+	b, err := wire.Append(nil, f)
+	if err != nil {
+		return false
+	}
+	c.outbox <- b
+	return true
+}
+
+// dispatch handles one client frame; false drops the connection.
+func (c *serverConn) dispatch(f wire.Frame) bool {
+	switch f := f.(type) {
+	case *wire.Open:
+		return c.handleOpen(f)
+	case *wire.Slot:
+		return c.handleSlot(f)
+	case *wire.Close:
+		if cs, ok := c.sessions[f.SessionID]; ok {
+			delete(c.sessions, f.SessionID)
+			cs.ls.Close()
+			return true
+		}
+		return c.reply(&wire.Error{SessionID: f.SessionID, Msg: "unknown session"})
+	case *wire.Stats:
+		snap := c.s.m.Snapshot()
+		return c.reply(&wire.StatsReply{
+			ActiveSessions:   snap.ActiveSessions,
+			SessionsOpened:   snap.SessionsOpened,
+			SessionsClosed:   snap.SessionsClosed,
+			SessionsShed:     snap.SessionsShed,
+			SlotsIngested:    snap.SlotsIngested,
+			RowsRetired:      snap.RowsRetired,
+			PayloadsAccepted: snap.PayloadsAccepted,
+			UptimeMillis:     int64(snap.UptimeSeconds * 1000),
+		})
+	default:
+		// Server→client frame types from a client are a protocol
+		// breach; answer once and hang up.
+		c.reply(&wire.Error{Msg: fmt.Sprintf("unexpected frame type 0x%02x", f.Type())})
+		return false
+	}
+}
+
+func (c *serverConn) handleOpen(o *wire.Open) bool {
+	if o.Version != wire.ProtocolVersion {
+		return c.reply(&wire.Error{Msg: fmt.Sprintf("protocol version %d, want %d", o.Version, wire.ProtocolVersion)})
+	}
+	if o.CRC > uint8(bits.CRC16) {
+		return c.reply(&wire.Error{Msg: fmt.Sprintf("unknown CRC kind %d", o.CRC)})
+	}
+	cfg := ratedapt.StreamConfig{
+		SessionSalt:     o.Salt,
+		CRC:             bits.CRCKind(o.CRC),
+		Density:         o.Density,
+		Restarts:        int(o.Restarts),
+		MinDegreeForCRC: int(o.MinDegree),
+		MarginThreshold: o.MarginThreshold,
+		MessageBits:     int(o.MessageBits),
+		MaxSlots:        int(o.MaxSlots),
+		WindowSlots:     int(o.WindowSlots),
+		WindowSoft:      o.WindowSoft,
+		ConfirmWindow:   int(o.ConfirmWindow),
+		Seeds:           o.Seeds,
+		Taps:            o.Taps,
+		RosterCap:       int(o.RosterCap),
+		DecodeSrc:       prng.NewSource(o.DecodeSeed),
+	}
+	if o.WindowTag != nil {
+		cfg.WindowTag = make([]int, len(o.WindowTag))
+		for i, w := range o.WindowTag {
+			cfg.WindowTag[i] = int(w)
+		}
+	}
+
+	done := &sync.Once{}
+	c.sessWG.Add(1)
+	ls, err := c.s.m.Open(cfg, c.sink(done))
+	if err != nil {
+		c.sessWG.Done()
+		return c.reply(&wire.Error{Msg: err.Error()})
+	}
+	c.sessions[ls.ID] = &connSession{ls: ls, done: done}
+	return c.reply(&wire.Opened{SessionID: ls.ID, FrameLen: uint32(ls.FrameLen())})
+}
+
+func (c *serverConn) handleSlot(f *wire.Slot) bool {
+	cs, ok := c.sessions[f.SessionID]
+	if !ok {
+		return c.reply(&wire.Error{SessionID: f.SessionID, Msg: "unknown session"})
+	}
+	var ev ratedapt.SlotEvents
+	if len(f.Arrivals) > 0 {
+		ev.Arrivals = make([]ratedapt.StreamArrival, len(f.Arrivals))
+		for i, a := range f.Arrivals {
+			ev.Arrivals[i] = ratedapt.StreamArrival{Seed: a.Seed, Tap: a.Tap, Window: int(a.Window)}
+		}
+	}
+	if len(f.Departs) > 0 {
+		ev.Departs = make([]int, len(f.Departs))
+		for i, d := range f.Departs {
+			ev.Departs[i] = int(d)
+		}
+	}
+	ev.Retap = f.Retap
+	if err := cs.ls.Feed(ev, f.Obs); err != nil {
+		// ErrShed: the slow-reader policy already fired; tell the
+		// client and retire the session.
+		delete(c.sessions, f.SessionID)
+		cs.ls.Close()
+		return c.reply(&wire.Error{SessionID: f.SessionID, Msg: err.Error()})
+	}
+	return true
+}
+
+// sink adapts engine events to wire frames for this connection. It runs
+// on the session's shard worker: the outbox send is non-blocking, and
+// returning false sheds the session. done releases the connection's
+// teardown wait exactly once — on the final EventClosed, or immediately
+// when the session sheds (its EventClosed would be swallowed).
+func (c *serverConn) sink(done *sync.Once) func(Event) bool {
+	return func(ev Event) bool {
+		var fr wire.Frame
+		switch ev.Kind {
+		case EventDecisions:
+			d := &wire.Decisions{
+				SessionID:     ev.SessionID,
+				Slot:          uint32(ev.Step.Slot),
+				Colliders:     uint32(ev.Step.Colliders),
+				TotalAccepted: uint32(ev.Step.TotalAccepted),
+				RowsRetired:   uint32(ev.Step.RowsRetired),
+				Done:          ev.Step.Done,
+			}
+			for _, a := range ev.Accepted {
+				d.Accepted = append(d.Accepted, wire.Decision{Tag: uint32(a.Tag), Frame: a.Frame})
+			}
+			fr = d
+		case EventError:
+			fr = &wire.Error{SessionID: ev.SessionID, Msg: ev.Err.Error()}
+		case EventClosed:
+			fr = &wire.Closed{
+				SessionID:   ev.SessionID,
+				SlotsUsed:   uint32(ev.Summary.SlotsUsed),
+				Joined:      uint32(ev.Summary.Joined),
+				Accepted:    uint32(ev.Summary.Accepted),
+				RowsRetired: uint64(ev.Summary.RowsRetired),
+			}
+		default:
+			return true
+		}
+		ok := true
+		if b, err := wire.Append(nil, fr); err == nil {
+			select {
+			case c.outbox <- b:
+			default:
+				ok = false
+			}
+		}
+		if ev.Kind == EventClosed || !ok {
+			done.Do(c.sessWG.Done)
+		}
+		return ok
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/bits"
-	"repro/internal/bp"
 	"repro/internal/channel"
 	"repro/internal/prng"
 )
@@ -128,16 +127,7 @@ func TransferDynamic(cfg Config, roster []RosterTag, air, decoder channel.Proces
 	if maxSlots <= 0 {
 		maxSlots = 40 * kTot
 	}
-	sc := cfg.Scratch
-	trialMark := sc.Mark()
-	defer sc.Release(trialMark)
-	sess := cfg.Session
-	if sess == nil {
-		sess = bp.GetSession()
-		defer bp.PutSession(sess)
-	}
-	dm := decoder.ModelAt(1)
-	sess.Begin(k0, frameLen, maxSlots, cfg.parallelism(), cfg.Restarts, dm.Taps[:k0])
+
 	// Coherence window: Auto resolves against the decoder process's
 	// own coherence time — a fast Gauss–Markov roster gets a short
 	// window, block fading gets the block, a static process none, and
@@ -146,31 +136,60 @@ func TransferDynamic(cfg Config, roster []RosterTag, air, decoder channel.Proces
 	// the coherence time — runs untouched. A PerTag policy instead
 	// resolves one window per roster tag from that tag's own coherence
 	// time: parked tags keep their whole history while movers forget on
-	// their own clocks (bp.Session.RetireTag / SoftRetireTag).
-	win := cfg.beginWindow(sess, decoder.CoherenceSlots(), maxSlots)
-	wins := cfg.beginTagWindows(sess, decoder, maxSlots, kTot)
-
-	estimates := make([]bits.Vector, kTot)
-	for i := 0; i < k0; i++ {
-		estimates[i] = bits.Vector(sc.Bool(frameLen))
-		bits.RandomInto(decodeSrc, estimates[i])
+	// their own clocks (bp.Session.RetireTag / SoftRetireTag). The
+	// stream takes windows pre-resolved, so the resolution — and the
+	// roster-wide confirm distance — happens here, over the FULL roster
+	// including tags that have not arrived yet.
+	win := cfg.Window.EffectiveSlots(decoder.CoherenceSlots(), maxSlots)
+	var wins []int
+	confirmWin := 0
+	if cfg.Window.PerTag {
+		wins = cfg.Window.resolveTags(decoder, maxSlots, kTot)
+		for _, w := range wins {
+			confirmWin = max(confirmWin, w)
+		}
 	}
-	sess.InitPositions(estimates[:k0])
-	decodeBase := decodeSrc.Uint64()
-	// Arrivals seed their initial estimates from per-(slot, tag)
-	// addressable streams under a separate base, so joining mid-round
-	// consumes nothing from decodeSrc and cannot shift any other stream.
-	arrivalBase := prng.Mix2(decodeBase, 0xA221)
 
-	locked := make([]bool, kTot)   // frozen in the decode: verified or retired
-	verified := make([]bool, kTot) // CRC-accepted
-	departed := sc.Bool(kTot)
-	decodedAt := make([]int, kTot)
+	seeds := make([]uint64, k0)
+	for i := 0; i < k0; i++ {
+		seeds[i] = roster[i].Seed
+	}
+	var winTag0 []int
+	if wins != nil {
+		winTag0 = wins[:k0]
+	}
+	dm := decoder.ModelAt(1)
+	st, err := OpenStream(StreamConfig{
+		SessionSalt:     cfg.SessionSalt,
+		CRC:             cfg.CRC,
+		Density:         cfg.Density,
+		Restarts:        cfg.Restarts,
+		MinDegreeForCRC: cfg.MinDegreeForCRC,
+		MarginThreshold: cfg.MarginThreshold,
+		Parallelism:     cfg.Parallelism,
+		MessageBits:     msgLen,
+		MaxSlots:        maxSlots,
+		WindowSlots:     win,
+		WindowTag:       winTag0,
+		WindowSoft:      cfg.Window.SoftWeight,
+		ConfirmWindow:   confirmWin,
+		Seeds:           seeds,
+		Taps:            dm.Taps[:k0],
+		RosterCap:       kTot,
+		DecodeSrc:       decodeSrc,
+		Scratch:         cfg.Scratch,
+		Session:         cfg.Session,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+
 	res := &DynamicResult{
 		Result: Result{
 			Frames:        make([]bits.Vector, kTot),
-			Verified:      verified,
-			DecodedAtSlot: decodedAt,
+			Verified:      make([]bool, kTot),
+			DecodedAtSlot: make([]int, kTot),
 			Participation: make([]int, kTot),
 			Progress:      make([]SlotResult, 0, min(maxSlots, 4*kTot+16)),
 			WindowSlots:   win,
@@ -181,108 +200,76 @@ func TransferDynamic(cfg Config, roster []RosterTag, air, decoder channel.Proces
 		res.WindowSlotsTag = append([]int(nil), wins...)
 		res.RowsRetiredTag = make([]int, kTot)
 	}
-	gs := gateState{
-		estimates:    estimates,
-		locked:       locked,
-		decodedAt:    decodedAt,
-		candidates:   make([]*pendingFrame, kTot),
-		frameChanged: sc.Bool(kTot),
-		frameOK:      sc.Bool(kTot),
-		crcValid:     sc.Bool(kTot),
-		frames:       res.Frames,
-	}
 
 	// Air staging, as in TransferEstimated: per-slot index lists so each
 	// position's superposition walks only the colliders. tagPow mirrors
 	// the air model's tap powers and is refreshed whenever the air moves
-	// or the population grows.
+	// or the population grows. The air side stays here, outside the
+	// stream: the decode core only ever sees observations, exactly like
+	// a wire-fed daemon session.
+	sc := cfg.Scratch
+	airMark := sc.Mark()
+	defer sc.Release(airMark)
 	obs := sc.Complex(frameLen)
 	activeIdx := sc.Int(kTot)
 	bitIdx := sc.Int(kTot)
 	tagPow := sc.Float(kTot)
-	var am *channel.Model
 	powStale := true
 
-	nJ := k0       // roster tags joined so far (graph columns)
-	nextArr := k0  // next roster index awaiting arrival
-	nResolved := 0 // joined tags locked (verified or retired)
-	density := participationDensity(cfg.Density, k0)
-	totalDecoded := 0
-
-	popChanged := false
-	for slot := 1; slot <= maxSlots && !(nextArr == kTot && nResolved == nJ); slot++ {
+	nextArr := k0 // next roster index awaiting arrival
+	var ev SlotEvents
+	arriving := make([]int, 0, kTot-k0)
+	for slot := 1; slot <= maxSlots && !(nextArr == kTot && st.Done()); slot++ {
 		// --- Population events. ---
+		ev.Arrivals = ev.Arrivals[:0]
+		ev.Departs = ev.Departs[:0]
+		ev.Retap = nil
 		if nextArr < kTot && roster[nextArr].Arrive() <= slot {
 			first := nextArr
+			dm = decoder.ModelAt(slot)
 			for nextArr < kTot && roster[nextArr].Arrive() <= slot {
+				w := 0
+				if wins != nil {
+					w = wins[nextArr]
+				}
+				ev.Arrivals = append(ev.Arrivals, StreamArrival{
+					Seed:   roster[nextArr].Seed,
+					Tap:    dm.Taps[nextArr],
+					Window: w,
+				})
 				nextArr++
 			}
-			dm = decoder.ModelAt(slot)
-			newEst := make([]bits.Vector, nextArr-first)
-			var src prng.Source
-			for j := range newEst {
-				e := make(bits.Vector, frameLen)
-				src.Reseed(prng.Mix3(arrivalBase, uint64(slot), uint64(first+j)))
-				bits.RandomInto(&src, e)
-				newEst[j] = e
-				estimates[first+j] = e
-			}
-			sess.Grow(dm.Taps[first:nextArr], newEst)
-			nJ = nextArr
-			popChanged = true
 			powStale = true
 			if cfg.OnArrival != nil {
-				arriving := make([]int, 0, nextArr-first)
+				arriving = arriving[:0]
 				for i := first; i < nextArr; i++ {
 					arriving = append(arriving, i)
 				}
 				res.ReidentBitSlots += cfg.OnArrival(slot, arriving)
 			}
 		}
-		for i := 0; i < nJ; i++ {
-			if roster[i].DepartSlot > 0 && slot >= roster[i].DepartSlot && !departed[i] {
-				departed[i] = true
-				popChanged = true
-				if !locked[i] {
-					// Retire: freeze the reader's best estimate of the
-					// departed tag out of the fan-out; its message is lost.
-					locked[i] = true
-					res.Retired[i] = true
-					nResolved++
-				}
+		for i := 0; i < nextArr; i++ {
+			if roster[i].DepartSlot > 0 && slot >= roster[i].DepartSlot {
+				ev.Departs = append(ev.Departs, i)
 			}
-		}
-		if popChanged {
-			// The reader re-tunes the participation density to the tags
-			// actually on the air, once per slot after both event kinds.
-			present := 0
-			for i := 0; i < nJ; i++ {
-				if !departed[i] {
-					present++
-				}
-			}
-			density = participationDensity(cfg.Density, present)
-			popChanged = false
 		}
 
 		// --- Channel drift: fold the slot's decoder taps in. ---
 		if !decoder.Static() {
 			dm = decoder.ModelAt(slot)
-			sess.RetapAll(dm.Taps[:nJ])
+			ev.Retap = dm.Taps[:nextArr]
 		}
 
-		slotMark := sc.Mark()
-		// --- Tag side: who participates, what hits the air. ---
-		row := bits.Vector(sc.Bool(nJ))
-		colliders := 0
-		for i := 0; i < nJ; i++ {
-			row[i] = !departed[i] && Participates(roster[i].Seed, cfg.SessionSalt, slot, density)
-			if row[i] {
-				colliders++
-				res.Participation[i]++
-			}
+		// --- Tag side: who participates, what hits the air. The row
+		// comes back from the stream (the reader's reconstruction of D
+		// is the tags' own participation rule — internal/prng shared
+		// state), and the air is synthesized against it. ---
+		row, err := st.Advance(ev)
+		if err != nil {
+			return nil, err
 		}
-		am = air.ModelAt(slot)
+		nJ := st.Joined()
+		am := air.ModelAt(slot)
 		if powStale || !air.Static() {
 			for i := 0; i < nJ; i++ {
 				h := am.Taps[i]
@@ -291,43 +278,38 @@ func TransferDynamic(cfg Config, roster []RosterTag, air, decoder channel.Proces
 			powStale = false
 		}
 		sparseAir(am, frames, row, obs, activeIdx, bitIdx, tagPow, noiseSrc)
-		sess.AppendSlot(row, obs)
 
-		// --- Reader side: incremental decode + acceptance gates, as in
-		// runDecodeLoop (see there for the gate rationale). ---
-		minMargin := sc.Float(nJ)
-		ambiguous := sc.Bool(nJ)
-		sess.DecodeSlot(slot, locked[:nJ], decodeBase, minMargin, ambiguous)
-		// Acceptance gates shared verbatim with the static loop (see
-		// runDecodeLoop's gate comment); only the bookkeeping differs —
-		// here a locked tag is additionally marked verified (locked
-		// alone also covers retirement) and counted resolved.
-		newly := cfg.acceptSlot(sess, slot, nJ, frameLen, &gs, minMargin, ambiguous,
-			cfg.effectiveGates(sess, win, wins), func(i int) {
-				verified[i] = true
-				nResolved++
-			})
-		totalDecoded += newly
+		// --- Reader side: incremental decode + acceptance gates (see
+		// runDecodeLoop for the gate rationale, Stream.Ingest for the
+		// shared implementation). ---
+		step, err := st.Ingest(obs)
+		if err != nil {
+			return nil, err
+		}
 		res.Progress = append(res.Progress, SlotResult{
 			Slot:          slot,
-			Colliders:     colliders,
-			NewlyDecoded:  newly,
-			TotalDecoded:  totalDecoded,
-			BitsPerSymbol: float64(totalDecoded) / float64(slot),
+			Colliders:     step.Colliders,
+			NewlyDecoded:  step.NewlyAccepted,
+			TotalDecoded:  step.TotalAccepted,
+			BitsPerSymbol: float64(step.TotalAccepted) / float64(slot),
 		})
 		res.SlotsUsed = slot
-		// Slide the coherence window (see runDecodeLoop): observations
-		// older than the channel's memory stop being evidence. Under a
-		// per-tag policy each joined tag slides on its own clock.
-		res.RowsRetired += slideWindow(sess, win, slot)
-		if wins != nil {
-			res.RowsRetired += cfg.slideTagWindows(sess, wins, nJ, slot, res.RowsRetiredTag)
-		}
-		sc.Release(slotMark)
+		res.RowsRetired += step.RowsRetired
 	}
 
+	// The stream's per-tag state covers tags that joined; roster tags
+	// that never arrived keep their zero values, as before.
+	nJ := st.Joined()
+	copy(res.Frames, st.Frames()[:nJ])
+	copy(res.Verified, st.Verified()[:nJ])
+	copy(res.DecodedAtSlot, st.DecodedAt()[:nJ])
+	copy(res.Participation, st.ParticipationCounts()[:nJ])
+	copy(res.Retired, st.Retired()[:nJ])
+	if wins != nil {
+		copy(res.RowsRetiredTag, st.RowsRetiredPerTag()[:nJ])
+	}
 	if res.SlotsUsed > 0 {
-		res.BitsPerSymbol = float64(totalDecoded) / float64(res.SlotsUsed)
+		res.BitsPerSymbol = float64(st.TotalAccepted()) / float64(res.SlotsUsed)
 	}
 	return res, nil
 }

@@ -452,14 +452,25 @@ func (cfg *Config) acceptSlot(sess *bp.Session, slot, k, frameLen int, gs *gateS
 // never-windowed tag confirms at the roster's largest finite window
 // (see gatePolicy.winTag).
 func (cfg *Config) effectiveGates(sess *bp.Session, win int, wins []int) gatePolicy {
+	maxWin := 0
+	for _, w := range wins {
+		if w > maxWin {
+			maxWin = w
+		}
+	}
+	return cfg.gatesWith(sess, win, wins, maxWin)
+}
+
+// gatesWith is effectiveGates with the per-tag confirm distance already
+// known — the streaming form. A Stream's wins slice covers only the
+// tags joined so far, so the roster-wide maximum cannot be recomputed
+// per slot there; it is fixed at open (StreamConfig.ConfirmWindow) and
+// passed through, which keeps the never-windowed tags' confirmation
+// distance identical whether the roster arrived up front or over the
+// wire.
+func (cfg *Config) gatesWith(sess *bp.Session, win int, wins []int, maxWin int) gatePolicy {
 	thr := cfg.marginThreshold()
 	if wins != nil {
-		maxWin := 0
-		for _, w := range wins {
-			if w > maxWin {
-				maxWin = w
-			}
-		}
 		return gatePolicy{thr: thr, condThr: thr / 2, confirmWindow: maxWin, winTag: wins,
 			softOverlap: cfg.Window.SoftWeight}
 	}
@@ -602,6 +613,23 @@ func TransferEstimated(cfg Config, messages []bits.Vector, air, decoder *channel
 		return obs
 	}
 	return runDecodeLoop(cfg, frames, frameLen, decoder, airFn, decodeSrc)
+}
+
+// SynthAir is sparseAir for external drivers: the engine package's wire
+// replay client plays the tag/air side of a streaming session (the
+// daemon only ever sees observations, like a real reader) and must
+// synthesize collision slots byte-identically to TransferDynamic's
+// in-process air. Same contract as sparseAir below.
+func SynthAir(m *channel.Model, frames []bits.Vector, active []bool, obs []complex128,
+	activeIdx, bitIdx []int, tagPow []float64, noise *prng.Source) {
+	sparseAir(m, frames, active, obs, activeIdx, bitIdx, tagPow, noise)
+}
+
+// ParticipationDensity exposes participationDensity for stream drivers:
+// a wire client reconstructing the participation row must re-tune the
+// density to the live population with exactly the reader's rule.
+func ParticipationDensity(explicit float64, n int) float64 {
+	return participationDensity(explicit, n)
 }
 
 // sparseAir synthesizes one collision slot of received symbols:

@@ -101,11 +101,22 @@ func (w WindowPolicy) resolve(coherenceSlots int) int {
 // can never outgrow is no window at all: it would never retire a row,
 // and its double-confirmation gate could never fire a second pass.
 func (cfg *Config) beginWindow(sess *bp.Session, coherenceSlots, maxSlots int) int {
-	win := cfg.Window.resolve(coherenceSlots)
+	win := cfg.Window.EffectiveSlots(coherenceSlots, maxSlots)
+	sess.TrackDrift(win > 0)
+	return win
+}
+
+// EffectiveSlots resolves the policy's global window against a channel
+// with the given coherence time and slot budget — resolve plus the
+// can-never-outgrow clamp. Exported for stream drivers (TransferDynamic
+// and the wire replay client), which resolve windows before opening a
+// Stream; beginWindow uses it too, so batch and streaming resolution
+// cannot drift apart.
+func (w WindowPolicy) EffectiveSlots(coherenceSlots, maxSlots int) int {
+	win := w.resolve(coherenceSlots)
 	if win >= maxSlots {
 		win = 0
 	}
-	sess.TrackDrift(win > 0)
 	return win
 }
 

@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -159,6 +160,12 @@ func Parse(data []byte) (Spec, error) {
 	var s Spec
 	if err := dec.Decode(&s); err != nil {
 		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	// One document per file: trailing content after the spec object —
+	// a second object, a stray bracket from a botched merge — is a
+	// malformed workload, not something to silently ignore.
+	if _, err := dec.Token(); err != io.EOF {
+		return Spec{}, fmt.Errorf("scenario: trailing content after the spec object (offset %d)", dec.InputOffset())
 	}
 	s = s.WithDefaults()
 	return s, s.Validate()

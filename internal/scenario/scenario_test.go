@@ -218,3 +218,25 @@ func TestParsePerTagWindow(t *testing.T) {
 		}
 	}
 }
+
+func TestParseRejectsTrailingContent(t *testing.T) {
+	// One workload file is one spec object; anything after it — a
+	// second object from a botched merge, a stray bracket — must fail
+	// loudly instead of being silently dropped.
+	for _, raw := range []string{
+		`{"k": 4, "trials": 2, "seed": 1} {"k": 8, "trials": 1, "seed": 2}`,
+		`{"k": 4, "trials": 2, "seed": 1}]`,
+		`{"k": 4, "trials": 2, "seed": 1} 7`,
+		`{"k": 4, "trials": 2, "seed": 1} garbage`,
+	} {
+		if _, err := Parse([]byte(raw)); err == nil {
+			t.Errorf("Parse accepted trailing content: %s", raw)
+		} else if !strings.Contains(err.Error(), "trailing content") {
+			t.Errorf("Parse(%s): error %q does not name the trailing content", raw, err)
+		}
+	}
+	// Trailing whitespace stays legal.
+	if _, err := Parse([]byte("{\"k\": 4, \"trials\": 2, \"seed\": 1}\n\t \n")); err != nil {
+		t.Errorf("Parse rejected trailing whitespace: %v", err)
+	}
+}

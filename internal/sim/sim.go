@@ -7,8 +7,6 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/baseline/btree"
 	"repro/internal/baseline/cdma"
@@ -18,6 +16,7 @@ import (
 	"repro/internal/bp"
 	"repro/internal/channel"
 	"repro/internal/energy"
+	"repro/internal/engine"
 	"repro/internal/epc"
 	"repro/internal/identify"
 	"repro/internal/phy"
@@ -103,61 +102,36 @@ type trialResources struct {
 	Parallelism int
 }
 
-// forEachTrial runs the trial body for indices [0, trials) across a
-// bounded worker pool. Each trial derives its own deterministic source
-// from (seed, trial), so results are independent of scheduling order;
-// the body writes into per-trial slots, never shared state. Every worker
-// owns one scratch arena and one decoder session, Reset between trials:
-// the first trial a worker runs warms them and later same-shaped trials
-// allocate nothing in the decode hot path.
-//
-// Parallelism budgeting: the trial fan-out claims min(GOMAXPROCS,
-// trials) cores; whatever remains is divided among the workers as each
-// trial's inner position-decode budget, so a sweep of few trials on a
-// many-core machine still saturates the hardware without
-// oversubscribing it.
+// batchEngine is the process-wide session manager every simulation
+// trial runs on: the simulator is one client of the engine package (the
+// buzzd daemon is the other), so the resource pooling, parallelism
+// budgeting and counters live in exactly one place. The engine
+// reproduces the historical worker math — min(GOMAXPROCS, trials)
+// trial workers, the leftover cores as each trial's inner
+// position-decode budget — so every pinned golden is byte-identical to
+// the pre-engine trial pool.
+var batchEngine = engine.New(engine.Config{})
+
+// BatchEngineSnapshot exposes the simulation engine's live counters
+// (trials run, payloads accepted, …) for tooling.
+func BatchEngineSnapshot() engine.StatsSnapshot { return batchEngine.Snapshot() }
+
+// forEachTrial runs the trial body for indices [0, trials) across the
+// batch engine's bounded worker pool. Each trial derives its own
+// deterministic source from (seed, trial), so results are independent
+// of scheduling order; the body writes into per-trial slots, never
+// shared state. Every worker owns pooled engine Resources (one scratch
+// arena, one decoder session), recycled between trials: the first trial
+// a worker runs warms them and later same-shaped trials allocate
+// nothing in the decode hot path.
 func forEachTrial(trials int, seed uint64, body func(trial int, setup *prng.Source, res trialResources) error) error {
-	procs := runtime.GOMAXPROCS(0)
-	workers := procs
-	if workers > trials {
-		workers = trials
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	inner := procs / workers
-	if inner < 1 {
-		inner = 1
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, trials)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sc := scratch.Get()
-			defer scratch.Put(sc)
-			sess := bp.GetSession()
-			defer bp.PutSession(sess)
-			res := trialResources{Scratch: sc, Session: sess, Parallelism: inner}
-			for trial := range next {
-				errs[trial] = body(trial, prng.NewSource(prng.Mix2(seed, uint64(trial))), res)
-				sc.Reset()
-			}
-		}()
-	}
-	for trial := 0; trial < trials; trial++ {
-		next <- trial
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return batchEngine.RunBatch(trials, func(trial int, res *engine.Resources) error {
+		return body(trial, prng.NewSource(prng.Mix2(seed, uint64(trial))), trialResources{
+			Scratch:     res.Scratch,
+			Session:     res.Session,
+			Parallelism: res.Parallelism,
+		})
+	})
 }
 
 // SchemeOutcome aggregates one scheme's behaviour over a trial set.
