@@ -9,6 +9,8 @@
 //
 //	buzzd [-listen :4117] [-unix /run/buzzd.sock] [-http :8117]
 //	      [-workers N] [-max-sessions N] [-drain-timeout 30s]
+//	      [-idle-timeout 0] [-read-timeout 0] [-write-timeout 0]
+//	      [-malformed-budget 3]
 //
 // The daemon serves the binary protocol on TCP (-listen) and/or a unix
 // socket (-unix), and introspection over HTTP (-http): GET /statsz for
@@ -17,14 +19,26 @@
 // accepting, lets live sessions finish for up to -drain-timeout, then
 // force-closes what remains; a clean drain exits 0.
 //
+// The failure-model knobs: -idle-timeout drops a connection that starts
+// no frame in time, -read-timeout one that stalls mid-frame,
+// -write-timeout one that stops reading replies; -max-sessions bounds
+// live sessions (excess Opens get a typed Busy error); and
+// -malformed-budget is how many well-framed-but-undecodable frames a
+// connection may send before being dropped. Every refusal moves a
+// per-reason counter on /statsz and /debug/vars.
+//
 // Client mode replays a scenario spec against a running daemon and
 // reports what came back — the loopback smoke check:
 //
 //	buzzd -connect localhost:4117 -replay examples/scenarios/mobility.json
+//	      [-retries 5] [-io-timeout 30s]
 //
-// Every trial's payload decisions are verified against the ground-truth
-// messages the replay client itself transmitted; any wrong payload
-// exits non-zero.
+// The client reconnects on transport failure with exponential backoff +
+// jitter, re-opening unfinished trials idempotently; -retries bounds
+// connection attempts per trial and -io-timeout bounds each frame
+// exchange. Every trial's payload decisions are verified against the
+// ground-truth messages the replay client itself transmitted; any wrong
+// payload exits non-zero.
 package main
 
 import (
@@ -43,6 +57,7 @@ import (
 	"repro/internal/bits"
 	"repro/internal/engine"
 	"repro/internal/engine/replay"
+	"repro/internal/engine/wire"
 	"repro/internal/scenario"
 )
 
@@ -51,31 +66,44 @@ func main() {
 	unixPath := flag.String("unix", "", "unix socket path for the wire protocol (empty disables)")
 	httpAddr := flag.String("http", "", "HTTP introspection address: /statsz, /healthz, /debug/vars (empty disables)")
 	workers := flag.Int("workers", 0, "decode shard workers (0 = GOMAXPROCS)")
-	maxSessions := flag.Int("max-sessions", 0, "cap on concurrently live sessions (0 = unlimited)")
+	maxSessions := flag.Int("max-sessions", 0, "cap on concurrently live sessions (0 = unlimited; excess Opens get Busy)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for live sessions before force-closing")
+	idleTimeout := flag.Duration("idle-timeout", 0, "drop a connection that starts no frame within this (0 = no bound)")
+	readTimeout := flag.Duration("read-timeout", 0, "drop a connection that stalls mid-frame for this long (0 = no bound)")
+	writeTimeout := flag.Duration("write-timeout", 0, "drop a connection whose reply write blocks this long (0 = no bound)")
+	malformedBudget := flag.Int("malformed-budget", engine.DefaultMalformedBudget,
+		"malformed-but-framed frames tolerated per connection before dropping it (negative = none)")
 	connect := flag.String("connect", "", "client mode: address of a running daemon")
 	replayPath := flag.String("replay", "", "client mode: scenario spec to replay against -connect")
+	retries := flag.Int("retries", 5, "client mode: connection attempts per trial (reconnect with backoff + jitter)")
+	ioTimeout := flag.Duration("io-timeout", 30*time.Second, "client mode: per-frame-exchange deadline (0 = none)")
 	flag.Parse()
 
 	if *connect != "" || *replayPath != "" {
-		if err := runClient(*connect, *replayPath); err != nil {
+		if err := runClient(*connect, *replayPath, *retries, *ioTimeout); err != nil {
 			fmt.Fprintln(os.Stderr, "buzzd:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := runDaemon(*listen, *unixPath, *httpAddr, *workers, *maxSessions, *drainTimeout); err != nil {
+	scfg := engine.ServerConfig{
+		IdleTimeout:     *idleTimeout,
+		ReadTimeout:     *readTimeout,
+		WriteTimeout:    *writeTimeout,
+		MalformedBudget: *malformedBudget,
+	}
+	if err := runDaemon(*listen, *unixPath, *httpAddr, *workers, *maxSessions, *drainTimeout, scfg); err != nil {
 		fmt.Fprintln(os.Stderr, "buzzd:", err)
 		os.Exit(1)
 	}
 }
 
-func runDaemon(listen, unixPath, httpAddr string, workers, maxSessions int, drainTimeout time.Duration) error {
+func runDaemon(listen, unixPath, httpAddr string, workers, maxSessions int, drainTimeout time.Duration, scfg engine.ServerConfig) error {
 	if listen == "" && unixPath == "" {
 		return fmt.Errorf("nothing to serve: both -listen and -unix are empty")
 	}
 	m := engine.New(engine.Config{Workers: workers, MaxSessions: maxSessions})
-	srv := engine.NewServer(m, engine.ServerConfig{})
+	srv := engine.NewServer(m, scfg)
 
 	var draining bool
 	expvar.Publish("buzzd", expvar.Func(func() any { return m.Snapshot() }))
@@ -154,15 +182,18 @@ func runDaemon(listen, unixPath, httpAddr string, workers, maxSessions int, drai
 	snap := m.Snapshot()
 	fmt.Printf("buzzd: drained — %d sessions served, %d slots, %d payloads, %d shed\n",
 		snap.SessionsClosed, snap.SlotsIngested, snap.PayloadsAccepted, snap.SessionsShed)
+	fmt.Printf("buzzd: failures — %d busy-rejected, %d deadline drops, %d malformed frames, %d panics recovered\n",
+		snap.BusyRejected, snap.DeadlineDrops, snap.MalformedFrames, snap.PanicsRecovered)
 	if drainErr != nil {
 		return fmt.Errorf("drain incomplete: %w (%d sessions force-closed)", drainErr, snap.ActiveSessions)
 	}
 	return nil
 }
 
-// runClient replays a scenario against a running daemon and scores the
-// returned payloads against the messages it transmitted.
-func runClient(addr, specPath string) error {
+// runClient replays a scenario against a running daemon through the
+// reconnecting replay client and scores the returned payloads against
+// the messages it transmitted.
+func runClient(addr, specPath string, retries int, ioTimeout time.Duration) error {
 	if addr == "" || specPath == "" {
 		return fmt.Errorf("client mode needs both -connect and -replay")
 	}
@@ -174,14 +205,21 @@ func runClient(addr, specPath string) error {
 	if err != nil {
 		return err
 	}
-	conn, err := net.Dial(dialNetwork(addr), addr)
-	if err != nil {
-		return err
+	var reconnects int
+	cl := &replay.Client{
+		Dial:        func() (net.Conn, error) { return net.Dial(dialNetwork(addr), addr) },
+		IOTimeout:   ioTimeout,
+		MaxAttempts: retries,
+		Seed:        uint64(time.Now().UnixNano()),
+		OnRetry: func(trial, attempt int, err error) {
+			reconnects++
+			fmt.Fprintf(os.Stderr, "buzzd: trial %d attempt %d failed (%v), retrying\n", trial, attempt, err)
+		},
 	}
-	defer conn.Close()
+	defer cl.Close()
 
 	start := time.Now()
-	results, err := replay.RunScenario(conn, spec)
+	results, err := cl.RunScenario(spec)
 	if err != nil {
 		return err
 	}
@@ -203,17 +241,27 @@ func runClient(addr, specPath string) error {
 			}
 		}
 	}
-	stats, err := replay.FetchStats(conn)
-	if err != nil {
-		return err
+	// Stats ride a fresh plain connection: the replay conn may have been
+	// retired by a late fault, and stats must not fail the replay.
+	var stats *wire.StatsReply
+	if sc, err := net.Dial(dialNetwork(addr), addr); err == nil {
+		stats, err = replay.FetchStats(sc)
+		sc.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "buzzd: stats fetch failed: %v\n", err)
+		}
 	}
 	kTot := spec.TotalTags()
-	fmt.Printf("scenario %q: %d trials x %d tags streamed in %.2fs\n",
-		spec.Name, len(results), kTot, time.Since(start).Seconds())
+	fmt.Printf("scenario %q: %d trials x %d tags streamed in %.2fs (%d reconnects)\n",
+		spec.Name, len(results), kTot, time.Since(start).Seconds(), reconnects)
 	fmt.Printf("  delivered %d/%d payloads, %d wrong, %d retired by departure\n",
 		delivered, len(results)*kTot, wrong, retired)
-	fmt.Printf("  daemon: %d sessions open, %d opened, %d slots ingested, %d payloads, %d shed\n",
-		stats.ActiveSessions, stats.SessionsOpened, stats.SlotsIngested, stats.PayloadsAccepted, stats.SessionsShed)
+	if stats != nil {
+		fmt.Printf("  daemon: %d sessions open, %d opened, %d slots ingested, %d payloads, %d shed\n",
+			stats.ActiveSessions, stats.SessionsOpened, stats.SlotsIngested, stats.PayloadsAccepted, stats.SessionsShed)
+		fmt.Printf("  daemon failures: %d busy-rejected, %d deadline drops, %d malformed frames, %d panics recovered\n",
+			stats.BusyRejected, stats.DeadlineDrops, stats.MalformedFrames, stats.PanicsRecovered)
+	}
 	if wrong > 0 {
 		return fmt.Errorf("%d wrong payloads delivered", wrong)
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/engine/leaktest"
 	"repro/internal/engine/replay"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -22,12 +23,14 @@ import (
 // the whole chain: trial stream replication, wire codec, server
 // dispatch, session manager, and the shared ratedapt.Stream core.
 func TestLoopbackConformance(t *testing.T) {
+	defer leaktest.Check(t)()
 	files, err := filepath.Glob("../../examples/scenarios/*.json")
 	if err != nil || len(files) == 0 {
 		t.Fatalf("no example scenarios found: %v", err)
 	}
 
 	m := engine.New(engine.Config{})
+	defer m.Close()
 	srv := engine.NewServer(m, engine.ServerConfig{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

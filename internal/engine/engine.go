@@ -85,7 +85,10 @@ type Resources struct {
 
 // Stats is the manager's live counter block. All fields are atomics:
 // shard workers bump them on the hot path, the introspection endpoint
-// snapshots them without coordination.
+// snapshots them without coordination. The per-reason failure counters
+// (shed, deadline, malformed, panic, busy-rejected) exist so failures
+// are observable from counters, not logs: every way a session or
+// connection can die moves exactly one of them.
 type Stats struct {
 	ActiveSessions   atomic.Int64
 	SessionsOpened   atomic.Int64
@@ -95,21 +98,45 @@ type Stats struct {
 	RowsRetired      atomic.Int64
 	PayloadsAccepted atomic.Int64
 	TrialsRun        atomic.Int64
+	// BusyRejected counts Opens refused by admission control (the
+	// MaxSessions budget) — the caller was told Busy, nothing was
+	// accepted then shed.
+	BusyRejected atomic.Int64
+	// DeadlineDrops counts connections the server killed for blowing a
+	// read/write deadline or idle timeout.
+	DeadlineDrops atomic.Int64
+	// MalformedFrames counts frames that parsed as frames but failed
+	// payload decode; each burns one unit of a connection's error
+	// budget.
+	MalformedFrames atomic.Int64
+	// PanicsRecovered counts decode panics confined to their session:
+	// the session died with a wire Error, the daemon and its sibling
+	// sessions kept running.
+	PanicsRecovered atomic.Int64
+	// ResourcesInFlight tracks pooled Session+Scratch pairs currently
+	// checked out; it must return to zero when no work is live, or a
+	// session leaked its pool slot.
+	ResourcesInFlight atomic.Int64
 }
 
 // StatsSnapshot is a plain-int copy of Stats for serialization, plus
 // the manager's uptime and the lifetime average slot rate.
 type StatsSnapshot struct {
-	ActiveSessions   int64   `json:"active_sessions"`
-	SessionsOpened   int64   `json:"sessions_opened"`
-	SessionsClosed   int64   `json:"sessions_closed"`
-	SessionsShed     int64   `json:"sessions_shed"`
-	SlotsIngested    int64   `json:"slots_ingested"`
-	RowsRetired      int64   `json:"rows_retired"`
-	PayloadsAccepted int64   `json:"payloads_accepted"`
-	TrialsRun        int64   `json:"trials_run"`
-	UptimeSeconds    float64 `json:"uptime_seconds"`
-	SlotsPerSecond   float64 `json:"slots_per_second"`
+	ActiveSessions    int64   `json:"active_sessions"`
+	SessionsOpened    int64   `json:"sessions_opened"`
+	SessionsClosed    int64   `json:"sessions_closed"`
+	SessionsShed      int64   `json:"sessions_shed"`
+	SlotsIngested     int64   `json:"slots_ingested"`
+	RowsRetired       int64   `json:"rows_retired"`
+	PayloadsAccepted  int64   `json:"payloads_accepted"`
+	TrialsRun         int64   `json:"trials_run"`
+	BusyRejected      int64   `json:"busy_rejected"`
+	DeadlineDrops     int64   `json:"deadline_drops"`
+	MalformedFrames   int64   `json:"malformed_frames"`
+	PanicsRecovered   int64   `json:"panics_recovered"`
+	ResourcesInFlight int64   `json:"resources_in_flight"`
+	UptimeSeconds     float64 `json:"uptime_seconds"`
+	SlotsPerSecond    float64 `json:"slots_per_second"`
 }
 
 // SessionManager owns decode sessions: the pooled Resources behind
@@ -146,15 +173,20 @@ func (m *SessionManager) Snapshot() StatsSnapshot {
 	up := time.Since(m.start).Seconds()
 	slots := m.stats.SlotsIngested.Load()
 	snap := StatsSnapshot{
-		ActiveSessions:   m.stats.ActiveSessions.Load(),
-		SessionsOpened:   m.stats.SessionsOpened.Load(),
-		SessionsClosed:   m.stats.SessionsClosed.Load(),
-		SessionsShed:     m.stats.SessionsShed.Load(),
-		SlotsIngested:    slots,
-		RowsRetired:      m.stats.RowsRetired.Load(),
-		PayloadsAccepted: m.stats.PayloadsAccepted.Load(),
-		TrialsRun:        m.stats.TrialsRun.Load(),
-		UptimeSeconds:    up,
+		ActiveSessions:    m.stats.ActiveSessions.Load(),
+		SessionsOpened:    m.stats.SessionsOpened.Load(),
+		SessionsClosed:    m.stats.SessionsClosed.Load(),
+		SessionsShed:      m.stats.SessionsShed.Load(),
+		SlotsIngested:     slots,
+		RowsRetired:       m.stats.RowsRetired.Load(),
+		PayloadsAccepted:  m.stats.PayloadsAccepted.Load(),
+		TrialsRun:         m.stats.TrialsRun.Load(),
+		BusyRejected:      m.stats.BusyRejected.Load(),
+		DeadlineDrops:     m.stats.DeadlineDrops.Load(),
+		MalformedFrames:   m.stats.MalformedFrames.Load(),
+		PanicsRecovered:   m.stats.PanicsRecovered.Load(),
+		ResourcesInFlight: m.stats.ResourcesInFlight.Load(),
+		UptimeSeconds:     up,
 	}
 	if up > 0 {
 		snap.SlotsPerSecond = float64(slots) / up
@@ -163,6 +195,7 @@ func (m *SessionManager) Snapshot() StatsSnapshot {
 }
 
 func (m *SessionManager) getResources() *Resources {
+	m.stats.ResourcesInFlight.Add(1)
 	if v := m.pool.Get(); v != nil {
 		return v.(*Resources)
 	}
@@ -179,7 +212,18 @@ func (m *SessionManager) putResources(r *Resources) {
 	r.Session.Reset()
 	r.Session.Close()
 	r.Parallelism = 0
+	m.stats.ResourcesInFlight.Add(-1)
 	m.pool.Put(r)
+}
+
+// dropResources retires a pair whose session survived a decode panic:
+// its internal state cannot be trusted, so it must never re-enter the
+// pool — the next session allocates fresh. Even the Reset/Close calls
+// are suspect here, so they run under their own recover.
+func (m *SessionManager) dropResources(r *Resources) {
+	m.stats.ResourcesInFlight.Add(-1)
+	defer func() { recover() }()
+	r.Session.Close()
 }
 
 // RunBatch fans body out over a worker pool — the re-parented
@@ -246,7 +290,18 @@ func (m *SessionManager) shardsLocked() []*shard {
 			m.shards[i] = sh
 			go func() {
 				for job := range sh.jobs {
-					job()
+					// Backstop recover: session jobs already isolate
+					// their own panics; this keeps the shard worker —
+					// and every other session pinned to it — alive if
+					// bookkeeping outside that isolation ever blows up.
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								m.stats.PanicsRecovered.Add(1)
+							}
+						}()
+						job()
+					}()
 				}
 			}()
 		}
@@ -311,11 +366,29 @@ type LiveSession struct {
 
 	shed      atomic.Bool
 	dead      bool // shard-worker-local: stop decoding after an error
+	poisoned  bool // shard-worker-local: died by panic; resources suspect
 	closeOnce sync.Once
 }
 
 // ErrShed reports a session killed by the slow-reader policy.
 var ErrShed = fmt.Errorf("engine: session shed (slow reader)")
+
+// ErrBusy reports an Open refused by admission control: the live-session
+// budget (Config.MaxSessions) is spent. Retry with backoff.
+var ErrBusy = fmt.Errorf("engine: busy — session budget exhausted")
+
+// ErrDraining reports an Open refused because the manager is shutting
+// down; no amount of retrying against this process will help.
+var ErrDraining = fmt.Errorf("engine: manager is draining; no new sessions")
+
+// ErrDecodePanic wraps a panic recovered inside one session's decode
+// work. The session is dead and its pooled resources are discarded;
+// sibling sessions and the daemon keep running.
+var ErrDecodePanic = fmt.Errorf("engine: decode panicked")
+
+// testHookDecodePanic, when set (tests only), runs at the top of every
+// slot's decode job and may panic to exercise the isolation path.
+var testHookDecodePanic atomic.Value // of func(sessionID uint64, slot int)
 
 // Open starts a streaming session on pooled resources. cfg's Scratch,
 // Session and Parallelism fields are owned by the manager and must be
@@ -330,11 +403,12 @@ func (m *SessionManager) Open(cfg ratedapt.StreamConfig, sink func(Event) bool) 
 	m.mu.Lock()
 	if m.closed || m.draining {
 		m.mu.Unlock()
-		return nil, fmt.Errorf("engine: manager is draining; no new sessions")
+		return nil, ErrDraining
 	}
 	if m.cfg.MaxSessions > 0 && m.nLive >= m.cfg.MaxSessions {
 		m.mu.Unlock()
-		return nil, fmt.Errorf("engine: session cap (%d) reached", m.cfg.MaxSessions)
+		m.stats.BusyRejected.Add(1)
+		return nil, fmt.Errorf("%w (cap %d)", ErrBusy, m.cfg.MaxSessions)
 	}
 	shards := m.shardsLocked()
 	sh := shards[m.nextShard%len(shards)]
@@ -387,6 +461,20 @@ func (l *LiveSession) Feed(ev ratedapt.SlotEvents, obs []complex128) error {
 		if l.dead || l.shed.Load() {
 			return
 		}
+		// Panic isolation: a decode blow-up kills this session — a wire
+		// Error, a counter bump, resources quarantined at Close — and
+		// nothing else. The shard worker, its other sessions, and the
+		// daemon keep running.
+		defer func() {
+			if r := recover(); r != nil {
+				l.poisoned = true
+				l.m.stats.PanicsRecovered.Add(1)
+				l.fail(fmt.Errorf("%w: %v", ErrDecodePanic, r))
+			}
+		}()
+		if hook, _ := testHookDecodePanic.Load().(func(uint64, int)); hook != nil {
+			hook(l.ID, l.st.Slot()+1)
+		}
 		if _, err := l.st.Advance(ev); err != nil {
 			l.fail(err)
 			return
@@ -429,19 +517,37 @@ func (l *LiveSession) emit(ev Event) {
 
 // Close retires the session: remaining queued slots are processed (or
 // skipped if the session died), the final EventClosed is emitted, and
-// the resources return to the pool. Idempotent; the caller must not
-// Feed after Close.
+// the resources return to the pool — unless the session was poisoned by
+// a panic, in which case they are discarded instead of recycled.
+// Idempotent; the caller must not Feed after Close.
 func (l *LiveSession) Close() {
 	l.closeOnce.Do(func() {
 		l.sh.jobs <- func() {
-			summary := SessionSummary{
-				SlotsUsed:   l.st.Slot(),
-				Joined:      l.st.Joined(),
-				Accepted:    l.st.TotalAccepted(),
-				RowsRetired: l.st.RowsRetired(),
+			var summary SessionSummary
+			// Even the teardown reads are suspect after a panic: take
+			// the summary and close the stream under a recover, and
+			// treat a blow-up here as poisoning too.
+			clean := func() (ok bool) {
+				defer func() {
+					if r := recover(); r != nil {
+						l.m.stats.PanicsRecovered.Add(1)
+						ok = false
+					}
+				}()
+				summary = SessionSummary{
+					SlotsUsed:   l.st.Slot(),
+					Joined:      l.st.Joined(),
+					Accepted:    l.st.TotalAccepted(),
+					RowsRetired: l.st.RowsRetired(),
+				}
+				l.st.Close()
+				return true
+			}()
+			if l.poisoned || !clean {
+				l.m.dropResources(l.res)
+			} else {
+				l.m.putResources(l.res)
 			}
-			l.st.Close()
-			l.m.putResources(l.res)
 			l.m.stats.ActiveSessions.Add(-1)
 			l.m.stats.SessionsClosed.Add(1)
 			l.emit(Event{Kind: EventClosed, SessionID: l.ID, Summary: summary})

@@ -2,11 +2,13 @@ package engine_test
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/engine/leaktest"
 	"repro/internal/prng"
 	"repro/internal/ratedapt"
 )
@@ -34,6 +36,7 @@ func feedSlots(t *testing.T, ls *engine.LiveSession, n int) {
 }
 
 func TestStreamingSessionLifecycle(t *testing.T) {
+	defer leaktest.Check(t)()
 	m := engine.New(engine.Config{Workers: 2})
 	defer m.Close()
 
@@ -80,6 +83,7 @@ func TestStreamingSessionLifecycle(t *testing.T) {
 }
 
 func TestSlowSinkShedsSession(t *testing.T) {
+	defer leaktest.Check(t)()
 	m := engine.New(engine.Config{Workers: 1})
 	defer m.Close()
 
@@ -116,6 +120,7 @@ func TestSlowSinkShedsSession(t *testing.T) {
 }
 
 func TestDrainRefusesNewSessions(t *testing.T) {
+	defer leaktest.Check(t)()
 	m := engine.New(engine.Config{Workers: 1})
 	defer m.Close()
 
@@ -128,8 +133,8 @@ func TestDrainRefusesNewSessions(t *testing.T) {
 	if err := m.Drain(ctx); err != context.DeadlineExceeded {
 		t.Fatalf("drain with a live session: %v, want deadline exceeded", err)
 	}
-	if _, err := m.Open(streamCfg(4), func(engine.Event) bool { return true }); err == nil {
-		t.Fatal("open succeeded on a draining manager")
+	if _, err := m.Open(streamCfg(4), func(engine.Event) bool { return true }); !errors.Is(err, engine.ErrDraining) {
+		t.Fatalf("open on a draining manager: %v, want ErrDraining", err)
 	}
 	ls.Close()
 	if err := m.Drain(context.Background()); err != nil {
@@ -138,6 +143,7 @@ func TestDrainRefusesNewSessions(t *testing.T) {
 }
 
 func TestSessionCap(t *testing.T) {
+	defer leaktest.Check(t)()
 	m := engine.New(engine.Config{Workers: 1, MaxSessions: 1})
 	defer m.Close()
 
@@ -145,8 +151,11 @@ func TestSessionCap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Open(streamCfg(2), func(engine.Event) bool { return true }); err == nil {
-		t.Fatal("second open succeeded past MaxSessions=1")
+	if _, err := m.Open(streamCfg(2), func(engine.Event) bool { return true }); !errors.Is(err, engine.ErrBusy) {
+		t.Fatalf("second open past MaxSessions=1: %v, want ErrBusy", err)
+	}
+	if got := m.Snapshot().BusyRejected; got != 1 {
+		t.Fatalf("busy-rejected counter %d, want 1", got)
 	}
 	ls.Close()
 	if err := m.Drain(context.Background()); err != nil {
@@ -162,6 +171,7 @@ func TestSessionCap(t *testing.T) {
 }
 
 func TestOpenRejectsOwnedResources(t *testing.T) {
+	defer leaktest.Check(t)()
 	m := engine.New(engine.Config{Workers: 1})
 	defer m.Close()
 	cfg := streamCfg(5)
@@ -172,6 +182,7 @@ func TestOpenRejectsOwnedResources(t *testing.T) {
 }
 
 func TestRunBatchCountsTrials(t *testing.T) {
+	defer leaktest.Check(t)()
 	m := engine.New(engine.Config{Workers: 2})
 	defer m.Close()
 	var n sync.Map

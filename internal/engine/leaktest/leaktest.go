@@ -1,0 +1,153 @@
+// Package leaktest is a hand-rolled goroutine-leak checker for the
+// engine's tests — no external dependencies. Check snapshots the live
+// goroutines when called and, at test cleanup, re-snapshots with a
+// retry grace period: anything still running that wasn't there before
+// (and isn't a known-benign runtime/testing goroutine) fails the test
+// with the offending stacks.
+//
+// Usage, first line of a test:
+//
+//	defer leaktest.Check(t)()
+//
+// or, cleanup-style: leaktest.Check(t) (the returned func is also
+// registered via t.Cleanup, so discarding it works too).
+package leaktest
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// grace is how long the checker keeps re-snapshotting before declaring
+// a leak. Goroutines legitimately take a moment to unwind after
+// Close/Shutdown returns (conn readers noticing EOF, pool workers
+// draining); only a goroutine that survives the whole grace window is a
+// leak.
+const grace = 5 * time.Second
+
+// Check snapshots the current goroutines and returns a function that
+// verifies no new ones are left behind. The verifier is also registered
+// with t.Cleanup, so callers may ignore the return value; calling it
+// twice (defer + Cleanup) is harmless — the second call re-verifies.
+func Check(t *testing.T) func() {
+	t.Helper()
+	before := idSet(interesting(snapshot()))
+	verify := func() {
+		t.Helper()
+		deadline := time.Now().Add(grace)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for _, g := range interesting(snapshot()) {
+				if !before[g.id] {
+					leaked = append(leaked, g.stack)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		sort.Strings(leaked)
+		t.Errorf("leaktest: %d goroutine(s) leaked:\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+	}
+	t.Cleanup(verify)
+	return verify
+}
+
+type goroutine struct {
+	id    string
+	stack string
+}
+
+// snapshot captures all goroutine stacks, growing the buffer until the
+// full dump fits.
+func snapshot() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []goroutine
+	for _, chunk := range strings.Split(string(buf), "\n\n") {
+		chunk = strings.TrimSpace(chunk)
+		if chunk == "" {
+			continue
+		}
+		// First line: "goroutine 123 [running]:"
+		nl := strings.IndexByte(chunk, '\n')
+		header := chunk
+		if nl >= 0 {
+			header = chunk[:nl]
+		}
+		fields := strings.Fields(header)
+		if len(fields) < 2 || fields[0] != "goroutine" {
+			continue
+		}
+		out = append(out, goroutine{id: fields[1], stack: chunk})
+	}
+	return out
+}
+
+// benign matches goroutines owned by the runtime or the testing
+// harness — permanently parked service goroutines that exist whether or
+// not the code under test leaked anything.
+var benign = []string{
+	"testing.RunTests",
+	"testing.(*T).Run",
+	"testing.runTests",
+	"testing.tRunner",
+	"testing.(*M).",
+	"runtime.goexit",
+	"runtime.MHeap_Scavenger",
+	"runtime.gc",
+	"signal.signal_recv",
+	"sigterm.handler",
+	"runtime_mcall",
+	"(*loggingT).flushDaemon",
+	"goroutine in C code",
+	"runtime.ReadTrace",
+	"runtime/trace.Start",
+	"leaktest.snapshot", // the checker itself
+	"runtime.ensureSigM",
+	"os/signal.loop",
+}
+
+// interesting filters a snapshot down to goroutines worth diffing.
+func interesting(gs []goroutine) []goroutine {
+	out := gs[:0]
+	for _, g := range gs {
+		if !isBenign(g.stack) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// idSet indexes goroutines by id for membership tests.
+func idSet(gs []goroutine) map[string]bool {
+	out := make(map[string]bool, len(gs))
+	for _, g := range gs {
+		out[g.id] = true
+	}
+	return out
+}
+
+func isBenign(stack string) bool {
+	for _, b := range benign {
+		if strings.Contains(stack, b) {
+			return true
+		}
+	}
+	return false
+}

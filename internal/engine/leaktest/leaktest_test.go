@@ -1,0 +1,65 @@
+package leaktest
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNoLeakPasses(t *testing.T) {
+	defer Check(t)()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+func TestTransientGoroutineForgiven(t *testing.T) {
+	defer Check(t)()
+	// This goroutine outlives the test body but exits well inside the
+	// grace window — the checker must wait it out, not cry leak.
+	go func() { time.Sleep(150 * time.Millisecond) }()
+}
+
+// TestDetectsLeak drives the diff machinery directly (running Check
+// against a real leak would fail the suite).
+func TestDetectsLeak(t *testing.T) {
+	before := idSet(interesting(snapshot()))
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() { close(started); <-stop }()
+	<-started
+	defer close(stop)
+
+	var leaked []string
+	for _, g := range interesting(snapshot()) {
+		if !before[g.id] {
+			leaked = append(leaked, g.stack)
+		}
+	}
+	if len(leaked) != 1 {
+		t.Fatalf("expected exactly 1 leaked goroutine, found %d", len(leaked))
+	}
+	if !strings.Contains(leaked[0], "leaktest.TestDetectsLeak") {
+		t.Fatalf("leaked stack does not implicate the leaker:\n%s", leaked[0])
+	}
+}
+
+func TestSnapshotParsesHeaders(t *testing.T) {
+	gs := snapshot()
+	if len(gs) == 0 {
+		t.Fatal("snapshot saw no goroutines")
+	}
+	seen := map[string]bool{}
+	for _, g := range gs {
+		if g.id == "" {
+			t.Fatalf("empty goroutine id in %q", g.stack)
+		}
+		if seen[g.id] {
+			t.Fatalf("duplicate goroutine id %s", g.id)
+		}
+		seen[g.id] = true
+		if !strings.HasPrefix(g.stack, "goroutine "+g.id+" ") {
+			t.Fatalf("stack header/id mismatch: id=%s stack=%q", g.id, g.stack[:40])
+		}
+	}
+}

@@ -7,11 +7,21 @@
 // decisions coming back over the socket must be byte-identical to a
 // batch run of the same spec and seed. The engine conformance test
 // holds every example scenario to that.
+//
+// Trial synthesis is split from transport: a trialState advances the
+// tag-side mirror exactly once per slot and caches every frame it
+// sends, so a Client can survive a dead connection by redialing with
+// backoff, opening a fresh session, and refeeding the cached slots —
+// decisions are a pure function of (Open config, slots 1..n), which
+// makes the refeed idempotent.
 package replay
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"net"
+	"time"
 
 	"repro/internal/bits"
 	"repro/internal/channel"
@@ -51,10 +61,68 @@ func (t *TrialResult) Payloads(crc bits.CRCKind) []bits.Vector {
 	return out
 }
 
-// RunTrial replays one trial of spec over an open daemon connection in
-// lock step: one Slot frame out, one Decisions frame back. spec must
-// have defaults applied and be valid (scenario.Load guarantees both).
-func RunTrial(rw io.ReadWriter, spec scenario.Spec, trial int) (*TrialResult, error) {
+// trialState is one trial's client side, split into a synthesis mirror
+// that advances exactly once per slot (population, participation,
+// channel process, the noise stream) and a transcript of what was sent
+// and decided. The mirror is never rewound: a refeed after a reconnect
+// replays cached frames, so the same slot is never synthesized — and
+// the noise stream never drawn — twice. The transcript, in turn, is
+// per-slot (decisions overwritten on refeed, summed only at the end),
+// so re-applying a refeed's replies cannot double-count anything.
+type trialState struct {
+	spec     scenario.Spec
+	trial    int
+	crc      bits.CRCKind
+	kTot     int
+	maxSlots int
+	k0       int
+	windows  []scenario.Window
+	msgs     []bits.Vector
+	frames   []bits.Vector
+	seeds    []uint64
+	salt     uint64
+	proc     channel.Process
+	noiseSrc *prng.Source
+	wins     []int
+	open     *wire.Open
+	frameLen int
+	// strictTruth makes the client reject a Decisions reply whose
+	// accepted frame is not the tag's transmitted frame, treating it as
+	// transport corruption (the reconnecting client's defense against
+	// in-flight bit flips that survive framing). The lockstep
+	// conformance path leaves it off and lets the caller score frames.
+	strictTruth bool
+
+	// --- synthesis mirror; advances once per slot. ---
+	departed    []bool
+	firstDepart []int // slot a tag departed at; 0 = never
+	row         []bool
+	obs         []complex128
+	activeIdx   []int
+	bitIdx      []int
+	tagPow      []float64
+	density     float64
+	powStale    bool
+	nextArr     int
+
+	// --- transcript; index = slot-1, rewritten freely on refeed. ---
+	sent    []sentSlot
+	dec     []*wire.Decisions
+	summary wire.Closed
+}
+
+// sentSlot is one cached outbound slot frame plus the roster position
+// reached after its arrivals — the piece of mirror state the stop
+// condition needs when replaying the cache.
+type sentSlot struct {
+	frame   *wire.Slot
+	nextArr int
+}
+
+// newTrialState performs the trial's setup draws — messages, initial
+// taps, participation seeds, session salt, process seed, then the noise
+// fork and the decode fork — draw for draw as in the simulator.
+func newTrialState(spec scenario.Spec, trial int) (*trialState, error) {
 	crc, err := spec.CRCKind()
 	if err != nil {
 		return nil, err
@@ -69,9 +137,6 @@ func RunTrial(rw io.ReadWriter, spec scenario.Spec, trial int) (*TrialResult, er
 		return nil, fmt.Errorf("replay: spec needs defaults applied (k=%d, max_slots=%d)", kTot, maxSlots)
 	}
 
-	// --- The trial's setup stream, draw for draw as in the simulator:
-	// messages, initial taps, participation seeds, session salt,
-	// process seed, then the noise fork and the decode fork. ---
 	setup := prng.NewSource(prng.Mix2(spec.Seed, uint64(trial)))
 	msgs := make([]bits.Vector, kTot)
 	for i := range msgs {
@@ -94,8 +159,8 @@ func RunTrial(rw io.ReadWriter, spec scenario.Spec, trial int) (*TrialResult, er
 	// batch engine would have used so both ends draw identically.
 	decodeSeed := prng.Mix2(setup.Uint64(), 2)
 
-	// --- Window resolution happens client-side (the client owns the
-	// channel model), exactly as TransferDynamic resolves it. ---
+	// Window resolution happens client-side (the client owns the
+	// channel model), exactly as TransferDynamic resolves it.
 	var pol ratedapt.WindowPolicy
 	switch spec.Window {
 	case scenario.WindowAuto:
@@ -148,137 +213,265 @@ func RunTrial(rw io.ReadWriter, spec scenario.Spec, trial int) (*TrialResult, er
 			open.WindowTag[i] = uint32(wins[i])
 		}
 	}
-	if err := wire.WriteFrame(rw, open); err != nil {
+
+	frameLen := spec.MessageBits + crc.Width()
+	return &trialState{
+		spec:        spec,
+		trial:       trial,
+		crc:         crc,
+		kTot:        kTot,
+		maxSlots:    maxSlots,
+		k0:          k0,
+		windows:     windows,
+		msgs:        msgs,
+		frames:      frames,
+		seeds:       seeds,
+		salt:        salt,
+		proc:        proc,
+		noiseSrc:    noiseSrc,
+		wins:        wins,
+		open:        open,
+		frameLen:    frameLen,
+		departed:    make([]bool, kTot),
+		firstDepart: make([]int, kTot),
+		row:         make([]bool, kTot),
+		obs:         make([]complex128, frameLen),
+		activeIdx:   make([]int, kTot),
+		bitIdx:      make([]int, kTot),
+		tagPow:      make([]float64, kTot),
+		density:     ratedapt.ParticipationDensity(0, k0),
+		powStale:    true,
+		nextArr:     k0,
+	}, nil
+}
+
+// synthSlot advances the tag-side mirror one slot — arrivals,
+// departures, the participation draw, the air — and returns a
+// self-contained Slot frame (all buffers copied, SessionID unset) safe
+// to cache and resend verbatim.
+func (st *trialState) synthSlot(slot int) *wire.Slot {
+	sf := &wire.Slot{}
+	m := st.proc.ModelAt(slot)
+	popChanged := false
+	for st.nextArr < st.kTot && arriveSlot(st.windows[st.nextArr]) <= slot {
+		w := uint32(0)
+		if st.wins != nil {
+			w = uint32(st.wins[st.nextArr])
+		}
+		sf.Arrivals = append(sf.Arrivals, wire.Arrival{
+			Seed:   st.seeds[st.nextArr],
+			Tap:    m.Taps[st.nextArr],
+			Window: w,
+		})
+		st.nextArr++
+		st.powStale = true
+		popChanged = true
+	}
+	for i := 0; i < st.nextArr; i++ {
+		if st.windows[i].DepartSlot > 0 && slot >= st.windows[i].DepartSlot {
+			sf.Departs = append(sf.Departs, uint32(i))
+			if !st.departed[i] {
+				st.departed[i] = true
+				st.firstDepart[i] = slot
+				popChanged = true
+			}
+		}
+	}
+	if popChanged {
+		present := 0
+		for i := 0; i < st.nextArr; i++ {
+			if !st.departed[i] {
+				present++
+			}
+		}
+		st.density = ratedapt.ParticipationDensity(0, present)
+	}
+	if !st.proc.Static() {
+		sf.Retap = append([]complex128(nil), m.Taps[:st.nextArr]...)
+	}
+
+	// Tag side: who transmits this slot (the tags' shared participation
+	// rule), and what the reader's antenna receives.
+	for i := 0; i < st.nextArr; i++ {
+		st.row[i] = !st.departed[i] && ratedapt.Participates(st.seeds[i], st.salt, slot, st.density)
+	}
+	if st.powStale || !st.proc.Static() {
+		for i := 0; i < st.nextArr; i++ {
+			h := m.Taps[i]
+			st.tagPow[i] = real(h)*real(h) + imag(h)*imag(h)
+		}
+		st.powStale = false
+	}
+	ratedapt.SynthAir(m, st.frames, st.row[:st.nextArr], st.obs, st.activeIdx, st.bitIdx, st.tagPow, st.noiseSrc)
+	sf.Obs = append([]complex128(nil), st.obs...)
+	return sf
+}
+
+// finished reports whether the transcript already covers the trial:
+// the slot cap is reached, or the last decision said done with the
+// whole roster arrived — the same stop rule the batch engine applies.
+func (st *trialState) finished() bool {
+	if len(st.sent) >= st.maxSlots {
+		return true
+	}
+	if n := len(st.sent); n > 0 {
+		return st.dec[n-1].Done && st.sent[n-1].nextArr == st.kTot
+	}
+	return false
+}
+
+// checkDecisions vets one slot reply against the transcript position.
+// Any mismatch means the transport desynchronized (a duplicated,
+// dropped, or corrupted frame) and the session is unsalvageable on this
+// connection — the caller reconnects and refeeds.
+func (st *trialState) checkDecisions(dec *wire.Decisions, sid uint64, slot int) error {
+	if dec.SessionID != sid {
+		return fmt.Errorf("replay: slot %d: reply for session %d, want %d", slot, dec.SessionID, sid)
+	}
+	if int(dec.Slot) != slot {
+		return fmt.Errorf("replay: slot %d: reply for slot %d — stream desynchronized", slot, dec.Slot)
+	}
+	for _, d := range dec.Accepted {
+		if int(d.Tag) >= st.kTot {
+			return fmt.Errorf("replay: daemon accepted unknown tag %d", d.Tag)
+		}
+		if len(d.Frame) != st.frameLen || !bits.Verify(d.Frame, st.crc) {
+			return fmt.Errorf("replay: slot %d: accepted frame for tag %d fails CRC — corrupted in flight", slot, d.Tag)
+		}
+		if st.strictTruth && !d.Frame.Equal(st.frames[d.Tag]) {
+			return fmt.Errorf("replay: slot %d: accepted frame for tag %d is not the transmitted frame", slot, d.Tag)
+		}
+	}
+	return nil
+}
+
+// exchange writes one frame and reads its reply.
+func exchange(rw io.ReadWriter, f wire.Frame) (wire.Frame, error) {
+	if err := wire.WriteFrame(rw, f); err != nil {
 		return nil, err
 	}
-	rep, err := wire.ReadFrame(rw)
+	return wire.ReadFrame(rw)
+}
+
+// run plays the trial over one connection: Open, refeed whatever the
+// transcript already holds, synthesize and feed the rest, Close. Any
+// error leaves the transcript intact for the next attempt.
+func (st *trialState) run(rw io.ReadWriter) error {
+	rep, err := exchange(rw, st.open)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	opened, ok := rep.(*wire.Opened)
 	if !ok {
-		return nil, replyError("open", rep)
+		return replyError("open", rep)
 	}
 	sid := opened.SessionID
-	frameLen := int(opened.FrameLen)
-	if frameLen != spec.MessageBits+crc.Width() {
-		return nil, fmt.Errorf("replay: daemon frame length %d, client computes %d", frameLen, spec.MessageBits+crc.Width())
+	if int(opened.FrameLen) != st.frameLen {
+		return fmt.Errorf("replay: daemon frame length %d, client computes %d", opened.FrameLen, st.frameLen)
 	}
 
-	res := &TrialResult{
-		Verified: make([]bool, kTot),
-		Frames:   make([]bits.Vector, kTot),
-		Retired:  make([]bool, kTot),
-		Messages: msgs,
-	}
-
-	// --- The slot loop: the client-side mirror of the daemon's
-	// population/density/participation state, plus the air. ---
-	departed := make([]bool, kTot)
-	row := make([]bool, kTot)
-	obs := make([]complex128, frameLen)
-	activeIdx := make([]int, kTot)
-	bitIdx := make([]int, kTot)
-	tagPow := make([]float64, kTot)
-	density := ratedapt.ParticipationDensity(0, k0)
-	powStale := true
-	nextArr := k0
-	done := false
-
-	for slot := 1; slot <= maxSlots && !(nextArr == kTot && done); slot++ {
-		sf := wire.Slot{SessionID: sid}
-		m := proc.ModelAt(slot)
-		popChanged := false
-		for nextArr < kTot && arriveSlot(windows[nextArr]) <= slot {
-			w := uint32(0)
-			if wins != nil {
-				w = uint32(wins[nextArr])
-			}
-			sf.Arrivals = append(sf.Arrivals, wire.Arrival{
-				Seed:   seeds[nextArr],
-				Tap:    m.Taps[nextArr],
-				Window: w,
-			})
-			nextArr++
-			powStale = true
-			popChanged = true
-		}
-		for i := 0; i < nextArr; i++ {
-			if windows[i].DepartSlot > 0 && slot >= windows[i].DepartSlot {
-				sf.Departs = append(sf.Departs, uint32(i))
-				if !departed[i] {
-					departed[i] = true
-					popChanged = true
-					if !res.Verified[i] {
-						res.Retired[i] = true
-					}
-				}
-			}
-		}
-		if popChanged {
-			present := 0
-			for i := 0; i < nextArr; i++ {
-				if !departed[i] {
-					present++
-				}
-			}
-			density = ratedapt.ParticipationDensity(0, present)
-		}
-		if !proc.Static() {
-			sf.Retap = m.Taps[:nextArr]
-		}
-
-		// Tag side: who transmits this slot (the tags' shared
-		// participation rule), and what the reader's antenna receives.
-		for i := 0; i < nextArr; i++ {
-			row[i] = !departed[i] && ratedapt.Participates(seeds[i], salt, slot, density)
-		}
-		if powStale || !proc.Static() {
-			for i := 0; i < nextArr; i++ {
-				h := m.Taps[i]
-				tagPow[i] = real(h)*real(h) + imag(h)*imag(h)
-			}
-			powStale = false
-		}
-		ratedapt.SynthAir(m, frames, row[:nextArr], obs, activeIdx, bitIdx, tagPow, noiseSrc)
-		sf.Obs = obs
-
-		if err := wire.WriteFrame(rw, &sf); err != nil {
-			return nil, err
-		}
-		rep, err := wire.ReadFrame(rw)
+	// Refeed the cached transcript (no-op on a first attempt). The
+	// daemon's decisions are a pure function of the Open config and the
+	// slot sequence, so the replies normally match what we already
+	// recorded; they are re-applied wholesale either way, and if this
+	// pass reaches "done" earlier (the previous pass carried in-flight
+	// corruption the refeed did not), the tail is discarded.
+	for i, s := range st.sent {
+		s.frame.SessionID = sid
+		rep, err := exchange(rw, s.frame)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dec, ok := rep.(*wire.Decisions)
 		if !ok {
-			return nil, replyError(fmt.Sprintf("slot %d", slot), rep)
+			return replyError(fmt.Sprintf("slot %d", i+1), rep)
 		}
-		for _, d := range dec.Accepted {
-			if int(d.Tag) >= kTot {
-				return nil, fmt.Errorf("replay: daemon accepted unknown tag %d", d.Tag)
-			}
-			res.Verified[d.Tag] = true
-			res.Frames[d.Tag] = d.Frame
+		if err := st.checkDecisions(dec, sid, i+1); err != nil {
+			return err
 		}
-		res.SlotsUsed = slot
-		res.RowsRetired += int(dec.RowsRetired)
-		done = dec.Done
+		st.dec[i] = dec
+		if dec.Done && s.nextArr == st.kTot && i+1 < len(st.sent) {
+			st.sent = st.sent[:i+1]
+			st.dec = st.dec[:i+1]
+			break
+		}
 	}
 
-	if err := wire.WriteFrame(rw, &wire.Close{SessionID: sid}); err != nil {
-		return nil, err
+	for !st.finished() {
+		slot := len(st.sent) + 1
+		sf := st.synthSlot(slot)
+		sf.SessionID = sid
+		st.sent = append(st.sent, sentSlot{frame: sf, nextArr: st.nextArr})
+		st.dec = append(st.dec, nil)
+		rep, err := exchange(rw, sf)
+		if err != nil {
+			return err
+		}
+		dec, ok := rep.(*wire.Decisions)
+		if !ok {
+			return replyError(fmt.Sprintf("slot %d", slot), rep)
+		}
+		if err := st.checkDecisions(dec, sid, slot); err != nil {
+			return err
+		}
+		st.dec[slot-1] = dec
 	}
-	rep, err = wire.ReadFrame(rw)
+
+	rep, err = exchange(rw, &wire.Close{SessionID: sid})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	closed, ok := rep.(*wire.Closed)
 	if !ok {
-		return nil, replyError("close", rep)
+		return replyError("close", rep)
 	}
-	res.Summary = *closed
-	return res, nil
+	st.summary = *closed
+	return nil
+}
+
+// result folds the transcript into a TrialResult: decisions are
+// re-walked in slot order, so a tag counts as retired exactly when it
+// departed before any slot accepted it — the same rule the lockstep
+// loop used to apply inline — and RowsRetired is a sum over per-slot
+// values, immune to refeed double-counting.
+func (st *trialState) result() *TrialResult {
+	res := &TrialResult{
+		Verified: make([]bool, st.kTot),
+		Frames:   make([]bits.Vector, st.kTot),
+		Retired:  make([]bool, st.kTot),
+		Messages: st.msgs,
+	}
+	slots := len(st.sent)
+	for s := 1; s <= slots; s++ {
+		for i := 0; i < st.kTot; i++ {
+			if st.firstDepart[i] == s && !res.Verified[i] {
+				res.Retired[i] = true
+			}
+		}
+		dec := st.dec[s-1]
+		for _, d := range dec.Accepted {
+			res.Verified[d.Tag] = true
+			res.Frames[d.Tag] = d.Frame
+		}
+		res.RowsRetired += int(dec.RowsRetired)
+	}
+	res.SlotsUsed = slots
+	res.Summary = st.summary
+	return res
+}
+
+// RunTrial replays one trial of spec over an open daemon connection in
+// lock step: one Slot frame out, one Decisions frame back. spec must
+// have defaults applied and be valid (scenario.Load guarantees both).
+func RunTrial(rw io.ReadWriter, spec scenario.Spec, trial int) (*TrialResult, error) {
+	st, err := newTrialState(spec, trial)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.run(rw); err != nil {
+		return nil, err
+	}
+	return st.result(), nil
 }
 
 // RunScenario replays every trial of spec sequentially over one
@@ -295,12 +488,159 @@ func RunScenario(rw io.ReadWriter, spec scenario.Spec) ([]*TrialResult, error) {
 	return out, nil
 }
 
-// FetchStats asks the daemon for its live counters.
-func FetchStats(rw io.ReadWriter) (*wire.StatsReply, error) {
-	if err := wire.WriteFrame(rw, &wire.Stats{}); err != nil {
+// Client is the reconnecting replay client: it plays trials like
+// RunTrial but survives dead connections, daemon restarts, and
+// transient Busy rejections by redialing with seeded exponential
+// backoff and refeeding the trial's cached slots into a fresh session.
+// Re-opening is idempotent because decisions are a pure function of
+// the Open config and the slot sequence; the daemon reaps the
+// half-fed session of a broken connection on teardown.
+type Client struct {
+	// Dial opens a connection to the daemon. Required.
+	Dial func() (net.Conn, error)
+	// IOTimeout bounds each frame write and each reply read. 0 = none —
+	// but then a dropped reply blocks forever; set it under fault
+	// injection.
+	IOTimeout time.Duration
+	// MaxAttempts is the connection budget per trial (first attempt
+	// included). 0 = 8.
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the retry delay:
+	// min(base<<attempt, max), half of it deterministic jitter drawn
+	// from Seed. 0 = 50ms base, 2s max.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed drives the jitter stream; same seed, same delays.
+	Seed uint64
+	// OnRetry, when set, observes each failed attempt before its
+	// backoff sleep.
+	OnRetry func(trial, attempt int, err error)
+
+	conn net.Conn
+}
+
+func (c *Client) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 8
+}
+
+// BackoffFor computes attempt's retry delay (attempt counts from 1):
+// exponential with a floor of half the step, the other half jittered
+// deterministically by (Seed, trial, attempt) so concurrent clients
+// desynchronize but a rerun reproduces.
+func (c *Client) BackoffFor(trial, attempt int) time.Duration {
+	base := c.BackoffBase
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxD := c.BackoffMax
+	if maxD <= 0 {
+		maxD = 2 * time.Second
+	}
+	d := base << uint(attempt-1)
+	if d <= 0 || d > maxD {
+		d = maxD
+	}
+	half := d / 2
+	j := prng.Mix3(c.Seed, uint64(trial), uint64(attempt))
+	return half + time.Duration(j%uint64(half+1))
+}
+
+// Close releases the client's pooled connection, if any.
+func (c *Client) Close() error {
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// ioConn arms per-call deadlines on a net.Conn so a dropped or stalled
+// frame surfaces as a timeout instead of blocking the trial forever.
+type ioConn struct {
+	nc net.Conn
+	to time.Duration
+}
+
+func (c ioConn) Read(p []byte) (int, error) {
+	if c.to > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(c.to))
+	}
+	return c.nc.Read(p)
+}
+
+func (c ioConn) Write(p []byte) (int, error) {
+	if c.to > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(c.to))
+	}
+	return c.nc.Write(p)
+}
+
+// RunTrial replays one trial, reconnecting as needed. The returned
+// error, if any, wraps the last attempt's failure.
+func (c *Client) RunTrial(spec scenario.Spec, trial int) (*TrialResult, error) {
+	if c.Dial == nil {
+		return nil, errors.New("replay: Client.Dial is nil")
+	}
+	st, err := newTrialState(spec, trial)
+	if err != nil {
 		return nil, err
 	}
-	rep, err := wire.ReadFrame(rw)
+	st.strictTruth = true
+	var lastErr error
+	for attempt := 1; attempt <= c.maxAttempts(); attempt++ {
+		if attempt > 1 {
+			time.Sleep(c.BackoffFor(trial, attempt-1))
+		}
+		if c.conn == nil {
+			nc, err := c.Dial()
+			if err != nil {
+				lastErr = err
+				if c.OnRetry != nil {
+					c.OnRetry(trial, attempt, err)
+				}
+				continue
+			}
+			c.conn = nc
+		}
+		err := st.run(ioConn{nc: c.conn, to: c.IOTimeout})
+		if err == nil {
+			return st.result(), nil
+		}
+		// Any failure poisons the connection: even when the daemon
+		// replied with a clean typed error (Busy, say), the session on
+		// this conn is gone and a half-read reply may still be in
+		// flight. Drop the conn; the redial re-opens idempotently.
+		lastErr = err
+		c.conn.Close()
+		c.conn = nil
+		if c.OnRetry != nil {
+			c.OnRetry(trial, attempt, err)
+		}
+	}
+	return nil, fmt.Errorf("replay: trial %d: gave up after %d attempts: %w", trial, c.maxAttempts(), lastErr)
+}
+
+// RunScenario replays every trial of spec through the reconnecting
+// client, reusing one connection across trials when it stays healthy.
+func (c *Client) RunScenario(spec scenario.Spec) ([]*TrialResult, error) {
+	out := make([]*TrialResult, spec.Trials)
+	for trial := 0; trial < spec.Trials; trial++ {
+		res, err := c.RunTrial(spec, trial)
+		if err != nil {
+			return nil, err
+		}
+		out[trial] = res
+	}
+	return out, nil
+}
+
+// FetchStats asks the daemon for its live counters.
+func FetchStats(rw io.ReadWriter) (*wire.StatsReply, error) {
+	rep, err := exchange(rw, &wire.Stats{})
 	if err != nil {
 		return nil, err
 	}
@@ -320,7 +660,7 @@ func arriveSlot(w scenario.Window) int {
 
 func replyError(ctx string, rep wire.Frame) error {
 	if e, ok := rep.(*wire.Error); ok {
-		return fmt.Errorf("replay: %s: daemon error: %s", ctx, e.Msg)
+		return fmt.Errorf("replay: %s: daemon error (code %d): %s", ctx, e.Code, e.Msg)
 	}
 	return fmt.Errorf("replay: %s: unexpected reply type 0x%02x", ctx, rep.Type())
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/bits"
 	"repro/internal/engine/wire"
@@ -20,13 +21,44 @@ type ServerConfig struct {
 	// policy); direct replies block the connection's reader instead,
 	// which is self-backpressure. 0 = 256.
 	OutboxFrames int
+	// IdleTimeout bounds the gap between frames: a connection that
+	// starts no new frame within it is dropped (counted as a deadline
+	// drop). 0 = no idle bound.
+	IdleTimeout time.Duration
+	// ReadTimeout bounds completing one frame once its first byte has
+	// arrived — a peer that stalls mid-frame cannot hold a session slot
+	// forever. 0 = no per-frame bound.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each write of the connection's reply stream.
+	// A peer that stops reading long enough to trip it is dropped
+	// (counted as a deadline drop). 0 = no bound.
+	WriteTimeout time.Duration
+	// MalformedBudget is how many malformed-but-framed frames one
+	// connection may send (each answered with a Malformed error) before
+	// it is dropped. 0 = DefaultMalformedBudget; negative = drop on the
+	// first.
+	MalformedBudget int
 }
+
+// DefaultMalformedBudget is the per-connection malformed-frame error
+// budget applied when ServerConfig.MalformedBudget is zero.
+const DefaultMalformedBudget = 3
 
 func (c ServerConfig) outboxFrames() int {
 	if c.OutboxFrames > 0 {
 		return c.OutboxFrames
 	}
 	return 256
+}
+
+func (c ServerConfig) malformedBudget() int {
+	if c.MalformedBudget == 0 {
+		return DefaultMalformedBudget
+	}
+	if c.MalformedBudget < 0 {
+		return 0
+	}
+	return c.MalformedBudget
 }
 
 // Server speaks the wire protocol on top of a SessionManager: one
@@ -128,7 +160,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // handle runs one connection's reader loop; it returns when the peer
-// hangs up or breaks protocol, closing any sessions left open.
+// hangs up, blows a deadline, exhausts its malformed-frame budget, or
+// breaks protocol, closing any sessions left open.
 func (s *Server) handle(nc net.Conn) {
 	c := &serverConn{
 		s:        s,
@@ -143,9 +176,28 @@ func (s *Server) handle(nc net.Conn) {
 		c.writeLoop()
 	}()
 
+	fr := &frameReader{nc: nc, idle: s.cfg.IdleTimeout, readTO: s.cfg.ReadTimeout}
+	budget := s.cfg.malformedBudget()
 	for {
-		f, err := wire.ReadFrame(nc)
+		fr.begin()
+		f, err := wire.ReadFrame(fr)
 		if err != nil {
+			if errors.Is(err, wire.ErrMalformed) {
+				// Framing is intact: answer, burn budget, keep reading
+				// until the budget is spent.
+				s.m.stats.MalformedFrames.Add(1)
+				budget--
+				if budget >= 0 {
+					c.reply(&wire.Error{Code: wire.CodeMalformed, Msg: err.Error()})
+					continue
+				}
+				c.reply(&wire.Error{Code: wire.CodeMalformed, Msg: "malformed-frame budget exhausted"})
+				break
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				s.m.stats.DeadlineDrops.Add(1)
+			}
 			break
 		}
 		if !c.dispatch(f) {
@@ -161,6 +213,42 @@ func (s *Server) handle(nc net.Conn) {
 	close(c.outbox)
 	writerDone.Wait()
 	nc.Close()
+}
+
+// frameReader stages read deadlines per frame: begin() arms the idle
+// deadline (the wait for a frame's first byte); once that byte lands,
+// the deadline tightens to the per-frame read timeout so a mid-frame
+// stall cannot hold the connection.
+type frameReader struct {
+	nc      net.Conn
+	idle    time.Duration
+	readTO  time.Duration
+	started bool
+}
+
+func (r *frameReader) begin() {
+	r.started = false
+	switch {
+	case r.idle > 0:
+		r.nc.SetReadDeadline(time.Now().Add(r.idle))
+	case r.readTO > 0:
+		r.nc.SetReadDeadline(time.Now().Add(r.readTO))
+	default:
+		r.nc.SetReadDeadline(time.Time{})
+	}
+}
+
+func (r *frameReader) Read(p []byte) (int, error) {
+	n, err := r.nc.Read(p)
+	if n > 0 && !r.started {
+		r.started = true
+		if r.readTO > 0 {
+			r.nc.SetReadDeadline(time.Now().Add(r.readTO))
+		} else if r.idle > 0 {
+			r.nc.SetReadDeadline(time.Time{})
+		}
+	}
+	return n, err
 }
 
 // serverConn is one client connection's state; only its reader
@@ -182,12 +270,22 @@ type connSession struct {
 
 // writeLoop drains the outbox to the socket. On a write error it closes
 // the socket (unblocking the reader) and keeps draining so shard-side
-// sinks and the reader never block on a dead connection.
+// sinks and the reader never block on a dead connection. Each write is
+// bounded by the configured write deadline: a peer that stops reading
+// long enough to stall a write is dropped, not waited on.
 func (c *serverConn) writeLoop() {
+	wto := c.s.cfg.WriteTimeout
 	var werr error
 	for b := range c.outbox {
 		if werr == nil {
+			if wto > 0 {
+				c.nc.SetWriteDeadline(time.Now().Add(wto))
+			}
 			if _, werr = c.nc.Write(b); werr != nil {
+				var ne net.Error
+				if errors.As(werr, &ne) && ne.Timeout() {
+					c.s.m.stats.DeadlineDrops.Add(1)
+				}
 				c.nc.Close()
 			}
 		}
@@ -218,7 +316,7 @@ func (c *serverConn) dispatch(f wire.Frame) bool {
 			cs.ls.Close()
 			return true
 		}
-		return c.reply(&wire.Error{SessionID: f.SessionID, Msg: "unknown session"})
+		return c.reply(&wire.Error{SessionID: f.SessionID, Code: wire.CodeUnknownSession, Msg: "unknown session"})
 	case *wire.Stats:
 		snap := c.s.m.Snapshot()
 		return c.reply(&wire.StatsReply{
@@ -230,12 +328,32 @@ func (c *serverConn) dispatch(f wire.Frame) bool {
 			RowsRetired:      snap.RowsRetired,
 			PayloadsAccepted: snap.PayloadsAccepted,
 			UptimeMillis:     int64(snap.UptimeSeconds * 1000),
+			BusyRejected:     snap.BusyRejected,
+			DeadlineDrops:    snap.DeadlineDrops,
+			MalformedFrames:  snap.MalformedFrames,
+			PanicsRecovered:  snap.PanicsRecovered,
 		})
 	default:
 		// Server→client frame types from a client are a protocol
 		// breach; answer once and hang up.
-		c.reply(&wire.Error{Msg: fmt.Sprintf("unexpected frame type 0x%02x", f.Type())})
+		c.reply(&wire.Error{Code: wire.CodeProtocol, Msg: fmt.Sprintf("unexpected frame type 0x%02x", f.Type())})
 		return false
+	}
+}
+
+// errorCode classifies an engine error for the wire.
+func errorCode(err error) uint8 {
+	switch {
+	case errors.Is(err, ErrBusy):
+		return wire.CodeBusy
+	case errors.Is(err, ErrDraining):
+		return wire.CodeDraining
+	case errors.Is(err, ErrShed):
+		return wire.CodeShed
+	case errors.Is(err, ErrDecodePanic):
+		return wire.CodePanic
+	default:
+		return wire.CodeGeneric
 	}
 }
 
@@ -275,7 +393,7 @@ func (c *serverConn) handleOpen(o *wire.Open) bool {
 	ls, err := c.s.m.Open(cfg, c.sink(done))
 	if err != nil {
 		c.sessWG.Done()
-		return c.reply(&wire.Error{Msg: err.Error()})
+		return c.reply(&wire.Error{Code: errorCode(err), Msg: err.Error()})
 	}
 	c.sessions[ls.ID] = &connSession{ls: ls, done: done}
 	return c.reply(&wire.Opened{SessionID: ls.ID, FrameLen: uint32(ls.FrameLen())})
@@ -284,7 +402,7 @@ func (c *serverConn) handleOpen(o *wire.Open) bool {
 func (c *serverConn) handleSlot(f *wire.Slot) bool {
 	cs, ok := c.sessions[f.SessionID]
 	if !ok {
-		return c.reply(&wire.Error{SessionID: f.SessionID, Msg: "unknown session"})
+		return c.reply(&wire.Error{SessionID: f.SessionID, Code: wire.CodeUnknownSession, Msg: "unknown session"})
 	}
 	var ev ratedapt.SlotEvents
 	if len(f.Arrivals) > 0 {
@@ -305,7 +423,7 @@ func (c *serverConn) handleSlot(f *wire.Slot) bool {
 		// client and retire the session.
 		delete(c.sessions, f.SessionID)
 		cs.ls.Close()
-		return c.reply(&wire.Error{SessionID: f.SessionID, Msg: err.Error()})
+		return c.reply(&wire.Error{SessionID: f.SessionID, Code: errorCode(err), Msg: err.Error()})
 	}
 	return true
 }
@@ -333,7 +451,7 @@ func (c *serverConn) sink(done *sync.Once) func(Event) bool {
 			}
 			fr = d
 		case EventError:
-			fr = &wire.Error{SessionID: ev.SessionID, Msg: ev.Err.Error()}
+			fr = &wire.Error{SessionID: ev.SessionID, Code: errorCode(ev.Err), Msg: ev.Err.Error()}
 		case EventClosed:
 			fr = &wire.Closed{
 				SessionID:   ev.SessionID,

@@ -1,0 +1,336 @@
+package engine_test
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/engine/leaktest"
+	"repro/internal/engine/wire"
+)
+
+// startWireServer boots a loopback server and returns the manager, the
+// dial address, and a shutdown func (idempotent; also run on cleanup).
+func startWireServer(t *testing.T, mcfg engine.Config, scfg engine.ServerConfig) (*engine.SessionManager, *engine.Server, string) {
+	t.Helper()
+	m := engine.New(mcfg)
+	srv := engine.NewServer(m, scfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("cleanup shutdown: %v", err)
+		}
+		m.Close()
+	})
+	return m, srv, ln.Addr().String()
+}
+
+// minOpen is the smallest valid session config over the wire.
+func minOpen(seed uint64) *wire.Open {
+	return &wire.Open{
+		Version:     wire.ProtocolVersion,
+		Salt:        seed,
+		DecodeSeed:  seed + 1,
+		MessageBits: 8,
+		MaxSlots:    64,
+		RosterCap:   1,
+		Seeds:       []uint64{seed},
+		Taps:        []complex128{1},
+	}
+}
+
+// openSession performs the Open handshake and returns the session ID
+// and frame length.
+func openSession(t *testing.T, conn net.Conn, seed uint64) (uint64, int) {
+	t.Helper()
+	if err := wire.WriteFrame(conn, minOpen(seed)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened, ok := rep.(*wire.Opened)
+	if !ok {
+		t.Fatalf("open reply %T, want Opened", rep)
+	}
+	return opened.SessionID, int(opened.FrameLen)
+}
+
+func TestServerShutdownIdempotent(t *testing.T) {
+	leaktest.Check(t)
+	m := engine.New(engine.Config{Workers: 1})
+	defer m.Close()
+	srv := engine.NewServer(m, engine.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	// A connected client must be force-closed by shutdown.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	ctx := context.Background()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("first shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("serve returned %v after shutdown, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after shutdown")
+	}
+	// The force-closed client sees EOF (or a reset).
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := wire.ReadFrame(conn); err == nil {
+		t.Fatal("client read succeeded on a shut-down server")
+	}
+	// Serve after shutdown refuses and closes the listener.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Serve(ln2); err == nil {
+		t.Fatal("serve succeeded on a shut-down server")
+	}
+	if _, err := ln2.Accept(); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("listener still open after refused serve: %v", err)
+	}
+}
+
+func TestServerShutdownWithoutServe(t *testing.T) {
+	leaktest.Check(t)
+	m := engine.New(engine.Config{Workers: 1})
+	defer m.Close()
+	srv := engine.NewServer(m, engine.ServerConfig{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown without serve: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("repeat shutdown without serve: %v", err)
+	}
+}
+
+func TestMalformedFrameBudget(t *testing.T) {
+	leaktest.Check(t)
+	const budget = 2
+	m, _, addr := startWireServer(t, engine.Config{Workers: 1}, engine.ServerConfig{MalformedBudget: budget})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	// A well-framed frame with a bogus type byte: malformed, framing
+	// preserved. The server must answer each with a Malformed error
+	// while the budget lasts, then hang up.
+	hostile := make([]byte, 5)
+	binary.LittleEndian.PutUint32(hostile, 1)
+	hostile[4] = 0x7f
+	for i := 0; i < budget; i++ {
+		if _, err := conn.Write(hostile); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		rep, err := wire.ReadFrame(conn)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		e, ok := rep.(*wire.Error)
+		if !ok || e.Code != wire.CodeMalformed {
+			t.Fatalf("reply %d: %+v, want Malformed error", i, rep)
+		}
+	}
+	// One past the budget: final error, then the connection dies.
+	if _, err := conn.Write(hostile); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := wire.ReadFrame(conn)
+	if err == nil {
+		if e, ok := rep.(*wire.Error); !ok || e.Code != wire.CodeMalformed {
+			t.Fatalf("budget-exhausted reply %+v, want Malformed error", rep)
+		}
+		_, err = wire.ReadFrame(conn)
+	}
+	if err == nil {
+		t.Fatal("connection survived past its malformed budget")
+	}
+	waitCounter(t, func() int64 { return m.Snapshot().MalformedFrames }, budget+1)
+}
+
+func TestIdleTimeoutDropsConnection(t *testing.T) {
+	leaktest.Check(t)
+	m, _, addr := startWireServer(t, engine.Config{Workers: 1},
+		engine.ServerConfig{IdleTimeout: 100 * time.Millisecond})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing: the server must hang up on its own.
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := wire.ReadFrame(conn); err == nil {
+		t.Fatal("idle connection was not dropped")
+	} else if errors.Is(err, io.ErrNoProgress) {
+		t.Fatalf("unexpected error class: %v", err)
+	}
+	waitCounter(t, func() int64 { return m.Snapshot().DeadlineDrops }, 1)
+}
+
+func TestBusyRejectedOverWire(t *testing.T) {
+	leaktest.Check(t)
+	m, _, addr := startWireServer(t, engine.Config{Workers: 1, MaxSessions: 1}, engine.ServerConfig{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	sid, _ := openSession(t, conn, 3)
+	if err := wire.WriteFrame(conn, minOpen(4)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := rep.(*wire.Error); !ok || e.Code != wire.CodeBusy {
+		t.Fatalf("second open reply %+v, want Busy error", rep)
+	}
+	if got := m.Snapshot().BusyRejected; got != 1 {
+		t.Fatalf("busy-rejected counter %d, want 1", got)
+	}
+	// The first session is untouched by the rejection.
+	if err := wire.WriteFrame(conn, &wire.Close{SessionID: sid}); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err = wire.ReadFrame(conn); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.(*wire.Closed); !ok {
+		t.Fatalf("close reply %T, want Closed", rep)
+	}
+}
+
+func TestPanicIsolationOverWire(t *testing.T) {
+	leaktest.Check(t)
+	m, _, addr := startWireServer(t, engine.Config{Workers: 1}, engine.ServerConfig{})
+
+	// Victim session panics decoding slot 2; the sibling on the same
+	// daemon must finish untouched and the daemon must keep serving.
+	var victim uint64
+	engine.SetTestHookDecodePanic(func(sid uint64, slot int) {
+		if sid == victim && slot == 2 {
+			panic("test: injected decode panic")
+		}
+	})
+	defer engine.SetTestHookDecodePanic(nil)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	victimID, frameLen := openSession(t, conn, 11)
+	victim = victimID
+	sibling, _ := openSession(t, conn, 12)
+
+	feed := func(sid uint64) (wire.Frame, error) {
+		if err := wire.WriteFrame(conn, &wire.Slot{SessionID: sid, Obs: make([]complex128, frameLen)}); err != nil {
+			return nil, err
+		}
+		return wire.ReadFrame(conn)
+	}
+	// Slot 1 works for both.
+	for _, sid := range []uint64{victimID, sibling} {
+		rep, err := feed(sid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := rep.(*wire.Decisions); !ok {
+			t.Fatalf("slot 1 reply %+v, want Decisions", rep)
+		}
+	}
+	// Victim's slot 2 blows up; the reply is a typed Panic error (the
+	// decode job's event), not a dead daemon.
+	if err := wire.WriteFrame(conn, &wire.Slot{SessionID: victimID, Obs: make([]complex128, frameLen)}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := rep.(*wire.Error); !ok || e.Code != wire.CodePanic {
+		t.Fatalf("victim slot 2 reply %+v, want Panic error", rep)
+	}
+	// Sibling still decodes on the same connection and closes cleanly.
+	rep, err = feed(sibling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.(*wire.Decisions); !ok {
+		t.Fatalf("sibling post-panic reply %+v, want Decisions", rep)
+	}
+	if err := wire.WriteFrame(conn, &wire.Close{SessionID: sibling}); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err = wire.ReadFrame(conn); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.(*wire.Closed); !ok {
+		t.Fatalf("sibling close reply %+v, want Closed", rep)
+	}
+
+	if got := m.Snapshot().PanicsRecovered; got < 1 {
+		t.Fatalf("panics-recovered counter %d, want >= 1", got)
+	}
+	// The poisoned session's pooled resources must be dropped, not
+	// recycled: in-flight count returns to zero once everything closes.
+	conn.Close()
+	waitCounter(t, func() int64 { return m.Snapshot().ResourcesInFlight }, 0)
+	waitCounter(t, func() int64 {
+		s := m.Snapshot()
+		return s.SessionsOpened - s.SessionsClosed
+	}, 0)
+}
+
+// waitCounter polls a counter until it reaches want or a deadline.
+func waitCounter(t *testing.T, get func() int64, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if got := get(); got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counter stuck at %d, want %d", get(), want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

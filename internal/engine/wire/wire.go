@@ -15,6 +15,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -142,7 +143,10 @@ type Closed struct {
 	RowsRetired uint64
 }
 
-// StatsReply snapshots the daemon's live counters.
+// StatsReply snapshots the daemon's live counters, including the
+// per-reason failure counters (shed, deadline, malformed, panic,
+// busy-rejected) that make failures observable from counters rather
+// than logs.
 type StatsReply struct {
 	ActiveSessions   int64
 	SessionsOpened   int64
@@ -152,12 +156,32 @@ type StatsReply struct {
 	RowsRetired      int64
 	PayloadsAccepted int64
 	UptimeMillis     int64
+	BusyRejected     int64
+	DeadlineDrops    int64
+	MalformedFrames  int64
+	PanicsRecovered  int64
 }
 
+// Error codes classify an Error frame so clients can decide a retry
+// policy without parsing message strings: Busy and Draining are
+// retry-later, Malformed burns the sender's error budget, Panic and
+// Shed mean the named session is dead but the connection survives.
+const (
+	CodeGeneric        uint8 = 0
+	CodeBusy           uint8 = 1
+	CodeDraining       uint8 = 2
+	CodeMalformed      uint8 = 3
+	CodePanic          uint8 = 4
+	CodeShed           uint8 = 5
+	CodeUnknownSession uint8 = 6
+	CodeProtocol       uint8 = 7
+)
+
 // Error reports a failed request or a dead session (SessionID 0 =
-// connection-level).
+// connection-level). Code is one of the Code* constants.
 type Error struct {
 	SessionID uint64
+	Code      uint8
 	Msg       string
 }
 
@@ -302,6 +326,7 @@ func (f *StatsReply) appendPayload(b []byte) []byte {
 	for _, v := range [...]int64{
 		f.ActiveSessions, f.SessionsOpened, f.SessionsClosed, f.SessionsShed,
 		f.SlotsIngested, f.RowsRetired, f.PayloadsAccepted, f.UptimeMillis,
+		f.BusyRejected, f.DeadlineDrops, f.MalformedFrames, f.PanicsRecovered,
 	} {
 		b = appendU64(b, uint64(v))
 	}
@@ -310,6 +335,7 @@ func (f *StatsReply) appendPayload(b []byte) []byte {
 
 func (f *Error) appendPayload(b []byte) []byte {
 	b = appendU64(b, f.SessionID)
+	b = append(b, f.Code)
 	msg := f.Msg
 	if len(msg) > math.MaxUint16 {
 		msg = msg[:math.MaxUint16]
@@ -549,6 +575,7 @@ func (f *StatsReply) decodePayload(r *reader) error {
 	for _, p := range [...]*int64{
 		&f.ActiveSessions, &f.SessionsOpened, &f.SessionsClosed, &f.SessionsShed,
 		&f.SlotsIngested, &f.RowsRetired, &f.PayloadsAccepted, &f.UptimeMillis,
+		&f.BusyRejected, &f.DeadlineDrops, &f.MalformedFrames, &f.PanicsRecovered,
 	} {
 		*p = int64(r.u64())
 	}
@@ -557,6 +584,7 @@ func (f *StatsReply) decodePayload(r *reader) error {
 
 func (f *Error) decodePayload(r *reader) error {
 	f.SessionID = r.u64()
+	f.Code = r.u8()
 	n := int(r.u16())
 	if b := r.take(n); b != nil {
 		f.Msg = string(b)
@@ -601,9 +629,18 @@ func Decode(frameType byte, payload []byte) (Frame, error) {
 	return f, nil
 }
 
+// ErrMalformed wraps decode-level failures on a frame whose length
+// prefix was sane: the full payload was consumed off the stream, so
+// framing is intact and the reader may keep going (an error budget's
+// worth of times). Length-prefix and IO failures are NOT ErrMalformed —
+// after those the byte stream cannot be resynchronized and the only
+// safe move is to drop the connection.
+var ErrMalformed = errors.New("wire: malformed frame")
+
 // ReadFrame reads one length-prefixed frame from r. io.EOF at a frame
 // boundary is returned as-is (clean close); a partial frame is
-// io.ErrUnexpectedEOF.
+// io.ErrUnexpectedEOF. A frame that reads fully but fails to decode is
+// reported wrapped in ErrMalformed (framing preserved, see above).
 func ReadFrame(r io.Reader) (Frame, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
@@ -626,5 +663,9 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		}
 		return nil, err
 	}
-	return Decode(hdr[4], payload)
+	f, err := Decode(hdr[4], payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return f, nil
 }

@@ -2,10 +2,12 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math"
 	"reflect"
 	"testing"
+	"testing/iotest"
 
 	"repro/internal/bits"
 )
@@ -70,8 +72,11 @@ func TestRoundTripAllFrames(t *testing.T) {
 		&StatsReply{
 			ActiveSessions: 3, SessionsOpened: 10, SessionsClosed: 7, SessionsShed: 1,
 			SlotsIngested: 12345, RowsRetired: 99, PayloadsAccepted: 88, UptimeMillis: 1234567,
+			BusyRejected: 4, DeadlineDrops: 2, MalformedFrames: 6, PanicsRecovered: 1,
 		},
 		&Error{SessionID: 4, Msg: "session dead: slot 9: observation length 3, want 104"},
+		&Error{SessionID: 2, Code: CodeBusy, Msg: "session cap reached"},
+		&Error{Code: CodeMalformed},
 		&Error{},
 	}
 	for _, f := range frames {
@@ -133,6 +138,71 @@ func TestReadFrameErrors(t *testing.T) {
 	}
 }
 
+// TestReadFrameErrorClass pins the malformed-vs-broken split the
+// server's error budget depends on: a frame whose payload read fully
+// but failed to decode is ErrMalformed (the stream is still in sync and
+// the reader may continue); a short read or hostile length prefix is
+// not (framing is lost, the connection must drop).
+func TestReadFrameErrorClass(t *testing.T) {
+	malformed := [][]byte{
+		{1, 0, 0, 0, 0x55},                                  // unknown frame type, framing fine
+		{3, 0, 0, 0, TypeOpen, 1, 0},                        // truncated Open payload
+		{10, 0, 0, 0, TypeClose, 1, 2, 3, 4, 5, 6, 7, 8, 9}, // trailing bytes
+	}
+	for _, raw := range malformed {
+		_, err := ReadFrame(bytes.NewReader(raw))
+		if !errors.Is(err, ErrMalformed) {
+			t.Errorf("frame % x: err %v, want ErrMalformed", raw, err)
+		}
+	}
+	broken := [][]byte{
+		{0, 0, 0, 0},                   // zero length
+		{0xff, 0xff, 0xff, 0xff, 0x01}, // hostile length prefix
+		{9, 0, 0, 0, TypeClose, 1},     // payload cut mid-frame
+		{5, 0},                         // header cut
+	}
+	for _, raw := range broken {
+		_, err := ReadFrame(bytes.NewReader(raw))
+		if err == nil || errors.Is(err, ErrMalformed) {
+			t.Errorf("frame % x: err %v, want a non-ErrMalformed failure", raw, err)
+		}
+	}
+}
+
+// TestReadFrameTruncatedMidFrame drives ReadFrame against a reader that
+// dribbles a valid frame one byte at a time and cuts it at every
+// possible offset — the sticky-error decode path must always surface an
+// error (never a panic, never a bogus frame), and a cut before the
+// first byte must stay a clean io.EOF.
+func TestReadFrameTruncatedMidFrame(t *testing.T) {
+	full, err := Append(nil, &Slot{
+		SessionID: 3,
+		Arrivals:  []Arrival{{Seed: 1, Tap: 1i, Window: 9}},
+		Retap:     []complex128{0.5},
+		Obs:       []complex128{1, -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		r := iotest.OneByteReader(bytes.NewReader(full[:cut]))
+		f, err := ReadFrame(r)
+		if err == nil {
+			t.Fatalf("cut at %d/%d: decoded %#v from a truncated stream", cut, len(full), f)
+		}
+		if cut == 0 && err != io.EOF {
+			t.Fatalf("cut before first byte: %v, want io.EOF", err)
+		}
+		if cut > 0 && err == io.EOF {
+			t.Fatalf("cut at %d: clean io.EOF for a partial frame", cut)
+		}
+	}
+	// And the whole frame, dribbled, still decodes.
+	if _, err := ReadFrame(iotest.OneByteReader(bytes.NewReader(full))); err != nil {
+		t.Fatalf("one-byte reads over a full frame: %v", err)
+	}
+}
+
 func TestBitVectorPacking(t *testing.T) {
 	// Exercise every length mod 8 including the empty vector.
 	for n := 0; n <= 17; n++ {
@@ -174,6 +244,38 @@ func FuzzWireDecode(f *testing.F) {
 	}
 	f.Add(byte(TypeSlot), []byte{0xff, 0xff, 0xff, 0xff})
 	f.Add(byte(0x00), []byte{})
+
+	// Hostile shapes the chaos fault injector produces: single-bit
+	// corruptions and truncations of otherwise-valid frames. Seeding
+	// them keeps the corpus exercising the exact frames a flaky
+	// transport hands the daemon, not just random bytes.
+	for _, fr := range seedFrames {
+		b, err := Append(nil, fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		payload := b[5:]
+		for _, off := range []int{0, len(payload) / 2, len(payload) - 1} {
+			if off < 0 || off >= len(payload) {
+				continue
+			}
+			mut := append([]byte(nil), payload...)
+			mut[off] ^= 0x40
+			f.Add(b[4], mut)
+		}
+		for _, cut := range []int{1, len(payload) / 2, len(payload) - 1} {
+			if cut < 0 || cut > len(payload) {
+				continue
+			}
+			f.Add(b[4], append([]byte(nil), payload[:cut]...))
+		}
+	}
+	// Count fields corrupted to claim more elements than the payload
+	// holds (the allocation-guard path), and an Error frame whose
+	// message length outruns its bytes.
+	f.Add(byte(TypeOpen), append(bytes.Repeat([]byte{0}, 47), 0xff, 0xff, 0xff, 0x7f))
+	f.Add(byte(TypeError), []byte{1, 0, 0, 0, 0, 0, 0, 0, CodeBusy, 0xff, 0xff, 'h', 'i'})
+	f.Add(byte(TypeDecisions), append(bytes.Repeat([]byte{2}, 21), 0xee, 0xee, 0xee, 0xee))
 
 	f.Fuzz(func(t *testing.T, frameType byte, payload []byte) {
 		fr, err := Decode(frameType, payload)
