@@ -222,7 +222,7 @@ func benchScenario(b *testing.B, spec scenario.Spec) {
 	for i := 0; i < b.N; i++ {
 		s := spec
 		s.Seed = spec.Seed + uint64(i)
-		out, err := sim.RunScenario(s)
+		out, err := sim.Run(s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -235,15 +235,23 @@ func benchScenario(b *testing.B, spec scenario.Spec) {
 
 func BenchmarkScenario_BlockFading_K8(b *testing.B) {
 	benchScenario(b, scenario.Spec{
-		K: 8, Trials: 5, Seed: 4242, SNRLodB: 14, SNRHidB: 30,
-		Channel: scenario.ChannelSpec{Kind: scenario.KindBlockFading, BlockLen: 32},
+		Trials: 5, Seed: 4242,
+		Workload: scenario.WorkloadSpec{K: 8},
+		Channel: scenario.ChannelSpec{
+			Kind: scenario.KindBlockFading, BlockLen: 32,
+			SNRLodB: 14, SNRHidB: 30,
+		},
 	})
 }
 
 func BenchmarkScenario_GaussMarkov_K8(b *testing.B) {
 	benchScenario(b, scenario.Spec{
-		K: 8, Trials: 5, Seed: 4242, SNRLodB: 14, SNRHidB: 30,
-		Channel: scenario.ChannelSpec{Kind: scenario.KindGaussMarkov, Rho: 0.999},
+		Trials: 5, Seed: 4242,
+		Workload: scenario.WorkloadSpec{K: 8},
+		Channel: scenario.ChannelSpec{
+			Kind: scenario.KindGaussMarkov, Rho: 0.999,
+			SNRLodB: 14, SNRHidB: 30,
+		},
 	})
 }
 
@@ -255,9 +263,13 @@ func BenchmarkScenario_GaussMarkov_K8(b *testing.B) {
 // benchguard gates it with a looser tolerance.
 func BenchmarkScenario_FastMobility_K8(b *testing.B) {
 	benchScenario(b, scenario.Spec{
-		K: 8, Trials: 5, Seed: 2026, SNRLodB: 14, SNRHidB: 30, MaxSlots: 320,
-		Channel: scenario.ChannelSpec{Kind: scenario.KindGaussMarkov, Rho: 0.9},
-		Window:  scenario.WindowAuto,
+		Trials: 5, Seed: 2026,
+		Workload: scenario.WorkloadSpec{K: 8},
+		Channel: scenario.ChannelSpec{
+			Kind: scenario.KindGaussMarkov, Rho: 0.9,
+			SNRLodB: 14, SNRHidB: 30,
+		},
+		Decode: scenario.DecodeSpec{MaxSlots: 320, Window: scenario.WindowAuto},
 	})
 }
 
@@ -269,12 +281,14 @@ func BenchmarkScenario_FastMobility_K8(b *testing.B) {
 // with a looser tolerance.
 func BenchmarkScenario_MixedMobility_K8(b *testing.B) {
 	benchScenario(b, scenario.Spec{
-		K: 8, Trials: 5, Seed: 2026, SNRLodB: 14, SNRHidB: 30, MaxSlots: 320,
+		Trials: 5, Seed: 2026,
+		Workload: scenario.WorkloadSpec{K: 8},
 		Channel: scenario.ChannelSpec{
 			Kind:      scenario.KindGaussMarkov,
 			PerTagRho: []float64{1, 1, 1, 1, 0.9, 0.9, 0.9, 0.9},
+			SNRLodB:   14, SNRHidB: 30,
 		},
-		Window: scenario.WindowPerTag,
+		Decode: scenario.DecodeSpec{MaxSlots: 320, Window: scenario.WindowPerTag},
 	})
 }
 
@@ -284,24 +298,34 @@ func BenchmarkScenario_MixedMobility_K8(b *testing.B) {
 // the windowed cost spectrum (see PERFORMANCE.md).
 func BenchmarkScenario_MixedMobilitySoft_K8(b *testing.B) {
 	benchScenario(b, scenario.Spec{
-		K: 8, Trials: 5, Seed: 2026, SNRLodB: 14, SNRHidB: 30, MaxSlots: 320,
+		Trials: 5, Seed: 2026,
+		Workload: scenario.WorkloadSpec{K: 8},
 		Channel: scenario.ChannelSpec{
 			Kind:      scenario.KindGaussMarkov,
 			PerTagRho: []float64{1, 1, 1, 1, 0.9, 0.9, 0.9, 0.9},
+			SNRLodB:   14, SNRHidB: 30,
 		},
-		Window:     scenario.WindowPerTag,
-		WindowSoft: true,
+		Decode: scenario.DecodeSpec{
+			MaxSlots: 320, Window: scenario.WindowPerTag, WindowSoft: true,
+		},
 	})
 }
 
 func BenchmarkScenario_PopulationChurn(b *testing.B) {
 	benchScenario(b, scenario.Spec{
-		K: 6, Trials: 5, Seed: 4242, SNRLodB: 14, SNRHidB: 30, MaxSlots: 400,
-		Channel: scenario.ChannelSpec{Kind: scenario.KindGaussMarkov, Rho: 0.998},
-		Population: []scenario.PopulationEvent{
-			{Slot: 5, Arrive: 2},
-			{Slot: 9, Depart: 1},
+		Trials: 5, Seed: 4242,
+		Workload: scenario.WorkloadSpec{
+			K: 6,
+			Population: []scenario.PopulationEvent{
+				{Slot: 5, Arrive: 2},
+				{Slot: 9, Depart: 1},
+			},
 		},
+		Channel: scenario.ChannelSpec{
+			Kind: scenario.KindGaussMarkov, Rho: 0.998,
+			SNRLodB: 14, SNRHidB: 30,
+		},
+		Decode: scenario.DecodeSpec{MaxSlots: 400},
 	})
 }
 

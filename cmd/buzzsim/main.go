@@ -1,20 +1,26 @@
-// Command buzzsim runs one Buzz session end to end from flags and prints
-// a per-tag report: identification, the rateless data phase, and the
-// aggregate rate achieved.
+// Command buzzsim runs Buzz sessions and scenario workloads from the
+// command line.
 //
 // Usage:
 //
+//	buzzsim run   <spec.json> [-repeat 1] [-cpuprofile out.prof] [-memprofile heap.prof]
+//	buzzsim check <spec.json>
+//	buzzsim sweep <spec.json> [-seed N]
 //	buzzsim [-k 8] [-snr-lo 14] [-snr-hi 30] [-bytes 4] [-seed 1] [-periodic]
-//	        [-scenario spec.json] [-check] [-repeat 1]
-//	        [-cpuprofile out.prof] [-memprofile heap.prof]
+//	        [-repeat 1] [-cpuprofile out.prof] [-memprofile heap.prof]
 //
-// With -check the spec is parsed and validated (including the decode
-// window fields) and a summary of what would run is printed — no
-// trials execute. A misspelled field, an inverted SNR band or an
+// `run` executes a declarative scenario spec (see the README's "Writing
+// scenario specs" section for the format) through the scenario engine.
+// `check` parses and validates the spec (including the decode window
+// and arrival-process fields) and prints a summary of what would run —
+// no trials execute, so a misspelled field, an inverted SNR band or an
 // impossible population event fails loudly here instead of after a
-// long run.
+// long run. `sweep` binary-searches the maximum sustainable arrival
+// rate of an arrival-process spec under its declared SLO and prints a
+// reproducible capacity report.
 //
-// Example:
+// Without a subcommand, buzzsim runs one ad-hoc session end to end
+// from flags and prints a per-tag report:
 //
 //	$ buzzsim -k 12 -snr-lo 8 -snr-hi 20
 //	identification: K̂=12, 289 slots, 4.61 ms, 12/12 identified
@@ -22,20 +28,21 @@
 //	tag 0xe9c0000: delivered at slot 3, payload 74616730
 //	...
 //
-// Declarative workloads run through the scenario engine (see the
-// README's "Writing scenario specs" section for the format):
+// Scenario output:
 //
-//	$ buzzsim -scenario examples/scenarios/mobility.json
+//	$ buzzsim run examples/scenarios/mobility.json
 //	scenario "forklift-aisle": 24 trials, 10 tags (8 initial), channel gauss-markov, seed 31337
 //	  buzz: 280.71 ms mean transfer, 4.96 lost, 0.01 bits/symbol, 5.04/10 delivered correct, 0 wrong
 //
 // With -repeat N the spec is parsed once and run N times, stepping the
-// seed each run — the profiling loop for scenario paths.
+// seed each run — the profiling loop for scenario paths:
 //
-// Profiling the real decode loop (not just microbenches):
-//
-//	$ buzzsim -k 16 -repeat 200 -cpuprofile decode.prof
+//	$ buzzsim run examples/scenarios/mobility.json -repeat 200 -cpuprofile decode.prof
 //	$ go tool pprof decode.prof
+//
+// The pre-subcommand spellings `-scenario spec.json` and `-check
+// -scenario spec.json` still work and route to the same code, printing
+// a deprecation note on stderr.
 package main
 
 import (
@@ -54,14 +61,92 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "run":
+			os.Exit(cmdRun(os.Args[2:]))
+		case "check":
+			os.Exit(cmdCheck(os.Args[2:]))
+		case "sweep":
+			os.Exit(cmdSweep(os.Args[2:]))
+		}
+	}
+	os.Exit(legacyMain())
+}
+
+// cmdRun is `buzzsim run <spec.json>`: the scenario engine from a file.
+func cmdRun(args []string) int {
+	fs := flag.NewFlagSet("buzzsim run", flag.ExitOnError)
+	repeat := fs.Int("repeat", 1, "run the scenario this many times, iterating the seed")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the full run to this file (go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "buzzsim: usage: buzzsim run <spec.json> [-repeat N] [-cpuprofile f] [-memprofile f]")
+		return 2
+	}
+	if *repeat < 1 {
+		fmt.Fprintln(os.Stderr, "buzzsim: -repeat must be positive")
+		return 2
+	}
+	return withProfiles(*cpuProfile, *memProfile, func() error {
+		return runScenario(fs.Arg(0), *repeat)
+	})
+}
+
+// cmdCheck is `buzzsim check <spec.json>`: validate, summarize, exit.
+func cmdCheck(args []string) int {
+	fs := flag.NewFlagSet("buzzsim check", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "buzzsim: usage: buzzsim check <spec.json>")
+		return 2
+	}
+	if err := checkScenario(fs.Arg(0)); err != nil {
+		fmt.Fprintf(os.Stderr, "buzzsim: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// cmdSweep is `buzzsim sweep <spec.json>`: the SLO capacity sweep.
+func cmdSweep(args []string) int {
+	fs := flag.NewFlagSet("buzzsim sweep", flag.ExitOnError)
+	seed := fs.Uint64("seed", 0, "override the spec's seed (0 keeps the spec's own)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "buzzsim: usage: buzzsim sweep <spec.json> [-seed N]")
+		return 2
+	}
+	spec, err := scenario.Load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "buzzsim: %v\n", err)
+		return 1
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	rep, err := sim.Sweep(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "buzzsim: %v\n", err)
+		return 1
+	}
+	fmt.Print(rep.Render())
+	return 0
+}
+
+// legacyMain is the pre-subcommand flag interface, kept whole so every
+// existing invocation — ad-hoc sessions and the deprecated -scenario /
+// -check spellings — behaves exactly as before.
+func legacyMain() int {
 	k := flag.Int("k", 8, "number of tags with data")
 	snrLo := flag.Float64("snr-lo", 14, "lower bound of the per-tag SNR band (dB)")
 	snrHi := flag.Float64("snr-hi", 30, "upper bound of the per-tag SNR band (dB)")
 	nBytes := flag.Int("bytes", 4, "payload size per tag in bytes")
 	seed := flag.Uint64("seed", 1, "session seed (deterministic replay)")
 	periodic := flag.Bool("periodic", false, "periodic network: skip identification (§4b)")
-	scenarioPath := flag.String("scenario", "", "run a declarative scenario spec (JSON) through the scenario engine instead of a single session")
-	check := flag.Bool("check", false, "parse and validate the -scenario spec, print what it would run, and exit without running any trials")
+	scenarioPath := flag.String("scenario", "", "deprecated: use `buzzsim run <spec.json>`")
+	check := flag.Bool("check", false, "deprecated: use `buzzsim check <spec.json>`")
 	repeat := flag.Int("repeat", 1, "run the session (or scenario) this many times (iterating the seed); profiling runs want more samples than one session provides")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the full run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
@@ -69,7 +154,7 @@ func main() {
 
 	if *k < 1 || *nBytes < 1 || *repeat < 1 {
 		fmt.Fprintln(os.Stderr, "buzzsim: -k, -bytes and -repeat must be positive")
-		os.Exit(2)
+		return 2
 	}
 	if *scenarioPath != "" {
 		// The spec is the whole workload: session flags do not compose
@@ -80,53 +165,65 @@ func main() {
 			flag.Visit(func(f *flag.Flag) { set = set || f.Name == name })
 			if set {
 				fmt.Fprintf(os.Stderr, "buzzsim: -%s does not apply with -scenario (set it in the spec file)\n", name)
-				os.Exit(2)
+				return 2
 			}
+		}
+		// The note goes to stderr: scripts parse run reports off stdout.
+		if *check {
+			fmt.Fprintln(os.Stderr, "buzzsim: note: -check -scenario is deprecated; use `buzzsim check <spec.json>`")
+		} else {
+			fmt.Fprintln(os.Stderr, "buzzsim: note: -scenario is deprecated; use `buzzsim run <spec.json>`")
 		}
 	} else if *check {
 		fmt.Fprintln(os.Stderr, "buzzsim: -check validates a spec file; it requires -scenario")
-		os.Exit(2)
+		return 2
 	}
 	if *check {
 		if err := checkScenario(*scenarioPath); err != nil {
 			fmt.Fprintf(os.Stderr, "buzzsim: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
-	// Profile teardown must run before exiting, so the session work
-	// lives in run() and every error path returns through it.
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+	return withProfiles(*cpuProfile, *memProfile, func() error {
+		if *scenarioPath != "" {
+			return runScenario(*scenarioPath, *repeat)
+		}
+		return run(*k, *nBytes, *repeat, *seed, *snrLo, *snrHi, *periodic)
+	})
+}
+
+// withProfiles brackets work with the optional CPU/heap profile
+// teardown; every error path returns through it so profiles land even
+// on failure.
+func withProfiles(cpuProfile, memProfile string, work func() error) int {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "buzzsim: -cpuprofile: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			f.Close()
 			fmt.Fprintf(os.Stderr, "buzzsim: -cpuprofile: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
-	var runErr error
-	if *scenarioPath != "" {
-		runErr = runScenario(*scenarioPath, *repeat)
-	} else {
-		runErr = run(*k, *nBytes, *repeat, *seed, *snrLo, *snrHi, *periodic)
-	}
-	if *cpuProfile != "" {
+	runErr := work()
+	if cpuProfile != "" {
 		pprof.StopCPUProfile()
 	}
-	if *memProfile != "" {
-		if err := writeHeapProfile(*memProfile); err != nil {
+	if memProfile != "" {
+		if err := writeHeapProfile(memProfile); err != nil {
 			fmt.Fprintf(os.Stderr, "buzzsim: -memprofile: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "buzzsim: %v\n", runErr)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // checkScenario parses and validates a spec without running a single
@@ -144,38 +241,60 @@ func checkScenario(path string) error {
 		name = path
 	}
 	fmt.Printf("spec OK: %q\n", name)
-	fmt.Printf("  tags:       %d initial, %d roster total\n", spec.K, spec.TotalTags())
-	fmt.Printf("  trials:     %d (seed %d, max %d slots, %d restarts)\n", spec.Trials, spec.Seed, spec.MaxSlots, spec.Restarts)
-	fmt.Printf("  snr band:   %g..%g dB, agc %g\n", spec.SNRLodB, spec.SNRHidB, spec.AGCNoiseFraction)
-	fmt.Printf("  payload:    %d bits + %s\n", spec.MessageBits, spec.CRC)
+	fmt.Printf("  tags:       %d initial, %d roster total\n", spec.Workload.K, spec.TotalTags())
+	fmt.Printf("  trials:     %d (seed %d, max %d slots, %d restarts)\n", spec.Trials, spec.Seed, spec.Decode.MaxSlots, spec.Decode.Restarts)
+	fmt.Printf("  snr band:   %g..%g dB, agc %g\n", spec.Channel.SNRLodB, spec.Channel.SNRHidB, spec.Channel.AGCNoiseFraction)
+	fmt.Printf("  payload:    %d bits + %s\n", spec.Workload.MessageBits, spec.Decode.CRC)
 	switch spec.Channel.Kind {
 	case scenario.KindBlockFading:
 		fmt.Printf("  channel:    block-fading, block_len %d\n", spec.Channel.BlockLen)
 	case scenario.KindGaussMarkov:
 		if len(spec.Channel.PerTagRho) > 0 {
 			fmt.Printf("  channel:    gauss-markov, per-tag rho %v\n", spec.Channel.PerTagRho)
+		} else if a := spec.Workload.Arrivals; a != nil && a.RhoHi != 0 {
+			fmt.Printf("  channel:    gauss-markov, rho band [%g, %g] drawn per tag\n", a.RhoLo, a.RhoHi)
 		} else {
 			fmt.Printf("  channel:    gauss-markov, rho %g\n", spec.Channel.Rho)
 		}
 	default:
 		fmt.Printf("  channel:    static\n")
 	}
-	switch spec.Window {
+	switch spec.Decode.Window {
 	case scenario.WindowAuto:
 		fmt.Printf("  window:     auto (from the channel's coherence time)\n")
 	case scenario.WindowFixed:
-		fmt.Printf("  window:     fixed, %d slots\n", spec.DecodeWindow)
+		fmt.Printf("  window:     fixed, %d slots\n", spec.Decode.DecodeWindow)
 	case scenario.WindowPerTag:
 		mode := "hard retire"
-		if spec.WindowSoft {
+		if spec.Decode.WindowSoft {
 			mode = "soft down-weight"
 		}
 		fmt.Printf("  window:     per_tag (%s): %s\n", mode, perTagWindowSummary(spec))
 	default:
 		fmt.Printf("  window:     none (whole-round decode)\n")
 	}
-	for _, e := range spec.Population {
+	if a := spec.Workload.Arrivals; a != nil {
+		fmt.Printf("  arrivals:   %s, %g tags/slot, %d tags from slot %d", a.Process, a.Rate, a.Count, a.StartSlot)
+		if a.Process == scenario.ArrivalBurst {
+			fmt.Printf(", bursts of %d", a.BurstSize)
+		}
+		if a.Dwell > 0 {
+			fmt.Printf(", dwell %d slots", a.Dwell)
+		}
+		fmt.Println()
+	}
+	for _, e := range spec.Workload.Population {
 		fmt.Printf("  population: slot %d: +%d/-%d\n", e.Slot, e.Arrive, e.Depart)
+	}
+	if slo := spec.SLO; slo != nil {
+		fmt.Printf("  slo:        p99_completion_slots <= %d, max_wrong <= %d", slo.P99CompletionSlots, slo.MaxWrong)
+		if slo.MinDeliveredFraction > 0 {
+			fmt.Printf(", delivered >= %.4f", slo.MinDeliveredFraction)
+		}
+		if slo.RateLo > 0 {
+			fmt.Printf(", sweep band [%g, %g]", slo.RateLo, slo.RateHi)
+		}
+		fmt.Println()
 	}
 	fmt.Printf("  schemes:    %v\n", spec.Schemes)
 	return nil
@@ -186,11 +305,17 @@ func checkScenario(path string) error {
 // channel process — taps do not matter for coherence, so a zero-tap
 // model suffices) and summarizes them: min/median/max over the finite
 // windows plus the count of never-windowed tags. Spec authors see the
-// effective policy without running a single trial.
+// effective policy without running a single trial. Arrival-process
+// specs are materialized first so the roster (and any per-tag rho band
+// draws) match what a run would use.
 func perTagWindowSummary(spec scenario.Spec) string {
+	spec, err := spec.Materialize()
+	if err != nil {
+		return fmt.Sprintf("unavailable (%v)", err)
+	}
 	k := spec.TotalTags()
 	proc := spec.NewProcess(channel.NewExact(make([]complex128, k), 1), 0)
-	wins := ratedapt.ResolveTagWindows(proc, spec.MaxSlots, k)
+	wins := ratedapt.ResolveTagWindows(proc, spec.Decode.MaxSlots, k)
 	if wins == nil {
 		return "no tag ever windows (every channel outlives the slot budget)"
 	}
@@ -231,16 +356,19 @@ func runScenario(path string, repeat int) error {
 	for r := 0; r < repeat; r++ {
 		runSpec := spec
 		runSpec.Seed = spec.Seed + uint64(r)
-		out, err := sim.RunScenario(runSpec)
+		out, err := sim.Run(runSpec)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("scenario %q: %d trials, %d tags (%d initial), channel %s, seed %d\n",
-			name, runSpec.Trials, runSpec.TotalTags(), runSpec.K, runSpec.Channel.Kind, runSpec.Seed)
+			name, runSpec.Trials, runSpec.TotalTags(), runSpec.Workload.K, runSpec.Channel.Kind, runSpec.Seed)
 		for _, sch := range out.Schemes {
 			fmt.Printf("  %-4s: %6.2f ms mean transfer, %.2f lost, %.2f bits/symbol, %.2f/%d delivered correct, %d wrong\n",
 				sch.Scheme, sch.TransferMillis.Mean, sch.Undecoded.Mean, sch.BitsPerSymbol.Mean,
 				sch.DeliveredCorrect.Mean, runSpec.TotalTags(), sch.WrongPayload)
+		}
+		if out.Latency != nil {
+			fmt.Printf("  latency: %s\n", out.Latency)
 		}
 	}
 	return nil

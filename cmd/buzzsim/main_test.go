@@ -23,23 +23,42 @@ func TestMain(m *testing.M) {
 // runBuzzsim re-execs the test binary as buzzsim with args.
 func runBuzzsim(t *testing.T, args ...string) (exitCode int, stderr string) {
 	t.Helper()
+	code, _, errOut := runBuzzsimFull(t, args...)
+	return code, errOut
+}
+
+// runBuzzsimFull is runBuzzsim with stdout capture, for tests that
+// assert on report output.
+func runBuzzsimFull(t *testing.T, args ...string) (exitCode int, stdout, stderr string) {
+	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {
 		t.Fatal(err)
 	}
 	cmd := exec.Command(exe, args...)
 	cmd.Env = append(os.Environ(), "BUZZSIM_BE_MAIN=1")
-	var errBuf strings.Builder
+	var outBuf, errBuf strings.Builder
+	cmd.Stdout = &outBuf
 	cmd.Stderr = &errBuf
 	err = cmd.Run()
 	if err == nil {
-		return 0, errBuf.String()
+		return 0, outBuf.String(), errBuf.String()
 	}
 	ee, ok := err.(*exec.ExitError)
 	if !ok {
 		t.Fatalf("buzzsim %v: %v", args, err)
 	}
-	return ee.ExitCode(), errBuf.String()
+	return ee.ExitCode(), outBuf.String(), errBuf.String()
+}
+
+// writeSpec drops a spec file into a temp dir and returns its path.
+func writeSpec(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
 }
 
 // TestCheckRejectsMalformedSpecs pins buzzsim's spec pre-flight: a
@@ -93,11 +112,119 @@ func TestCheckRejectsMalformedSpecs(t *testing.T) {
 // TestCheckAcceptsValidSpec is the control: -check on a well-formed
 // spec exits 0.
 func TestCheckAcceptsValidSpec(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "spec.json")
-	if err := os.WriteFile(path, []byte(`{"k": 4, "trials": 2, "seed": 1}`), 0o644); err != nil {
-		t.Fatal(err)
-	}
+	path := writeSpec(t, `{"k": 4, "trials": 2, "seed": 1}`)
 	if code, stderr := runBuzzsim(t, "-check", "-scenario", path); code != 0 {
 		t.Fatalf("valid spec rejected: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestSubcommandCheck exercises the v2 spelling of the pre-flight:
+// `buzzsim check <spec>` accepts valid specs (both schema versions),
+// rejects malformed ones with the same diagnostics as the legacy path,
+// and complains about usage when the spec path is missing.
+func TestSubcommandCheck(t *testing.T) {
+	v1 := writeSpec(t, `{"k": 4, "trials": 2, "seed": 1}`)
+	if code, stderr := runBuzzsim(t, "check", v1); code != 0 {
+		t.Fatalf("check rejected valid v1 spec: exit %d, stderr %q", code, stderr)
+	}
+	v2 := writeSpec(t, `{"version": 2, "trials": 2, "seed": 1, "workload": {"k": 4}}`)
+	if code, stderr := runBuzzsim(t, "check", v2); code != 0 {
+		t.Fatalf("check rejected valid v2 spec: exit %d, stderr %q", code, stderr)
+	}
+	bad := writeSpec(t, `{"version": 2, "trials": 2, "workload": {"k": 0}}`)
+	if code, stderr := runBuzzsim(t, "check", bad); code == 0 || !strings.Contains(stderr, "k") {
+		t.Fatalf("check accepted k=0 spec: exit %d, stderr %q", code, stderr)
+	}
+	if code, stderr := runBuzzsim(t, "check"); code == 0 || !strings.Contains(stderr, "usage") {
+		t.Fatalf("check with no spec path: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestSubcommandRun pins the `buzzsim run <spec>` spelling on a tiny
+// scenario: exit 0 and a scheme line on stdout.
+func TestSubcommandRun(t *testing.T) {
+	path := writeSpec(t, `{"k": 2, "trials": 1, "seed": 7}`)
+	code, stdout, stderr := runBuzzsimFull(t, "run", path)
+	if code != 0 {
+		t.Fatalf("run failed: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "scenario ") || !strings.Contains(stdout, "delivered correct") {
+		t.Fatalf("run output missing scheme summary:\n%s", stdout)
+	}
+}
+
+// sweepTestSpec is a fast arrivals+slo spec for the sweep CLI tests.
+const sweepTestSpec = `{
+	"version": 2, "name": "cli-sweep", "trials": 2, "seed": 20268,
+	"workload": {"k": 2, "arrivals": {"process": "poisson", "rate": 0.2, "count": 4, "dwell": 48}},
+	"decode": {"max_slots": 400},
+	"slo": {"p99_completion_slots": 10, "rate_lo": 0.05, "rate_hi": 0.8, "probes": 2}
+}`
+
+// TestSubcommandSweep runs the same capacity sweep twice and requires
+// byte-identical reports — the CLI half of the reproducibility
+// contract — then pins the misuse diagnostics.
+func TestSubcommandSweep(t *testing.T) {
+	path := writeSpec(t, sweepTestSpec)
+	code, out1, stderr := runBuzzsimFull(t, "sweep", path)
+	if code != 0 {
+		t.Fatalf("sweep failed: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out1, "capacity report:") || !strings.Contains(out1, "max sustainable rate:") {
+		t.Fatalf("sweep output missing report:\n%s", out1)
+	}
+	_, out2, _ := runBuzzsimFull(t, "sweep", path)
+	if out1 != out2 {
+		t.Fatalf("sweep reports differ between runs:\nfirst:\n%s\nsecond:\n%s", out1, out2)
+	}
+	// A -seed override must change the report header, not crash.
+	code, out3, stderr := runBuzzsimFull(t, "sweep", "-seed", "777", path)
+	if code != 0 {
+		t.Fatalf("sweep -seed failed: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out3, "seed 777") {
+		t.Fatalf("sweep -seed 777 report does not echo the seed:\n%s", out3)
+	}
+
+	noSLO := writeSpec(t, `{"version": 2, "trials": 2, "seed": 1,
+		"workload": {"k": 2, "arrivals": {"process": "poisson", "rate": 0.2, "count": 4}}}`)
+	if code, stderr := runBuzzsim(t, "sweep", noSLO); code == 0 || !strings.Contains(stderr, "slo") {
+		t.Fatalf("sweep without slo: exit %d, stderr %q", code, stderr)
+	}
+	noArrivals := writeSpec(t, `{"k": 2, "trials": 2, "seed": 1}`)
+	if code, stderr := runBuzzsim(t, "sweep", noArrivals); code == 0 || !strings.Contains(stderr, "arrivals") {
+		t.Fatalf("sweep without arrivals: exit %d, stderr %q", code, stderr)
+	}
+	if code, stderr := runBuzzsim(t, "sweep"); code == 0 || !strings.Contains(stderr, "usage") {
+		t.Fatalf("sweep with no spec path: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestLegacyFlagShim pins that the pre-subcommand spellings still work
+// and print a deprecation note to stderr while exiting with the same
+// code the subcommand would.
+func TestLegacyFlagShim(t *testing.T) {
+	path := writeSpec(t, `{"k": 2, "trials": 1, "seed": 7}`)
+
+	code, stderr := runBuzzsim(t, "-check", "-scenario", path)
+	if code != 0 {
+		t.Fatalf("legacy -check -scenario failed: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stderr, "deprecated") || !strings.Contains(stderr, "buzzsim check") {
+		t.Fatalf("legacy -check did not point at `buzzsim check`: stderr %q", stderr)
+	}
+
+	code, legacyOut, stderr := runBuzzsimFull(t, "-scenario", path)
+	if code != 0 {
+		t.Fatalf("legacy -scenario failed: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stderr, "deprecated") || !strings.Contains(stderr, "buzzsim run") {
+		t.Fatalf("legacy -scenario did not point at `buzzsim run`: stderr %q", stderr)
+	}
+	// The shim must produce the same stdout as the subcommand — CI
+	// parsers see no difference between the spellings.
+	_, newOut, _ := runBuzzsimFull(t, "run", path)
+	if legacyOut != newOut {
+		t.Fatalf("legacy and subcommand stdout differ:\nlegacy:\n%s\nnew:\n%s", legacyOut, newOut)
 	}
 }

@@ -9,8 +9,8 @@
 // delivering.
 //
 // Each band is one declarative spec run through the scenario engine
-// (sim.RunScenario) — the same engine behind `buzzsim -scenario` —
-// rather than a hand-rolled trial loop over sim internals.
+// (sim.Run) — the same engine behind `buzzsim run` — rather than a
+// hand-rolled trial loop over sim internals.
 //
 //	go run ./examples/challenged
 package main
@@ -30,15 +30,13 @@ func main() {
 
 	fmt.Printf("%-12s | %-18s | %-18s | %-18s\n", "SNR band", "BUZZ loss  [b/s]", "TDMA loss", "CDMA loss")
 	for bi, band := range bands {
-		out, err := sim.RunScenario(scenario.Spec{
+		out, err := sim.Run(scenario.Spec{
 			Name:     fmt.Sprintf("challenged-band-%d", bi),
-			K:        k,
 			Trials:   trials,
 			Seed:     1234 + uint64(bi),
-			SNRLodB:  band[0],
-			SNRHidB:  band[1],
-			Restarts: 3,
-			MaxSlots: 600,
+			Workload: scenario.WorkloadSpec{K: k},
+			Channel:  scenario.ChannelSpec{SNRLodB: band[0], SNRHidB: band[1]},
+			Decode:   scenario.DecodeSpec{Restarts: 3, MaxSlots: 600},
 			Schemes:  []string{scenario.SchemeBuzz, scenario.SchemeTDMA, scenario.SchemeCDMA},
 		})
 		if err != nil {

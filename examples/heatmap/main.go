@@ -52,19 +52,16 @@ func readingsFor(round int) []bits.Vector {
 
 func main() {
 	spec := scenario.Spec{
-		Name:        "heatmap",
-		K:           rows * cols,
-		Trials:      rounds,
-		Seed:        9001,
-		SNRLodB:     12,
-		SNRHidB:     26,
-		MessageBits: 16,
-		Channel:     scenario.ChannelSpec{Kind: scenario.KindGaussMarkov, Rho: 0.999},
+		Name:     "heatmap",
+		Trials:   rounds,
+		Seed:     9001,
+		Workload: scenario.WorkloadSpec{K: rows * cols, MessageBits: 16},
+		Channel: scenario.ChannelSpec{
+			Kind: scenario.KindGaussMarkov, Rho: 0.999,
+			SNRLodB: 12, SNRHidB: 26,
+		},
 	}
-	out, err := sim.RunScenarioOpts(spec, sim.ScenarioOptions{
-		Messages:   readingsFor,
-		KeepTrials: true,
-	})
+	out, err := sim.Run(spec, sim.WithMessages(readingsFor), sim.WithTrialDetail())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -124,8 +124,8 @@ func runChaosPass(t *testing.T, seed uint64, files []string) *chaosPass {
 		if spec.Trials > chaosTrials {
 			spec.Trials = chaosTrials
 		}
-		if spec.MaxSlots > chaosMaxSlots {
-			spec.MaxSlots = chaosMaxSlots
+		if spec.Decode.MaxSlots > chaosMaxSlots {
+			spec.Decode.MaxSlots = chaosMaxSlots
 		}
 		crc, err := spec.CRCKind()
 		if err != nil {

@@ -57,7 +57,7 @@ func TestLoopbackConformance(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			batch, err := sim.RunScenarioOpts(spec, sim.ScenarioOptions{KeepTrials: true})
+			batch, err := sim.Run(spec, sim.WithTrialDetail())
 			if err != nil {
 				t.Fatalf("batch run: %v", err)
 			}

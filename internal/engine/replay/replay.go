@@ -123,6 +123,14 @@ type sentSlot struct {
 // taps, participation seeds, session salt, process seed, then the noise
 // fork and the decode fork — draw for draw as in the simulator.
 func newTrialState(spec scenario.Spec, trial int) (*trialState, error) {
+	// Arrival-process workloads expand here, exactly as the batch
+	// engine expands them at the top of sim.Run: the materialized
+	// schedule is a pure function of (spec, seed), so both ends of the
+	// wire derive the same roster without exchanging it.
+	spec, err := spec.Materialize()
+	if err != nil {
+		return nil, err
+	}
 	crc, err := spec.CRCKind()
 	if err != nil {
 		return nil, err
@@ -132,7 +140,7 @@ func newTrialState(spec scenario.Spec, trial int) (*trialState, error) {
 	if err != nil {
 		return nil, err
 	}
-	maxSlots := spec.MaxSlots
+	maxSlots := spec.Decode.MaxSlots
 	if kTot < 1 || maxSlots < 1 {
 		return nil, fmt.Errorf("replay: spec needs defaults applied (k=%d, max_slots=%d)", kTot, maxSlots)
 	}
@@ -140,10 +148,10 @@ func newTrialState(spec scenario.Spec, trial int) (*trialState, error) {
 	setup := prng.NewSource(prng.Mix2(spec.Seed, uint64(trial)))
 	msgs := make([]bits.Vector, kTot)
 	for i := range msgs {
-		msgs[i] = bits.Random(setup, spec.MessageBits)
+		msgs[i] = bits.Random(setup, spec.Workload.MessageBits)
 	}
-	ch := channel.NewFromSNRBand(kTot, spec.SNRLodB, spec.SNRHidB, setup)
-	ch.AGCNoiseFraction = spec.AGCNoiseFraction
+	ch := channel.NewFromSNRBand(kTot, spec.Channel.SNRLodB, spec.Channel.SNRHidB, setup)
+	ch.AGCNoiseFraction = spec.Channel.AGCNoiseFraction
 	seeds := make([]uint64, kTot)
 	for i := range seeds {
 		seeds[i] = setup.Uint64()
@@ -162,18 +170,18 @@ func newTrialState(spec scenario.Spec, trial int) (*trialState, error) {
 	// Window resolution happens client-side (the client owns the
 	// channel model), exactly as TransferDynamic resolves it.
 	var pol ratedapt.WindowPolicy
-	switch spec.Window {
+	switch spec.Decode.Window {
 	case scenario.WindowAuto:
 		pol = ratedapt.AutoWindow()
 	case scenario.WindowFixed:
-		pol = ratedapt.FixedWindow(spec.DecodeWindow)
+		pol = ratedapt.FixedWindow(spec.Decode.DecodeWindow)
 	case scenario.WindowPerTag:
-		pol = ratedapt.PerTagWindow(spec.WindowSoft)
+		pol = ratedapt.PerTagWindow(spec.Decode.WindowSoft)
 	}
 	win := pol.EffectiveSlots(proc.CoherenceSlots(), maxSlots)
 	var wins []int
 	confirmWin := 0
-	if spec.Window == scenario.WindowPerTag {
+	if spec.Decode.Window == scenario.WindowPerTag {
 		wins = ratedapt.ResolveTagWindows(proc, maxSlots, kTot)
 		for _, w := range wins {
 			confirmWin = max(confirmWin, w)
@@ -197,12 +205,12 @@ func newTrialState(spec scenario.Spec, trial int) (*trialState, error) {
 		Salt:          salt,
 		DecodeSeed:    decodeSeed,
 		CRC:           uint8(crc),
-		MessageBits:   uint16(spec.MessageBits),
+		MessageBits:   uint16(spec.Workload.MessageBits),
 		MaxSlots:      uint32(maxSlots),
-		Restarts:      uint16(spec.Restarts),
+		Restarts:      uint16(spec.Decode.Restarts),
 		WindowSlots:   uint32(win),
 		ConfirmWindow: uint32(confirmWin),
-		WindowSoft:    spec.WindowSoft,
+		WindowSoft:    spec.Decode.WindowSoft,
 		RosterCap:     uint32(kTot),
 		Seeds:         seeds[:k0],
 		Taps:          dm.Taps[:k0],
@@ -214,7 +222,7 @@ func newTrialState(spec scenario.Spec, trial int) (*trialState, error) {
 		}
 	}
 
-	frameLen := spec.MessageBits + crc.Width()
+	frameLen := spec.Workload.MessageBits + crc.Width()
 	return &trialState{
 		spec:        spec,
 		trial:       trial,

@@ -1,16 +1,25 @@
 // Package scenario defines the declarative workload specifications the
-// simulator's scenario engine executes (sim.RunScenario). A Spec fixes
-// everything a workload needs — tag count, SNR band, channel process,
-// population schedule, trial count — as plain data, loadable from JSON
-// (`buzzsim -scenario cart.json`) or built in code; the sim package
+// simulator's scenario engine executes (sim.Run). A Spec fixes
+// everything a workload needs — tag population, SNR band, channel
+// process, decode budget, trial count — as plain data, loadable from
+// JSON (`buzzsim run cart.json`) or built in code; the sim package
 // turns it into channels, rosters and trials. The paper's hard-coded
 // experiments (Fig. 10's data-phase comparison, Fig. 12's challenging
 // bands) are just particular static Specs, and the goldens pin that a
 // static Spec reproduces them byte for byte.
+//
+// The schema is versioned. Version 2 (this file) groups the spec into
+// sections — "workload" (who is in the field and when), "channel" (what
+// the air does to them), "decode" (the reader's budget and window
+// policy) — plus an optional "slo" block consumed by the capacity-sweep
+// driver. Version 1, the original flat layout, still parses via an
+// upgrade path (v1.go) and runs byte-identically.
 package scenario
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -40,7 +49,7 @@ const (
 	SchemeCDMA = "cdma"
 )
 
-// Decode-window policies accepted in Spec.Window.
+// Decode-window policies accepted in DecodeSpec.Window.
 const (
 	// WindowNone keeps the classic whole-round decoder (the default).
 	WindowNone = "none"
@@ -58,7 +67,8 @@ const (
 	WindowPerTag = "per_tag"
 )
 
-// ChannelSpec selects and parameterizes the tap process.
+// ChannelSpec is the "channel" section: the tap process and the
+// receiver-side impairments every tag's air passes through.
 type ChannelSpec struct {
 	// Kind is one of the Kind* constants; empty means static.
 	Kind string `json:"kind,omitempty"`
@@ -69,36 +79,10 @@ type ChannelSpec struct {
 	Rho float64 `json:"rho,omitempty"`
 	// PerTagRho, when non-empty, overrides Rho per tag and must cover
 	// the full roster (initial tags first, then arrivals in schedule
-	// order) — how a spec mixes parked and moving tags.
+	// order) — how a fixed-roster spec mixes parked and moving tags.
+	// Arrival-process workloads draw per-tag rho from the arrival
+	// spec's rho band instead.
 	PerTagRho []float64 `json:"per_tag_rho,omitempty"`
-}
-
-// PopulationEvent is one entry of the population schedule: tags joining
-// and/or leaving immediately before the given collision slot.
-type PopulationEvent struct {
-	// Slot is the 1-based collision slot the event precedes; must be
-	// ≥ 2 (slot-1 tags are the initial population) and strictly
-	// increasing across events.
-	Slot int `json:"slot"`
-	// Arrive is the number of tags joining. Arrivals trigger a
-	// re-identification burst whose slot cost the engine charges.
-	Arrive int `json:"arrive,omitempty"`
-	// Depart is the number of tags leaving; the longest-present tags
-	// leave first (FIFO), and a departing tag's message — unless
-	// already delivered — is lost.
-	Depart int `json:"depart,omitempty"`
-}
-
-// Spec is a complete declarative workload.
-type Spec struct {
-	// Name labels the scenario in reports.
-	Name string `json:"name,omitempty"`
-	// K is the initial tag population.
-	K int `json:"k"`
-	// Trials is the number of independent channel/message draws.
-	Trials int `json:"trials"`
-	// Seed makes the whole scenario reproducible.
-	Seed uint64 `json:"seed"`
 	// SNRLodB and SNRHidB bound the per-tag SNR band (Fig. 12's
 	// channel-quality axis). Leaving BOTH at zero selects the default
 	// 14–30 dB bench band; a band pinned exactly at {0, 0} needs
@@ -118,8 +102,102 @@ type Spec struct {
 	// front end) — the explicit form of "zero", which would otherwise
 	// mean "default".
 	NoAGC bool `json:"no_agc,omitempty"`
+}
+
+// Validate checks the channel section's local invariants. Cross-section
+// checks (per-tag rho length versus the roster, window compatibility)
+// live in Spec.Validate.
+func (c ChannelSpec) Validate() error {
+	if c.SNRHidB < c.SNRLodB {
+		return fmt.Errorf("scenario: snr band [%v, %v] is inverted", c.SNRLodB, c.SNRHidB)
+	}
+	switch c.Kind {
+	case KindStatic:
+	case KindBlockFading:
+		if c.BlockLen < 1 {
+			return fmt.Errorf("scenario: block-fading needs block_len >= 1, got %d", c.BlockLen)
+		}
+	case KindGaussMarkov:
+		for i, r := range c.PerTagRho {
+			if r <= 0 || r > 1 {
+				return fmt.Errorf("scenario: rho[%d] = %v outside (0, 1]", i, r)
+			}
+		}
+	default:
+		return fmt.Errorf("scenario: unknown channel kind %q", c.Kind)
+	}
+	return nil
+}
+
+// PopulationEvent is one entry of the population schedule: tags joining
+// and/or leaving immediately before the given collision slot.
+type PopulationEvent struct {
+	// Slot is the 1-based collision slot the event precedes; must be
+	// ≥ 2 (slot-1 tags are the initial population) and strictly
+	// increasing across events.
+	Slot int `json:"slot"`
+	// Arrive is the number of tags joining. Arrivals trigger a
+	// re-identification burst whose slot cost the engine charges.
+	Arrive int `json:"arrive,omitempty"`
+	// Depart is the number of tags leaving; the longest-present tags
+	// leave first (FIFO), and a departing tag's message — unless
+	// already delivered — is lost.
+	Depart int `json:"depart,omitempty"`
+}
+
+// WorkloadSpec is the "workload" section: who is in the field and when.
+// A fixed roster is K initial tags plus an explicit Population
+// schedule; an open-ended workload replaces the schedule with an
+// arrival process (Arrivals) that Materialize expands deterministically.
+type WorkloadSpec struct {
+	// K is the initial tag population (present from slot 1; the
+	// dynamic engine needs at least one tag on the air at slot 1).
+	K int `json:"k"`
 	// MessageBits is the per-tag payload size; 0 means 32.
 	MessageBits int `json:"message_bits,omitempty"`
+	// Population schedules mid-round arrivals and departures
+	// explicitly. Mutually exclusive with Arrivals.
+	Population []PopulationEvent `json:"population,omitempty"`
+	// Arrivals, when set, generates the population schedule from an
+	// arrival process instead. Mutually exclusive with Population.
+	Arrivals *ArrivalSpec `json:"arrivals,omitempty"`
+}
+
+// Validate checks the workload section's local invariants.
+func (w WorkloadSpec) Validate() error {
+	if w.K < 1 {
+		return fmt.Errorf("scenario: k must be >= 1, got %d", w.K)
+	}
+	if w.MessageBits < 1 {
+		return fmt.Errorf("scenario: message_bits must be >= 1, got %d", w.MessageBits)
+	}
+	if w.Arrivals != nil {
+		if len(w.Population) > 0 {
+			return fmt.Errorf("scenario: workload.population and workload.arrivals cannot be combined (the arrival process generates the schedule)")
+		}
+		if err := w.Arrivals.Validate(); err != nil {
+			return err
+		}
+	}
+	prev := 1
+	for _, e := range w.Population {
+		if e.Slot < 2 {
+			return fmt.Errorf("scenario: population event at slot %d; mid-round events start at slot 2", e.Slot)
+		}
+		if e.Slot <= prev {
+			return fmt.Errorf("scenario: population events must have strictly increasing slots (saw %d after %d)", e.Slot, prev)
+		}
+		prev = e.Slot
+		if e.Arrive < 0 || e.Depart < 0 || (e.Arrive == 0 && e.Depart == 0) {
+			return fmt.Errorf("scenario: event at slot %d must arrive and/or depart a positive number of tags", e.Slot)
+		}
+	}
+	return nil
+}
+
+// DecodeSpec is the "decode" section: the reader's verification, budget
+// and coherence-window policy.
+type DecodeSpec struct {
 	// CRC is "crc5" (default) or "crc16".
 	CRC string `json:"crc,omitempty"`
 	// Restarts is the decoder's extra random initializations per bit
@@ -130,12 +208,11 @@ type Spec struct {
 	// Parallelism overrides the per-trial position-decode fan-out; 0
 	// lets the trial runner budget GOMAXPROCS itself.
 	Parallelism int `json:"parallelism,omitempty"`
-	// Channel selects the tap process.
-	Channel ChannelSpec `json:"channel,omitempty"`
 	// Window selects the decoder's coherence-window policy: "" or
 	// "none" (classic unbounded decode), "auto" (derive the window
 	// from the channel process's coherence time — the fast-mobility
-	// setting), or "fixed" (keep the most recent DecodeWindow slots).
+	// setting), "fixed" (keep the most recent DecodeWindow slots), or
+	// "per_tag" (one window per roster tag).
 	Window string `json:"window,omitempty"`
 	// DecodeWindow is the fixed window length in collision slots;
 	// setting it without Window implies "fixed".
@@ -143,8 +220,78 @@ type Spec struct {
 	// WindowSoft, with Window "per_tag", down-weights a mover's stale
 	// rows by its banked drift ratio instead of removing them.
 	WindowSoft bool `json:"window_soft,omitempty"`
-	// Population schedules mid-round arrivals and departures.
-	Population []PopulationEvent `json:"population,omitempty"`
+}
+
+// CRCKind maps the section's checksum name.
+func (d DecodeSpec) CRCKind() (bits.CRCKind, error) {
+	switch strings.ToLower(d.CRC) {
+	case "crc5":
+		return bits.CRC5, nil
+	case "crc16":
+		return bits.CRC16, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown crc %q (want crc5 or crc16)", d.CRC)
+}
+
+// Validate checks the decode section's local invariants. The
+// channel-dependent window checks live in Spec.Validate.
+func (d DecodeSpec) Validate() error {
+	if _, err := d.CRCKind(); err != nil {
+		return err
+	}
+	if d.Restarts < 0 || d.MaxSlots < 1 || d.Parallelism < 0 {
+		return fmt.Errorf("scenario: negative or zero budget (restarts %d, max_slots %d, parallelism %d)", d.Restarts, d.MaxSlots, d.Parallelism)
+	}
+	switch d.Window {
+	case "", WindowNone:
+		if d.DecodeWindow != 0 {
+			return fmt.Errorf("scenario: decode_window %d with window %q — use \"fixed\" (or drop decode_window)", d.DecodeWindow, d.Window)
+		}
+	case WindowAuto:
+		if d.DecodeWindow != 0 {
+			return fmt.Errorf("scenario: window \"auto\" derives the length from the channel — drop decode_window %d or use \"fixed\"", d.DecodeWindow)
+		}
+	case WindowFixed:
+		if d.DecodeWindow < 1 {
+			return fmt.Errorf("scenario: window \"fixed\" needs decode_window >= 1, got %d", d.DecodeWindow)
+		}
+		if d.DecodeWindow >= d.MaxSlots {
+			return fmt.Errorf("scenario: decode_window %d is not below max_slots %d — the window could never slide", d.DecodeWindow, d.MaxSlots)
+		}
+	case WindowPerTag:
+		if d.DecodeWindow != 0 {
+			return fmt.Errorf("scenario: window \"per_tag\" derives each tag's window from its channel — drop decode_window %d or use \"fixed\"", d.DecodeWindow)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown window %q (want none, fixed, auto or per_tag)", d.Window)
+	}
+	if d.WindowSoft && d.Window != WindowPerTag {
+		return fmt.Errorf("scenario: window_soft only applies to window \"per_tag\" (got window %q)", d.Window)
+	}
+	return nil
+}
+
+// Spec is a complete declarative workload (schema version 2).
+type Spec struct {
+	// Version is the schema version: 0/1 (the flat v1 layout, accepted
+	// via the upgrade path) or 2. WithDefaults normalizes to 2.
+	Version int `json:"version,omitempty"`
+	// Name labels the scenario in reports.
+	Name string `json:"name,omitempty"`
+	// Trials is the number of independent channel/message draws.
+	Trials int `json:"trials"`
+	// Seed makes the whole scenario reproducible — including any
+	// arrival process, whose draws are addressable functions of it.
+	Seed uint64 `json:"seed"`
+	// Workload says who is in the field and when.
+	Workload WorkloadSpec `json:"workload"`
+	// Channel selects the tap process and receiver impairments.
+	Channel ChannelSpec `json:"channel,omitempty"`
+	// Decode fixes the reader's budget and window policy.
+	Decode DecodeSpec `json:"decode,omitempty"`
+	// SLO, when set, declares the service-level objective the capacity
+	// sweep (sim.Sweep) searches under. Plain runs ignore it.
+	SLO *SLOSpec `json:"slo,omitempty"`
 	// Schemes lists the contenders to run: "buzz" (always required),
 	// plus optionally "tdma" and "cdma" on static population-free
 	// specs. Empty means just buzz.
@@ -153,13 +300,37 @@ type Spec struct {
 
 // Parse decodes a JSON spec, rejecting unknown fields (a typo in a
 // workload file should fail loudly, not silently fall back to a
-// default), and applies defaults.
+// default), and applies defaults. Documents without a "version" field
+// (or with "version": 1) decode as the flat v1 schema and upgrade;
+// "version": 2 decodes the sectioned layout directly.
 func Parse(data []byte) (Spec, error) {
+	// Version sniff: a loose pass that only reads the version number.
+	// Unknown fields and trailing content are judged by the strict pass
+	// below, so a v1 document's field set is never measured against the
+	// v2 schema (and vice versa).
+	var probe struct {
+		Version int `json:"version"`
+	}
+	if err := json.NewDecoder(bytes.NewReader(data)).Decode(&probe); err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+
+	var s Spec
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
-	var s Spec
-	if err := dec.Decode(&s); err != nil {
-		return Spec{}, fmt.Errorf("scenario: %w", err)
+	switch probe.Version {
+	case 0, 1:
+		var v1 specV1
+		if err := dec.Decode(&v1); err != nil {
+			return Spec{}, fmt.Errorf("scenario: %w", err)
+		}
+		s = v1.upgrade()
+	case 2:
+		if err := dec.Decode(&s); err != nil {
+			return Spec{}, fmt.Errorf("scenario: %w", err)
+		}
+	default:
+		return Spec{}, fmt.Errorf("scenario: unsupported spec version %d (this build understands 1 and 2)", probe.Version)
 	}
 	// One document per file: trailing content after the spec object —
 	// a second object, a stray bracket from a botched merge — is a
@@ -187,32 +358,53 @@ func Load(path string) (Spec, error) {
 // WithDefaults fills the zero-value fields with the bench defaults the
 // classic experiments use.
 func (s Spec) WithDefaults() Spec {
-	if s.SNRLodB == 0 && s.SNRHidB == 0 && !s.NoSNRDefault {
-		s.SNRLodB, s.SNRHidB = 14, 30
+	if s.Version == 0 || s.Version == 1 {
+		s.Version = 2
+	}
+	ch := &s.Channel
+	if ch.SNRLodB == 0 && ch.SNRHidB == 0 && !ch.NoSNRDefault {
+		ch.SNRLodB, ch.SNRHidB = 14, 30
 	}
 	switch {
-	case s.NoAGC:
-		s.AGCNoiseFraction = 0
-	case s.AGCNoiseFraction == 0:
-		s.AGCNoiseFraction = 0.002
+	case ch.NoAGC:
+		ch.AGCNoiseFraction = 0
+	case ch.AGCNoiseFraction == 0:
+		ch.AGCNoiseFraction = 0.002
 	}
-	if s.MessageBits == 0 {
-		s.MessageBits = 32
+	if s.Workload.MessageBits == 0 {
+		s.Workload.MessageBits = 32
 	}
-	if s.CRC == "" {
-		s.CRC = "crc5"
+	if s.Decode.CRC == "" {
+		s.Decode.CRC = "crc5"
 	}
-	if s.Restarts == 0 {
-		s.Restarts = 2
+	if s.Decode.Restarts == 0 {
+		s.Decode.Restarts = 2
 	}
-	if s.Channel.Kind == "" {
-		s.Channel.Kind = KindStatic
+	if ch.Kind == "" {
+		ch.Kind = KindStatic
 	}
-	if s.Window == "" && s.DecodeWindow > 0 {
-		s.Window = WindowFixed
+	if a := s.Workload.Arrivals; a != nil {
+		// Clone before defaulting: Spec is a value type everywhere else,
+		// and mutating a shared ArrivalSpec through the pointer would
+		// leak defaults back into the caller's copy.
+		a2 := *a
+		if a2.StartSlot == 0 {
+			a2.StartSlot = 2
+		}
+		s.Workload.Arrivals = &a2
 	}
-	if s.MaxSlots == 0 {
-		s.MaxSlots = 40 * s.TotalTags()
+	if s.Decode.Window == "" && s.Decode.DecodeWindow > 0 {
+		s.Decode.Window = WindowFixed
+	}
+	if s.Decode.MaxSlots == 0 {
+		if a := s.Workload.Arrivals; a != nil {
+			// The roster size depends on the schedule, which needs
+			// MaxSlots to truncate against — break the cycle with the
+			// schedule's upper bound (every requested arrival lands).
+			s.Decode.MaxSlots = 40 * (s.Workload.K + a.Count)
+		} else {
+			s.Decode.MaxSlots = 40 * s.TotalTags()
+		}
 	}
 	if len(s.Schemes) == 0 {
 		s.Schemes = []string{SchemeBuzz}
@@ -220,31 +412,49 @@ func (s Spec) WithDefaults() Spec {
 	return s
 }
 
+// Hash is the spec's content address: the first 16 hex digits of the
+// SHA-256 of its canonical JSON encoding. Capacity reports carry it so
+// a claimed number is checkable against the exact spec that produced
+// it. Hash the loaded (defaults-applied) spec for a stable address.
+func (s Spec) Hash() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Spec is plain data; Marshal cannot fail on it.
+		panic("scenario: marshal spec: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
 // TotalTags returns the roster size: the initial population plus every
-// scheduled arrival.
+// scheduled arrival (for arrival-process workloads, after the schedule
+// is materialized and truncated at max_slots).
 func (s Spec) TotalTags() int {
-	n := s.K
-	for _, e := range s.Population {
+	if a := s.Workload.Arrivals; a != nil {
+		m, err := s.Materialize()
+		if err != nil {
+			// No defaults yet (max_slots unset): the schedule cannot be
+			// truncated, so every requested arrival counts.
+			return s.Workload.K + a.Count
+		}
+		return m.TotalTags()
+	}
+	n := s.Workload.K
+	for _, e := range s.Workload.Population {
 		n += e.Arrive
 	}
 	return n
 }
 
 // Dynamic reports whether the spec needs the dynamic transfer engine —
-// a time-varying channel or a population schedule.
+// a time-varying channel, a population schedule, or an arrival process.
 func (s Spec) Dynamic() bool {
-	return s.Channel.Kind != KindStatic || len(s.Population) > 0
+	return s.Channel.Kind != KindStatic || len(s.Workload.Population) > 0 || s.Workload.Arrivals != nil
 }
 
 // CRCKind maps the spec's checksum name.
 func (s Spec) CRCKind() (bits.CRCKind, error) {
-	switch strings.ToLower(s.CRC) {
-	case "crc5":
-		return bits.CRC5, nil
-	case "crc16":
-		return bits.CRC16, nil
-	}
-	return 0, fmt.Errorf("scenario: unknown crc %q (want crc5 or crc16)", s.CRC)
+	return s.Decode.CRCKind()
 }
 
 // HasScheme reports whether the spec runs the named scheme.
@@ -267,13 +477,20 @@ type Window struct {
 // PresenceWindows resolves the population schedule into per-roster-tag
 // presence windows: the K initial tags first (arriving at slot 1), then
 // every scheduled arrival in event order. Departures retire the
-// longest-present tags first.
+// longest-present tags first. Arrival-process specs materialize first.
 func (s Spec) PresenceWindows() ([]Window, error) {
+	if s.Workload.Arrivals != nil {
+		m, err := s.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		return m.PresenceWindows()
+	}
 	windows := make([]Window, 0, s.TotalTags())
-	for i := 0; i < s.K; i++ {
+	for i := 0; i < s.Workload.K; i++ {
 		windows = append(windows, Window{ArriveSlot: 1})
 	}
-	for _, e := range s.Population {
+	for _, e := range s.Workload.Population {
 		departed := 0
 		for i := range windows {
 			if departed == e.Depart {
@@ -302,7 +519,7 @@ func (s Spec) PresenceWindows() ([]Window, error) {
 func (s Spec) NewProcess(init *channel.Model, seed uint64) channel.Process {
 	switch s.Channel.Kind {
 	case KindBlockFading:
-		return channel.NewBlockFading(init.K(), s.SNRLodB, s.SNRHidB, s.Channel.BlockLen, s.AGCNoiseFraction, seed)
+		return channel.NewBlockFading(init.K(), s.Channel.SNRLodB, s.Channel.SNRHidB, s.Channel.BlockLen, s.Channel.AGCNoiseFraction, seed)
 	case KindGaussMarkov:
 		rho := s.Channel.PerTagRho
 		if len(rho) == 0 {
@@ -314,100 +531,74 @@ func (s Spec) NewProcess(init *channel.Model, seed uint64) channel.Process {
 	}
 }
 
-// Validate checks the spec for structural errors. It assumes defaults
-// have been applied (Parse does both).
+// Validate checks the spec for structural errors: each section's own
+// Validate first, then the cross-section invariants no section can see
+// alone. It assumes defaults have been applied (Parse does both).
 func (s Spec) Validate() error {
-	if s.K < 1 {
-		return fmt.Errorf("scenario: k must be >= 1, got %d", s.K)
+	if s.Version != 0 && s.Version != 1 && s.Version != 2 {
+		return fmt.Errorf("scenario: unsupported spec version %d (this build understands 1 and 2)", s.Version)
 	}
 	if s.Trials < 1 {
 		return fmt.Errorf("scenario: trials must be >= 1, got %d", s.Trials)
 	}
-	if s.SNRHidB < s.SNRLodB {
-		return fmt.Errorf("scenario: snr band [%v, %v] is inverted", s.SNRLodB, s.SNRHidB)
-	}
-	if s.MessageBits < 1 {
-		return fmt.Errorf("scenario: message_bits must be >= 1, got %d", s.MessageBits)
-	}
-	if _, err := s.CRCKind(); err != nil {
+	if err := s.Workload.Validate(); err != nil {
 		return err
 	}
-	if s.Restarts < 0 || s.MaxSlots < 1 || s.Parallelism < 0 {
-		return fmt.Errorf("scenario: negative or zero budget (restarts %d, max_slots %d, parallelism %d)", s.Restarts, s.MaxSlots, s.Parallelism)
+	if err := s.Channel.Validate(); err != nil {
+		return err
 	}
-	switch s.Channel.Kind {
-	case KindStatic:
-	case KindBlockFading:
-		if s.Channel.BlockLen < 1 {
-			return fmt.Errorf("scenario: block-fading needs block_len >= 1, got %d", s.Channel.BlockLen)
+	if err := s.Decode.Validate(); err != nil {
+		return err
+	}
+	if s.SLO != nil {
+		if err := s.SLO.Validate(); err != nil {
+			return err
 		}
-	case KindGaussMarkov:
-		rho := s.Channel.PerTagRho
-		if len(rho) == 0 {
-			rho = []float64{s.Channel.Rho}
-		} else if len(rho) != s.TotalTags() {
-			return fmt.Errorf("scenario: per_tag_rho has %d entries for %d roster tags", len(rho), s.TotalTags())
-		}
-		for i, r := range rho {
-			if r <= 0 || r > 1 {
-				return fmt.Errorf("scenario: rho[%d] = %v outside (0, 1]", i, r)
+	}
+
+	// Cross-section: channel × workload.
+	a := s.Workload.Arrivals
+	if s.Channel.Kind == KindGaussMarkov {
+		hasBand := a != nil && a.RhoHi != 0
+		if len(s.Channel.PerTagRho) == 0 && !hasBand {
+			if r := s.Channel.Rho; r <= 0 || r > 1 {
+				return fmt.Errorf("scenario: rho[0] = %v outside (0, 1]", r)
 			}
 		}
-	default:
-		return fmt.Errorf("scenario: unknown channel kind %q", s.Channel.Kind)
 	}
-	switch s.Window {
-	case "", WindowNone:
-		if s.DecodeWindow != 0 {
-			return fmt.Errorf("scenario: decode_window %d with window %q — use \"fixed\" (or drop decode_window)", s.DecodeWindow, s.Window)
+	if a != nil {
+		if len(s.Channel.PerTagRho) > 0 {
+			return fmt.Errorf("scenario: per_tag_rho cannot be combined with workload arrivals — use the arrival spec's rho_lo/rho_hi band")
 		}
-	case WindowAuto:
-		if s.DecodeWindow != 0 {
-			return fmt.Errorf("scenario: window \"auto\" derives the length from the channel — drop decode_window %d or use \"fixed\"", s.DecodeWindow)
+		if a.RhoHi != 0 && s.Channel.Kind != KindGaussMarkov {
+			return fmt.Errorf("scenario: arrivals rho band needs channel kind %q (got %q)", KindGaussMarkov, s.Channel.Kind)
 		}
-	case WindowFixed:
-		if s.DecodeWindow < 1 {
-			return fmt.Errorf("scenario: window \"fixed\" needs decode_window >= 1, got %d", s.DecodeWindow)
+		if a.StartSlot > s.Decode.MaxSlots {
+			return fmt.Errorf("scenario: arrivals start_slot %d is beyond max_slots %d — no arrival could ever fire", a.StartSlot, s.Decode.MaxSlots)
 		}
-		if s.DecodeWindow >= s.MaxSlots {
-			return fmt.Errorf("scenario: decode_window %d is not below max_slots %d — the window could never slide", s.DecodeWindow, s.MaxSlots)
-		}
-	case WindowPerTag:
-		if s.DecodeWindow != 0 {
-			return fmt.Errorf("scenario: window \"per_tag\" derives each tag's window from its channel — drop decode_window %d or use \"fixed\"", s.DecodeWindow)
-		}
-		if s.Channel.Kind == KindStatic {
-			// On a frozen channel per-tag windows could never resolve to
-			// anything; asking for them is certainly a spec mistake.
-			return fmt.Errorf("scenario: window \"per_tag\" needs a time-varying channel (kind %q is static)", s.Channel.Kind)
-		}
-	default:
-		return fmt.Errorf("scenario: unknown window %q (want none, fixed, auto or per_tag)", s.Window)
+	} else if len(s.Channel.PerTagRho) > 0 && len(s.Channel.PerTagRho) != s.TotalTags() {
+		return fmt.Errorf("scenario: per_tag_rho has %d entries for %d roster tags", len(s.Channel.PerTagRho), s.TotalTags())
 	}
-	if s.WindowSoft && s.Window != WindowPerTag {
-		return fmt.Errorf("scenario: window_soft only applies to window \"per_tag\" (got window %q)", s.Window)
+
+	// Cross-section: decode × channel.
+	if s.Decode.Window == WindowPerTag && s.Channel.Kind == KindStatic {
+		// On a frozen channel per-tag windows could never resolve to
+		// anything; asking for them is certainly a spec mistake.
+		return fmt.Errorf("scenario: window \"per_tag\" needs a time-varying channel (kind %q is static)", s.Channel.Kind)
 	}
-	prev := 1
-	for _, e := range s.Population {
-		if e.Slot < 2 {
-			return fmt.Errorf("scenario: population event at slot %d; mid-round events start at slot 2", e.Slot)
-		}
-		if e.Slot > s.MaxSlots {
+
+	// Cross-section: workload × decode.
+	for _, e := range s.Workload.Population {
+		if e.Slot > s.Decode.MaxSlots {
 			// A typoed event slot would otherwise silently turn its
 			// arrivals into never-joined, 100%-lost tags.
-			return fmt.Errorf("scenario: population event at slot %d is beyond max_slots %d — it could never fire", e.Slot, s.MaxSlots)
-		}
-		if e.Slot <= prev {
-			return fmt.Errorf("scenario: population events must have strictly increasing slots (saw %d after %d)", e.Slot, prev)
-		}
-		prev = e.Slot
-		if e.Arrive < 0 || e.Depart < 0 || (e.Arrive == 0 && e.Depart == 0) {
-			return fmt.Errorf("scenario: event at slot %d must arrive and/or depart a positive number of tags", e.Slot)
+			return fmt.Errorf("scenario: population event at slot %d is beyond max_slots %d — it could never fire", e.Slot, s.Decode.MaxSlots)
 		}
 	}
 	if _, err := s.PresenceWindows(); err != nil {
 		return err
 	}
+
 	if !s.HasScheme(SchemeBuzz) {
 		return fmt.Errorf("scenario: schemes must include %q", SchemeBuzz)
 	}
@@ -420,6 +611,18 @@ func (s Spec) Validate() error {
 			}
 		default:
 			return fmt.Errorf("scenario: unknown scheme %q", sch)
+		}
+	}
+
+	// An arrival-process spec must also be valid once expanded: the
+	// materialized spec has no Arrivals, so this cannot recurse.
+	if a != nil {
+		m, err := s.Materialize()
+		if err != nil {
+			return err
+		}
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("%w (after materializing the arrival process)", err)
 		}
 	}
 	return nil

@@ -14,10 +14,13 @@ func TestParseDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.SNRLodB != 14 || s.SNRHidB != 30 || s.AGCNoiseFraction != 0.002 ||
-		s.MessageBits != 32 || s.CRC != "crc5" || s.Restarts != 2 ||
-		s.MaxSlots != 160 || s.Channel.Kind != KindStatic || len(s.Schemes) != 1 || s.Schemes[0] != SchemeBuzz {
+	if s.Channel.SNRLodB != 14 || s.Channel.SNRHidB != 30 || s.Channel.AGCNoiseFraction != 0.002 ||
+		s.Workload.MessageBits != 32 || s.Decode.CRC != "crc5" || s.Decode.Restarts != 2 ||
+		s.Decode.MaxSlots != 160 || s.Channel.Kind != KindStatic || len(s.Schemes) != 1 || s.Schemes[0] != SchemeBuzz {
 		t.Fatalf("defaults not applied: %+v", s)
+	}
+	if s.Version != 2 {
+		t.Fatalf("v1 spec upgraded to version %d, want 2", s.Version)
 	}
 	if kind, err := s.CRCKind(); err != nil || kind != bits.CRC5 {
 		t.Fatalf("CRCKind = %v, %v", kind, err)
@@ -31,6 +34,17 @@ func TestParseRejectsUnknownFields(t *testing.T) {
 	if _, err := Parse([]byte(`{"k": 4, "trials": 2, "snr_low_db": 10}`)); err == nil {
 		t.Fatal("typo field accepted")
 	}
+	// The v2 surface is strict too, section by section.
+	if _, err := Parse([]byte(`{"version": 2, "trials": 2, "workload": {"k": 4, "snr_lo_db": 10}}`)); err == nil {
+		t.Fatal("typo field in a v2 section accepted")
+	}
+}
+
+func TestParseRejectsUnknownVersion(t *testing.T) {
+	_, err := Parse([]byte(`{"version": 3, "trials": 2, "workload": {"k": 4}}`))
+	if err == nil || !strings.Contains(err.Error(), "unsupported spec version 3") {
+		t.Fatalf("version 3 err = %v", err)
+	}
 }
 
 func TestParseNoAGC(t *testing.T) {
@@ -38,48 +52,50 @@ func TestParseNoAGC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.AGCNoiseFraction != 0 {
-		t.Fatalf("no_agc left AGCNoiseFraction = %v", s.AGCNoiseFraction)
+	if s.Channel.AGCNoiseFraction != 0 {
+		t.Fatalf("no_agc left AGCNoiseFraction = %v", s.Channel.AGCNoiseFraction)
 	}
 }
 
 func TestValidateErrors(t *testing.T) {
 	base := func() Spec {
-		return Spec{K: 4, Trials: 2}.WithDefaults()
+		return Spec{Trials: 2, Workload: WorkloadSpec{K: 4}}.WithDefaults()
 	}
 	cases := []struct {
 		name string
 		mut  func(*Spec)
 		want string
 	}{
-		{"zero k", func(s *Spec) { s.K = 0 }, "k must be"},
-		{"inverted band", func(s *Spec) { s.SNRLodB, s.SNRHidB = 20, 10 }, "inverted"},
-		{"bad crc", func(s *Spec) { s.CRC = "crc32" }, "unknown crc"},
+		{"zero k", func(s *Spec) { s.Workload.K = 0 }, "k must be"},
+		{"inverted band", func(s *Spec) { s.Channel.SNRLodB, s.Channel.SNRHidB = 20, 10 }, "inverted"},
+		{"bad crc", func(s *Spec) { s.Decode.CRC = "crc32" }, "unknown crc"},
 		{"bad kind", func(s *Spec) { s.Channel.Kind = "rician" }, "unknown channel kind"},
 		{"block without len", func(s *Spec) { s.Channel.Kind = KindBlockFading }, "block_len"},
-		{"rho out of range", func(s *Spec) { s.Channel = ChannelSpec{Kind: KindGaussMarkov, Rho: 1.5} }, "outside (0, 1]"},
+		{"rho out of range", func(s *Spec) {
+			s.Channel.Kind, s.Channel.Rho = KindGaussMarkov, 1.5
+		}, "outside (0, 1]"},
 		{"per-tag rho length", func(s *Spec) {
-			s.Channel = ChannelSpec{Kind: KindGaussMarkov, PerTagRho: []float64{0.9}}
+			s.Channel.Kind, s.Channel.PerTagRho = KindGaussMarkov, []float64{0.9}
 		}, "per_tag_rho"},
-		{"event too early", func(s *Spec) { s.Population = []PopulationEvent{{Slot: 1, Arrive: 1}} }, "start at slot 2"},
-		{"event past the cap", func(s *Spec) { s.Population = []PopulationEvent{{Slot: 9999, Arrive: 1}} }, "beyond max_slots"},
+		{"event too early", func(s *Spec) { s.Workload.Population = []PopulationEvent{{Slot: 1, Arrive: 1}} }, "start at slot 2"},
+		{"event past the cap", func(s *Spec) { s.Workload.Population = []PopulationEvent{{Slot: 9999, Arrive: 1}} }, "beyond max_slots"},
 		{"events unsorted", func(s *Spec) {
-			s.Population = []PopulationEvent{{Slot: 5, Arrive: 1}, {Slot: 5, Arrive: 1}}
+			s.Workload.Population = []PopulationEvent{{Slot: 5, Arrive: 1}, {Slot: 5, Arrive: 1}}
 		}, "strictly increasing"},
-		{"empty event", func(s *Spec) { s.Population = []PopulationEvent{{Slot: 3}} }, "positive number"},
-		{"over-depart", func(s *Spec) { s.Population = []PopulationEvent{{Slot: 2, Depart: 9}} }, "only"},
+		{"empty event", func(s *Spec) { s.Workload.Population = []PopulationEvent{{Slot: 3}} }, "positive number"},
+		{"over-depart", func(s *Spec) { s.Workload.Population = []PopulationEvent{{Slot: 2, Depart: 9}} }, "only"},
 		{"no buzz", func(s *Spec) { s.Schemes = []string{SchemeTDMA} }, "must include"},
 		{"bad scheme", func(s *Spec) { s.Schemes = []string{SchemeBuzz, "aloha"} }, "unknown scheme"},
 		{"tdma on dynamic", func(s *Spec) {
-			s.Population = []PopulationEvent{{Slot: 3, Arrive: 1}}
+			s.Workload.Population = []PopulationEvent{{Slot: 3, Arrive: 1}}
 			s.Schemes = []string{SchemeBuzz, SchemeTDMA}
 		}, "static population-free"},
-		{"unknown window", func(s *Spec) { s.Window = "sliding" }, "unknown window"},
-		{"auto with decode_window", func(s *Spec) { s.Window = WindowAuto; s.DecodeWindow = 8 }, "derives the length"},
-		{"none with decode_window", func(s *Spec) { s.Window = WindowNone; s.DecodeWindow = 8 }, "use \"fixed\""},
-		{"fixed without decode_window", func(s *Spec) { s.Window = WindowFixed }, "decode_window >= 1"},
-		{"negative decode_window", func(s *Spec) { s.Window = WindowFixed; s.DecodeWindow = -2 }, "decode_window >= 1"},
-		{"window past the cap", func(s *Spec) { s.Window = WindowFixed; s.DecodeWindow = s.MaxSlots }, "never slide"},
+		{"unknown window", func(s *Spec) { s.Decode.Window = "sliding" }, "unknown window"},
+		{"auto with decode_window", func(s *Spec) { s.Decode.Window = WindowAuto; s.Decode.DecodeWindow = 8 }, "derives the length"},
+		{"none with decode_window", func(s *Spec) { s.Decode.Window = WindowNone; s.Decode.DecodeWindow = 8 }, "use \"fixed\""},
+		{"fixed without decode_window", func(s *Spec) { s.Decode.Window = WindowFixed }, "decode_window >= 1"},
+		{"negative decode_window", func(s *Spec) { s.Decode.Window = WindowFixed; s.Decode.DecodeWindow = -2 }, "decode_window >= 1"},
+		{"window past the cap", func(s *Spec) { s.Decode.Window = WindowFixed; s.Decode.DecodeWindow = s.Decode.MaxSlots }, "never slide"},
 	}
 	for _, tc := range cases {
 		s := base()
@@ -102,23 +118,23 @@ func TestParseWindowFields(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Window != WindowFixed || s.DecodeWindow != 12 {
-		t.Fatalf("bare decode_window parsed to window=%q decode_window=%d", s.Window, s.DecodeWindow)
+	if s.Decode.Window != WindowFixed || s.Decode.DecodeWindow != 12 {
+		t.Fatalf("bare decode_window parsed to window=%q decode_window=%d", s.Decode.Window, s.Decode.DecodeWindow)
 	}
 	s, err = Parse([]byte(`{"k": 4, "trials": 2, "window": "auto",
 		"channel": {"kind": "gauss-markov", "rho": 0.9}}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Window != WindowAuto || s.DecodeWindow != 0 {
-		t.Fatalf("auto parsed to window=%q decode_window=%d", s.Window, s.DecodeWindow)
+	if s.Decode.Window != WindowAuto || s.Decode.DecodeWindow != 0 {
+		t.Fatalf("auto parsed to window=%q decode_window=%d", s.Decode.Window, s.Decode.DecodeWindow)
 	}
 	s, err = Parse([]byte(`{"k": 4, "trials": 2}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Window != "" || s.DecodeWindow != 0 {
-		t.Fatalf("zero value parsed to window=%q decode_window=%d", s.Window, s.DecodeWindow)
+	if s.Decode.Window != "" || s.Decode.DecodeWindow != 0 {
+		t.Fatalf("zero value parsed to window=%q decode_window=%d", s.Decode.Window, s.Decode.DecodeWindow)
 	}
 }
 
@@ -126,11 +142,14 @@ func TestParseWindowFields(t *testing.T) {
 // longest-present tags leave first, arrivals stack in event order.
 func TestPresenceWindows(t *testing.T) {
 	s := Spec{
-		K: 3, Trials: 1,
-		Population: []PopulationEvent{
-			{Slot: 4, Arrive: 2},
-			{Slot: 7, Depart: 2},
-			{Slot: 9, Arrive: 1, Depart: 2},
+		Trials: 1,
+		Workload: WorkloadSpec{
+			K: 3,
+			Population: []PopulationEvent{
+				{Slot: 4, Arrive: 2},
+				{Slot: 7, Depart: 2},
+				{Slot: 9, Arrive: 1, Depart: 2},
+			},
 		},
 	}.WithDefaults()
 	if err := s.Validate(); err != nil {
@@ -161,15 +180,16 @@ func TestPresenceWindows(t *testing.T) {
 // per-tag rho plumbing.
 func TestNewProcess(t *testing.T) {
 	init := channel.NewFromSNRBand(3, 14, 30, prng.NewSource(1))
-	s := Spec{K: 3, Trials: 1}.WithDefaults()
+	s := Spec{Trials: 1, Workload: WorkloadSpec{K: 3}}.WithDefaults()
 	if _, ok := s.NewProcess(init, 5).(*channel.StaticProcess); !ok {
 		t.Error("static spec did not build a StaticProcess")
 	}
-	s.Channel = ChannelSpec{Kind: KindBlockFading, BlockLen: 4}
+	s.Channel.Kind, s.Channel.BlockLen = KindBlockFading, 4
 	if _, ok := s.NewProcess(init, 5).(*channel.BlockFading); !ok {
 		t.Error("block spec did not build a BlockFading")
 	}
-	s.Channel = ChannelSpec{Kind: KindGaussMarkov, PerTagRho: []float64{0.9, 1, 0.99}}
+	s.Channel.Kind, s.Channel.BlockLen = KindGaussMarkov, 0
+	s.Channel.PerTagRho = []float64{0.9, 1, 0.99}
 	gm, ok := s.NewProcess(init, 5).(*channel.GaussMarkov)
 	if !ok {
 		t.Fatal("gauss-markov spec did not build a GaussMarkov")
@@ -189,15 +209,15 @@ func TestParsePerTagWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Window != WindowPerTag || s.WindowSoft {
-		t.Fatalf("parsed to window=%q soft=%v", s.Window, s.WindowSoft)
+	if s.Decode.Window != WindowPerTag || s.Decode.WindowSoft {
+		t.Fatalf("parsed to window=%q soft=%v", s.Decode.Window, s.Decode.WindowSoft)
 	}
 	s, err = Parse([]byte(`{"k": 4, "trials": 2, "window": "per_tag", "window_soft": true,
 		"channel": {"kind": "block-fading", "block_len": 16}}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !s.WindowSoft {
+	if !s.Decode.WindowSoft {
 		t.Fatal("window_soft did not parse")
 	}
 
@@ -228,6 +248,7 @@ func TestParseRejectsTrailingContent(t *testing.T) {
 		`{"k": 4, "trials": 2, "seed": 1}]`,
 		`{"k": 4, "trials": 2, "seed": 1} 7`,
 		`{"k": 4, "trials": 2, "seed": 1} garbage`,
+		`{"version": 2, "trials": 2, "workload": {"k": 4}} {"version": 2}`,
 	} {
 		if _, err := Parse([]byte(raw)); err == nil {
 			t.Errorf("Parse accepted trailing content: %s", raw)

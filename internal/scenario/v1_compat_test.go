@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSpecV1Compat is the upgrade-path golden: every committed v1
+// example spec must parse to exactly the Spec its hand-written v2
+// translation parses to — same defaults, same hash, byte-identical
+// runs guaranteed by the sim goldens on top. If the upgrade ever
+// drifts (a field lands in the wrong section, a default changes), this
+// fails before any engine test does.
+func TestSpecV1Compat(t *testing.T) {
+	cases := []struct {
+		file string
+		v2   string
+	}{
+		{
+			file: "block-fading.json",
+			v2: `{
+				"version": 2, "name": "door-swings", "trials": 16, "seed": 777,
+				"workload": {"k": 12},
+				"channel": {"kind": "block-fading", "block_len": 24, "snr_lo_db": 14, "snr_hi_db": 30}
+			}`,
+		},
+		{
+			file: "fast-mobility.json",
+			v2: `{
+				"version": 2, "name": "fast-mobility", "trials": 24, "seed": 2026,
+				"workload": {"k": 8},
+				"channel": {"kind": "gauss-markov", "rho": 0.9},
+				"decode": {"window": "auto", "max_slots": 320}
+			}`,
+		},
+		{
+			file: "mixed-mobility.json",
+			v2: `{
+				"version": 2, "name": "mixed-mobility", "trials": 24, "seed": 2026,
+				"workload": {"k": 8},
+				"channel": {"kind": "gauss-markov", "per_tag_rho": [1, 1, 1, 1, 0.9, 0.9, 0.9, 0.9]},
+				"decode": {"window": "per_tag", "max_slots": 320}
+			}`,
+		},
+		{
+			file: "mobility.json",
+			v2: `{
+				"version": 2, "name": "forklift-aisle", "trials": 24, "seed": 31337,
+				"workload": {
+					"k": 8,
+					"population": [
+						{"slot": 6, "arrive": 2},
+						{"slot": 14, "depart": 1}
+					]
+				},
+				"channel": {
+					"kind": "gauss-markov",
+					"per_tag_rho": [1, 1, 1, 1, 1, 0.997, 0.997, 0.995, 0.995, 0.99],
+					"snr_lo_db": 10, "snr_hi_db": 24
+				},
+				"decode": {"window": "auto", "max_slots": 600}
+			}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			v1, err := Load(filepath.Join("../../examples/scenarios", tc.file))
+			if err != nil {
+				t.Fatalf("v1 load: %v", err)
+			}
+			if v1.Version != 2 {
+				t.Fatalf("v1 spec upgraded to version %d, want 2", v1.Version)
+			}
+			v2, err := Parse([]byte(tc.v2))
+			if err != nil {
+				t.Fatalf("v2 parse: %v", err)
+			}
+			if !reflect.DeepEqual(v1, v2) {
+				t.Fatalf("v1 upgrade diverges from the v2 translation:\nv1: %+v\nv2: %+v", v1, v2)
+			}
+			if v1.Hash() != v2.Hash() {
+				t.Fatalf("hash mismatch: v1 %s, v2 %s", v1.Hash(), v2.Hash())
+			}
+		})
+	}
+}
+
+// TestSpecV1CompatExplicitVersion pins that `"version": 1` means the
+// flat schema, same as no version at all.
+func TestSpecV1CompatExplicitVersion(t *testing.T) {
+	bare, err := Parse([]byte(`{"k": 4, "trials": 2, "seed": 9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged, err := Parse([]byte(`{"version": 1, "k": 4, "trials": 2, "seed": 9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare, tagged) {
+		t.Fatalf("explicit version 1 parses differently:\nbare:   %+v\ntagged: %+v", bare, tagged)
+	}
+}

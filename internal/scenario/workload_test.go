@@ -1,0 +1,315 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func arrivalBase(process string, rate float64, count int) Spec {
+	s := Spec{
+		Version: 2,
+		Trials:  2,
+		Seed:    1234,
+		Workload: WorkloadSpec{
+			K:        4,
+			Arrivals: &ArrivalSpec{Process: process, Rate: rate, Count: count},
+		},
+	}
+	return s.WithDefaults()
+}
+
+// TestArrivalScheduleShapes pins the schedule each process generates:
+// conveyor is exactly metered, burst lands whole groups, and every
+// process emits a nondecreasing schedule truncated at max_slots.
+func TestArrivalScheduleShapes(t *testing.T) {
+	conveyor := ArrivalSpec{Process: ArrivalConveyor, Rate: 0.5, Count: 6}
+	got := conveyor.slots(99, 1000)
+	want := []int{2, 4, 6, 8, 10, 12} // start 2 + j/0.5
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("conveyor schedule %v, want %v", got, want)
+	}
+
+	burst := ArrivalSpec{Process: ArrivalBurst, Rate: 0.5, Count: 7, BurstSize: 3}
+	got = burst.slots(99, 1000)
+	want = []int{2, 2, 2, 8, 8, 8, 14} // groups of 3 spaced 3/0.5 = 6 slots
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("burst schedule %v, want %v", got, want)
+	}
+
+	for _, process := range []string{ArrivalPoisson, ArrivalAisleSweep} {
+		spec := ArrivalSpec{Process: process, Rate: 0.25, Count: 50, StartSlot: 3}
+		slots := spec.slots(7, 100)
+		prev := 0
+		for i, s := range slots {
+			if s < 3 || s > 100 {
+				t.Fatalf("%s: slot %d out of [3, 100]", process, s)
+			}
+			if s < prev {
+				t.Fatalf("%s: schedule not nondecreasing at %d: %v", process, i, slots)
+			}
+			prev = s
+		}
+		if len(slots) == spec.Count {
+			t.Fatalf("%s: 50 tags at rate 0.25 fit in 100 slots — truncation untested", process)
+		}
+	}
+}
+
+// TestArrivalScheduleAddressable pins the draw addressability contract:
+// the schedule is a pure function of (spec, seed), growing count keeps
+// the prefix, and distinct seeds give distinct schedules.
+func TestArrivalScheduleAddressable(t *testing.T) {
+	a := ArrivalSpec{Process: ArrivalPoisson, Rate: 0.2, Count: 40}
+	first := a.slots(5, 100000)
+	again := a.slots(5, 100000)
+	if !reflect.DeepEqual(first, again) {
+		t.Fatal("same spec, same seed, different schedule")
+	}
+	a.Count = 80
+	longer := a.slots(5, 100000)
+	if !reflect.DeepEqual(longer[:40], first) {
+		t.Fatal("growing count rewrote the existing arrivals")
+	}
+	other := ArrivalSpec{Process: ArrivalPoisson, Rate: 0.2, Count: 40}.slots(6, 100000)
+	if reflect.DeepEqual(other, first) {
+		t.Fatal("seed does not reach the schedule")
+	}
+}
+
+// TestPoissonEmpiricalRate is the statistical check on the Poisson
+// process: over a long deterministic realization the empirical arrival
+// rate must sit inside a generous confidence band around λ. The gaps
+// are i.i.d. Exp(λ), so the total span of n arrivals has mean n/λ and
+// standard deviation √n/λ; the assertion allows ±5σ plus one slot of
+// integer truncation per endpoint — a seed regression fails it, a
+// legitimate PRNG would essentially never.
+func TestPoissonEmpiricalRate(t *testing.T) {
+	const (
+		lambda = 0.2
+		n      = 4000
+	)
+	a := ArrivalSpec{Process: ArrivalPoisson, Rate: lambda, Count: n}
+	slots := a.slots(20260807, math.MaxInt32)
+	if len(slots) != n {
+		t.Fatalf("schedule truncated: %d of %d arrivals", len(slots), n)
+	}
+	span := float64(slots[n-1] - slots[0])
+	mean := float64(n-1) / lambda
+	sigma := math.Sqrt(float64(n-1)) / lambda
+	if math.Abs(span-mean) > 5*sigma+2 {
+		t.Fatalf("span of %d arrivals = %v slots, want %v ± %v (5σ)", n, span, mean, 5*sigma)
+	}
+	// Second moment: exponential gaps have std = mean. Sample variance
+	// of the gaps must be in the right ballpark (±20% is > 8σ for the
+	// variance estimator at this n).
+	gaps := make([]float64, n-1)
+	var gapMean float64
+	for i := 1; i < n; i++ {
+		gaps[i-1] = float64(slots[i] - slots[i-1])
+		gapMean += gaps[i-1]
+	}
+	gapMean /= float64(n - 1)
+	var v float64
+	for _, g := range gaps {
+		v += (g - gapMean) * (g - gapMean)
+	}
+	v /= float64(n - 2)
+	wantVar := 1 / (lambda * lambda)
+	if v < 0.8*wantVar || v > 1.2*wantVar {
+		t.Fatalf("gap variance %v, want %v ± 20%% (exponential gaps)", v, wantVar)
+	}
+}
+
+// TestMaterializeSchedule pins the expansion: arrivals merge into
+// per-slot events, dwell appends FIFO departures (initial tags depart
+// at 1+dwell, arrival at t departs at t+dwell), and the arrival block
+// is consumed — materializing twice is the identity.
+func TestMaterializeSchedule(t *testing.T) {
+	s := arrivalBase(ArrivalConveyor, 0.5, 4)
+	s.Workload.Arrivals.Dwell = 10
+	s = s.WithDefaults()
+	m, err := s.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Workload.Arrivals != nil {
+		t.Fatal("materialized spec still carries the arrival block")
+	}
+	// Conveyor at rate 0.5 from slot 2: arrivals 2, 4, 6, 8. Dwell 10:
+	// the 4 initial tags depart at 11, arrivals at 12, 14, 16, 18.
+	want := []PopulationEvent{
+		{Slot: 2, Arrive: 1}, {Slot: 4, Arrive: 1}, {Slot: 6, Arrive: 1}, {Slot: 8, Arrive: 1},
+		{Slot: 11, Depart: 4},
+		{Slot: 12, Depart: 1}, {Slot: 14, Depart: 1}, {Slot: 16, Depart: 1}, {Slot: 18, Depart: 1},
+	}
+	if !reflect.DeepEqual(m.Workload.Population, want) {
+		t.Fatalf("events %+v\nwant   %+v", m.Workload.Population, want)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("materialized spec invalid: %v", err)
+	}
+	again, err := m.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, m) {
+		t.Fatal("Materialize is not idempotent")
+	}
+
+	// FIFO presence: arrival at slot 2 must be the tag departing at 12.
+	w, err := m.PresenceWindows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if w[i] != (Window{1, 11}) {
+			t.Fatalf("initial tag %d window %+v, want {1 11}", i, w[i])
+		}
+	}
+	wantArrivals := []Window{{2, 12}, {4, 14}, {6, 16}, {8, 18}}
+	for i, win := range wantArrivals {
+		if w[4+i] != win {
+			t.Fatalf("arrival %d window %+v, want %+v", i, w[4+i], win)
+		}
+	}
+}
+
+// TestMaterializeRhoBand pins the mobility band: every roster tag
+// (initial and arriving) draws a deterministic rho inside [lo, hi],
+// and the draws are addressable — tag j's rho does not depend on the
+// roster size.
+func TestMaterializeRhoBand(t *testing.T) {
+	s := arrivalBase(ArrivalPoisson, 0.1, 5)
+	s.Channel.Kind = KindGaussMarkov
+	s.Workload.Arrivals.RhoLo, s.Workload.Arrivals.RhoHi = 0.99, 0.9995
+	s = s.WithDefaults()
+	m, err := s.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := s.Workload.K
+	for _, e := range m.Workload.Population {
+		total += e.Arrive
+	}
+	rho := m.Channel.PerTagRho
+	if len(rho) != total {
+		t.Fatalf("per-tag rho for %d tags, want %d", len(rho), total)
+	}
+	for i, r := range rho {
+		if r < 0.99 || r > 0.9995 {
+			t.Fatalf("tag %d rho %v outside the band", i, r)
+		}
+	}
+	if m.Channel.Rho != 0 {
+		t.Fatalf("scalar rho %v survived the band draw", m.Channel.Rho)
+	}
+	// Addressability: a larger count keeps the existing tags' draws.
+	big := s
+	arr := *s.Workload.Arrivals
+	arr.Count = 9
+	big.Workload.Arrivals = &arr
+	mb, err := big.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mb.Channel.PerTagRho[:len(rho)], rho) {
+		t.Fatal("growing the arrival count rewrote existing tags' rho draws")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("materialized rho-band spec invalid: %v", err)
+	}
+}
+
+// TestArrivalValidateErrors covers the arrival and SLO blocks' local
+// invariants plus the cross-section rules.
+func TestArrivalValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"unknown process", func(s *Spec) { s.Workload.Arrivals.Process = "teleport" }, "unknown arrival process"},
+		{"zero rate", func(s *Spec) { s.Workload.Arrivals.Rate = 0 }, "positive finite"},
+		{"nan rate", func(s *Spec) { s.Workload.Arrivals.Rate = math.NaN() }, "positive finite"},
+		{"zero count", func(s *Spec) { s.Workload.Arrivals.Count = 0 }, "count must be >= 1"},
+		{"burst size elsewhere", func(s *Spec) { s.Workload.Arrivals.BurstSize = 3 }, "only applies"},
+		{"negative dwell", func(s *Spec) { s.Workload.Arrivals.Dwell = -1 }, "dwell must be >= 0"},
+		{"early start", func(s *Spec) { s.Workload.Arrivals.StartSlot = 1 }, "start at slot 2"},
+		{"late start", func(s *Spec) { s.Workload.Arrivals.StartSlot = 100000 }, "beyond max_slots"},
+		{"bad rho band", func(s *Spec) { s.Workload.Arrivals.RhoLo, s.Workload.Arrivals.RhoHi = 0.9, 0.5 }, "rho band"},
+		{"rho band on static", func(s *Spec) { s.Workload.Arrivals.RhoLo, s.Workload.Arrivals.RhoHi = 0.9, 0.99 }, "gauss-markov"},
+		{"band plus per-tag", func(s *Spec) {
+			s.Channel.Kind = KindGaussMarkov
+			s.Workload.Arrivals.RhoLo, s.Workload.Arrivals.RhoHi = 0.9, 0.99
+			s.Channel.PerTagRho = []float64{0.9, 0.9, 0.9, 0.9}
+		}, "per_tag_rho"},
+		{"population plus arrivals", func(s *Spec) {
+			s.Workload.Population = []PopulationEvent{{Slot: 3, Arrive: 1}}
+		}, "cannot be combined"},
+		{"tdma with arrivals", func(s *Spec) { s.Schemes = []string{SchemeBuzz, SchemeTDMA} }, "static population-free"},
+		{"bad slo", func(s *Spec) { s.SLO = &SLOSpec{P99CompletionSlots: 0} }, "p99_completion_slots"},
+		{"inverted slo band", func(s *Spec) {
+			s.SLO = &SLOSpec{P99CompletionSlots: 50, RateLo: 0.4, RateHi: 0.2}
+		}, "rate band"},
+	}
+	for _, tc := range cases {
+		s := arrivalBase(ArrivalPoisson, 0.1, 5)
+		tc.mut(&s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	if err := arrivalBase(ArrivalPoisson, 0.1, 5).Validate(); err != nil {
+		t.Fatalf("base arrival spec invalid: %v", err)
+	}
+}
+
+// TestArrivalSpecParses pins the JSON surface of the workload block
+// end to end through Parse, including the default max_slots sizing for
+// open-ended rosters.
+func TestArrivalSpecParses(t *testing.T) {
+	s, err := Parse([]byte(`{
+		"version": 2, "name": "dock", "trials": 2, "seed": 7,
+		"workload": {"k": 4, "arrivals": {"process": "poisson", "rate": 0.05, "count": 6}},
+		"slo": {"p99_completion_slots": 200, "max_wrong": 0, "rate_lo": 0.01, "rate_hi": 0.5}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Workload.Arrivals == nil || s.Workload.Arrivals.StartSlot != 2 {
+		t.Fatalf("arrival block %+v after defaults", s.Workload.Arrivals)
+	}
+	if s.Decode.MaxSlots != 40*(4+6) {
+		t.Fatalf("default max_slots %d, want %d", s.Decode.MaxSlots, 40*(4+6))
+	}
+	if !s.Dynamic() {
+		t.Fatal("arrival spec reported static")
+	}
+	if s.SLO == nil || s.SLO.RateHi != 0.5 {
+		t.Fatalf("slo block %+v", s.SLO)
+	}
+	if s.TotalTags() < 4 {
+		t.Fatalf("TotalTags = %d", s.TotalTags())
+	}
+}
+
+// TestSpecHashStable pins the content address: same spec same hash,
+// any field change a different one.
+func TestSpecHashStable(t *testing.T) {
+	a := arrivalBase(ArrivalPoisson, 0.1, 5)
+	b := arrivalBase(ArrivalPoisson, 0.1, 5)
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical specs hash differently")
+	}
+	if len(a.Hash()) != 16 {
+		t.Fatalf("hash %q not 16 hex chars", a.Hash())
+	}
+	c := arrivalBase(ArrivalPoisson, 0.1, 5)
+	c.Seed++
+	if c.Hash() == a.Hash() {
+		t.Fatal("seed change did not reach the hash")
+	}
+}

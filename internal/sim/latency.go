@@ -1,0 +1,99 @@
+// Latency/throughput percentile reporting: the operational metrics a
+// capacity planner reads off a scenario run. Samples are collected into
+// per-trial slots inside the worker pool and flattened in trial order
+// here, so every quantile is an exact order statistic over a
+// deterministically-ordered sample set — byte-identical at any
+// GOMAXPROCS, pinned by the determinism tests.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// LatencyReport is the buzz scheme's latency/throughput percentile
+// summary over a whole scenario run.
+type LatencyReport struct {
+	// TagsOffered is roster tags × trials: every delivery opportunity
+	// the workload created.
+	TagsOffered int
+	// TagsDelivered counts verified payloads across all trials.
+	TagsDelivered int
+	// DeliveredFraction is TagsDelivered / TagsOffered.
+	DeliveredFraction float64
+	// FirstPayloadSlots summarizes, per trial, the slot of the first
+	// verified payload — the time-to-first-payload distribution. A
+	// trial that delivered nothing contributes +Inf.
+	FirstPayloadSlots stats.Quantiles
+	// CompletionSlots summarizes, per offered tag, the slots the tag
+	// spent in the field before its payload verified — the inventory-
+	// completion distribution. An undelivered tag contributes +Inf, so
+	// a finite p99 here certifies both speed AND ≥99% delivery.
+	CompletionSlots stats.Quantiles
+	// ReaderSecondsPer1kTags is total reader air time divided by
+	// delivered tags, scaled to 1000 tags — the throughput cost of the
+	// workload (+Inf when nothing delivered). Numerically this is the
+	// run's total transfer milliseconds per delivered tag: 1 ms/tag =
+	// 1 s/1k tags.
+	ReaderSecondsPer1kTags float64
+}
+
+// buildLatencyReport flattens the per-trial samples (trial order) and
+// computes the exact quantile summaries. totalMillis is the buzz
+// scheme's summed transfer time across trials, re-identification
+// included.
+func buildLatencyReport(lat []trialLatency, totalMillis float64) *LatencyReport {
+	rep := &LatencyReport{}
+	first := make([]float64, 0, len(lat))
+	var completion []float64
+	for t := range lat {
+		first = append(first, lat[t].first)
+		for _, c := range lat[t].completion {
+			rep.TagsOffered++
+			if !math.IsInf(c, 1) {
+				rep.TagsDelivered++
+			}
+			completion = append(completion, c)
+		}
+	}
+	if rep.TagsOffered > 0 {
+		rep.DeliveredFraction = float64(rep.TagsDelivered) / float64(rep.TagsOffered)
+	}
+	rep.FirstPayloadSlots = stats.ExactQuantiles(first)
+	rep.CompletionSlots = stats.ExactQuantiles(completion)
+	if rep.TagsDelivered > 0 {
+		rep.ReaderSecondsPer1kTags = totalMillis / float64(rep.TagsDelivered)
+	} else {
+		rep.ReaderSecondsPer1kTags = math.Inf(1)
+	}
+	return rep
+}
+
+// fmtSlots renders a slot-valued order statistic: integral slot counts
+// print bare, an unreachable (+Inf) statistic prints as "unbounded".
+func fmtSlots(v float64) string {
+	if math.IsInf(v, 1) {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// String renders the report on two lines (the form buzzsim prints).
+func (r *LatencyReport) String() string {
+	return fmt.Sprintf("delivered %d/%d (%.4f), first payload p50 %s p99 %s, completion p50 %s p90 %s p99 %s max %s slots, %s reader-seconds/1k-tags",
+		r.TagsDelivered, r.TagsOffered, r.DeliveredFraction,
+		fmtSlots(r.FirstPayloadSlots.P50), fmtSlots(r.FirstPayloadSlots.P99),
+		fmtSlots(r.CompletionSlots.P50), fmtSlots(r.CompletionSlots.P90),
+		fmtSlots(r.CompletionSlots.P99), fmtSlots(r.CompletionSlots.Max),
+		fmtSeconds(r.ReaderSecondsPer1kTags))
+}
+
+// fmtSeconds renders the reader-seconds figure.
+func fmtSeconds(v float64) string {
+	if math.IsInf(v, 1) {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%.3f", v)
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestLatencySamplesUnit pins the per-tag sample semantics on crafted
+// inputs: unverified or never-decoded tags contribute +Inf, completion
+// is measured from the tag's arrival slot (clamped to 1), and the
+// trial's first-payload slot is the minimum verified decode slot.
+func TestLatencySamplesUnit(t *testing.T) {
+	verified := []bool{true, false, true, true, true}
+	decodedAt := []int{12, 9, 0, 7, 20}
+	windows := []scenario.Window{
+		{ArriveSlot: 1}, // present from the start: completion 12-1+1 = 12
+		{ArriveSlot: 1}, // unverified -> +Inf
+		{ArriveSlot: 1}, // verified but never decoded (0) -> +Inf
+		{ArriveSlot: 5}, // arrival at 5, decode at 7: completion 3
+		{ArriveSlot: 0}, // arrive clamps to 1: completion 20
+	}
+	tl := latencySamples(verified, decodedAt, windows)
+	wantCompletion := []float64{12, math.Inf(1), math.Inf(1), 3, 20}
+	if !reflect.DeepEqual(tl.completion, wantCompletion) {
+		t.Fatalf("completion = %v, want %v", tl.completion, wantCompletion)
+	}
+	if tl.first != 7 {
+		t.Fatalf("first = %v, want 7 (minimum verified decode slot)", tl.first)
+	}
+
+	// nil decodedAt (a scheme with no per-tag detail): everything +Inf.
+	tl = latencySamples([]bool{true, true}, nil, windows[:2])
+	for i, c := range tl.completion {
+		if !math.IsInf(c, 1) {
+			t.Fatalf("nil decodedAt: completion[%d] = %v, want +Inf", i, c)
+		}
+	}
+	if !math.IsInf(tl.first, 1) {
+		t.Fatalf("nil decodedAt: first = %v, want +Inf", tl.first)
+	}
+}
+
+// latencyDeterminismSpec is a small arrival-process workload used to
+// pin that the latency report is a pure function of the spec.
+func latencyDeterminismSpec() scenario.Spec {
+	return scenario.Spec{
+		Name:   "latency-determinism",
+		Trials: 4,
+		Seed:   20268,
+		Workload: scenario.WorkloadSpec{
+			K: 2,
+			Arrivals: &scenario.ArrivalSpec{
+				Process: scenario.ArrivalPoisson,
+				Rate:    0.2,
+				Count:   6,
+				Dwell:   48,
+			},
+		},
+		Decode: scenario.DecodeSpec{MaxSlots: 400},
+	}
+}
+
+// TestLatencyReportDeterministic runs the same arrivals workload at
+// decode parallelism 1 and 4 and under GOMAXPROCS 1 and 4: the report
+// (and its rendered string) must be byte-identical in every
+// configuration, because the samples are flattened in trial order, not
+// completion order.
+func TestLatencyReportDeterministic(t *testing.T) {
+	var reports []*LatencyReport
+	for _, procs := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		for _, par := range []int{1, 4} {
+			spec := latencyDeterminismSpec()
+			spec.Decode.Parallelism = par
+			out, err := Run(spec)
+			if err != nil {
+				runtime.GOMAXPROCS(prev)
+				t.Fatalf("GOMAXPROCS=%d parallelism=%d: %v", procs, par, err)
+			}
+			if out.Latency == nil {
+				runtime.GOMAXPROCS(prev)
+				t.Fatalf("GOMAXPROCS=%d parallelism=%d: no latency report", procs, par)
+			}
+			reports = append(reports, out.Latency)
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+	for i := 1; i < len(reports); i++ {
+		if !reflect.DeepEqual(reports[0], reports[i]) {
+			t.Fatalf("latency report differs across configurations:\nbase: %+v\nrun %d: %+v", reports[0], i, reports[i])
+		}
+		if reports[0].String() != reports[i].String() {
+			t.Fatalf("rendered report differs:\nbase: %s\nrun %d: %s", reports[0], i, reports[i])
+		}
+	}
+	if reports[0].TagsOffered != 4*(2+6) {
+		t.Fatalf("TagsOffered = %d, want %d (roster × trials)", reports[0].TagsOffered, 4*(2+6))
+	}
+}
+
+// sweepSpec is a fast dock-door-shaped spec with a 3-probe budget.
+func sweepSpec() scenario.Spec {
+	spec := latencyDeterminismSpec()
+	spec.Name = "sweep-determinism"
+	spec.Trials = 3
+	spec.SLO = &scenario.SLOSpec{
+		P99CompletionSlots: 10,
+		RateLo:             0.05,
+		RateHi:             0.8,
+		Probes:             3,
+	}
+	return spec
+}
+
+// TestSweepDeterministic reruns the same sweep and requires the
+// reports — struct and rendered text — to match exactly. This is the
+// in-process version of the CI byte-identity smoke.
+func TestSweepDeterministic(t *testing.T) {
+	a, err := Sweep(sweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(sweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("sweep reports differ:\na: %+v\nb: %+v", a, b)
+	}
+	if a.Render() != b.Render() {
+		t.Fatalf("rendered reports differ:\na:\n%s\nb:\n%s", a.Render(), b.Render())
+	}
+	// Sanity on the search itself: the endpoints are probed first, and
+	// a feasible report's max rate is one of the probed rates.
+	if len(a.Probes) < 1 {
+		t.Fatal("sweep evaluated no probes")
+	}
+	if a.Probes[0].Rate != 0.05 {
+		t.Fatalf("first probe rate = %v, want rate_lo 0.05", a.Probes[0].Rate)
+	}
+	if a.Feasible {
+		found := false
+		for _, p := range a.Probes {
+			if p.Feasible && p.Rate == a.MaxRate {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("MaxRate %v is not a feasible probed rate: %+v", a.MaxRate, a.Probes)
+		}
+		if a.AtMax == nil {
+			t.Fatal("feasible report missing AtMax latency detail")
+		}
+	}
+	if !strings.Contains(a.Render(), "capacity report: \"sweep-determinism\"") {
+		t.Fatalf("render missing header: %s", a.Render())
+	}
+}
+
+// TestSweepErrors pins the misuse diagnostics: a sweep needs an
+// arrivals workload, an slo section, and a rate search band.
+func TestSweepErrors(t *testing.T) {
+	noArrivals := latencyDeterminismSpec()
+	noArrivals.Workload.Arrivals = nil
+	if _, err := Sweep(noArrivals); err == nil || !strings.Contains(err.Error(), "workload.arrivals") {
+		t.Fatalf("no arrivals: err = %v, want workload.arrivals diagnostic", err)
+	}
+
+	noSLO := latencyDeterminismSpec()
+	if _, err := Sweep(noSLO); err == nil || !strings.Contains(err.Error(), "slo section") {
+		t.Fatalf("no slo: err = %v, want slo diagnostic", err)
+	}
+
+	noBand := sweepSpec()
+	noBand.SLO.RateLo = 0
+	noBand.SLO.RateHi = 0
+	if _, err := Sweep(noBand); err == nil || !strings.Contains(err.Error(), "rate_lo and rate_hi") {
+		t.Fatalf("no band: err = %v, want rate band diagnostic", err)
+	}
+}

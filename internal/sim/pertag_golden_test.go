@@ -14,12 +14,13 @@ import (
 // movers forget on an 8-slot clock.
 func mixedMobilitySpec() scenario.Spec {
 	return scenario.Spec{
-		Name: "mixed-mobility", K: 8, Trials: 24, Seed: 2026, MaxSlots: 320,
+		Name: "mixed-mobility", Trials: 24, Seed: 2026,
+		Workload: scenario.WorkloadSpec{K: 8},
 		Channel: scenario.ChannelSpec{
 			Kind:      scenario.KindGaussMarkov,
 			PerTagRho: []float64{1, 1, 1, 1, 0.9, 0.9, 0.9, 0.9},
 		},
-		Window: scenario.WindowPerTag,
+		Decode: scenario.DecodeSpec{MaxSlots: 320, Window: scenario.WindowPerTag},
 	}
 }
 
@@ -41,8 +42,8 @@ func TestGoldenMixedMobilityPerTag(t *testing.T) {
 	var first *ScenarioOutcome
 	for _, par := range []int{1, 4} {
 		spec := mixedMobilitySpec()
-		spec.Parallelism = par
-		out, err := RunScenarioOpts(spec, ScenarioOptions{KeepTrials: true})
+		spec.Decode.Parallelism = par
+		out, err := Run(spec, WithTrialDetail())
 		if err != nil {
 			t.Fatalf("par=%d: %v", par, err)
 		}
@@ -82,13 +83,13 @@ func TestGoldenMixedMobilityPerTag(t *testing.T) {
 // global "auto" window — which forces the parked tags onto the
 // movers' 8-slot clock — while both stay at zero wrong payloads.
 func TestMixedMobilityPerTagBeatsGlobalAuto(t *testing.T) {
-	perTag, err := RunScenario(mixedMobilitySpec())
+	perTag, err := Run(mixedMobilitySpec())
 	if err != nil {
 		t.Fatal(err)
 	}
 	globalSpec := mixedMobilitySpec()
-	globalSpec.Window = scenario.WindowAuto
-	global, err := RunScenario(globalSpec)
+	globalSpec.Decode.Window = scenario.WindowAuto
+	global, err := Run(globalSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,9 +112,9 @@ func TestScenarioMixedMobilitySoftWeight(t *testing.T) {
 	var first *ScenarioOutcome
 	for _, par := range []int{1, 4} {
 		spec := mixedMobilitySpec()
-		spec.WindowSoft = true
-		spec.Parallelism = par
-		out, err := RunScenario(spec)
+		spec.Decode.WindowSoft = true
+		spec.Decode.Parallelism = par
+		out, err := Run(spec)
 		if err != nil {
 			t.Fatalf("par=%d: %v", par, err)
 		}

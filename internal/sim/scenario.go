@@ -1,14 +1,18 @@
 // Scenario engine: the generic streaming-trials entrypoint that turns a
 // declarative scenario.Spec into channels, rosters and trials. The
 // classic experiment functions (CompareDataPhase, RunChallenging) are
-// thin wrappers over RunScenario with static specs — the goldens pin
-// that the wrapping is byte-exact — while time-varying channels and
-// dynamic populations route through ratedapt.TransferDynamic with
-// mid-round re-identification charged via the identify package.
+// thin wrappers over Run with static specs — the goldens pin that the
+// wrapping is byte-exact — while time-varying channels and dynamic
+// populations route through ratedapt.TransferDynamic with mid-round
+// re-identification charged via the identify package. Arrival-process
+// workloads materialize into population schedules before the first
+// trial, so the whole pipeline below the spec boundary only ever sees
+// explicit rosters.
 package sim
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/baseline/cdma"
 	"repro/internal/baseline/tdma"
@@ -24,7 +28,7 @@ import (
 )
 
 // BuzzTrial is one trial's Buzz outcome in roster order — the per-trial
-// detail KeepTrials retains (examples use it to show which tag
+// detail WithTrialDetail retains (examples use it to show which tag
 // delivered what).
 type BuzzTrial struct {
 	// Verified flags roster tags whose message passed its CRC.
@@ -52,17 +56,39 @@ type BuzzTrial struct {
 	RowsRetiredPerTag []int
 }
 
-// ScenarioOptions tune a RunScenario call beyond the declarative spec.
+// Option tunes a Run call beyond the declarative spec.
+type Option func(*runConfig)
+
+type runConfig struct {
+	messages   func(trial int) []bits.Vector
+	keepTrials bool
+}
+
+// WithMessages supplies each trial's payloads (one per roster tag, each
+// spec MessageBits long) instead of the default random draw. Custom
+// messages shift the trial's setup stream, so golden comparisons only
+// hold for the default. Trials run on a worker pool, so the hook is
+// called concurrently from multiple goroutines — it must be safe for
+// concurrent use (a pure function of the trial index, like the
+// examples', is the easy way).
+func WithMessages(f func(trial int) []bits.Vector) Option {
+	return func(c *runConfig) { c.messages = f }
+}
+
+// WithTrialDetail retains per-trial Buzz detail in Outcome.Trials.
+func WithTrialDetail() Option {
+	return func(c *runConfig) { c.keepTrials = true }
+}
+
+// ScenarioOptions tune a RunScenarioOpts call beyond the declarative
+// spec.
+//
+// Deprecated: pass Options to Run instead (WithMessages,
+// WithTrialDetail). Retained for source compatibility.
 type ScenarioOptions struct {
-	// Messages, when non-nil, supplies each trial's payloads (one per
-	// roster tag, each spec.MessageBits long) instead of the default
-	// random draw. Custom messages shift the trial's setup stream, so
-	// golden comparisons only hold for the default. Trials run on a
-	// worker pool, so the hook is called concurrently from multiple
-	// goroutines — it must be safe for concurrent use (a pure function
-	// of the trial index, like the examples', is the easy way).
+	// Messages mirrors WithMessages.
 	Messages func(trial int) []bits.Vector
-	// KeepTrials retains per-trial Buzz detail in Outcome.Trials.
+	// KeepTrials mirrors WithTrialDetail.
 	KeepTrials bool
 }
 
@@ -73,8 +99,11 @@ type ScenarioOutcome struct {
 	// Schemes holds one aggregate per requested scheme, in canonical
 	// buzz, tdma, cdma order.
 	Schemes []SchemeOutcome
-	// Trials holds per-trial Buzz detail when ScenarioOptions.KeepTrials
-	// is set (trial order).
+	// Latency is the buzz scheme's latency/throughput percentile
+	// report (always populated).
+	Latency *LatencyReport
+	// Trials holds per-trial Buzz detail when WithTrialDetail is set
+	// (trial order).
 	Trials []BuzzTrial
 }
 
@@ -88,15 +117,26 @@ func (o *ScenarioOutcome) Scheme(name string) *SchemeOutcome {
 	return nil
 }
 
-// RunScenario executes a declarative scenario spec: Trials independent
-// draws of messages, channels and (for dynamic specs) tap processes and
-// population churn, streamed across the trial worker pool. Static
-// population-free specs take exactly the code path of the classic
-// experiments — a static Spec reproduces CompareDataPhase bit for bit —
-// while dynamic specs run the TransferDynamic engine. Results are
-// deterministic in (Spec, options) at any parallelism.
+// RunScenario executes a declarative scenario spec.
+//
+// Deprecated: use Run. This wrapper forwards unchanged.
 func RunScenario(spec scenario.Spec) (*ScenarioOutcome, error) {
-	return RunScenarioOpts(spec, ScenarioOptions{})
+	return Run(spec)
+}
+
+// RunScenarioOpts is RunScenario with options.
+//
+// Deprecated: use Run with WithMessages / WithTrialDetail. This
+// wrapper forwards unchanged.
+func RunScenarioOpts(spec scenario.Spec, opts ScenarioOptions) (*ScenarioOutcome, error) {
+	var o []Option
+	if opts.Messages != nil {
+		o = append(o, WithMessages(opts.Messages))
+	}
+	if opts.KeepTrials {
+		o = append(o, WithTrialDetail())
+	}
+	return Run(spec, o...)
 }
 
 // scenarioRow is one trial's per-scheme raw numbers.
@@ -105,10 +145,38 @@ type scenarioRow struct {
 	wrong                   int
 }
 
-// RunScenarioOpts is RunScenario with options.
-func RunScenarioOpts(spec scenario.Spec, opts ScenarioOptions) (*ScenarioOutcome, error) {
+// trialLatency is one trial's raw latency samples, kept in a per-trial
+// slot and flattened in trial order afterward — deterministic at any
+// GOMAXPROCS because no sample ever crosses a trial boundary.
+type trialLatency struct {
+	// first is the slot of the trial's first verified payload (+Inf
+	// when the trial delivered nothing).
+	first float64
+	// completion is, per offered roster tag, the number of slots the
+	// tag was in the field before its payload verified (+Inf for tags
+	// that never delivered).
+	completion []float64
+}
+
+// Run executes a declarative scenario spec: Trials independent draws of
+// messages, channels and (for dynamic specs) tap processes and
+// population churn, streamed across the trial worker pool. Static
+// population-free specs take exactly the code path of the classic
+// experiments — a static Spec reproduces CompareDataPhase bit for bit —
+// while dynamic specs run the TransferDynamic engine. Arrival-process
+// workloads are materialized once, up front. Results are deterministic
+// in (Spec, options) at any parallelism.
+func Run(spec scenario.Spec, options ...Option) (*ScenarioOutcome, error) {
+	var cfg runConfig
+	for _, o := range options {
+		o(&cfg)
+	}
 	spec = spec.WithDefaults()
 	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec, err := spec.Materialize()
+	if err != nil {
 		return nil, err
 	}
 	crc, err := spec.CRCKind()
@@ -120,66 +188,68 @@ func RunScenarioOpts(spec scenario.Spec, opts ScenarioOptions) (*ScenarioOutcome
 	if err != nil {
 		return nil, err
 	}
-	frameLen := spec.MessageBits + crc.Width()
+	frameLen := spec.Workload.MessageBits + crc.Width()
 	dynamic := spec.Dynamic()
 	runTDMA := spec.HasScheme(scenario.SchemeTDMA)
 	runCDMA := spec.HasScheme(scenario.SchemeCDMA)
 
 	const maxSchemes = 3
 	rows := make([][maxSchemes]scenarioRow, spec.Trials)
+	lat := make([]trialLatency, spec.Trials)
 	var trials []BuzzTrial
-	if opts.KeepTrials {
+	if cfg.keepTrials {
 		trials = make([]BuzzTrial, spec.Trials)
 	}
 
 	err = forEachTrial(spec.Trials, spec.Seed, func(trial int, setup *prng.Source, res trialResources) error {
 		var msgs []bits.Vector
-		if opts.Messages != nil {
-			msgs = opts.Messages(trial)
+		if cfg.messages != nil {
+			msgs = cfg.messages(trial)
 			if len(msgs) != kTot {
 				return fmt.Errorf("sim: options supplied %d messages for %d roster tags", len(msgs), kTot)
 			}
 			for i, m := range msgs {
-				if len(m) != spec.MessageBits {
-					return fmt.Errorf("sim: options message %d has %d bits, spec says %d", i, len(m), spec.MessageBits)
+				if len(m) != spec.Workload.MessageBits {
+					return fmt.Errorf("sim: options message %d has %d bits, spec says %d", i, len(m), spec.Workload.MessageBits)
 				}
 			}
 		} else {
 			msgs = make([]bits.Vector, kTot)
 			for i := range msgs {
-				msgs[i] = bits.Random(setup, spec.MessageBits)
+				msgs[i] = bits.Random(setup, spec.Workload.MessageBits)
 			}
 		}
-		ch := channel.NewFromSNRBand(kTot, spec.SNRLodB, spec.SNRHidB, setup)
-		ch.AGCNoiseFraction = spec.AGCNoiseFraction
+		ch := channel.NewFromSNRBand(kTot, spec.Channel.SNRLodB, spec.Channel.SNRHidB, setup)
+		ch.AGCNoiseFraction = spec.Channel.AGCNoiseFraction
 		seeds := tagSeeds(kTot, setup)
 		salt := setup.Uint64()
 		par := res.Parallelism
-		if spec.Parallelism > 0 {
-			par = spec.Parallelism
+		if spec.Decode.Parallelism > 0 {
+			par = spec.Decode.Parallelism
 		}
 		row := &rows[trial]
 
-		cfg := ratedapt.Config{
+		rcfg := ratedapt.Config{
 			SessionSalt: salt,
 			CRC:         crc,
-			Restarts:    spec.Restarts,
-			MaxSlots:    spec.MaxSlots,
+			Restarts:    spec.Decode.Restarts,
+			MaxSlots:    spec.Decode.MaxSlots,
 			Scratch:     res.Scratch,
 			Session:     res.Session,
 			Parallelism: par,
 		}
-		switch spec.Window {
+		switch spec.Decode.Window {
 		case scenario.WindowAuto:
-			cfg.Window = ratedapt.AutoWindow()
+			rcfg.Window = ratedapt.AutoWindow()
 		case scenario.WindowFixed:
-			cfg.Window = ratedapt.FixedWindow(spec.DecodeWindow)
+			rcfg.Window = ratedapt.FixedWindow(spec.Decode.DecodeWindow)
 		case scenario.WindowPerTag:
-			cfg.Window = ratedapt.PerTagWindow(spec.WindowSoft)
+			rcfg.Window = ratedapt.PerTagWindow(spec.Decode.WindowSoft)
 		}
 		var (
 			verified       []bool
 			frames         []bits.Vector
+			decodedAt      []int
 			slotsUsed      int
 			lost           int
 			rate           float64
@@ -193,12 +263,13 @@ func RunScenarioOpts(spec scenario.Spec, opts ScenarioOptions) (*ScenarioOutcome
 		// BuzzTrial promises index-aligned per-tag slices.
 		retired := make([]bool, kTot)
 		if !dynamic {
-			cfg.Seeds = seeds
-			rb, err := ratedapt.Transfer(cfg, msgs, ch, setup.Fork(1), setup.Fork(2))
+			rcfg.Seeds = seeds
+			rb, err := ratedapt.Transfer(rcfg, msgs, ch, setup.Fork(1), setup.Fork(2))
 			if err != nil {
 				return err
 			}
 			verified, frames = rb.Verified, rb.Frames
+			decodedAt = rb.DecodedAtSlot
 			slotsUsed, lost, rate = rb.SlotsUsed, rb.Lost(), rb.BitsPerSymbol
 			windowSlots, rowsRetired = rb.WindowSlots, rb.RowsRetired
 			transferMilli = frameMillis(rb.SlotsUsed * frameLen)
@@ -215,8 +286,8 @@ func RunScenarioOpts(spec scenario.Spec, opts ScenarioOptions) (*ScenarioOutcome
 				}
 			}
 			var identErr error
-			cfg.OnArrival = reidentifier(roster, proc, salt, res.Scratch, &identErr)
-			rb, err := ratedapt.TransferDynamic(cfg, roster, proc, proc, setup.Fork(1), setup.Fork(2))
+			rcfg.OnArrival = reidentifier(roster, proc, salt, res.Scratch, &identErr)
+			rb, err := ratedapt.TransferDynamic(rcfg, roster, proc, proc, setup.Fork(1), setup.Fork(2))
 			if err != nil {
 				return err
 			}
@@ -224,6 +295,7 @@ func RunScenarioOpts(spec scenario.Spec, opts ScenarioOptions) (*ScenarioOutcome
 				return identErr
 			}
 			verified, frames, retired = rb.Verified, rb.Frames, rb.Retired
+			decodedAt = rb.DecodedAtSlot
 			slotsUsed, lost, rate = rb.SlotsUsed, rb.Lost(), rb.BitsPerSymbol
 			windowSlots, rowsRetired = rb.WindowSlots, rb.RowsRetired
 			rowsRetiredTag = rb.RowsRetiredTag
@@ -235,11 +307,12 @@ func RunScenarioOpts(spec scenario.Spec, opts ScenarioOptions) (*ScenarioOutcome
 		buzz.lost = float64(lost)
 		buzz.rate = rate
 		var payloads []bits.Vector
-		if opts.KeepTrials {
+		if cfg.keepTrials {
 			payloads = make([]bits.Vector, kTot)
 		}
 		scoreFrames(buzz, verified, frames, msgs, crc, payloads)
-		if opts.KeepTrials {
+		lat[trial] = latencySamples(verified, decodedAt, windows)
+		if cfg.keepTrials {
 			trials[trial] = BuzzTrial{
 				Verified:          append([]bool(nil), verified...),
 				Payloads:          payloads,
@@ -315,13 +388,43 @@ func RunScenarioOpts(spec scenario.Spec, opts ScenarioOptions) (*ScenarioOutcome
 			WrongPayload:     wrong,
 		})
 	}
+	var totalMillis float64
+	for t := range rows {
+		totalMillis += rows[t][0].ms
+	}
+	out.Latency = buildLatencyReport(lat, totalMillis)
 	return out, nil
+}
+
+// latencySamples folds one trial's decode timeline into its latency
+// slot: per-tag completion (slots in the field until verification) and
+// the trial's time to first payload.
+func latencySamples(verified []bool, decodedAt []int, windows []scenario.Window) trialLatency {
+	tl := trialLatency{
+		first:      math.Inf(1),
+		completion: make([]float64, len(verified)),
+	}
+	for i := range verified {
+		if !verified[i] || decodedAt == nil || decodedAt[i] < 1 {
+			tl.completion[i] = math.Inf(1)
+			continue
+		}
+		arrive := windows[i].ArriveSlot
+		if arrive < 1 {
+			arrive = 1
+		}
+		tl.completion[i] = float64(decodedAt[i] - arrive + 1)
+		if s := float64(decodedAt[i]); s < tl.first {
+			tl.first = s
+		}
+	}
+	return tl
 }
 
 // scoreFrames tallies one scheme's verified frames into the trial row —
 // payload matches the sent message = correct, a CRC false-accept =
-// wrong. When payloads is non-nil (KeepTrials), each verified payload
-// is also stored at its tag's index.
+// wrong. When payloads is non-nil (WithTrialDetail), each verified
+// payload is also stored at its tag's index.
 func scoreFrames(r *scenarioRow, verified []bool, frames []bits.Vector, msgs []bits.Vector, crc bits.CRCKind, payloads []bits.Vector) {
 	for i, ok := range verified {
 		if !ok {

@@ -65,28 +65,43 @@ func dynamicGoldenSpecs() []struct {
 		{
 			name: "block-fading",
 			spec: scenario.Spec{
-				K: 8, Trials: 4, Seed: 4242, SNRLodB: 14, SNRHidB: 30,
-				Channel: scenario.ChannelSpec{Kind: scenario.KindBlockFading, BlockLen: 32},
+				Trials: 4, Seed: 4242,
+				Workload: scenario.WorkloadSpec{K: 8},
+				Channel: scenario.ChannelSpec{
+					Kind: scenario.KindBlockFading, BlockLen: 32,
+					SNRLodB: 14, SNRHidB: 30,
+				},
 			},
 			ms: 2.890625, lost: 0, rate: 1.3047619047619048, correct: 8, wrong: 0,
 		},
 		{
 			name: "gauss-markov",
 			spec: scenario.Spec{
-				K: 8, Trials: 4, Seed: 4242, SNRLodB: 14, SNRHidB: 30,
-				Channel: scenario.ChannelSpec{Kind: scenario.KindGaussMarkov, Rho: 0.999},
+				Trials: 4, Seed: 4242,
+				Workload: scenario.WorkloadSpec{K: 8},
+				Channel: scenario.ChannelSpec{
+					Kind: scenario.KindGaussMarkov, Rho: 0.999,
+					SNRLodB: 14, SNRHidB: 30,
+				},
 			},
 			ms: 2.890625, lost: 0, rate: 1.3555555555555556, correct: 8, wrong: 0,
 		},
 		{
 			name: "population-churn",
 			spec: scenario.Spec{
-				K: 6, Trials: 4, Seed: 4242, SNRLodB: 14, SNRHidB: 30, MaxSlots: 400,
-				Channel: scenario.ChannelSpec{Kind: scenario.KindGaussMarkov, Rho: 0.998},
-				Population: []scenario.PopulationEvent{
-					{Slot: 5, Arrive: 2},
-					{Slot: 9, Depart: 1},
+				Trials: 4, Seed: 4242,
+				Workload: scenario.WorkloadSpec{
+					K: 6,
+					Population: []scenario.PopulationEvent{
+						{Slot: 5, Arrive: 2},
+						{Slot: 9, Depart: 1},
+					},
 				},
+				Channel: scenario.ChannelSpec{
+					Kind: scenario.KindGaussMarkov, Rho: 0.998,
+					SNRLodB: 14, SNRHidB: 30,
+				},
+				Decode: scenario.DecodeSpec{MaxSlots: 400},
 			},
 			ms: 5.9812500000000002, lost: 0, rate: 1.0793650793650793, correct: 8, wrong: 0,
 		},
@@ -102,8 +117,8 @@ func TestGoldenScenarioDynamics(t *testing.T) {
 		var first *ScenarioOutcome
 		for _, par := range []int{1, 4} {
 			spec := tc.spec
-			spec.Parallelism = par
-			out, err := RunScenario(spec)
+			spec.Decode.Parallelism = par
+			out, err := Run(spec)
 			if err != nil {
 				t.Fatalf("%s par=%d: %v", tc.name, par, err)
 			}
@@ -130,14 +145,21 @@ func TestGoldenScenarioDynamics(t *testing.T) {
 // re-identification bursts must be charged.
 func TestScenarioPopulationDetail(t *testing.T) {
 	spec := scenario.Spec{
-		K: 5, Trials: 3, Seed: 99, SNRLodB: 16, SNRHidB: 28, MaxSlots: 400,
-		Population: []scenario.PopulationEvent{
-			{Slot: 2, Depart: 1},
-			{Slot: 6, Arrive: 2},
+		Trials: 3, Seed: 99,
+		Workload: scenario.WorkloadSpec{
+			K: 5,
+			Population: []scenario.PopulationEvent{
+				{Slot: 2, Depart: 1},
+				{Slot: 6, Arrive: 2},
+			},
 		},
-		Channel: scenario.ChannelSpec{Kind: scenario.KindGaussMarkov, Rho: 0.999},
+		Channel: scenario.ChannelSpec{
+			Kind: scenario.KindGaussMarkov, Rho: 0.999,
+			SNRLodB: 16, SNRHidB: 28,
+		},
+		Decode: scenario.DecodeSpec{MaxSlots: 400},
 	}
-	out, err := RunScenarioOpts(spec, ScenarioOptions{KeepTrials: true})
+	out, err := Run(spec, WithTrialDetail())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +203,11 @@ func TestScenarioPopulationDetail(t *testing.T) {
 // TestScenarioCustomMessages exercises the options hook the examples
 // use: caller-supplied payloads must round-trip through the engine.
 func TestScenarioCustomMessages(t *testing.T) {
-	spec := scenario.Spec{K: 4, Trials: 2, Seed: 7, SNRLodB: 18, SNRHidB: 30, MessageBits: 16}
+	spec := scenario.Spec{
+		Trials: 2, Seed: 7,
+		Workload: scenario.WorkloadSpec{K: 4, MessageBits: 16},
+		Channel:  scenario.ChannelSpec{SNRLodB: 18, SNRHidB: 30},
+	}
 	mk := func(trial int) []bits.Vector {
 		src := prng.NewSource(uint64(1000 + trial))
 		msgs := make([]bits.Vector, 4)
@@ -190,7 +216,7 @@ func TestScenarioCustomMessages(t *testing.T) {
 		}
 		return msgs
 	}
-	out, err := RunScenarioOpts(spec, ScenarioOptions{Messages: mk, KeepTrials: true})
+	out, err := Run(spec, WithMessages(mk), WithTrialDetail())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -170,15 +170,15 @@ type DataPhaseConfig struct {
 // the zero-means-default sentinels are disarmed via NoAGC/NoSNRDefault:
 // a literal 0 AGC fraction or 0 dB band keeps its pre-engine meaning.
 func profileSpec(p Profile, s scenario.Spec) scenario.Spec {
-	s.SNRLodB, s.SNRHidB = p.SNRLodB, p.SNRHidB
-	s.NoSNRDefault = true
-	s.AGCNoiseFraction = p.AGCNoiseFraction
-	s.NoAGC = p.AGCNoiseFraction == 0
-	s.MessageBits = p.MessageBits
+	s.Channel.SNRLodB, s.Channel.SNRHidB = p.SNRLodB, p.SNRHidB
+	s.Channel.NoSNRDefault = true
+	s.Channel.AGCNoiseFraction = p.AGCNoiseFraction
+	s.Channel.NoAGC = p.AGCNoiseFraction == 0
+	s.Workload.MessageBits = p.MessageBits
 	if p.CRC == bits.CRC16 {
-		s.CRC = "crc16"
+		s.Decode.CRC = "crc16"
 	} else {
-		s.CRC = "crc5"
+		s.Decode.CRC = "crc5"
 	}
 	return s
 }
@@ -193,13 +193,12 @@ func CompareDataPhase(cfg DataPhaseConfig) ([]SchemeOutcome, error) {
 	if cfg.K <= 0 || cfg.Trials <= 0 {
 		return nil, fmt.Errorf("sim: K and Trials must be positive, got %d/%d", cfg.K, cfg.Trials)
 	}
-	out, err := RunScenario(profileSpec(cfg.Profile, scenario.Spec{
+	out, err := Run(profileSpec(cfg.Profile, scenario.Spec{
 		Name:     "data-phase-comparison",
-		K:        cfg.K,
 		Trials:   cfg.Trials,
 		Seed:     cfg.Seed,
-		Restarts: 2,
-		MaxSlots: 40 * cfg.K,
+		Workload: scenario.WorkloadSpec{K: cfg.K},
+		Decode:   scenario.DecodeSpec{Restarts: 2, MaxSlots: 40 * cfg.K},
 		Schemes:  []string{scenario.SchemeBuzz, scenario.SchemeTDMA, scenario.SchemeCDMA},
 	}))
 	if err != nil {
@@ -244,15 +243,14 @@ func RunChallenging(trials int, seed uint64, bands []ChallengingBand) ([]Challen
 	for bi, band := range bands {
 		spec := profileSpec(profile, scenario.Spec{
 			Name:     "challenging-band",
-			K:        k,
 			Trials:   trials,
 			Seed:     seed + uint64(bi)*0x9E37,
-			Restarts: 3,
-			MaxSlots: 600,
+			Workload: scenario.WorkloadSpec{K: k},
+			Decode:   scenario.DecodeSpec{Restarts: 3, MaxSlots: 600},
 			Schemes:  []string{scenario.SchemeBuzz, scenario.SchemeTDMA},
 		})
-		spec.SNRLodB, spec.SNRHidB = band.LodB, band.HidB
-		res, err := RunScenario(spec)
+		spec.Channel.SNRLodB, spec.Channel.SNRHidB = band.LodB, band.HidB
+		res, err := Run(spec)
 		if err != nil {
 			return nil, err
 		}

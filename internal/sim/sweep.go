@@ -1,0 +1,186 @@
+// SLO capacity sweep: binary-search the maximum sustainable arrival
+// rate of an arrival-process workload under a declared service-level
+// objective. Every probe is a full deterministic scenario run at a
+// candidate rate; the whole sweep is a pure function of the spec, so a
+// capacity claim ships as (spec, seed, report) and anyone can re-derive
+// it byte for byte — the inference-sim capacity-planning workflow
+// applied to RFID inventory.
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// SweepProbe is one evaluated rate of a capacity sweep.
+type SweepProbe struct {
+	// Rate is the probed arrival rate in tags per slot.
+	Rate float64
+	// Feasible reports whether the run met every SLO clause.
+	Feasible bool
+	// P99CompletionSlots is the probe's p99 inventory-completion
+	// latency (+Inf when fewer than 99% of offered tags delivered).
+	P99CompletionSlots float64
+	// Delivered and Offered count payloads over the probe's trials.
+	Delivered, Offered int
+	// DeliveredFraction is Delivered / Offered.
+	DeliveredFraction float64
+	// Wrong counts verified-but-wrong payloads across the probe.
+	Wrong int
+}
+
+// CapacityReport is the reproducible outcome of a capacity sweep.
+type CapacityReport struct {
+	// Name echoes the spec.
+	Name string
+	// SpecHash is the content address of the swept spec (defaults
+	// applied, base rate as authored) — the thing a capacity claim is
+	// checkable against.
+	SpecHash string
+	// Seed echoes the spec's seed.
+	Seed uint64
+	// SLO is the effective objective (probe budget defaulted).
+	SLO scenario.SLOSpec
+	// Probes lists every evaluated rate in evaluation order: the two
+	// endpoints, then the bisection sequence.
+	Probes []SweepProbe
+	// Feasible reports whether even the lowest rate met the SLO.
+	Feasible bool
+	// MaxRate is the highest rate found feasible (0 when !Feasible).
+	MaxRate float64
+	// AtMax is the full latency report of the best feasible probe.
+	AtMax *LatencyReport
+}
+
+// Sweep binary-searches the maximum sustainable arrival rate of an
+// arrival-process spec under its SLO block. The spec must carry both a
+// workload.arrivals section (whose rate the sweep overrides) and an slo
+// section with rate_lo/rate_hi search bounds. The search: evaluate
+// rate_lo (infeasible → report and stop), evaluate rate_hi (feasible →
+// done), then bisect SLO.Probes times; MaxRate is the last feasible
+// midpoint. Deterministic in the spec at any parallelism.
+func Sweep(spec scenario.Spec) (*CapacityReport, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Workload.Arrivals == nil {
+		return nil, fmt.Errorf("sim: sweep needs a workload.arrivals section (the sweep searches its rate)")
+	}
+	if spec.SLO == nil {
+		return nil, fmt.Errorf("sim: sweep needs an slo section declaring the objective")
+	}
+	slo := *spec.SLO
+	if slo.Probes == 0 {
+		slo.Probes = 6
+	}
+	if slo.RateLo <= 0 || slo.RateHi <= 0 {
+		return nil, fmt.Errorf("sim: sweep needs slo rate_lo and rate_hi to bound the rate search")
+	}
+
+	rep := &CapacityReport{
+		Name:     spec.Name,
+		SpecHash: spec.Hash(),
+		Seed:     spec.Seed,
+		SLO:      slo,
+	}
+
+	eval := func(rate float64) (SweepProbe, *LatencyReport, error) {
+		s := spec
+		arr := *s.Workload.Arrivals
+		arr.Rate = rate
+		s.Workload.Arrivals = &arr
+		out, err := Run(s)
+		if err != nil {
+			return SweepProbe{}, nil, fmt.Errorf("sim: sweep probe at rate %v: %w", rate, err)
+		}
+		lat := out.Latency
+		p := SweepProbe{
+			Rate:               rate,
+			P99CompletionSlots: lat.CompletionSlots.P99,
+			Delivered:          lat.TagsDelivered,
+			Offered:            lat.TagsOffered,
+			DeliveredFraction:  lat.DeliveredFraction,
+			Wrong:              out.Scheme(scenario.SchemeBuzz).WrongPayload,
+		}
+		p.Feasible = p.P99CompletionSlots <= float64(slo.P99CompletionSlots) &&
+			p.Wrong <= slo.MaxWrong &&
+			(slo.MinDeliveredFraction == 0 || p.DeliveredFraction >= slo.MinDeliveredFraction)
+		return p, lat, nil
+	}
+
+	lo, hi := slo.RateLo, slo.RateHi
+	pLo, latLo, err := eval(lo)
+	if err != nil {
+		return nil, err
+	}
+	rep.Probes = append(rep.Probes, pLo)
+	if !pLo.Feasible {
+		// Even the floor violates the SLO: report infeasible rather
+		// than searching a bracket that has no feasible edge.
+		return rep, nil
+	}
+	rep.Feasible = true
+	rep.MaxRate = lo
+	rep.AtMax = latLo
+
+	pHi, latHi, err := eval(hi)
+	if err != nil {
+		return nil, err
+	}
+	rep.Probes = append(rep.Probes, pHi)
+	if pHi.Feasible {
+		rep.MaxRate = hi
+		rep.AtMax = latHi
+		return rep, nil
+	}
+
+	for i := 0; i < slo.Probes; i++ {
+		mid := lo + (hi-lo)/2
+		p, lat, err := eval(mid)
+		if err != nil {
+			return nil, err
+		}
+		rep.Probes = append(rep.Probes, p)
+		if p.Feasible {
+			lo = mid
+			rep.MaxRate = mid
+			rep.AtMax = lat
+		} else {
+			hi = mid
+		}
+	}
+	return rep, nil
+}
+
+// Render lays the report out as stable text: same report, same bytes.
+// The CLI prints it verbatim and the CI sweep smoke diffs two runs of
+// it, so nothing here may depend on time, locale or map order.
+func (r *CapacityReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "capacity report: %q spec %s seed %d\n", r.Name, r.SpecHash, r.Seed)
+	fmt.Fprintf(&b, "  slo: p99_completion_slots <= %d, max_wrong <= %d", r.SLO.P99CompletionSlots, r.SLO.MaxWrong)
+	if r.SLO.MinDeliveredFraction > 0 {
+		fmt.Fprintf(&b, ", delivered >= %.4f", r.SLO.MinDeliveredFraction)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  sweep: rate in [%.6f, %.6f] tags/slot, %d bisection probes\n",
+		r.SLO.RateLo, r.SLO.RateHi, r.SLO.Probes)
+	for i, p := range r.Probes {
+		verdict := "FAIL"
+		if p.Feasible {
+			verdict = "pass"
+		}
+		fmt.Fprintf(&b, "  probe %d: rate %.6f -> p99 %s slots, delivered %d/%d (%.4f), wrong %d [%s]\n",
+			i+1, p.Rate, fmtSlots(p.P99CompletionSlots), p.Delivered, p.Offered, p.DeliveredFraction, p.Wrong, verdict)
+	}
+	if !r.Feasible {
+		fmt.Fprintf(&b, "  infeasible: rate %.6f already violates the slo — no sustainable rate in the band\n", r.SLO.RateLo)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  max sustainable rate: %.6f tags/slot\n", r.MaxRate)
+	fmt.Fprintf(&b, "  at max rate: %s\n", r.AtMax.String())
+	return b.String()
+}

@@ -14,9 +14,10 @@ import (
 // the channel ("auto" resolves to 8 slots here).
 func fastMobilitySpec() scenario.Spec {
 	return scenario.Spec{
-		Name: "fast-mobility", K: 8, Trials: 24, Seed: 2026, MaxSlots: 320,
-		Channel: scenario.ChannelSpec{Kind: scenario.KindGaussMarkov, Rho: 0.9},
-		Window:  scenario.WindowAuto,
+		Name: "fast-mobility", Trials: 24, Seed: 2026,
+		Workload: scenario.WorkloadSpec{K: 8},
+		Channel:  scenario.ChannelSpec{Kind: scenario.KindGaussMarkov, Rho: 0.9},
+		Decode:   scenario.DecodeSpec{MaxSlots: 320, Window: scenario.WindowAuto},
 	}
 }
 
@@ -39,8 +40,8 @@ func TestGoldenFastMobilityWindowed(t *testing.T) {
 	var first *ScenarioOutcome
 	for _, par := range []int{1, 4} {
 		spec := fastMobilitySpec()
-		spec.Parallelism = par
-		out, err := RunScenarioOpts(spec, ScenarioOptions{KeepTrials: true})
+		spec.Decode.Parallelism = par
+		out, err := Run(spec, WithTrialDetail())
 		if err != nil {
 			t.Fatalf("par=%d: %v", par, err)
 		}
@@ -78,8 +79,8 @@ func TestGoldenFastMobilityWindowed(t *testing.T) {
 // messages.
 func TestFastMobilityUnwindowedFalseAccepts(t *testing.T) {
 	spec := fastMobilitySpec()
-	spec.Window = ""
-	out, err := RunScenario(spec)
+	spec.Decode.Window = ""
+	out, err := Run(spec)
 	if err != nil {
 		t.Fatal(err)
 	}

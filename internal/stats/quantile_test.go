@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/prng"
+)
+
+// bruteQuantile is the reference implementation: full sort, nearest
+// rank.
+func bruteQuantile(xs []float64, q float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(q * float64(len(xs))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(xs) {
+		rank = len(xs)
+	}
+	return sorted[rank-1]
+}
+
+// TestExactQuantileMatchesSort cross-checks the quickselect path
+// against a full sort on randomized inputs of many sizes, including
+// duplicate-heavy and +Inf-bearing samples — the shapes latency data
+// actually has.
+func TestExactQuantileMatchesSort(t *testing.T) {
+	src := prng.NewSource(20260807)
+	qs := []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	for _, n := range []int{1, 2, 3, 7, 10, 64, 257, 1000} {
+		for rep := 0; rep < 5; rep++ {
+			xs := make([]float64, n)
+			for i := range xs {
+				switch src.Uint64() % 4 {
+				case 0:
+					// Duplicate-heavy small integers (completion slots).
+					xs[i] = float64(src.Uint64() % 8)
+				case 1:
+					// Undelivered tags.
+					xs[i] = math.Inf(1)
+				default:
+					xs[i] = prng.Uniform01(src.Uint64()) * 1000
+				}
+			}
+			for _, q := range qs {
+				got := ExactQuantile(xs, q)
+				want := bruteQuantile(xs, q)
+				if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+					t.Fatalf("n=%d rep=%d q=%v: quickselect %v, sort %v", n, rep, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestExactQuantileSmallN pins the small-N semantics the SLO reports
+// depend on: with n samples the q-quantile is the ceil(q·n)-th
+// smallest, never interpolated.
+func TestExactQuantileSmallN(t *testing.T) {
+	xs := []float64{30, 10, 20}
+	cases := []struct{ q, want float64 }{
+		{0, 10},    // minimum
+		{0.33, 10}, // ceil(0.99) = 1st
+		{0.34, 20}, // ceil(1.02) = 2nd
+		{0.5, 20},
+		{0.67, 30}, // ceil(2.01) = 3rd
+		{0.99, 30},
+		{1, 30},
+	}
+	for _, c := range cases {
+		if got := ExactQuantile(xs, c.q); got != c.want {
+			t.Errorf("q=%v: got %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := ExactQuantile([]float64{42}, 0.99); got != 42 {
+		t.Errorf("single sample: got %v, want 42", got)
+	}
+	if got := ExactQuantile(nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("empty input: got %v, want NaN", got)
+	}
+}
+
+// TestExactQuantileDoesNotMutate pins that callers keep their sample
+// order: the selection works on a copy.
+func TestExactQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	ExactQuantile(xs, 0.5)
+	for i, want := range []float64{5, 1, 4, 2, 3} {
+		if xs[i] != want {
+			t.Fatalf("input mutated: %v", xs)
+		}
+	}
+}
+
+// TestExactQuantiles checks the bundled summary against the reference
+// on a mixed sample set.
+func TestExactQuantiles(t *testing.T) {
+	src := prng.NewSource(7)
+	xs := make([]float64, 321)
+	for i := range xs {
+		xs[i] = float64(src.Uint64() % 100)
+	}
+	xs[17] = math.Inf(1)
+	q := ExactQuantiles(xs)
+	if q.N != len(xs) {
+		t.Fatalf("N = %d, want %d", q.N, len(xs))
+	}
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"min", q.Min, bruteQuantile(xs, 0)},
+		{"p50", q.P50, bruteQuantile(xs, 0.5)},
+		{"p90", q.P90, bruteQuantile(xs, 0.9)},
+		{"p99", q.P99, bruteQuantile(xs, 0.99)},
+		{"max", q.Max, bruteQuantile(xs, 1)},
+	}
+	for _, c := range checks {
+		if c.got != c.want && !(math.IsInf(c.got, 1) && math.IsInf(c.want, 1)) {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
