@@ -1,0 +1,272 @@
+package bp
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/scratch"
+)
+
+// SlotJob is one session's staged per-slot decode — the arguments its
+// owner would have passed to DecodeSlot, held as data so a batch
+// executor can advance many sessions through the same slot phase in
+// lockstep.
+type SlotJob struct {
+	S         *Session
+	Slot      int
+	Locked    []bool
+	Base      uint64
+	MinMargin []float64
+	Ambiguous []bool
+	// Panicked receives the recovered panic value when this lane's
+	// decode blew up. The lane's session state is then suspect: its
+	// FinishSlot is skipped and the caller must quarantine the session.
+	// Other lanes are unaffected — every mutation a decode unit performs
+	// is confined to its own session.
+	Panicked any
+}
+
+// Batch advances B same-shaped decode sessions through one collision
+// slot in lockstep. Each (lane, position) pair is an independent decode
+// unit (see Session.PrepareSlot), and the fan runs position-major —
+// unit u = p·B + lane — so the hot kernels stream each bit position
+// across every lane back-to-back instead of finishing one session
+// before touching the next.
+//
+// A Batch can also own its lanes' memory: Carve lays B sessions'
+// kernel arrays (observations, residuals, locked bases, S-sums, gain
+// tables, flip signs, argmax trees, dirty lists, joint bits, ambiguity
+// flags) out in contiguous per-array slabs with a fixed lane stride,
+// so the position-major sweep walks packed memory. Carved lanes are
+// ordinary *Sessions — Begin/Grow reuse the slab capacity, and a lane
+// that outgrows its slab (K past the carve's cap) detaches onto fresh
+// allocations without disturbing its neighbors.
+//
+// Determinism is inherited, not re-proven: Decode runs the exact
+// per-position kernel DecodeSlot runs, with the same per-(slot,
+// position) PRNG streams and the same serial merge, so a batched slot
+// is byte-identical to B scalar DecodeSlots at any batch size, pool
+// width or scheduling. A Batch is not safe for concurrent Decodes.
+type Batch struct {
+	lanes []*Session
+
+	ysSlab      []complex128
+	lockedSlab  []complex128
+	resSlab     []complex128
+	sumSlab     []complex128
+	gainSlab    []float64
+	signSlab    []float64
+	treeSlab    []int
+	dirtySlab   []int
+	inDirtySlab []bool
+	posSlab     []bool
+	ambSlab     []bool
+
+	// Worker pool: par units decode concurrently; par ≤ 1 runs inline
+	// on the caller's goroutine. Workers are persistent (started on the
+	// first parallel Decode, stopped by Close) and share one workerState
+	// shape — the batch's, reshaped when the lane shape changes.
+	par     int
+	wstates []workerState
+	wk      int
+	wSlots  int
+	wPasses int
+	unitCh  chan int
+	wg      sync.WaitGroup
+	started bool
+	panicMu sync.Mutex
+
+	// Fan context, read-only while workers run.
+	cur  []SlotJob
+	curB int
+}
+
+// NewBatch returns a Batch whose fan runs par decode units concurrently
+// (par ≤ 1 decodes inline; the shard-pinned streaming path uses 1 —
+// shards are the parallelism — while lockstep trial runners split the
+// leftover cores across their batches).
+func NewBatch(par int) *Batch {
+	if par < 1 {
+		par = 1
+	}
+	return &Batch{par: par, wstates: make([]workerState, par)}
+}
+
+// Carve shapes the batch's slabs for n lanes of at most kCap tags,
+// frameLen bit positions, maxSlots collision slots and the given
+// restart count, and returns the n lane sessions backed by them. The
+// caller Begins each lane with its own taps and par 1 (the batch pool
+// is the parallelism); a same-shaped Carve after Reset lanes allocates
+// nothing. Lanes keep their slab backing across Begin/Grow as long as
+// K stays within kCap.
+func (b *Batch) Carve(n, kCap, frameLen, maxSlots, restarts int) []*Session {
+	_ = restarts // shape workers lazily at Decode; restarts only sizes them
+	treeLen := 2 * scratch.CeilPow2(max(kCap, 1))
+	ysN := frameLen * maxSlots
+	sumN := frameLen * kCap
+	treeN := frameLen * treeLen
+	b.ysSlab = growComplex(b.ysSlab, n*ysN)
+	b.lockedSlab = growComplex(b.lockedSlab, n*ysN)
+	b.resSlab = growComplex(b.resSlab, n*ysN)
+	b.sumSlab = growComplex(b.sumSlab, n*sumN)
+	b.gainSlab = growFloats(b.gainSlab, n*sumN)
+	b.signSlab = growFloats(b.signSlab, n*sumN)
+	b.treeSlab = growInts(b.treeSlab, n*treeN)
+	b.dirtySlab = growInts(b.dirtySlab, n*sumN)
+	b.inDirtySlab = growBools(b.inDirtySlab, n*sumN)
+	b.posSlab = growBools(b.posSlab, n*sumN)
+	b.ambSlab = growBools(b.ambSlab, n*sumN)
+	for len(b.lanes) < n {
+		b.lanes = append(b.lanes, NewSession())
+	}
+	lanes := b.lanes[:n]
+	for l, s := range lanes {
+		// Three-index carves: each lane's backing is capacity-limited to
+		// its own slab section, so in-slab growth (Begin's reuse, Grow's
+		// in-place restripe) can never bleed into a neighbor.
+		s.ysBacking = b.ysSlab[l*ysN : l*ysN : (l+1)*ysN]
+		s.lockedBacking = b.lockedSlab[l*ysN : l*ysN : (l+1)*ysN]
+		s.resBacking = b.resSlab[l*ysN : l*ysN : (l+1)*ysN]
+		s.sumBacking = b.sumSlab[l*sumN : l*sumN : (l+1)*sumN]
+		s.gainBacking = b.gainSlab[l*sumN : l*sumN : (l+1)*sumN]
+		s.bSignBacking = b.signSlab[l*sumN : l*sumN : (l+1)*sumN]
+		s.treeBacking = b.treeSlab[l*treeN : l*treeN : (l+1)*treeN]
+		s.dirtyBacking = b.dirtySlab[l*sumN : l*sumN : (l+1)*sumN]
+		s.inDirtyBacking = b.inDirtySlab[l*sumN : l*sumN : (l+1)*sumN]
+		s.posBits = b.posSlab[l*sumN : l*sumN : (l+1)*sumN]
+		s.ambiguous = b.ambSlab[l*sumN : l*sumN : (l+1)*sumN]
+	}
+	return lanes
+}
+
+// Decode advances every job's session through its staged slot in
+// lockstep. All lanes must share one shape (K, frame length, slot
+// budget, restarts) — the grouping the session manager enforces before
+// batching; mixed shapes panic. A lane whose decode panics is marked in
+// its job's Panicked field and its FinishSlot is skipped; the remaining
+// lanes complete normally.
+func (b *Batch) Decode(jobs []SlotJob) {
+	B := len(jobs)
+	if B == 0 {
+		return
+	}
+	s0 := jobs[0].S
+	k, fl, ms, rs := s0.k, s0.frameLen, s0.maxSlots, s0.restarts
+	for i := range jobs {
+		s := jobs[i].S
+		if s.k != k || s.frameLen != fl || s.maxSlots != ms || s.restarts != rs {
+			panic(fmt.Sprintf("bp: Batch.Decode lane %d shape (k=%d,frame=%d,slots=%d,restarts=%d) != lane 0 (k=%d,frame=%d,slots=%d,restarts=%d)",
+				i, s.k, s.frameLen, s.maxSlots, s.restarts, k, fl, ms, rs))
+		}
+		jobs[i].Panicked = nil
+	}
+	for i := range jobs {
+		b.prepareLane(&jobs[i])
+	}
+	b.shapeWorkers(k, ms, 1+rs)
+	b.cur, b.curB = jobs, B
+	units := B * fl
+	if b.par > 1 && units > 1 {
+		b.ensureWorkers()
+		b.wg.Add(units)
+		for u := 0; u < units; u++ {
+			b.unitCh <- u
+		}
+		b.wg.Wait()
+	} else {
+		for u := 0; u < units; u++ {
+			b.runUnit(u, &b.wstates[0])
+		}
+	}
+	b.cur, b.curB = nil, 0
+	for i := range jobs {
+		j := &jobs[i]
+		if j.Panicked != nil {
+			continue
+		}
+		j.S.FinishSlot(j.MinMargin, j.Ambiguous)
+	}
+}
+
+func (b *Batch) prepareLane(j *SlotJob) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.Panicked = r
+		}
+	}()
+	j.S.PrepareSlot(j.Slot, j.Locked, j.Base)
+}
+
+// runUnit decodes unit u = p·B + lane. The panic guard keeps one lane's
+// blow-up from taking the fan down: the lane is marked dead (checked
+// under the same lock, so late units of a dying lane are skipped
+// race-free) and every other lane's units proceed.
+func (b *Batch) runUnit(u int, ws *workerState) {
+	j := &b.cur[u%b.curB]
+	p := u / b.curB
+	b.panicMu.Lock()
+	dead := j.Panicked != nil
+	b.panicMu.Unlock()
+	if dead {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			b.panicMu.Lock()
+			if j.Panicked == nil {
+				j.Panicked = r
+			}
+			b.panicMu.Unlock()
+		}
+	}()
+	j.S.decodePosition(p, ws)
+}
+
+// shapeWorkers re-sizes the shared worker arenas to the batch's lane
+// shape, reusing capacity; a shape change between Decodes (a lockstep
+// Grow) reshapes in place, so persistent workers keep their pointers.
+func (b *Batch) shapeWorkers(k, maxSlots, passes int) {
+	if b.wk == k && b.wSlots == maxSlots && b.wPasses == passes {
+		return
+	}
+	for w := range b.wstates {
+		b.wstates[w].shape(k, maxSlots, passes)
+	}
+	b.wk, b.wSlots, b.wPasses = k, maxSlots, passes
+}
+
+func (b *Batch) ensureWorkers() {
+	if b.started {
+		return
+	}
+	b.unitCh = make(chan int)
+	for w := 0; w < b.par; w++ {
+		go func(ch chan int, ws *workerState) {
+			for u := range ch {
+				b.runUnit(u, ws)
+				b.wg.Done()
+			}
+		}(b.unitCh, &b.wstates[w])
+	}
+	b.started = true
+}
+
+// Close stops the batch's worker goroutines and its lanes'. The batch
+// remains usable — the next parallel Decode restarts the pool.
+func (b *Batch) Close() {
+	if b.started {
+		close(b.unitCh)
+		b.started = false
+	}
+	for _, s := range b.lanes {
+		s.Close()
+	}
+}
+
+// ResetLanes returns every carved lane to its pre-Begin state, keeping
+// the slab backing — the recycling entry point for pooled batches.
+func (b *Batch) ResetLanes() {
+	for _, s := range b.lanes {
+		s.Reset()
+	}
+}

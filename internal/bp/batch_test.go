@@ -1,0 +1,222 @@
+package bp
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+// TestBatchLockstepMatchesScalarInterleavings is the lockstep
+// equivalence property test: B slab-carved lanes driven through random
+// interleavings of Grow, RetapAll and Retire — the full dynamic-session
+// mutation surface — via Batch.Decode must match B independent
+// heap-backed sessions fed the identical inputs through scalar
+// DecodeSlot, exactly: same margins, same ambiguity flags, same
+// per-position bits and errors, same descent/restart/flip counts. The
+// lanes grow past the carve's kCap mid-run, so the slab-detach path is
+// exercised too.
+func TestBatchLockstepMatchesScalarInterleavings(t *testing.T) {
+	const (
+		B        = 3
+		k0       = 3
+		kCap     = 5 // deliberately below the final K: growth detaches lanes
+		frameLen = 16
+		maxSlots = 40
+		restarts = 1
+		nSlots   = 24
+		kMax     = 7
+	)
+	b := NewBatch(2)
+	defer b.Close()
+	lanes := b.Carve(B, kCap, frameLen, maxSlots, restarts)
+	twins := make([]*Session, B)
+	defer func() {
+		for _, tw := range twins {
+			if tw != nil {
+				tw.Close()
+			}
+		}
+	}()
+	drv := make([]*prng.Source, B)
+	taps := make([][]complex128, B)
+	locked := make([][]bool, B)
+	for l := 0; l < B; l++ {
+		drv[l] = prng.NewSource(prng.Mix2(0xBA7C4, uint64(l)))
+		taps[l] = randomTaps(k0, drv[l])
+		lanes[l].Begin(k0, frameLen, maxSlots, 1, restarts, taps[l])
+		twins[l] = NewSession()
+		twins[l].Begin(k0, frameLen, maxSlots, 1, restarts, taps[l])
+		est := randomEstimates(k0, frameLen, drv[l])
+		lanes[l].InitPositions(est)
+		twins[l].InitPositions(est)
+		locked[l] = make([]bool, k0)
+	}
+
+	// One op schedule shared by every lane (Batch.Decode requires shape
+	// uniformity — exactly the grouping the engine enforces); per-lane
+	// taps, rows, observations and lock patterns all differ.
+	ops := prng.NewSource(0xD1CE5)
+	k := k0
+	jobs := make([]SlotJob, B)
+	bases := make([]uint64, B)
+	for slot := 1; slot <= nSlots; slot++ {
+		if k < kMax && ops.Bernoulli(0.3) {
+			n := 1 + ops.IntN(kMax-k)
+			for l := range lanes {
+				grown := randomTaps(n, drv[l])
+				est := randomEstimates(n, frameLen, drv[l])
+				lanes[l].Grow(grown, est)
+				twins[l].Grow(grown, est)
+				taps[l] = append(taps[l], grown...)
+				locked[l] = append(locked[l], make([]bool, n)...)
+			}
+			k += n
+		}
+		if ops.Bernoulli(0.25) {
+			for l := range lanes {
+				for i := range taps[l] {
+					if !locked[l][i] {
+						taps[l][i] += complex(0.03*drv[l].Float64(), 0.03*drv[l].Float64())
+					}
+				}
+				lanes[l].RetapAll(taps[l])
+				twins[l].RetapAll(taps[l])
+			}
+		}
+		if slot > 5 && ops.Bernoulli(0.2) {
+			for l := range lanes {
+				lanes[l].Retire(slot - 5)
+				twins[l].Retire(slot - 5)
+			}
+		}
+
+		lm := make([][]float64, B)
+		la := make([][]bool, B)
+		for l := range lanes {
+			d := &sessionDriver{k: k, frameLen: frameLen, src: drv[l]}
+			row, obs := d.slot()
+			lanes[l].AppendSlot(row, obs)
+			twins[l].AppendSlot(row, obs)
+			bases[l] = drv[l].Uint64()
+			lm[l] = make([]float64, k)
+			la[l] = make([]bool, k)
+			jobs[l] = SlotJob{
+				S: lanes[l], Slot: slot, Locked: locked[l], Base: bases[l],
+				MinMargin: lm[l], Ambiguous: la[l],
+			}
+		}
+		b.Decode(jobs)
+		for l := range jobs {
+			if jobs[l].Panicked != nil {
+				t.Fatalf("slot %d lane %d: decode panicked: %v", slot, l, jobs[l].Panicked)
+			}
+		}
+		for l := range twins {
+			tm := make([]float64, k)
+			ta := make([]bool, k)
+			twins[l].DecodeSlot(slot, locked[l], bases[l], tm, ta)
+			for i := 0; i < k; i++ {
+				if lm[l][i] != tm[i] || la[l][i] != ta[i] {
+					t.Fatalf("slot %d lane %d tag %d: batch (%v,%v) != scalar (%v,%v)",
+						slot, l, i, lm[l][i], la[l][i], tm[i], ta[i])
+				}
+			}
+			for p := 0; p < frameLen; p++ {
+				if lanes[l].PosError(p) != twins[l].PosError(p) {
+					t.Fatalf("slot %d lane %d position %d: error %v != %v",
+						slot, l, p, lanes[l].PosError(p), twins[l].PosError(p))
+				}
+				pa, pb := lanes[l].PosBits(p), twins[l].PosBits(p)
+				for i := 0; i < k; i++ {
+					if pa[i] != pb[i] {
+						t.Fatalf("slot %d lane %d position %d tag %d: bits diverged", slot, l, p, i)
+					}
+				}
+			}
+		}
+
+		// Lock each lane's strongest unlocked tag now and then; the lock
+		// pattern stays monotonic and, having been derived from matching
+		// margins, identical between lane and twin.
+		if ops.Bernoulli(0.35) {
+			for l := range lanes {
+				best := -1
+				for i := range lm[l] {
+					if !locked[l][i] && (best < 0 || lm[l][i] > lm[l][best]) {
+						best = i
+					}
+				}
+				if best >= 0 && lm[l][best] > 0 {
+					locked[l][best] = true
+				}
+			}
+		}
+	}
+	if k <= kCap {
+		t.Fatalf("schedule never grew past the carve cap (k=%d, kCap=%d); detach path untested", k, kCap)
+	}
+	for l := range lanes {
+		lc, tc := lanes[l].TakeDecodeCost(), twins[l].TakeDecodeCost()
+		if lc != tc {
+			t.Fatalf("lane %d: decode cost %+v != scalar %+v", l, lc, tc)
+		}
+		if lc.DescentPasses == 0 || lc.Flips == 0 {
+			t.Fatalf("lane %d: degenerate cost counters %+v", l, lc)
+		}
+	}
+}
+
+// TestBatchWarmSlotPathAllocationFree pins the lockstep tentpole's
+// steady-state property: once the carved slabs and worker arenas are
+// warm, a full batched slot — B appends plus one Batch.Decode — heap-
+// allocates nothing.
+func TestBatchWarmSlotPathAllocationFree(t *testing.T) {
+	const (
+		B        = 4
+		k        = 8
+		frameLen = 24
+		maxSlots = 128
+		restarts = 1
+		warmup   = 4
+	)
+	b := NewBatch(1)
+	defer b.Close()
+	lanes := b.Carve(B, k, frameLen, maxSlots, restarts)
+	drv := make([]*prng.Source, B)
+	rows := make([][]bool, B)
+	obs := make([][]complex128, B)
+	locked := make([][]bool, B)
+	margins := make([][]float64, B)
+	amb := make([][]bool, B)
+	for l := 0; l < B; l++ {
+		drv[l] = prng.NewSource(prng.Mix2(0xA110C, uint64(l)))
+		taps := randomTaps(k, drv[l])
+		lanes[l].Begin(k, frameLen, maxSlots, 1, restarts, taps)
+		lanes[l].InitPositions(randomEstimates(k, frameLen, drv[l]))
+		d := &sessionDriver{k: k, frameLen: frameLen, src: drv[l]}
+		r, o := d.slot()
+		rows[l], obs[l] = r, o
+		locked[l] = make([]bool, k)
+		margins[l] = make([]float64, k)
+		amb[l] = make([]bool, k)
+	}
+	jobs := make([]SlotJob, B)
+	slot := 0
+	cycle := func() {
+		slot++
+		for l := range lanes {
+			lanes[l].AppendSlot(rows[l], obs[l])
+			jobs[l] = SlotJob{
+				S: lanes[l], Slot: slot, Locked: locked[l], Base: 0x5EED,
+				MinMargin: margins[l], Ambiguous: amb[l],
+			}
+		}
+		b.Decode(jobs)
+	}
+	for i := 0; i < warmup; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(50, cycle); allocs != 0 {
+		t.Fatalf("warm batched slot path allocates %v times per slot, want 0", allocs)
+	}
+}

@@ -101,6 +101,11 @@ type Graph struct {
 	// row storage every slot forever. RetireRow pushes, AppendRow pops —
 	// the windowed steady state is allocation-free like the growing one.
 	spare [][]int
+	// adjSlab and colSlab back ReserveAdjacency's pre-carved per-row
+	// adjacency regions and per-tag row lists; zero until a caller
+	// reserves, after which the append paths stop touching the heap.
+	adjSlab []int
+	colSlab []int
 	// Soft stale-tap down-weighting — the per-tag coherence window's
 	// soft mode. Rows of tag i with index below staleCut[i] are "stale":
 	// older than the tag's coherence window, so the current tap h_i is a
@@ -253,6 +258,38 @@ func (g *Graph) RetapTag(i int, h complex128) {
 	g.tapPower[i] = re*re + im*im
 	g.tapRe[i], g.tapIm[i] = re, im
 	g.wPow[i] = g.tapPower[i] * g.effWeight(i)
+}
+
+// ReserveTags grows the per-tag buffers' capacity for up to kCap tags
+// without changing K, so mid-transfer AddTags up to the cap allocate
+// nothing — the admission-time sizing behind Session.Reserve.
+func (g *Graph) ReserveTags(kCap int) {
+	if kCap <= cap(g.colRows) &&
+		kCap <= cap(g.deactivated) && kCap <= cap(g.staleCut) &&
+		kCap <= cap(g.taps) {
+		return
+	}
+	g.colRows = reserveCap(g.colRows, kCap)
+	g.deactivated = reserveCap(g.deactivated, kCap)
+	g.staleCut = reserveCap(g.staleCut, kCap)
+	g.softAlpha = reserveCap(g.softAlpha, kCap)
+	g.staleCnt = reserveCap(g.staleCnt, kCap)
+	g.taps = reserveCap(g.taps, kCap)
+	g.tapPower = reserveCap(g.tapPower, kCap)
+	g.tapRe = reserveCap(g.tapRe, kCap)
+	g.tapIm = reserveCap(g.tapIm, kCap)
+	g.wPow = reserveCap(g.wPow, kCap)
+}
+
+// reserveCap grows buf's capacity to at least n, preserving contents
+// and length.
+func reserveCap[T any](buf []T, n int) []T {
+	if cap(buf) >= n {
+		return buf
+	}
+	next := make([]T, len(buf), scratch.CeilPow2(n))
+	copy(next, buf)
+	return next
 }
 
 // AddTag grows the graph by one column: a tag joining the round
@@ -523,6 +560,56 @@ func (g *Graph) ReserveRows(n int) {
 		copy(next, g.rowActive)
 		g.rowActive = next
 	}
+}
+
+// ReserveAdjacency pre-carves every row's adjacency lists and every
+// tag's row list out of two slabs, so a transfer of at most n rows over
+// at most kCap tags appends rows and row memberships without touching
+// the heap: AppendRow's and AddTag's recycle-by-index paths find a
+// capacity-kCap (resp. capacity-n) region already parked at each index,
+// where an unreserved graph builds them by incremental append — several
+// small allocations per slot, forever. Regions are cap-limited
+// three-index slices, so a row that outgrows its region (K grown past
+// kCap mid-transfer) detaches onto a fresh allocation without bleeding
+// into a neighbor, and the in-place compactions (RetireRow,
+// RetireTagRows, DeactivateTag) stay inside their region by
+// construction. Carving rebinds every index, so the call is only legal
+// on an empty graph (a fresh Reset); on a live one it is a no-op.
+func (g *Graph) ReserveAdjacency(kCap, n int) {
+	if kCap < 1 || n < 1 || g.L != 0 || g.retired != 0 {
+		return
+	}
+	g.ReserveRows(n)
+	adjN := 2 * n * kCap
+	if cap(g.adjSlab) < adjN {
+		g.adjSlab = make([]int, adjN)
+	}
+	adj := g.adjSlab[:adjN]
+	rc := g.rowCols[:n]
+	ra := g.rowActive[:n]
+	for r := 0; r < n; r++ {
+		rc[r] = adj[(2*r)*kCap : (2*r)*kCap : (2*r+1)*kCap]
+		ra[r] = adj[(2*r+1)*kCap : (2*r+1)*kCap : (2*r+2)*kCap]
+	}
+	g.rowCols = rc[:0]
+	g.rowActive = ra[:0]
+	// Row indices never reach n (AppendSlot enforces the budget), so
+	// every append finds its carved region in place and the spare pool
+	// is dead weight from here on.
+	g.spare = g.spare[:0]
+	colN := kCap * n
+	if cap(g.colSlab) < colN {
+		g.colSlab = make([]int, colN)
+	}
+	col := g.colSlab[:colN]
+	g.colRows = reserveCap(g.colRows, kCap)
+	cs := g.colRows[:kCap]
+	for i := 0; i < kCap; i++ {
+		cs[i] = col[i*n : i*n : (i+1)*n]
+	}
+	g.colRows = cs[:g.K]
+	g.activeRows = reserveCap(g.activeRows, n)[:len(g.activeRows)]
+	g.newlyInactive = reserveCap(g.newlyInactive, n)[:len(g.newlyInactive)]
 }
 
 // Retired returns the number of retired prefix rows; the live graph is

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bits"
 	"repro/internal/prng"
@@ -39,6 +40,10 @@ type Session struct {
 	k, frameLen, maxSlots int
 	restarts              int
 	eps                   float64
+	// reservedK remembers Reserve's tag capacity so Begin re-carves the
+	// adjacency slabs wide enough for the admission-time cap, keeping
+	// post-Grow appends allocation-free up to it.
+	reservedK int
 
 	// ys[p] collects the observations of bit position p, one symbol per
 	// slot, backed by ysBacking in per-position stripes of cap maxSlots.
@@ -150,6 +155,15 @@ type Session struct {
 	curBase   uint64
 	curThresh float64
 
+	// Per-phase decode cost, cumulative since the last TakeDecodeCost.
+	// Position workers accumulate locally and publish once per position
+	// with atomic adds; integer sums commute, so the totals are exact at
+	// any parallelism or batch schedule. ConditionalMargin's gate
+	// descents are excluded — these count the decode itself.
+	costDescent  atomic.Uint64
+	costRestarts atomic.Uint64
+	costFlips    atomic.Uint64
+
 	// Worker pool: par is the requested width; workers are started
 	// lazily on the first parallel DecodeSlot and live until Close.
 	par     int
@@ -257,6 +271,9 @@ func (s *Session) Reset() {
 	s.stateValid = false
 	s.curLocked = nil
 	s.prevLocked = s.prevLocked[:0]
+	s.costDescent.Store(0)
+	s.costRestarts.Store(0)
+	s.costFlips.Store(0)
 }
 
 // Begin shapes the session for a transfer of k tags, frameLen bit
@@ -277,6 +294,11 @@ func (s *Session) Begin(k, frameLen, maxSlots, par, restarts int, taps []complex
 	s.eps = 1e-12
 	s.g.Reset(k, taps)
 	s.g.ReserveRows(maxSlots)
+	adjK := k
+	if s.reservedK > adjK {
+		adjK = s.reservedK
+	}
+	s.g.ReserveAdjacency(adjK, maxSlots)
 
 	s.ysBacking = growComplex(s.ysBacking, frameLen*maxSlots)
 	s.ys = growSlices(s.ys, frameLen)
@@ -350,6 +372,111 @@ func (s *Session) Begin(k, frameLen, maxSlots, par, restarts int, taps []complex
 	}
 	s.cond.shape(k, maxSlots, 1)
 	s.stateValid = false
+	s.costDescent.Store(0)
+	s.costRestarts.Store(0)
+	s.costFlips.Store(0)
+}
+
+// DecodeCost is a per-phase breakdown of descent work: pass-0 descents
+// (one per position per decoded slot), random restart passes, and total
+// bit flips across both. It is the observable behind the restart
+// wall-clock floor — restart passes dominate when RestartPasses/
+// DescentPasses approaches the configured restart count.
+type DecodeCost struct {
+	DescentPasses uint64 `json:"descent_passes"`
+	RestartPasses uint64 `json:"restart_passes"`
+	Flips         uint64 `json:"flips"`
+}
+
+// Add accumulates o into c.
+func (c *DecodeCost) Add(o DecodeCost) {
+	c.DescentPasses += o.DescentPasses
+	c.RestartPasses += o.RestartPasses
+	c.Flips += o.Flips
+}
+
+// TakeDecodeCost returns the decode cost accumulated since the previous
+// call (or Begin/Reset) and resets the counters. Safe to call between
+// slots; not concurrently with a running DecodeSlot.
+func (s *Session) TakeDecodeCost() DecodeCost {
+	return DecodeCost{
+		DescentPasses: s.costDescent.Swap(0),
+		RestartPasses: s.costRestarts.Swap(0),
+		Flips:         s.costFlips.Swap(0),
+	}
+}
+
+// Shape identifies a session's decode shape — the grouping key batch
+// executors use: only same-shaped sessions may share a Batch.Decode.
+type Shape struct {
+	K, FrameLen, MaxSlots, Restarts int
+}
+
+// Shape returns the session's current decode shape.
+func (s *Session) Shape() Shape {
+	return Shape{K: s.k, FrameLen: s.frameLen, MaxSlots: s.maxSlots, Restarts: s.restarts}
+}
+
+// Reserve pre-sizes every buffer for a transfer of up to kCap tags,
+// frameLen bit positions and maxSlots collision slots, without changing
+// the session's logical shape. Call before Begin: a following Begin at
+// K ≤ kCap and every mid-transfer Grow up to kCap then allocate
+// nothing, killing the first-arrival allocation spike a session
+// admitted below its roster cap would otherwise pay.
+func (s *Session) Reserve(kCap, frameLen, maxSlots, restarts int) {
+	if kCap < 1 {
+		kCap = 1
+	}
+	s.g.ReserveTags(kCap)
+	s.g.ReserveRows(maxSlots)
+	s.g.ReserveAdjacency(kCap, maxSlots)
+	s.reservedK = kCap
+	treeLen := 2 * scratch.CeilPow2(kCap)
+	ysN := frameLen * maxSlots
+	s.ysBacking = growComplex(s.ysBacking, ysN)[:0]
+	s.lockedBacking = growComplex(s.lockedBacking, ysN)[:0]
+	s.resBacking = growComplex(s.resBacking, ysN)[:0]
+	s.ys = growSlices(s.ys, frameLen)[:0]
+	s.lockedBase = growSlices(s.lockedBase, frameLen)[:0]
+	s.sumBacking = growComplex(s.sumBacking, frameLen*kCap)[:0]
+	s.gainBacking = growFloats(s.gainBacking, frameLen*kCap)[:0]
+	s.bSignBacking = growFloats(s.bSignBacking, frameLen*kCap)[:0]
+	s.treeBacking = growInts(s.treeBacking, frameLen*treeLen)[:0]
+	s.dirtyBacking = growInts(s.dirtyBacking, frameLen*kCap)[:0]
+	s.inDirtyBacking = growBools(s.inDirtyBacking, frameLen*kCap)[:0]
+	s.posBits = growBools(s.posBits, frameLen*kCap)[:0]
+	s.ambiguous = growBools(s.ambiguous, frameLen*kCap)[:0]
+	if cap(s.states) < frameLen {
+		s.states = make([]descentState, 0, scratch.CeilPow2(frameLen))
+	}
+	s.errs = growFloats(s.errs, frameLen)[:0]
+	s.errInactive = growFloats(s.errInactive, frameLen)[:0]
+	s.prevLocked = growBools(s.prevLocked, kCap)[:0]
+	s.retireIdx = growInts(s.retireIdx, kCap)[:0]
+	s.retireTouched = growBools(s.retireTouched, kCap)[:0]
+	s.retireRows = growInts(s.retireRows, maxSlots)[:0]
+	s.rowPower = growFloats(s.rowPower, maxSlots)[:0]
+	s.driftEnergy = growFloats(s.driftEnergy, maxSlots)[:0]
+	s.orphan = growFloats(s.orphan, maxSlots)[:0]
+	s.tagCum = growFloats(s.tagCum, kCap)[:0]
+	s.tagSnapSum = growFloats(s.tagSnapSum, kCap)[:0]
+	s.tagSig = growFloats(s.tagSig, kCap)[:0]
+	s.tagOrphan = growFloats(s.tagOrphan, kCap)[:0]
+	if cap(s.tagLedger) < kCap {
+		next := make([][]float64, len(s.tagLedger), scratch.CeilPow2(kCap))
+		copy(next, s.tagLedger)
+		s.tagLedger = next
+	}
+	if len(s.wstates) == 0 {
+		if cap(s.wstates) < 1 {
+			s.wstates = make([]workerState, 1)
+		}
+		s.wstates = s.wstates[:1]
+	}
+	for w := range s.wstates {
+		s.wstates[w].shape(kCap, maxSlots, 1+restarts)
+	}
+	s.cond.shape(kCap, maxSlots, 1)
 }
 
 // InitPositions seeds every position's joint decode from the outer
@@ -1085,8 +1212,34 @@ func (s *Session) PosError(p int) float64 { return s.errs[p] }
 // margin; anyAmbiguous[i] reports whether any position's restarts
 // exposed a near-tie on tag i.
 func (s *Session) DecodeSlot(slot int, locked []bool, base uint64, minMargin []float64, anyAmbiguous []bool) {
+	s.PrepareSlot(slot, locked, base)
+	if s.par > 1 {
+		s.ensureWorkers()
+		s.wg.Add(s.frameLen)
+		for p := 0; p < s.frameLen; p++ {
+			s.posCh <- p
+		}
+		s.wg.Wait()
+	} else {
+		for p := 0; p < s.frameLen; p++ {
+			s.decodePosition(p, &s.wstates[0])
+		}
+	}
+	s.FinishSlot(minMargin, anyAmbiguous)
+}
+
+// PrepareSlot runs DecodeSlot's serial preamble: newly locked tags fold
+// into the graph, gain tables and locked-base residuals, and the
+// per-slot fan-out context (slot, locked set, PRNG base, tie threshold,
+// active-row snapshot) is staged. After PrepareSlot, every position is
+// an independent decode unit — the session's own DecodeSlot fans them
+// over its worker pool, and Batch.Decode fans many sessions' units over
+// one shared pool — until FinishSlot merges the results. Drivers other
+// than DecodeSlot must call PrepareSlot, decode every position, then
+// FinishSlot, with no session mutation in between.
+func (s *Session) PrepareSlot(slot int, locked []bool, base uint64) {
 	if locked != nil && len(locked) != s.k {
-		panic(fmt.Sprintf("bp: DecodeSlot locked length %d != K %d", len(locked), s.k))
+		panic(fmt.Sprintf("bp: PrepareSlot locked length %d != K %d", len(locked), s.k))
 	}
 	// Fold newly locked tags into the graph and the cached gain tables
 	// before fanning out — a frozen tag's gain is −∞ and its fan-out
@@ -1142,19 +1295,13 @@ func (s *Session) DecodeSlot(slot int, locked []bool, base uint64, minMargin []f
 	s.curBase = base
 	s.curThresh = s.g.maxTieThreshold()
 	s.g.SnapshotActive()
+}
 
-	if s.par > 1 {
-		s.ensureWorkers()
-		s.wg.Add(s.frameLen)
-		for p := 0; p < s.frameLen; p++ {
-			s.posCh <- p
-		}
-		s.wg.Wait()
-	} else {
-		for p := 0; p < s.frameLen; p++ {
-			s.decodePosition(p, &s.wstates[0])
-		}
-	}
+// FinishSlot completes a slot decode whose positions were fanned out by
+// an external driver (see PrepareSlot): it marks the cached state valid
+// and merges the per-position results into the caller's margin and
+// ambiguity outputs.
+func (s *Session) FinishSlot(minMargin []float64, anyAmbiguous []bool) {
 	s.stateValid = true
 
 	// Deterministic merge of the per-position results, in position
@@ -1280,7 +1427,8 @@ func (s *Session) decodePosition(p int, ws *workerState) {
 		st.residual = st.residual[:g.L]
 		st.build(g, s.ys[p], myBits, locked)
 	}
-	st.descend(g, myBits, locked, s.eps)
+	cFlips := uint64(st.descend(g, myBits, locked, s.eps))
+	cRestarts := uint64(0)
 	bestErr := st.normSqActive(g) + s.errInactive[p]
 
 	passes := 1 + s.restarts
@@ -1308,7 +1456,8 @@ func (s *Session) decodePosition(p int, ws *workerState) {
 			// contributions and live rows are all that remain.
 			rst.residual = rst.residual[:g.L]
 			rst.buildFromBase(g, s.lockedBase[p], bhat, locked)
-			rst.descend(g, bhat, locked, s.eps)
+			cFlips += uint64(rst.descend(g, bhat, locked, s.eps))
+			cRestarts++
 			errV := rst.normSqActive(g) + s.errInactive[p]
 			passErr[pass] = errV
 			if errV < bestErr {
@@ -1320,6 +1469,13 @@ func (s *Session) decodePosition(p int, ws *workerState) {
 		}
 	}
 	s.errs[p] = bestErr
+	s.costDescent.Add(1)
+	if cRestarts > 0 {
+		s.costRestarts.Add(cRestarts)
+	}
+	if cFlips > 0 {
+		s.costFlips.Add(cFlips)
+	}
 
 	// Margins are not materialized here: the adopted state's gain table
 	// is exactly the fresh-margin formula's input, and DecodeSlot's

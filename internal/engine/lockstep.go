@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bp"
+	"repro/internal/scratch"
+)
+
+// Lane is one trial's slot loop held open for lockstep execution: the
+// shape ratedapt.TransferLane and ratedapt.DynamicLane expose. BeginSlot
+// stages a slot and reports whether the trial continues; SlotJob hands
+// the staged decode to the runner; FinishSlot applies the acceptance
+// gates after the decode. The contract mirrors the scalar composition
+// `for BeginSlot { DecodeSlot(SlotJob()); FinishSlot() }`, which every
+// lane type ships as its plain (non-engine) entry point — so the
+// lockstep runner cannot produce different decisions, only a different
+// memory layout and schedule.
+type Lane interface {
+	BeginSlot() bool
+	SlotJob() bp.SlotJob
+	FinishSlot()
+}
+
+// batchKit is one lockstep worker's pooled execution state: a bp.Batch
+// whose slabs back `n` carved lane sessions, plus a scratch arena and
+// Resources header per lane. Kits recycle through the manager like
+// plain Resources pairs — Reset keeps capacity and warmth — but their
+// sessions are slab-carved and must never mix into the scalar pool.
+type batchKit struct {
+	batch *bp.Batch
+	res   []*Resources
+	shape bp.Shape
+	// poisoned marks a kit whose batch saw a decode panic: every lane
+	// shares the slabs, so the whole kit is suspect and is discarded
+	// instead of recycled.
+	poisoned bool
+}
+
+// getBatchKit checks a kit out of the pool, (re)carving its slabs for n
+// lanes of the given shape. par is the batch's decode-unit concurrency.
+func (m *SessionManager) getBatchKit(n, par int, shape bp.Shape) *batchKit {
+	var kit *batchKit
+	if v := m.kitPool.Get(); v != nil {
+		kit = v.(*batchKit)
+	} else {
+		kit = &batchKit{batch: bp.NewBatch(par)}
+	}
+	lanes := kit.batch.Carve(n, shape.K, shape.FrameLen, shape.MaxSlots, shape.Restarts)
+	for len(kit.res) < n {
+		kit.res = append(kit.res, &Resources{Scratch: scratch.Get()})
+	}
+	for i := 0; i < n; i++ {
+		kit.res[i].Session = lanes[i]
+		kit.res[i].Parallelism = 1 // the batch fan is the parallelism
+	}
+	kit.shape = shape
+	m.stats.ResourcesInFlight.Add(int64(n))
+	return kit
+}
+
+func (m *SessionManager) putBatchKit(kit *batchKit) {
+	m.stats.ResourcesInFlight.Add(-int64(len(kit.res)))
+	if kit.poisoned {
+		func() {
+			defer func() { recover() }()
+			kit.batch.Close()
+		}()
+		return
+	}
+	for _, r := range kit.res {
+		r.Scratch.Reset()
+		r.Session = nil
+	}
+	kit.batch.ResetLanes()
+	kit.batch.Close() // stop worker goroutines; lanes and slabs stay warm
+	m.kitPool.Put(kit)
+}
+
+// RunLockstep fans trials out like RunBatch, but advances up to `batch`
+// trials per worker through the decode in lockstep: each worker claims a
+// chunk of consecutive trials, opens a Lane per trial on slab-carved
+// sessions (bp.Batch.Carve), and drives all its live lanes through the
+// same slot phase with one bp.Batch.Decode per slot. All trials must
+// share the given session shape (the grouping the caller establishes —
+// one scenario spec's trials do by construction); a lane that ends early
+// simply drops out of its chunk's fan. finish runs once per trial as its
+// lane completes, before the worker's next chunk.
+//
+// Decisions are byte-identical to RunBatch with the same body split:
+// the per-(slot, position) PRNG streams make every decode unit
+// self-contained, so batching changes memory layout and schedule only.
+// batch ≤ 1 still runs through the lockstep machinery with one lane per
+// chunk — byte-identical, just without cross-trial batching.
+//
+// A decode panic inside one lane kills that trial (its error wraps
+// ErrDecodePanic), poisons the worker's kit (shared slabs), and lets
+// sibling lanes finish their slot; the worker then continues on a fresh
+// kit. The first error by trial index is returned.
+func (m *SessionManager) RunLockstep(trials, batch int, shape bp.Shape,
+	open func(trial int, res *Resources) (Lane, error),
+	finish func(trial int, ln Lane) error) error {
+	if trials <= 0 {
+		return nil
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > trials {
+		batch = trials
+	}
+	procs := m.cfg.workers()
+	nChunks := (trials + batch - 1) / batch
+	workers := min(procs, nChunks)
+	if workers < 1 {
+		workers = 1
+	}
+	inner := procs / workers
+	if inner < 1 {
+		inner = 1
+	}
+	errs := make([]error, trials)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			kit := m.getBatchKit(batch, inner, shape)
+			defer func() { m.putBatchKit(kit) }()
+			type laneState struct {
+				ln    Lane
+				trial int
+				done  bool
+			}
+			states := make([]laneState, 0, batch)
+			jobs := make([]bp.SlotJob, 0, batch)
+			owner := make([]int, 0, batch) // jobs[i] belongs to states[owner[i]]
+			for chunk := range next {
+				if kit.poisoned {
+					m.putBatchKit(kit)
+					kit = m.getBatchKit(batch, inner, shape)
+				}
+				lo := chunk * batch
+				hi := min(lo+batch, trials)
+				states = states[:0]
+				for t := lo; t < hi; t++ {
+					ln, err := open(t, kit.res[len(states)])
+					if err != nil {
+						errs[t] = err
+						m.stats.TrialsRun.Add(1)
+						continue
+					}
+					states = append(states, laneState{ln: ln, trial: t})
+				}
+				active := len(states)
+				for active > 0 {
+					jobs, owner = jobs[:0], owner[:0]
+					for i := range states {
+						st := &states[i]
+						if st.done {
+							continue
+						}
+						if !st.ln.BeginSlot() {
+							st.done = true
+							active--
+							errs[st.trial] = finish(st.trial, st.ln)
+							m.stats.TrialsRun.Add(1)
+							continue
+						}
+						jobs = append(jobs, st.ln.SlotJob())
+						owner = append(owner, i)
+					}
+					if len(jobs) == 0 {
+						break
+					}
+					kit.batch.Decode(jobs)
+					for j := range jobs {
+						st := &states[owner[j]]
+						if r := jobs[j].Panicked; r != nil {
+							st.done = true
+							active--
+							kit.poisoned = true
+							m.stats.PanicsRecovered.Add(1)
+							errs[st.trial] = fmt.Errorf("%w: %v", ErrDecodePanic, r)
+							m.stats.TrialsRun.Add(1)
+							continue
+						}
+						st.ln.FinishSlot()
+					}
+					if len(jobs) > 1 {
+						m.stats.SlotsBatched.Add(int64(len(jobs)))
+					}
+				}
+				for _, r := range kit.res {
+					r.Scratch.Reset()
+				}
+			}
+		}()
+	}
+	for chunk := 0; chunk < nChunks; chunk++ {
+		next <- chunk
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addDecodeCost folds one drained bp.DecodeCost block into the live
+// counters.
+func (m *SessionManager) addDecodeCost(c bp.DecodeCost) {
+	if c.DescentPasses != 0 {
+		m.stats.DescentPasses.Add(int64(c.DescentPasses))
+	}
+	if c.RestartPasses != 0 {
+		m.stats.RestartPasses.Add(int64(c.RestartPasses))
+	}
+	if c.Flips != 0 {
+		m.stats.BitFlips.Add(int64(c.Flips))
+	}
+}

@@ -1,0 +1,123 @@
+package engine_test
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/engine/leaktest"
+	"repro/internal/prng"
+	"repro/internal/ratedapt"
+)
+
+// TestStreamingLockstepBatchEquivalence drives B same-shaped streaming
+// sessions through one shard twice — once scalar (LockstepBatch 1) and
+// once with the shard's drain batching on — and requires the per-slot
+// step results to be identical. The batched run stalls the shard on a
+// gate session's sink while the B sessions' first slots queue up, so at
+// least one drain is guaranteed to find a full batch: SlotsBatched must
+// come back nonzero, proving the jobs actually rode Batch.Decode rather
+// than the scalar fallback.
+func TestStreamingLockstepBatchEquivalence(t *testing.T) {
+	defer leaktest.Check(t)()
+	const (
+		B      = 3
+		nSlots = 6
+	)
+
+	obsFor := func(sess, slot, frameLen int) []complex128 {
+		src := prng.NewSource(prng.Mix3(0xFEED5, uint64(sess), uint64(slot)))
+		obs := make([]complex128, frameLen)
+		for p := range obs {
+			obs[p] = complex(0.5*src.Float64(), 0.5*src.Float64())
+		}
+		return obs
+	}
+
+	run := func(batch int, gated bool) ([][]ratedapt.StepResult, int64) {
+		m := engine.New(engine.Config{Workers: 1, LockstepBatch: batch})
+		defer m.Close()
+
+		var mu sync.Mutex
+		steps := make([][]ratedapt.StepResult, B+1)
+		gateHit := make(chan struct{})
+		gateRelease := make(chan struct{})
+		var hitOnce, relOnce sync.Once
+		defer relOnce.Do(func() { close(gateRelease) })
+
+		sessions := make([]*engine.LiveSession, B+1)
+		for i := range sessions {
+			i := i
+			ls, err := m.Open(streamCfg(uint64(100+i)), func(ev engine.Event) bool {
+				if ev.Kind == engine.EventDecisions {
+					mu.Lock()
+					steps[i] = append(steps[i], ev.Step)
+					mu.Unlock()
+					if gated && i == 0 {
+						hitOnce.Do(func() { close(gateHit) })
+						<-gateRelease
+					}
+				}
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sessions[i] = ls
+		}
+
+		if gated {
+			// Stall the shard on the gate session's first decision, then
+			// queue one slot for every other session while it is stuck:
+			// the next drain sees all B jobs at once.
+			if err := sessions[0].Feed(ratedapt.SlotEvents{}, obsFor(0, 1, sessions[0].FrameLen())); err != nil {
+				t.Fatal(err)
+			}
+			<-gateHit
+			for i := 1; i <= B; i++ {
+				if err := sessions[i].Feed(ratedapt.SlotEvents{}, obsFor(i, 1, sessions[i].FrameLen())); err != nil {
+					t.Fatal(err)
+				}
+			}
+			relOnce.Do(func() { close(gateRelease) })
+		} else {
+			for i := 0; i <= B; i++ {
+				if err := sessions[i].Feed(ratedapt.SlotEvents{}, obsFor(i, 1, sessions[i].FrameLen())); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for slot := 2; slot <= nSlots; slot++ {
+			for i := 0; i <= B; i++ {
+				if err := sessions[i].Feed(ratedapt.SlotEvents{}, obsFor(i, slot, sessions[i].FrameLen())); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for _, ls := range sessions {
+			ls.Close()
+		}
+		if err := m.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		snap := m.Snapshot()
+		if snap.DescentPasses == 0 || snap.BitFlips == 0 {
+			t.Fatalf("decode-cost counters stayed zero across %d ingested slots: %+v", snap.SlotsIngested, snap)
+		}
+		return steps, snap.SlotsBatched
+	}
+
+	want, scalarBatched := run(1, false)
+	if scalarBatched != 0 {
+		t.Fatalf("scalar run reported %d batched slots, want 0", scalarBatched)
+	}
+	got, batched := run(B, true)
+	if batched == 0 {
+		t.Fatal("batched run never batched a drain; gate did not hold the shard")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("batched step results diverged from scalar:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/bits"
+	"repro/internal/bp"
 	"repro/internal/channel"
 	"repro/internal/prng"
+	"repro/internal/scratch"
 )
 
 // RosterTag is one tag of a dynamic-population transfer: the scenario
@@ -84,9 +86,71 @@ type DynamicResult struct {
 // (departures subsume radio death, and decision-directed refinement
 // of a drifting genie channel is a contradiction).
 func TransferDynamic(cfg Config, roster []RosterTag, air, decoder channel.Process, noiseSrc, decodeSrc *prng.Source) (*DynamicResult, error) {
+	if len(roster) == 0 {
+		return &DynamicResult{}, nil
+	}
+	ln, err := OpenTransferDynamic(cfg, roster, air, decoder, noiseSrc, decodeSrc)
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	for ln.BeginSlot() {
+		j := ln.SlotJob()
+		j.S.DecodeSlot(j.Slot, j.Locked, j.Base, j.MinMargin, j.Ambiguous)
+		ln.FinishSlot()
+	}
+	return ln.Result()
+}
+
+// DynamicLane is one dynamic transfer's slot loop held as a resumable
+// slot machine, the churn-and-drift analogue of TransferLane: population
+// events, stream advance and air synthesis in BeginSlot, acceptance and
+// accounting in FinishSlot, with the decode between them staged as a
+// bp.SlotJob so a lockstep runner can batch it with sibling trials.
+// TransferDynamic is exactly OpenTransferDynamic + the BeginSlot/
+// DecodeSlot/FinishSlot loop + Result + Close, so the scalar and
+// batched paths cannot diverge.
+type DynamicLane struct {
+	cfg     Config
+	roster  []RosterTag
+	airProc channel.Process
+	decoder channel.Process
+	noise   *prng.Source
+
+	kTot     int
+	frameLen int
+	maxSlots int
+	frames   []bits.Vector
+	wins     []int
+
+	st  *Stream
+	res *DynamicResult
+
+	sc        *scratch.Scratch
+	airMark   scratch.Mark
+	obs       []complex128
+	activeIdx []int
+	bitIdx    []int
+	tagPow    []float64
+	powStale  bool
+
+	nextArr  int
+	ev       SlotEvents
+	arriving []int
+	dm       *channel.Model
+
+	slot   int
+	err    error
+	closed bool
+}
+
+// OpenTransferDynamic stages a dynamic transfer as a DynamicLane: all of
+// TransferDynamic's validation, window resolution, stream opening and
+// air staging, with the slot loop left to the caller.
+func OpenTransferDynamic(cfg Config, roster []RosterTag, air, decoder channel.Process, noiseSrc, decodeSrc *prng.Source) (*DynamicLane, error) {
 	kTot := len(roster)
 	if kTot == 0 {
-		return &DynamicResult{}, nil
+		return nil, fmt.Errorf("ratedapt: OpenTransferDynamic needs a non-empty roster")
 	}
 	if len(cfg.Seeds) != 0 {
 		return nil, fmt.Errorf("ratedapt: TransferDynamic takes seeds from the roster; Config.Seeds must be empty")
@@ -183,7 +247,6 @@ func TransferDynamic(cfg Config, roster []RosterTag, air, decoder channel.Proces
 	if err != nil {
 		return nil, err
 	}
-	defer st.Close()
 
 	res := &DynamicResult{
 		Result: Result{
@@ -208,95 +271,153 @@ func TransferDynamic(cfg Config, roster []RosterTag, air, decoder channel.Proces
 	// stream: the decode core only ever sees observations, exactly like
 	// a wire-fed daemon session.
 	sc := cfg.Scratch
-	airMark := sc.Mark()
-	defer sc.Release(airMark)
-	obs := sc.Complex(frameLen)
-	activeIdx := sc.Int(kTot)
-	bitIdx := sc.Int(kTot)
-	tagPow := sc.Float(kTot)
-	powStale := true
+	ln := &DynamicLane{
+		cfg:      cfg,
+		roster:   roster,
+		airProc:  air,
+		decoder:  decoder,
+		noise:    noiseSrc,
+		kTot:     kTot,
+		frameLen: frameLen,
+		maxSlots: maxSlots,
+		frames:   frames,
+		wins:     wins,
+		st:       st,
+		res:      res,
+		sc:       sc,
+		powStale: true,
+		nextArr:  k0, // next roster index awaiting arrival
+		arriving: make([]int, 0, kTot-k0),
+		dm:       dm,
+	}
+	ln.airMark = sc.Mark()
+	ln.obs = sc.Complex(frameLen)
+	ln.activeIdx = sc.Int(kTot)
+	ln.bitIdx = sc.Int(kTot)
+	ln.tagPow = sc.Float(kTot)
+	return ln, nil
+}
 
-	nextArr := k0 // next roster index awaiting arrival
-	var ev SlotEvents
-	arriving := make([]int, 0, kTot-k0)
-	for slot := 1; slot <= maxSlots && !(nextArr == kTot && st.Done()); slot++ {
-		// --- Population events. ---
-		ev.Arrivals = ev.Arrivals[:0]
-		ev.Departs = ev.Departs[:0]
-		ev.Retap = nil
-		if nextArr < kTot && roster[nextArr].Arrive() <= slot {
-			first := nextArr
-			dm = decoder.ModelAt(slot)
-			for nextArr < kTot && roster[nextArr].Arrive() <= slot {
-				w := 0
-				if wins != nil {
-					w = wins[nextArr]
-				}
-				ev.Arrivals = append(ev.Arrivals, StreamArrival{
-					Seed:   roster[nextArr].Seed,
-					Tap:    dm.Taps[nextArr],
-					Window: w,
-				})
-				nextArr++
-			}
-			powStale = true
-			if cfg.OnArrival != nil {
-				arriving = arriving[:0]
-				for i := first; i < nextArr; i++ {
-					arriving = append(arriving, i)
-				}
-				res.ReidentBitSlots += cfg.OnArrival(slot, arriving)
-			}
-		}
-		for i := 0; i < nextArr; i++ {
-			if roster[i].DepartSlot > 0 && slot >= roster[i].DepartSlot {
-				ev.Departs = append(ev.Departs, i)
-			}
-		}
+// BeginSlot opens the next collision slot — population events, stream
+// advance, air synthesis, ingest staging — and reports whether the
+// round continues. After a true return the staged SlotJob must be
+// decoded and FinishSlot called; a false return means the round is over
+// or the lane failed (see Result).
+func (ln *DynamicLane) BeginSlot() bool {
+	if ln.err != nil || ln.slot >= ln.maxSlots || (ln.nextArr == ln.kTot && ln.st.Done()) {
+		return false
+	}
+	ln.slot++
+	slot := ln.slot
+	st, roster, res := ln.st, ln.roster, ln.res
 
-		// --- Channel drift: fold the slot's decoder taps in. ---
-		if !decoder.Static() {
-			dm = decoder.ModelAt(slot)
-			ev.Retap = dm.Taps[:nextArr]
-		}
-
-		// --- Tag side: who participates, what hits the air. The row
-		// comes back from the stream (the reader's reconstruction of D
-		// is the tags' own participation rule — internal/prng shared
-		// state), and the air is synthesized against it. ---
-		row, err := st.Advance(ev)
-		if err != nil {
-			return nil, err
-		}
-		nJ := st.Joined()
-		am := air.ModelAt(slot)
-		if powStale || !air.Static() {
-			for i := 0; i < nJ; i++ {
-				h := am.Taps[i]
-				tagPow[i] = real(h)*real(h) + imag(h)*imag(h)
+	// --- Population events. ---
+	ln.ev.Arrivals = ln.ev.Arrivals[:0]
+	ln.ev.Departs = ln.ev.Departs[:0]
+	ln.ev.Retap = nil
+	if ln.nextArr < ln.kTot && roster[ln.nextArr].Arrive() <= slot {
+		first := ln.nextArr
+		ln.dm = ln.decoder.ModelAt(slot)
+		for ln.nextArr < ln.kTot && roster[ln.nextArr].Arrive() <= slot {
+			w := 0
+			if ln.wins != nil {
+				w = ln.wins[ln.nextArr]
 			}
-			powStale = false
+			ln.ev.Arrivals = append(ln.ev.Arrivals, StreamArrival{
+				Seed:   roster[ln.nextArr].Seed,
+				Tap:    ln.dm.Taps[ln.nextArr],
+				Window: w,
+			})
+			ln.nextArr++
 		}
-		sparseAir(am, frames, row, obs, activeIdx, bitIdx, tagPow, noiseSrc)
-
-		// --- Reader side: incremental decode + acceptance gates (see
-		// runDecodeLoop for the gate rationale, Stream.Ingest for the
-		// shared implementation). ---
-		step, err := st.Ingest(obs)
-		if err != nil {
-			return nil, err
+		ln.powStale = true
+		if ln.cfg.OnArrival != nil {
+			ln.arriving = ln.arriving[:0]
+			for i := first; i < ln.nextArr; i++ {
+				ln.arriving = append(ln.arriving, i)
+			}
+			res.ReidentBitSlots += ln.cfg.OnArrival(slot, ln.arriving)
 		}
-		res.Progress = append(res.Progress, SlotResult{
-			Slot:          slot,
-			Colliders:     step.Colliders,
-			NewlyDecoded:  step.NewlyAccepted,
-			TotalDecoded:  step.TotalAccepted,
-			BitsPerSymbol: float64(step.TotalAccepted) / float64(slot),
-		})
-		res.SlotsUsed = slot
-		res.RowsRetired += step.RowsRetired
+	}
+	for i := 0; i < ln.nextArr; i++ {
+		if roster[i].DepartSlot > 0 && slot >= roster[i].DepartSlot {
+			ln.ev.Departs = append(ln.ev.Departs, i)
+		}
 	}
 
+	// --- Channel drift: fold the slot's decoder taps in. ---
+	if !ln.decoder.Static() {
+		ln.dm = ln.decoder.ModelAt(slot)
+		ln.ev.Retap = ln.dm.Taps[:ln.nextArr]
+	}
+
+	// --- Tag side: who participates, what hits the air. The row
+	// comes back from the stream (the reader's reconstruction of D
+	// is the tags' own participation rule — internal/prng shared
+	// state), and the air is synthesized against it. ---
+	row, err := st.Advance(ln.ev)
+	if err != nil {
+		ln.err = err
+		return false
+	}
+	nJ := st.Joined()
+	am := ln.airProc.ModelAt(slot)
+	if ln.powStale || !ln.airProc.Static() {
+		for i := 0; i < nJ; i++ {
+			h := am.Taps[i]
+			ln.tagPow[i] = real(h)*real(h) + imag(h)*imag(h)
+		}
+		ln.powStale = false
+	}
+	sparseAir(am, ln.frames, row, ln.obs, ln.activeIdx, ln.bitIdx, ln.tagPow, ln.noise)
+
+	if err := st.BeginIngest(ln.obs); err != nil {
+		ln.err = err
+		return false
+	}
+	return true
+}
+
+// SlotJob returns the decode BeginSlot staged; valid until FinishSlot.
+func (ln *DynamicLane) SlotJob() bp.SlotJob { return ln.st.SlotJob() }
+
+// FinishSlot completes the slot BeginSlot opened, after its SlotJob has
+// been decoded: acceptance gates, window slide, progress accounting
+// (see runLane for the gate rationale, Stream.Ingest for the shared
+// implementation).
+func (ln *DynamicLane) FinishSlot() {
+	step, err := ln.st.FinishIngest()
+	if err != nil {
+		ln.err = err
+		return
+	}
+	ln.res.Progress = append(ln.res.Progress, SlotResult{
+		Slot:          ln.slot,
+		Colliders:     step.Colliders,
+		NewlyDecoded:  step.NewlyAccepted,
+		TotalDecoded:  step.TotalAccepted,
+		BitsPerSymbol: float64(step.TotalAccepted) / float64(ln.slot),
+	})
+	ln.res.SlotsUsed = ln.slot
+	ln.res.RowsRetired += step.RowsRetired
+}
+
+// Done reports whether BeginSlot would return false.
+func (ln *DynamicLane) Done() bool {
+	return ln.err != nil || ln.slot >= ln.maxSlots || (ln.nextArr == ln.kTot && ln.st.Done())
+}
+
+// TakeDecodeCost drains the lane's per-phase decode cost counters; call
+// before Close.
+func (ln *DynamicLane) TakeDecodeCost() bp.DecodeCost { return ln.st.TakeDecodeCost() }
+
+// Result finalizes and returns the transfer outcome (or the first error
+// the slot loop hit). Call after the loop ends and before Close.
+func (ln *DynamicLane) Result() (*DynamicResult, error) {
+	if ln.err != nil {
+		return nil, ln.err
+	}
+	st, res := ln.st, ln.res
 	// The stream's per-tag state covers tags that joined; roster tags
 	// that never arrived keep their zero values, as before.
 	nJ := st.Joined()
@@ -305,11 +426,22 @@ func TransferDynamic(cfg Config, roster []RosterTag, air, decoder channel.Proces
 	copy(res.DecodedAtSlot, st.DecodedAt()[:nJ])
 	copy(res.Participation, st.ParticipationCounts()[:nJ])
 	copy(res.Retired, st.Retired()[:nJ])
-	if wins != nil {
+	if ln.wins != nil {
 		copy(res.RowsRetiredTag, st.RowsRetiredPerTag()[:nJ])
 	}
 	if res.SlotsUsed > 0 {
 		res.BitsPerSymbol = float64(st.TotalAccepted()) / float64(res.SlotsUsed)
 	}
 	return res, nil
+}
+
+// Close releases the lane's air-staging scratch and closes its stream.
+// Idempotent.
+func (ln *DynamicLane) Close() {
+	if ln.closed {
+		return
+	}
+	ln.closed = true
+	ln.sc.Release(ln.airMark)
+	ln.st.Close()
 }

@@ -156,5 +156,11 @@ func TransferSampled(cfg SampledConfig, messages []bits.Vector, ch *channel.Mode
 		return obs
 	}
 
-	return runDecodeLoop(cfg.Config, frames, frameLen, ch, synthesizeSlot, decodeSrc)
+	ln, err := openDecodeLane(cfg.Config, frames, frameLen, ch, synthesizeSlot, decodeSrc)
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	runLane(ln)
+	return ln.Result(), nil
 }

@@ -73,6 +73,9 @@ type Stream struct {
 	accepted []int
 
 	row           bits.Vector
+	staged        bool
+	stageMargin   []float64
+	stageAmb      []bool
 	slot          int
 	colliders     int
 	nJ            int
@@ -261,6 +264,12 @@ func OpenStream(cfg StreamConfig) (*Stream, error) {
 	}
 	st.openMark = st.sc.Mark()
 
+	if cap0 > k0 {
+		// Size the session for the roster cap at admission, not lazily on
+		// the first arrival: a mid-round Grow inside the cap then touches
+		// no allocator, keeping the warm per-slot path 0 allocs/op.
+		st.sess.Reserve(cap0, st.frameLen, st.maxSlots, cfg.Restarts)
+	}
 	st.sess.Begin(k0, st.frameLen, st.maxSlots, st.cfg.parallelism(), cfg.Restarts, cfg.Taps)
 	// Windows arrive resolved; only the budget clamp is re-applied here
 	// (a window the round can never outgrow is no window — beginWindow's
@@ -415,20 +424,62 @@ func (st *Stream) Advance(ev SlotEvents) (bits.Vector, error) {
 // window(s). obs must hold one received symbol per bit position for the
 // row Advance returned.
 func (st *Stream) Ingest(obs []complex128) (StepResult, error) {
+	if err := st.BeginIngest(obs); err != nil {
+		return StepResult{}, err
+	}
+	j := st.SlotJob()
+	st.sess.DecodeSlot(j.Slot, j.Locked, j.Base, j.MinMargin, j.Ambiguous)
+	return st.FinishIngest()
+}
+
+// BeginIngest is the first half of Ingest: it appends the observations
+// and stages the slot's decode as a bp.SlotJob (see SlotJob), without
+// running it. A batch driver begins several streams' slots, decodes
+// their jobs in lockstep (bp.Batch.Decode), then FinishIngests each;
+// the decisions are byte-identical to per-stream Ingest calls.
+func (st *Stream) BeginIngest(obs []complex128) error {
 	if !st.inSlot {
-		return StepResult{}, fmt.Errorf("ratedapt: Ingest without Advance")
+		return fmt.Errorf("ratedapt: Ingest without Advance")
+	}
+	if st.staged {
+		return fmt.Errorf("ratedapt: BeginIngest before the previous FinishIngest")
 	}
 	if len(obs) != st.frameLen {
-		return StepResult{}, fmt.Errorf("ratedapt: got %d observations for frame length %d", len(obs), st.frameLen)
+		return fmt.Errorf("ratedapt: got %d observations for frame length %d", len(obs), st.frameLen)
 	}
 	st.sess.AppendSlot(st.row, obs)
+	st.stageMargin = st.sc.Float(st.nJ)
+	st.stageAmb = st.sc.Bool(st.nJ)
+	st.staged = true
+	return nil
+}
 
-	minMargin := st.sc.Float(st.nJ)
-	ambiguous := st.sc.Bool(st.nJ)
-	st.sess.DecodeSlot(st.slot, st.locked[:st.nJ], st.decodeBase, minMargin, ambiguous)
+// SlotJob returns the decode BeginIngest staged, ready for a batch
+// executor. Valid until the matching FinishIngest.
+func (st *Stream) SlotJob() bp.SlotJob {
+	return bp.SlotJob{
+		S:         st.sess,
+		Slot:      st.slot,
+		Locked:    st.locked[:st.nJ],
+		Base:      st.decodeBase,
+		MinMargin: st.stageMargin,
+		Ambiguous: st.stageAmb,
+	}
+}
+
+// FinishIngest is the second half of Ingest: acceptance gates and
+// window slides over the decode the staged job produced. The job must
+// have been decoded (DecodeSlot or a batch Decode) before this call.
+func (st *Stream) FinishIngest() (StepResult, error) {
+	if !st.staged {
+		return StepResult{}, fmt.Errorf("ratedapt: FinishIngest without BeginIngest")
+	}
+	st.staged = false
+	minMargin, ambiguous := st.stageMargin, st.stageAmb
+	st.stageMargin, st.stageAmb = nil, nil
 
 	// Acceptance gates shared verbatim with the batch loops (see
-	// runDecodeLoop's gate comment); the slice headers are restaged each
+	// TransferLane.FinishSlot's gate comment); the slice headers are restaged each
 	// slot because arrivals may have regrown the backing arrays.
 	gs := gateState{
 		estimates:    st.estimates,
@@ -478,6 +529,8 @@ func (st *Stream) Close() {
 	if st.inSlot {
 		st.inSlot = false
 	}
+	st.staged = false
+	st.stageMargin, st.stageAmb = nil, nil
 	st.sc.Release(st.openMark)
 	if st.ownSess {
 		bp.PutSession(st.sess)
@@ -489,6 +542,16 @@ func (st *Stream) Close() {
 // Done reports whether every joined tag is resolved (verified or
 // retired by departure).
 func (st *Stream) Done() bool { return st.nResolved == st.nJ }
+
+// TakeDecodeCost drains the session's per-phase decode cost counters
+// (see bp.Session.TakeDecodeCost). Call between slots, before Close.
+func (st *Stream) TakeDecodeCost() bp.DecodeCost { return st.sess.TakeDecodeCost() }
+
+// SessionShape returns the decode session's current shape — the
+// lockstep grouping key: only same-shaped sessions can share a
+// bp.Batch.Decode. Arrivals grow it mid-round, so callers re-read it
+// after every Advance.
+func (st *Stream) SessionShape() bp.Shape { return st.sess.Shape() }
 
 // Slot returns the last slot Advance opened (0 before the first).
 func (st *Stream) Slot() int { return st.slot }

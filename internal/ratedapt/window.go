@@ -96,7 +96,7 @@ func (w WindowPolicy) resolve(coherenceSlots int) int {
 // beginWindow resolves the transfer's effective window — the policy
 // against the channel's coherence time and the slot budget — and arms
 // the session's drift accounting to match. One definition shared by
-// runDecodeLoop and TransferDynamic so the static and dynamic loops
+// the transfer lanes so the static and dynamic loops
 // cannot drift apart (the acceptSlot pattern). A window the transfer
 // can never outgrow is no window at all: it would never retire a row,
 // and its double-confirmation gate could never fire a second pass.

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestLockstepBatchEquivalence is the batch-vs-scalar acceptance gate:
+// every example scenario, run at several lockstep batch widths, must
+// produce an outcome byte-identical to the scalar (batch 1) run — per
+// trial detail, latency report, decode cost and all. The widths cover
+// a straggler chunk (batch 4 over 6 trials leaves a 2-lane remainder)
+// and a batch wider than the trial count (clamped to one full chunk).
+func TestLockstepBatchEquivalence(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example scenarios found")
+	}
+	for _, path := range paths {
+		name := filepath.Base(path)
+		t.Run(name, func(t *testing.T) {
+			spec, err := scenario.Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Run(spec, WithTrialDetail(), WithBatchSize(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, batch := range []int{4, 16} {
+				got, err := Run(spec, WithTrialDetail(), WithBatchSize(batch))
+				if err != nil {
+					t.Fatalf("batch %d: %v", batch, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("batch %d: outcome diverged from scalar run", batch)
+				}
+			}
+		})
+	}
+}
+
+// TestLockstepBatchEnvDefault pins the BUZZ_LOCKSTEP_BATCH plumbing the
+// CI race matrix sweeps: the env default must route through the same
+// lockstep path as WithBatchSize and stay byte-identical to scalar.
+func TestLockstepBatchEnvDefault(t *testing.T) {
+	spec := fastMobilitySpec()
+	spec.Trials = 6
+	want, err := Run(spec, WithTrialDetail(), WithBatchSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("BUZZ_LOCKSTEP_BATCH", "3")
+	got, err := Run(spec, WithTrialDetail())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("BUZZ_LOCKSTEP_BATCH=3 outcome diverged from scalar run")
+	}
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the repository's headline performance benchmarks and
-# record the series into BENCH_PR5.json.
+# record the series into BENCH_PR9.json.
 #
 # Usage:
 #   scripts/bench.sh [stage] [count]
@@ -11,18 +11,30 @@
 # The recorded benchmarks are the end-to-end headline reproduction, the
 # Fig. 10 data-phase comparisons, the scenario-engine paths (block
 # fading, Gauss–Markov drift, population churn), the coherence-
-# windowed fast-mobility path and the per-tag-windowed mixed-mobility
-# paths (hard retire and soft down-weight). CI reruns the same set and
-# gates every benchmark recorded in the "after" stage — tight on the
-# classic paths, looser on the scenario paths (see scripts/benchguard's
-# -override flag and .github/workflows/ci.yml).
+# windowed fast-mobility path, the per-tag-windowed mixed-mobility
+# paths (hard retire and soft down-weight), and the lockstep batch
+# sweep (BenchmarkBatchLockstep, batch 1/4/16) — the last run twice,
+# at GOMAXPROCS 1 and 4, with a procs=N segment spliced into the
+# recorded names (benchjson strips go test's own -N suffix, so the
+# splice is what keeps the two series distinct) so the JSON carries
+# the core-scaling curve. CI reruns the same set and gates it — tight
+# on the classic paths, looser on the scenario and lockstep paths
+# (see scripts/benchguard's -bench/-override flags and
+# .github/workflows/ci.yml).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 STAGE="${1:-after}"
 COUNT="${2:-5}"
-OUT="BENCH_PR5.json"
+OUT="BENCH_PR9.json"
 BENCHES='BenchmarkHeadline_Overall$|BenchmarkFig10_TransferTime_K16$|BenchmarkFig10_TransferTime_K8$|BenchmarkScenario_BlockFading_K8$|BenchmarkScenario_GaussMarkov_K8$|BenchmarkScenario_FastMobility_K8$|BenchmarkScenario_MixedMobility_K8$|BenchmarkScenario_MixedMobilitySoft_K8$|BenchmarkScenario_PopulationChurn$'
+LOCKSTEP='BenchmarkBatchLockstep/'
 
 go test -run '^$' -bench "$BENCHES" -benchmem -count="$COUNT" -timeout 60m . |
     go run ./scripts/benchjson -out "$OUT" -stage "$STAGE"
+
+for procs in 1 4; do
+    GOMAXPROCS="$procs" go test -run '^$' -bench "$LOCKSTEP" -benchmem -count="$COUNT" -timeout 60m . |
+        sed "s#^BenchmarkBatchLockstep/#BenchmarkBatchLockstep/procs=$procs/#" |
+        go run ./scripts/benchjson -out "$OUT" -stage "$STAGE"
+done
