@@ -9,6 +9,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/baseline/cdma"
@@ -366,6 +367,65 @@ func BenchmarkBatchLockstep(b *testing.B) {
 			b.ReportMetric(float64(slots)*float64(b.N)/b.Elapsed().Seconds(), "slots/s")
 		})
 	}
+}
+
+// BenchmarkWarehouseSweepProbe is one capacity-sweep probe evaluation
+// at the warehouse workload shape — Poisson arrivals over a
+// Gauss–Markov channel with per-tag rho draws, finite dwell, analytic
+// re-identification and whole-round decode — scaled down from
+// examples/scenarios/warehouse.json so an op fits bench time. The
+// streaming paths the warehouse-scale CI job depends on all engage
+// here: the arrival schedule resolves through ArrivalStream (never
+// materialized into per-tag windows up front), the dynamic lane
+// refills from the same iterator, and the latency report aggregates
+// completion samples. Besides allocs/op, the bench reports the
+// post-GC live-heap delta across the whole run
+// (runtime.ReadMemStats): the PR-10 memory model in PERFORMANCE.md
+// tracks this number, which must stay flat as the offered count grows
+// because the roster streams instead of materializing.
+func BenchmarkWarehouseSweepProbe(b *testing.B) {
+	spec := scenario.Spec{
+		Version: 2, Name: "warehouse-probe", Trials: 2, Seed: 555001,
+		Workload: scenario.WorkloadSpec{
+			K: 8,
+			Arrivals: &scenario.ArrivalSpec{
+				Process: scenario.ArrivalPoisson, Rate: 0.35, Count: 120,
+				Dwell: 96, RhoLo: 0.99995, RhoHi: 1,
+				Reident: scenario.ReidentAnalytic,
+			},
+		},
+		Channel: scenario.ChannelSpec{Kind: scenario.KindGaussMarkov},
+		Decode:  scenario.DecodeSpec{MaxSlots: 800, CRC: "crc16"},
+	}
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var delivered, offered, wrong int
+	for i := 0; i < b.N; i++ {
+		s := spec
+		s.Seed = spec.Seed + uint64(i)
+		out, err := sim.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered = out.Latency.TagsDelivered
+		offered = out.Latency.TagsOffered
+		wrong = out.Scheme(scenario.SchemeBuzz).WrongPayload
+	}
+	b.StopTimer()
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	b.ReportMetric(float64(after.HeapAlloc)-float64(before.HeapAlloc), "live-heap-bytes")
+	b.ReportMetric(float64(offered), "offered")
+	b.ReportMetric(float64(delivered)/float64(offered), "delivered-frac")
+	b.ReportMetric(float64(wrong), "wrong-payloads")
 }
 
 // --- Ablations ----------------------------------------------------------------------

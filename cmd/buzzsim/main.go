@@ -58,6 +58,7 @@ import (
 	"repro/internal/ratedapt"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -282,6 +283,7 @@ func checkScenario(path string) error {
 			fmt.Printf(", dwell %d slots", a.Dwell)
 		}
 		fmt.Println()
+		printArrivalSchedule(spec, a)
 	}
 	for _, e := range spec.Workload.Population {
 		fmt.Printf("  population: slot %d: +%d/-%d\n", e.Slot, e.Arrive, e.Depart)
@@ -294,10 +296,61 @@ func checkScenario(path string) error {
 		if slo.RateLo > 0 {
 			fmt.Printf(", sweep band [%g, %g]", slo.RateLo, slo.RateHi)
 		}
+		if len(slo.Readers) > 0 {
+			fmt.Printf(", readers %v", slo.Readers)
+		}
 		fmt.Println()
 	}
 	fmt.Printf("  schemes:    %v\n", spec.Schemes)
 	return nil
+}
+
+// printArrivalSchedule resolves the arrival schedule exactly as a run
+// would (the same streaming iterator sim.Run consumes) and summarizes
+// the offered roster: truncation at the slot budget, the dwell band,
+// the re-identification mode and the latency estimator are all decided
+// by the resolved schedule, so a spec that silently offers far fewer
+// tags than its declared count (rate too low for max_slots) or that
+// will charge simulated re-identification on a 50k roster is visible
+// before the first trial runs.
+func printArrivalSchedule(spec scenario.Spec, a *scenario.ArrivalSpec) {
+	rost, err := spec.ResolveRoster()
+	if err != nil {
+		fmt.Printf("  schedule:   unavailable (%v)\n", err)
+		return
+	}
+	offered := len(rost.Windows)
+	scheduled := offered - spec.Workload.K
+	lastArrive, departing, minDwell, maxDwell := 0, 0, 0, 0
+	for _, w := range rost.Windows {
+		lastArrive = max(lastArrive, w.ArriveSlot)
+		if w.DepartSlot > 0 {
+			d := w.DepartSlot - w.ArriveSlot
+			if departing == 0 || d < minDwell {
+				minDwell = d
+			}
+			maxDwell = max(maxDwell, d)
+			departing++
+		}
+	}
+	fmt.Printf("  schedule:   %d tags offered per trial (%d initial + %d arrivals", offered, spec.Workload.K, scheduled)
+	if scheduled < a.Count {
+		fmt.Printf("; %d of %d truncated at max_slots", a.Count-scheduled, a.Count)
+	}
+	fmt.Printf("), last arrival slot %d\n", lastArrive)
+	if departing > 0 {
+		fmt.Printf("  dwell:      %d/%d tags depart in-budget, dwell %d..%d slots\n", departing, offered, minDwell, maxDwell)
+	}
+	mode := "simulate (re-identification decoded per arrival burst)"
+	if a.Reident == scenario.ReidentAnalytic {
+		mode = "analytic (expected-slot budget, no per-burst decode)"
+	}
+	fmt.Printf("  reident:    %s\n", mode)
+	if offered > stats.DefaultSketchBuffer {
+		fmt.Printf("  estimator:  sketch (%d samples/trial > %d buffer; completion quantiles carry a rank-error bound)\n", offered, stats.DefaultSketchBuffer)
+	} else {
+		fmt.Printf("  estimator:  exact (%d samples/trial fit the %d-sample sketch buffer)\n", offered, stats.DefaultSketchBuffer)
+	}
 }
 
 // perTagWindowSummary resolves the spec's per-tag windows exactly as
@@ -306,15 +359,15 @@ func checkScenario(path string) error {
 // model suffices) and summarizes them: min/median/max over the finite
 // windows plus the count of never-windowed tags. Spec authors see the
 // effective policy without running a single trial. Arrival-process
-// specs are materialized first so the roster (and any per-tag rho band
-// draws) match what a run would use.
+// specs resolve their roster through the same streaming iterator a run
+// uses, so any per-tag rho band draws match what the run would see.
 func perTagWindowSummary(spec scenario.Spec) string {
-	spec, err := spec.Materialize()
+	rost, err := spec.ResolveRoster()
 	if err != nil {
 		return fmt.Sprintf("unavailable (%v)", err)
 	}
-	k := spec.TotalTags()
-	proc := spec.NewProcess(channel.NewExact(make([]complex128, k), 1), 0)
+	k := len(rost.Windows)
+	proc := spec.NewProcessRoster(channel.NewExact(make([]complex128, k), 1), 0, rost.Rho)
 	wins := ratedapt.ResolveTagWindows(proc, spec.Decode.MaxSlots, k)
 	if wins == nil {
 		return "no tag ever windows (every channel outlives the slot budget)"

@@ -545,6 +545,12 @@ func (g *Graph) popSpare() []int {
 	return s
 }
 
+// adjacencyReserveEntries caps the dense adjacency reservation at 8M
+// ints (64 MiB of slab): small enough that a 512 MiB-limited sweep
+// never sees the worst-case carve, large enough that every CI-sized
+// transfer keeps its zero-alloc warm path.
+const adjacencyReserveEntries = 8 << 20
+
 // ReserveRows pre-sizes the per-row header tables for a transfer of at
 // most n rows, so a sliding-window steady state (whose row indices
 // grow past the live count forever) never reallocates them mid-slot.
@@ -577,6 +583,17 @@ func (g *Graph) ReserveRows(n int) {
 // on an empty graph (a fresh Reset); on a live one it is a no-op.
 func (g *Graph) ReserveAdjacency(kCap, n int) {
 	if kCap < 1 || n < 1 || g.L != 0 || g.retired != 0 {
+		return
+	}
+	// The dense carve sizes for the worst case — every tag in every row
+	// — which is 3·n·kCap ints. A warehouse-scale transfer (tens of
+	// thousands of tags over tens of thousands of slots) would turn that
+	// into gigabytes for adjacency that stays ~99% empty: past the
+	// budget the graph builds its lists incrementally instead, trading
+	// a few small allocations per slot for bounded memory. Decode output
+	// is unaffected either way — reservation is a pure allocator hint.
+	if 3*n*kCap > adjacencyReserveEntries {
+		g.ReserveRows(n)
 		return
 	}
 	g.ReserveRows(n)

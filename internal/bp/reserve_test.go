@@ -1,0 +1,27 @@
+package bp
+
+import "testing"
+
+// TestReserveAdjacencyBudget pins the reservation guard: a CI-sized
+// shape gets the dense carve (zero-alloc warm path), while a
+// warehouse-sized shape skips the slab — which would be gigabytes of
+// ~99%-empty adjacency — and keeps only the per-row header tables.
+func TestReserveAdjacencyBudget(t *testing.T) {
+	small := &Graph{}
+	small.Reset(16, make([]complex128, 16))
+	small.ReserveAdjacency(16, 400)
+	if cap(small.adjSlab) != 2*400*16 || cap(small.colSlab) != 400*16 {
+		t.Fatalf("small shape not densely carved: adj %d, col %d", cap(small.adjSlab), cap(small.colSlab))
+	}
+
+	kCap, n := 6000, 16000 // 3·n·kCap ≈ 288M entries, far past the budget
+	big := &Graph{}
+	big.Reset(8, make([]complex128, 8))
+	big.ReserveAdjacency(kCap, n)
+	if cap(big.adjSlab) != 0 || cap(big.colSlab) != 0 {
+		t.Fatalf("warehouse shape carved a dense slab: adj %d, col %d", cap(big.adjSlab), cap(big.colSlab))
+	}
+	if cap(big.rowCols) < n || cap(big.rowActive) < n {
+		t.Fatalf("row headers not reserved past the budget: rowCols %d, rowActive %d", cap(big.rowCols), cap(big.rowActive))
+	}
+}

@@ -15,6 +15,23 @@ import (
 	"repro/internal/sim"
 )
 
+// tier1DecodeBudget gates example specs out of the tier-1 suites by
+// decode cost: roster × slot budget is the dominant term in a trial's
+// wall time. Specs past the budget (the warehouse capacity spec is
+// ~1.3M; every dock/conveyor spec is under 5k) are exercised by the
+// nightly-scale warehouse CI job instead.
+const tier1DecodeBudget = 100_000
+
+// skipHeavySpec skips a spec sized for the warehouse-scale CI job
+// rather than the tier-1 suite.
+func skipHeavySpec(t *testing.T, spec scenario.Spec) {
+	t.Helper()
+	if cost := spec.TotalTags() * spec.Decode.MaxSlots; cost > tier1DecodeBudget {
+		t.Skipf("decode cost %d (roster %d × max_slots %d) exceeds tier-1 budget %d; covered by the warehouse-scale job",
+			cost, spec.TotalTags(), spec.Decode.MaxSlots, tier1DecodeBudget)
+	}
+}
+
 // TestLoopbackConformance is the engine's keystone golden: every
 // example scenario, replayed through a real buzzd server over a
 // loopback socket, must produce payload decisions byte-identical to the
@@ -52,6 +69,7 @@ func TestLoopbackConformance(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			skipHeavySpec(t, spec)
 			crc, err := spec.CRCKind()
 			if err != nil {
 				t.Fatal(err)

@@ -123,23 +123,20 @@ type sentSlot struct {
 // taps, participation seeds, session salt, process seed, then the noise
 // fork and the decode fork — draw for draw as in the simulator.
 func newTrialState(spec scenario.Spec, trial int) (*trialState, error) {
-	// Arrival-process workloads expand here, exactly as the batch
-	// engine expands them at the top of sim.Run: the materialized
+	// Arrival-process workloads resolve here, exactly as the batch
+	// engine resolves them at the top of sim.Run: the streamed
 	// schedule is a pure function of (spec, seed), so both ends of the
 	// wire derive the same roster without exchanging it.
-	spec, err := spec.Materialize()
-	if err != nil {
-		return nil, err
-	}
 	crc, err := spec.CRCKind()
 	if err != nil {
 		return nil, err
 	}
-	kTot := spec.TotalTags()
-	windows, err := spec.PresenceWindows()
+	rost, err := spec.ResolveRoster()
 	if err != nil {
 		return nil, err
 	}
+	windows := rost.Windows
+	kTot := len(windows)
 	maxSlots := spec.Decode.MaxSlots
 	if kTot < 1 || maxSlots < 1 {
 		return nil, fmt.Errorf("replay: spec needs defaults applied (k=%d, max_slots=%d)", kTot, maxSlots)
@@ -161,7 +158,7 @@ func newTrialState(spec scenario.Spec, trial int) (*trialState, error) {
 	if spec.Dynamic() {
 		procSeed = setup.Uint64()
 	}
-	proc := spec.NewProcess(ch, procSeed)
+	proc := spec.NewProcessRoster(ch, procSeed, rost.Rho)
 	noiseSrc := setup.Fork(1)
 	// The decode stream lives daemon-side; hand it the fork seed the
 	// batch engine would have used so both ends draw identically.

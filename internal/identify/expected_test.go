@@ -1,0 +1,73 @@
+package identify
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/prng"
+)
+
+func TestExpectedSlotsEdgeCases(t *testing.T) {
+	if got := ExpectedSlots(0); got != 0 {
+		t.Fatalf("ExpectedSlots(0) = %d, want 0", got)
+	}
+	if got := ExpectedSlots(-3); got != 0 {
+		t.Fatalf("ExpectedSlots(-3) = %d, want 0", got)
+	}
+	if got := ExpectedSlots(1); got <= 0 {
+		t.Fatalf("ExpectedSlots(1) = %d, want > 0", got)
+	}
+}
+
+func TestExpectedSlotsMonotone(t *testing.T) {
+	prev := 0
+	for k := 1; k <= 2048; k *= 2 {
+		got := ExpectedSlots(k)
+		if got <= prev {
+			t.Fatalf("ExpectedSlots(%d) = %d not above ExpectedSlots(%d) = %d",
+				k, got, k/2, prev)
+		}
+		prev = got
+	}
+}
+
+// TestExpectedSlotsSubquadratic pins the asymptotic shape: the model
+// must stay O(K log K)-ish — doubling k may not quadruple the budget,
+// otherwise the analytic re-identification mode would misprice
+// warehouse-scale bursts.
+func TestExpectedSlotsSubquadratic(t *testing.T) {
+	for k := 8; k <= 16384; k *= 2 {
+		lo, hi := ExpectedSlots(k), ExpectedSlots(2*k)
+		if float64(hi) > 3.0*float64(lo) {
+			t.Fatalf("ExpectedSlots(%d)=%d vs ExpectedSlots(%d)=%d: growth factor %.2f > 3",
+				k, lo, 2*k, hi, float64(hi)/float64(lo))
+		}
+	}
+}
+
+// TestExpectedSlotsTracksRun checks the closed-form budget against the
+// simulated protocol's actual slot spend at small k: stage-A/B/C
+// accounting should agree within a modest band (K̂ noise moves the
+// bucket and measurement counts, so exact equality is not expected).
+func TestExpectedSlotsTracksRun(t *testing.T) {
+	src := prng.NewSource(41)
+	for _, k := range []int{4, 8, 16, 32} {
+		want := ExpectedSlots(k)
+		total := 0
+		const trials = 6
+		for trial := 0; trial < trials; trial++ {
+			ids := activeSet(src, k)
+			ch := channel.NewFromSNRBand(k, 18, 25, src)
+			res, err := Run(Config{Salt: uint64(k*1000 + trial)}, ids, ch, src.Fork(uint64(trial)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.TotalSlots
+		}
+		mean := float64(total) / trials
+		if mean < float64(want)/2.5 || mean > float64(want)*2.5 {
+			t.Errorf("k=%d: simulated mean %.0f slots vs analytic %d (outside 2.5x band)",
+				k, mean, want)
+		}
+	}
+}

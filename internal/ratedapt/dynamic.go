@@ -135,6 +135,8 @@ type DynamicLane struct {
 	powStale  bool
 
 	nextArr  int
+	nextDep  int
+	depFIFO  bool
 	ev       SlotEvents
 	arriving []int
 	dm       *channel.Model
@@ -190,6 +192,31 @@ func OpenTransferDynamic(cfg Config, roster []RosterTag, air, decoder channel.Pr
 	maxSlots := cfg.MaxSlots
 	if maxSlots <= 0 {
 		maxSlots = 40 * kTot
+	}
+
+	// Departure shape: every roster the scenario layer builds (FIFO
+	// retirement, constant dwell) departs a roster prefix in
+	// nondecreasing DepartSlot order, with the never-departing tags —
+	// if any — forming the suffix. When that holds, BeginSlot retires
+	// tags through an O(1)-amortized cursor instead of rescanning the
+	// arrived roster every slot (the scan is O(N) per slot — quadratic
+	// over a round — which a warehouse roster cannot afford). A
+	// caller-built roster that violates the shape falls back to the
+	// scan; behavior is identical either way since Stream departures
+	// are idempotent.
+	depFIFO := true
+	prevDep := 0
+	stays := false // saw a tag that never departs
+	for i := range roster {
+		if d := roster[i].DepartSlot; d > 0 {
+			if stays || d < prevDep {
+				depFIFO = false
+				break
+			}
+			prevDep = d
+		} else {
+			stays = true
+		}
 	}
 
 	// Coherence window: Auto resolves against the decoder process's
@@ -287,6 +314,7 @@ func OpenTransferDynamic(cfg Config, roster []RosterTag, air, decoder channel.Pr
 		sc:       sc,
 		powStale: true,
 		nextArr:  k0, // next roster index awaiting arrival
+		depFIFO:  depFIFO,
 		arriving: make([]int, 0, kTot-k0),
 		dm:       dm,
 	}
@@ -339,9 +367,20 @@ func (ln *DynamicLane) BeginSlot() bool {
 			res.ReidentBitSlots += ln.cfg.OnArrival(slot, ln.arriving)
 		}
 	}
-	for i := 0; i < ln.nextArr; i++ {
-		if roster[i].DepartSlot > 0 && slot >= roster[i].DepartSlot {
-			ln.ev.Departs = append(ln.ev.Departs, i)
+	if ln.depFIFO {
+		// FIFO rosters retire a prefix: each tag is listed exactly once,
+		// the slot its departure fires. (The scan below instead re-lists
+		// every past departure; the stream skips those idempotently, so
+		// the two shapes decode identically.)
+		for ln.nextDep < ln.nextArr && roster[ln.nextDep].DepartSlot > 0 && slot >= roster[ln.nextDep].DepartSlot {
+			ln.ev.Departs = append(ln.ev.Departs, ln.nextDep)
+			ln.nextDep++
+		}
+	} else {
+		for i := 0; i < ln.nextArr; i++ {
+			if roster[i].DepartSlot > 0 && slot >= roster[i].DepartSlot {
+				ln.ev.Departs = append(ln.ev.Departs, i)
+			}
 		}
 	}
 

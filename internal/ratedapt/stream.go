@@ -79,6 +79,7 @@ type Stream struct {
 	slot          int
 	colliders     int
 	nJ            int
+	nDeparted     int
 	nResolved     int
 	totalAccepted int
 	rowsRetired   int
@@ -373,6 +374,7 @@ func (st *Stream) Advance(ev SlotEvents) (bits.Vector, error) {
 			continue
 		}
 		st.departed[i] = true
+		st.nDeparted++
 		st.popChanged = true
 		if !st.locked[i] {
 			// Retire: freeze the reader's best estimate of the departed
@@ -386,13 +388,10 @@ func (st *Stream) Advance(ev SlotEvents) (bits.Vector, error) {
 	if st.popChanged {
 		// The reader re-tunes the participation density to the tags
 		// actually on the air, once per slot after both event kinds.
-		present := 0
-		for i := 0; i < st.nJ; i++ {
-			if !st.departed[i] {
-				present++
-			}
-		}
-		st.density = participationDensity(st.cfg.Density, present)
+		// Presence is counted incrementally (nJ − nDeparted): a recount
+		// over the joined roster would cost O(N) per churn slot, which
+		// warehouse-scale rosters churn on nearly every slot.
+		st.density = participationDensity(st.cfg.Density, st.nJ-st.nDeparted)
 		st.popChanged = false
 	}
 

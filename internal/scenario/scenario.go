@@ -431,13 +431,20 @@ func (s Spec) Hash() string {
 // is materialized and truncated at max_slots).
 func (s Spec) TotalTags() int {
 	if a := s.Workload.Arrivals; a != nil {
-		m, err := s.Materialize()
+		st, err := s.ArrivalStream()
 		if err != nil {
 			// No defaults yet (max_slots unset): the schedule cannot be
 			// truncated, so every requested arrival counts.
 			return s.Workload.K + a.Count
 		}
-		return m.TotalTags()
+		n := 0
+		for {
+			if _, ok := st.Next(); !ok {
+				break
+			}
+			n++
+		}
+		return n
 	}
 	n := s.Workload.K
 	for _, e := range s.Workload.Population {
@@ -480,11 +487,24 @@ type Window struct {
 // longest-present tags first. Arrival-process specs materialize first.
 func (s Spec) PresenceWindows() ([]Window, error) {
 	if s.Workload.Arrivals != nil {
-		m, err := s.Materialize()
+		// Stream the schedule directly: one O(N) pass with the dwell
+		// rule applied per tag, instead of materializing an event
+		// schedule and re-deriving the same windows through the
+		// quadratic FIFO scan below. Equivalence with the materialized
+		// path is pinned by test on every example spec.
+		st, err := s.ArrivalStream()
 		if err != nil {
 			return nil, err
 		}
-		return m.PresenceWindows()
+		windows := make([]Window, 0, s.Workload.K+s.Workload.Arrivals.Count)
+		for {
+			w, ok := st.Next()
+			if !ok {
+				break
+			}
+			windows = append(windows, w)
+		}
+		return windows, nil
 	}
 	windows := make([]Window, 0, s.TotalTags())
 	for i := 0; i < s.Workload.K; i++ {
@@ -517,18 +537,7 @@ func (s Spec) PresenceWindows() ([]Window, error) {
 // randomness. Static and Gauss–Markov specs start from init; block
 // fading redraws from the same SNR band every block.
 func (s Spec) NewProcess(init *channel.Model, seed uint64) channel.Process {
-	switch s.Channel.Kind {
-	case KindBlockFading:
-		return channel.NewBlockFading(init.K(), s.Channel.SNRLodB, s.Channel.SNRHidB, s.Channel.BlockLen, s.Channel.AGCNoiseFraction, seed)
-	case KindGaussMarkov:
-		rho := s.Channel.PerTagRho
-		if len(rho) == 0 {
-			rho = []float64{s.Channel.Rho}
-		}
-		return channel.NewGaussMarkov(init, rho, seed)
-	default:
-		return channel.NewStatic(init)
-	}
+	return s.NewProcessRoster(init, seed, s.Channel.PerTagRho)
 }
 
 // Validate checks the spec for structural errors: each section's own
@@ -614,16 +623,22 @@ func (s Spec) Validate() error {
 		}
 	}
 
-	// An arrival-process spec must also be valid once expanded: the
-	// materialized spec has no Arrivals, so this cannot recurse.
-	if a != nil {
-		m, err := s.Materialize()
-		if err != nil {
-			return err
+	// Cross-section: slo × workload. A multi-reader frontier splits the
+	// offered load per reader, which only an arrival process can do.
+	if s.SLO != nil && len(s.SLO.Readers) > 0 {
+		if a == nil {
+			return fmt.Errorf("scenario: slo readers needs an arrival-process workload (explicit population schedules cannot split per reader)")
 		}
-		if err := m.Validate(); err != nil {
-			return fmt.Errorf("%w (after materializing the arrival process)", err)
+		if max := s.SLO.Readers[len(s.SLO.Readers)-1]; max > a.Count {
+			return fmt.Errorf("scenario: slo readers %d exceeds the offered count %d — some readers would receive no tags", max, a.Count)
 		}
 	}
+
+	// No materialize-and-revalidate pass for arrival specs: the
+	// generated schedule is valid by construction — arrival slots are
+	// nondecreasing, start at >= 2, truncate at max_slots, departures
+	// follow arrivals by a constant positive dwell (FIFO-feasible), and
+	// rho-band draws land inside (0, 1] by the band check above. The
+	// PresenceWindows call above already walks the full stream once.
 	return nil
 }

@@ -1,0 +1,205 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// streamEquivalenceSpecs covers every arrival process × dwell × rho-band
+// combination the streaming path must reproduce draw-for-draw.
+func streamEquivalenceSpecs() []Spec {
+	base := func(a ArrivalSpec) Spec {
+		s := Spec{
+			Trials: 1,
+			Seed:   99,
+			Workload: WorkloadSpec{
+				K:        4,
+				Arrivals: &a,
+			},
+		}
+		if a.RhoHi != 0 {
+			s.Channel.Kind = KindGaussMarkov
+		}
+		return s.WithDefaults()
+	}
+	return []Spec{
+		base(ArrivalSpec{Process: ArrivalPoisson, Rate: 0.3, Count: 40}),
+		base(ArrivalSpec{Process: ArrivalPoisson, Rate: 0.15, Count: 25, Dwell: 60}),
+		base(ArrivalSpec{Process: ArrivalBurst, Rate: 0.5, Count: 30, BurstSize: 5, Dwell: 80}),
+		base(ArrivalSpec{Process: ArrivalConveyor, Rate: 0.2, Count: 24}),
+		base(ArrivalSpec{Process: ArrivalAisleSweep, Rate: 0.25, Count: 32, Dwell: 50}),
+		base(ArrivalSpec{Process: ArrivalPoisson, Rate: 0.4, Count: 36, Dwell: 45, RhoLo: 0.9, RhoHi: 0.999}),
+		base(ArrivalSpec{Process: ArrivalAisleSweep, Rate: 0.35, Count: 20, RhoLo: 0.95, RhoHi: 1}),
+	}
+}
+
+// materializedRoster resolves the roster the pre-streaming way: eager
+// event-schedule expansion, then the FIFO presence-window scan over the
+// explicit schedule. The streaming path must match it exactly.
+func materializedRoster(t *testing.T, s Spec) Roster {
+	t.Helper()
+	m, err := s.Materialize()
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	w, err := m.PresenceWindows()
+	if err != nil {
+		t.Fatalf("materialized windows: %v", err)
+	}
+	return Roster{Windows: w, Rho: m.Channel.PerTagRho}
+}
+
+func compareRosters(t *testing.T, name string, got, want Roster) {
+	t.Helper()
+	if len(got.Windows) != len(want.Windows) {
+		t.Fatalf("%s: streamed %d roster tags, materialized %d", name, len(got.Windows), len(want.Windows))
+	}
+	for i := range got.Windows {
+		if got.Windows[i] != want.Windows[i] {
+			t.Fatalf("%s: tag %d window mismatch: streamed %+v, materialized %+v",
+				name, i, got.Windows[i], want.Windows[i])
+		}
+	}
+	if len(got.Rho) != len(want.Rho) {
+		t.Fatalf("%s: streamed %d rho entries, materialized %d", name, len(got.Rho), len(want.Rho))
+	}
+	for i := range got.Rho {
+		if got.Rho[i] != want.Rho[i] {
+			t.Fatalf("%s: tag %d rho mismatch: streamed %v, materialized %v",
+				name, i, got.Rho[i], want.Rho[i])
+		}
+	}
+}
+
+func TestStreamMatchesMaterializedRoster(t *testing.T) {
+	for _, s := range streamEquivalenceSpecs() {
+		name := s.Workload.Arrivals.Process
+		got, err := s.ResolveRoster()
+		if err != nil {
+			t.Fatalf("%s: resolve roster: %v", name, err)
+		}
+		compareRosters(t, name, got, materializedRoster(t, s))
+	}
+}
+
+// TestStreamMatchesMaterializedExampleSpecs pins the equivalence on
+// every shipped example spec — the goldens decode these, so a streamed
+// roster that drifted from the materialized one would silently change
+// published results. Warehouse-scale specs skip the materialized
+// reference (its quadratic FIFO scan is the very thing the stream
+// replaces) and check schedule invariants instead.
+func TestStreamMatchesMaterializedExampleSpecs(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/scenarios/*.json")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no example specs found: %v", err)
+	}
+	for _, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Parse(raw)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		name := filepath.Base(path)
+		roster, err := s.ResolveRoster()
+		if err != nil {
+			t.Fatalf("%s: resolve roster: %v", name, err)
+		}
+		if n := s.TotalTags(); n != len(roster.Windows) {
+			t.Fatalf("%s: TotalTags %d but roster has %d windows", name, n, len(roster.Windows))
+		}
+		if s.Workload.Arrivals == nil {
+			continue
+		}
+		if len(roster.Windows) > 2048 {
+			checkScheduleInvariants(t, name, s, roster)
+			continue
+		}
+		compareRosters(t, name, roster, materializedRoster(t, s))
+	}
+}
+
+// checkScheduleInvariants validates a warehouse-scale streamed roster
+// without the quadratic materialized reference: arrivals nondecreasing
+// from start_slot, truncated at max_slots, constant-dwell departures.
+func checkScheduleInvariants(t *testing.T, name string, s Spec, roster Roster) {
+	t.Helper()
+	a := s.Workload.Arrivals
+	start := a.StartSlot
+	prev := 0
+	for i, w := range roster.Windows {
+		if i < s.Workload.K {
+			if w.ArriveSlot != 1 {
+				t.Fatalf("%s: initial tag %d arrives at %d, want 1", name, i, w.ArriveSlot)
+			}
+		} else {
+			if w.ArriveSlot < start || w.ArriveSlot > s.Decode.MaxSlots {
+				t.Fatalf("%s: tag %d arrives at %d outside [%d, %d]", name, i, w.ArriveSlot, start, s.Decode.MaxSlots)
+			}
+			if w.ArriveSlot < prev {
+				t.Fatalf("%s: tag %d arrival %d before predecessor's %d", name, i, w.ArriveSlot, prev)
+			}
+			prev = w.ArriveSlot
+		}
+		switch {
+		case a.Dwell <= 0:
+			if w.DepartSlot != 0 {
+				t.Fatalf("%s: tag %d departs at %d with no dwell", name, i, w.DepartSlot)
+			}
+		case w.ArriveSlot+a.Dwell <= s.Decode.MaxSlots:
+			if w.DepartSlot != w.ArriveSlot+a.Dwell {
+				t.Fatalf("%s: tag %d departs at %d, want arrive+dwell = %d", name, i, w.DepartSlot, w.ArriveSlot+a.Dwell)
+			}
+		default:
+			if w.DepartSlot != 0 {
+				t.Fatalf("%s: tag %d departs at %d beyond max_slots", name, i, w.DepartSlot)
+			}
+		}
+		if roster.Rho != nil {
+			if r := roster.Rho[i]; r < a.RhoLo || r > a.RhoHi {
+				t.Fatalf("%s: tag %d rho %v outside band [%v, %v]", name, i, r, a.RhoLo, a.RhoHi)
+			}
+		}
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	s := streamEquivalenceSpecs()[1]
+	a, err := s.ResolveRoster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.ResolveRoster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareRosters(t, "repeat", a, b)
+}
+
+func TestSplitForReader(t *testing.T) {
+	s := streamEquivalenceSpecs()[0]
+	const n = 3
+	total := 0
+	seeds := map[uint64]bool{}
+	for r := 0; r < n; r++ {
+		sub := s.SplitForReader(r, n)
+		if err := sub.Validate(); err != nil {
+			t.Fatalf("reader %d: %v", r, err)
+		}
+		a := sub.Workload.Arrivals
+		total += a.Count
+		if a.Rate != s.Workload.Arrivals.Rate/n {
+			t.Fatalf("reader %d: rate %v, want %v", r, a.Rate, s.Workload.Arrivals.Rate/n)
+		}
+		if seeds[sub.Seed] || sub.Seed == s.Seed {
+			t.Fatalf("reader %d: seed %d collides", r, sub.Seed)
+		}
+		seeds[sub.Seed] = true
+	}
+	if total != s.Workload.Arrivals.Count {
+		t.Fatalf("reader counts sum to %d, want %d", total, s.Workload.Arrivals.Count)
+	}
+}

@@ -73,7 +73,23 @@ type ArrivalSpec struct {
 	// "gauss-markov"; initial tags draw from the same band.
 	RhoLo float64 `json:"rho_lo,omitempty"`
 	RhoHi float64 `json:"rho_hi,omitempty"`
+	// Reident selects how arrival bursts' re-identification cost is
+	// charged: "" or "simulate" (default) runs the full identification
+	// protocol over the air per burst; "analytic" charges the
+	// closed-form expected slot budget (identify.ExpectedSlots) —
+	// deterministic, O(1) per burst, and the only affordable mode at
+	// warehouse scale, where a single simulated burst over thousands
+	// of present tags costs more than the decode round itself.
+	Reident string `json:"reident,omitempty"`
 }
+
+// Re-identification cost modes accepted in ArrivalSpec.Reident.
+const (
+	// ReidentSimulate runs the full stage-A/B/C protocol per burst.
+	ReidentSimulate = "simulate"
+	// ReidentAnalytic charges identify.ExpectedSlots(present) per burst.
+	ReidentAnalytic = "analytic"
+)
 
 // Validate checks the arrival block's local invariants.
 func (a ArrivalSpec) Validate() error {
@@ -105,6 +121,11 @@ func (a ArrivalSpec) Validate() error {
 		if !(a.RhoLo > 0) || a.RhoHi > 1 || a.RhoHi < a.RhoLo {
 			return fmt.Errorf("scenario: arrivals rho band [%v, %v] must satisfy 0 < rho_lo <= rho_hi <= 1", a.RhoLo, a.RhoHi)
 		}
+	}
+	switch a.Reident {
+	case "", ReidentSimulate, ReidentAnalytic:
+	default:
+		return fmt.Errorf("scenario: unknown reident mode %q (want %q or %q)", a.Reident, ReidentSimulate, ReidentAnalytic)
 	}
 	return nil
 }
@@ -266,6 +287,14 @@ type SLOSpec struct {
 	// Probes is the bisection budget after the endpoint checks; 0
 	// means 6 (rate resolved to (RateHi-RateLo)/2^6).
 	Probes int `json:"probes,omitempty"`
+	// Readers, when non-empty, asks the sweep for a capacity frontier
+	// across multi-reader deployments: for each entry R the offered
+	// load splits over R readers (disjoint arrival streams and seeds
+	// via SplitForReader) and the sweep finds the maximum aggregate
+	// rate the R-reader system sustains. Entries must be >= 1 and
+	// strictly increasing; empty keeps the classic single-reader
+	// sweep. Requires an arrival-process workload.
+	Readers []int `json:"readers,omitempty"`
 }
 
 // Validate checks the SLO block's local invariants.
@@ -284,6 +313,16 @@ func (o SLOSpec) Validate() error {
 	}
 	if o.Probes < 0 {
 		return fmt.Errorf("scenario: slo probes must be >= 0, got %d", o.Probes)
+	}
+	prev := 0
+	for _, r := range o.Readers {
+		if r < 1 {
+			return fmt.Errorf("scenario: slo readers entries must be >= 1, got %d", r)
+		}
+		if r <= prev {
+			return fmt.Errorf("scenario: slo readers must be strictly increasing (saw %d after %d)", r, prev)
+		}
+		prev = r
 	}
 	return nil
 }

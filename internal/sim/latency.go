@@ -1,9 +1,16 @@
 // Latency/throughput percentile reporting: the operational metrics a
 // capacity planner reads off a scenario run. Samples are collected into
-// per-trial slots inside the worker pool and flattened in trial order
-// here, so every quantile is an exact order statistic over a
-// deterministically-ordered sample set — byte-identical at any
-// GOMAXPROCS, pinned by the determinism tests.
+// per-trial slots inside the worker pool and merged in trial order
+// here, so every quantile is deterministic over a deterministically-
+// ordered sample set — byte-identical at any GOMAXPROCS, pinned by the
+// determinism tests.
+//
+// Completion latencies route through stats.QuantileSketch: below the
+// sketch buffer (every CI-sized spec) no compaction ever runs and the
+// summary is bit-identical to the exact order statistics the goldens
+// pin; above it (warehouse rosters) the sketch holds fixed memory per
+// trial and the report carries the estimator choice and its rank-error
+// bound instead of silently pretending to be exact.
 package sim
 
 import (
@@ -11,6 +18,16 @@ import (
 	"math"
 
 	"repro/internal/stats"
+)
+
+// Estimator names reported in LatencyReport.CompletionEstimator.
+const (
+	// EstimatorExact: no sketch compaction ran; every completion
+	// quantile is an exact order statistic.
+	EstimatorExact = "exact"
+	// EstimatorSketch: the sample population overflowed the sketch
+	// buffer; quantiles are within CompletionRankError ranks of exact.
+	EstimatorSketch = "sketch"
 )
 
 // LatencyReport is the buzz scheme's latency/throughput percentile
@@ -25,50 +42,90 @@ type LatencyReport struct {
 	DeliveredFraction float64
 	// FirstPayloadSlots summarizes, per trial, the slot of the first
 	// verified payload — the time-to-first-payload distribution. A
-	// trial that delivered nothing contributes +Inf.
+	// trial that delivered nothing contributes +Inf. Always exact (one
+	// sample per trial).
 	FirstPayloadSlots stats.Quantiles
 	// CompletionSlots summarizes, per offered tag, the slots the tag
 	// spent in the field before its payload verified — the inventory-
 	// completion distribution. An undelivered tag contributes +Inf, so
 	// a finite p99 here certifies both speed AND ≥99% delivery.
 	CompletionSlots stats.Quantiles
+	// CompletionEstimator records how CompletionSlots was computed:
+	// EstimatorExact or EstimatorSketch.
+	CompletionEstimator string
+	// CompletionRankError is the sketch's worst-case rank displacement
+	// (stats.QuantileSketch.RankErrorBound); 0 under EstimatorExact.
+	CompletionRankError int
 	// ReaderSecondsPer1kTags is total reader air time divided by
 	// delivered tags, scaled to 1000 tags — the throughput cost of the
 	// workload (+Inf when nothing delivered). Numerically this is the
 	// run's total transfer milliseconds per delivered tag: 1 ms/tag =
 	// 1 s/1k tags.
 	ReaderSecondsPer1kTags float64
+
+	// Merge state: the completion sketch, per-trial first-payload
+	// samples and summed air time survive on the report so multi-reader
+	// sweeps can combine per-reader reports without re-running trials.
+	completion  *stats.QuantileSketch
+	first       []float64
+	totalMillis float64
 }
 
-// buildLatencyReport flattens the per-trial samples (trial order) and
-// computes the exact quantile summaries. totalMillis is the buzz
-// scheme's summed transfer time across trials, re-identification
-// included.
+// buildLatencyReport merges the per-trial samples (trial order) into
+// the run's summary. totalMillis is the buzz scheme's summed transfer
+// time across trials, re-identification included.
 func buildLatencyReport(lat []trialLatency, totalMillis float64) *LatencyReport {
-	rep := &LatencyReport{}
-	first := make([]float64, 0, len(lat))
-	var completion []float64
+	rep := &LatencyReport{
+		completion:  stats.NewQuantileSketch(),
+		first:       make([]float64, 0, len(lat)),
+		totalMillis: totalMillis,
+	}
 	for t := range lat {
-		first = append(first, lat[t].first)
-		for _, c := range lat[t].completion {
-			rep.TagsOffered++
-			if !math.IsInf(c, 1) {
-				rep.TagsDelivered++
-			}
-			completion = append(completion, c)
-		}
+		rep.first = append(rep.first, lat[t].first)
+		rep.TagsOffered += lat[t].offered
+		rep.TagsDelivered += lat[t].delivered
+		rep.completion.Merge(lat[t].completion)
 	}
-	if rep.TagsOffered > 0 {
-		rep.DeliveredFraction = float64(rep.TagsDelivered) / float64(rep.TagsOffered)
-	}
-	rep.FirstPayloadSlots = stats.ExactQuantiles(first)
-	rep.CompletionSlots = stats.ExactQuantiles(completion)
-	if rep.TagsDelivered > 0 {
-		rep.ReaderSecondsPer1kTags = totalMillis / float64(rep.TagsDelivered)
-	} else {
-		rep.ReaderSecondsPer1kTags = math.Inf(1)
-	}
+	rep.finalize()
 	return rep
+}
+
+// mergeLatencyReports combines per-reader reports into the aggregate a
+// multi-reader sweep judges: offered/delivered counts and air time sum,
+// first-payload samples concatenate in reader order, and the completion
+// sketches merge (order-invariant, so the aggregate is a pure function
+// of the reader set).
+func mergeLatencyReports(reps []*LatencyReport) *LatencyReport {
+	out := &LatencyReport{completion: stats.NewQuantileSketch()}
+	for _, r := range reps {
+		out.TagsOffered += r.TagsOffered
+		out.TagsDelivered += r.TagsDelivered
+		out.first = append(out.first, r.first...)
+		out.totalMillis += r.totalMillis
+		out.completion.Merge(r.completion)
+	}
+	out.finalize()
+	return out
+}
+
+// finalize computes the derived summary fields from the merge state.
+func (r *LatencyReport) finalize() {
+	if r.TagsOffered > 0 {
+		r.DeliveredFraction = float64(r.TagsDelivered) / float64(r.TagsOffered)
+	}
+	r.FirstPayloadSlots = stats.ExactQuantiles(r.first)
+	r.CompletionSlots = r.completion.Summary()
+	if r.completion.Compacted() {
+		r.CompletionEstimator = EstimatorSketch
+	} else {
+		r.CompletionEstimator = EstimatorExact
+	}
+	r.CompletionRankError = r.completion.RankErrorBound()
+	if r.TagsDelivered > 0 {
+		r.ReaderSecondsPer1kTags = r.totalMillis / float64(r.TagsDelivered)
+	} else {
+		r.ReaderSecondsPer1kTags = math.Inf(1)
+	}
 }
 
 // fmtSlots renders a slot-valued order statistic: integral slot counts

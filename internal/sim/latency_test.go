@@ -25,9 +25,18 @@ func TestLatencySamplesUnit(t *testing.T) {
 		{ArriveSlot: 0}, // arrive clamps to 1: completion 20
 	}
 	tl := latencySamples(verified, decodedAt, windows)
-	wantCompletion := []float64{12, math.Inf(1), math.Inf(1), 3, 20}
-	if !reflect.DeepEqual(tl.completion, wantCompletion) {
-		t.Fatalf("completion = %v, want %v", tl.completion, wantCompletion)
+	if tl.offered != 5 || tl.delivered != 3 {
+		t.Fatalf("offered/delivered = %d/%d, want 5/3", tl.offered, tl.delivered)
+	}
+	// The completion multiset is {3, 12, 20, +Inf, +Inf}; the sketch is
+	// uncompacted at this size, so each rank is an exact order
+	// statistic.
+	wantRanked := []float64{3, 12, 20, math.Inf(1), math.Inf(1)}
+	for r, want := range wantRanked {
+		q := float64(r+1) / 5
+		if got := tl.completion.Quantile(q); got != want {
+			t.Fatalf("completion rank %d = %v, want %v", r+1, got, want)
+		}
 	}
 	if tl.first != 7 {
 		t.Fatalf("first = %v, want 7 (minimum verified decode slot)", tl.first)
@@ -35,10 +44,11 @@ func TestLatencySamplesUnit(t *testing.T) {
 
 	// nil decodedAt (a scheme with no per-tag detail): everything +Inf.
 	tl = latencySamples([]bool{true, true}, nil, windows[:2])
-	for i, c := range tl.completion {
-		if !math.IsInf(c, 1) {
-			t.Fatalf("nil decodedAt: completion[%d] = %v, want +Inf", i, c)
-		}
+	if tl.delivered != 0 || tl.offered != 2 {
+		t.Fatalf("nil decodedAt: offered/delivered = %d/%d, want 2/0", tl.offered, tl.delivered)
+	}
+	if !math.IsInf(tl.completion.Quantile(0), 1) {
+		t.Fatalf("nil decodedAt: min completion = %v, want +Inf", tl.completion.Quantile(0))
 	}
 	if !math.IsInf(tl.first, 1) {
 		t.Fatalf("nil decodedAt: first = %v, want +Inf", tl.first)
@@ -159,6 +169,79 @@ func TestSweepDeterministic(t *testing.T) {
 	}
 	if !strings.Contains(a.Render(), "capacity report: \"sweep-determinism\"") {
 		t.Fatalf("render missing header: %s", a.Render())
+	}
+}
+
+// TestSweepMultiReader pins the capacity frontier: one sweep outcome
+// per slo.readers entry, deterministic across reruns, rendered with
+// the frontier table.
+func TestSweepMultiReader(t *testing.T) {
+	mkSpec := func() scenario.Spec {
+		spec := sweepSpec()
+		spec.Name = "frontier-determinism"
+		spec.SLO.Readers = []int{1, 2}
+		return spec
+	}
+	a, err := Sweep(mkSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Frontier) != 2 {
+		t.Fatalf("frontier has %d points, want 2", len(a.Frontier))
+	}
+	if len(a.Probes) != 0 {
+		t.Fatalf("multi-reader report carries %d top-level probes, want 0", len(a.Probes))
+	}
+	for i, f := range a.Frontier {
+		if f.Readers != []int{1, 2}[i] {
+			t.Fatalf("frontier[%d].Readers = %d", i, f.Readers)
+		}
+		if len(f.Probes) == 0 {
+			t.Fatalf("frontier[%d] evaluated no probes", i)
+		}
+		if f.Feasible && f.AtMax == nil {
+			t.Fatalf("frontier[%d] feasible without AtMax detail", i)
+		}
+		// Aggregate accounting: a probe's offered tags must equal the
+		// summed per-reader rosters × trials at the probed rate (each
+		// reader keeps its own initial population; arrivals split).
+		want := 0
+		for r := 0; r < f.Readers; r++ {
+			s := mkSpec()
+			arr := *s.Workload.Arrivals
+			arr.Rate = f.Probes[0].Rate
+			s.Workload.Arrivals = &arr
+			s.SLO = nil
+			want += s.SplitForReader(r, f.Readers).TotalTags()
+		}
+		want *= mkSpec().Trials
+		if got := f.Probes[0].Offered; got != want {
+			t.Fatalf("frontier[%d] probe offers %d tags, want %d", i, got, want)
+		}
+	}
+	if a.Feasible {
+		best := 0.0
+		for _, f := range a.Frontier {
+			if f.Feasible && f.MaxRate > best {
+				best = f.MaxRate
+			}
+		}
+		if a.MaxRate != best {
+			t.Fatalf("top-level MaxRate %v is not the frontier's best %v", a.MaxRate, best)
+		}
+	}
+	b, err := Sweep(mkSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("multi-reader sweep not deterministic")
+	}
+	if a.Render() != b.Render() {
+		t.Fatalf("rendered frontier reports differ")
+	}
+	if !strings.Contains(a.Render(), "capacity frontier (aggregate rate x readers):") {
+		t.Fatalf("render missing frontier table:\n%s", a.Render())
 	}
 }
 

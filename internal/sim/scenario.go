@@ -5,9 +5,11 @@
 // wrapping is byte-exact — while time-varying channels and dynamic
 // populations route through ratedapt.TransferDynamic with mid-round
 // re-identification charged via the identify package. Arrival-process
-// workloads materialize into population schedules before the first
-// trial, so the whole pipeline below the spec boundary only ever sees
-// explicit rosters.
+// workloads resolve their roster through scenario.ResolveRoster's
+// streaming iterator before the first trial — one O(N) pass shared
+// read-only by every trial — so the pipeline below the spec boundary
+// only ever sees explicit rosters and no materialized event schedule
+// is ever held.
 package sim
 
 import (
@@ -228,17 +230,23 @@ type scenarioRow struct {
 	wrong                   int
 }
 
-// trialLatency is one trial's raw latency samples, kept in a per-trial
-// slot and flattened in trial order afterward — deterministic at any
+// trialLatency is one trial's latency samples, kept in a per-trial
+// slot and merged in trial order afterward — deterministic at any
 // GOMAXPROCS because no sample ever crosses a trial boundary.
+// Completion samples live in a per-trial quantile sketch: exact (and
+// bit-identical to the flat-slice path) below the sketch buffer,
+// fixed-memory above it.
 type trialLatency struct {
 	// first is the slot of the trial's first verified payload (+Inf
 	// when the trial delivered nothing).
 	first float64
-	// completion is, per offered roster tag, the number of slots the
-	// tag was in the field before its payload verified (+Inf for tags
-	// that never delivered).
-	completion []float64
+	// offered and delivered count the trial's roster tags and verified
+	// payloads.
+	offered, delivered int
+	// completion sketches, per offered roster tag, the number of slots
+	// the tag was in the field before its payload verified (+Inf for
+	// tags that never delivered), in roster order.
+	completion *stats.QuantileSketch
 }
 
 // Run executes a declarative scenario spec: Trials independent draws of
@@ -247,8 +255,8 @@ type trialLatency struct {
 // population-free specs take exactly the code path of the classic
 // experiments — a static Spec reproduces CompareDataPhase bit for bit —
 // while dynamic specs run the TransferDynamic engine. Arrival-process
-// workloads are materialized once, up front. Results are deterministic
-// in (Spec, options) at any parallelism.
+// workloads stream their roster once, up front. Results are
+// deterministic in (Spec, options) at any parallelism.
 func Run(spec scenario.Spec, options ...Option) (*ScenarioOutcome, error) {
 	var cfg runConfig
 	for _, o := range options {
@@ -258,19 +266,21 @@ func Run(spec scenario.Spec, options ...Option) (*ScenarioOutcome, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	spec, err := spec.Materialize()
-	if err != nil {
-		return nil, err
-	}
 	crc, err := spec.CRCKind()
 	if err != nil {
 		return nil, err
 	}
-	kTot := spec.TotalTags()
-	windows, err := spec.PresenceWindows()
+	// Resolve the roster once and share it read-only across trials:
+	// arrival-process specs stream their schedule (one O(N) pass, no
+	// materialized event schedule), and every trial reuses the same
+	// windows and per-tag mobility. The streamed roster is pinned
+	// byte-identical to the old materializing path by test.
+	rost, err := spec.ResolveRoster()
 	if err != nil {
 		return nil, err
 	}
+	windows := rost.Windows
+	kTot := len(windows)
 	frameLen := spec.Workload.MessageBits + crc.Width()
 	dynamic := spec.Dynamic()
 	runTDMA := spec.HasScheme(scenario.SchemeTDMA)
@@ -346,7 +356,7 @@ func Run(spec scenario.Spec, options ...Option) (*ScenarioOutcome, error) {
 			tl.static = ln
 		} else {
 			procSeed := setup.Uint64()
-			proc := spec.NewProcess(ch, procSeed)
+			proc := spec.NewProcessRoster(ch, procSeed, rost.Rho)
 			roster := make([]ratedapt.RosterTag, kTot)
 			for i := range roster {
 				roster[i] = ratedapt.RosterTag{
@@ -357,7 +367,11 @@ func Run(spec scenario.Spec, options ...Option) (*ScenarioOutcome, error) {
 				}
 			}
 			tl.identErr = new(error)
-			rcfg.OnArrival = reidentifier(roster, proc, salt, res.Scratch, tl.identErr)
+			if a := spec.Workload.Arrivals; a != nil && a.Reident == scenario.ReidentAnalytic {
+				rcfg.OnArrival = analyticReidentifier(windows)
+			} else {
+				rcfg.OnArrival = reidentifier(roster, proc, salt, res.Scratch, tl.identErr)
+			}
 			ln, err := ratedapt.OpenTransferDynamic(rcfg, roster, proc, proc, setup.Fork(1), setup.Fork(2))
 			if err != nil {
 				return nil, err
@@ -562,23 +576,25 @@ func Run(spec scenario.Spec, options ...Option) (*ScenarioOutcome, error) {
 }
 
 // latencySamples folds one trial's decode timeline into its latency
-// slot: per-tag completion (slots in the field until verification) and
-// the trial's time to first payload.
+// slot: per-tag completion (slots in the field until verification)
+// sketched in roster order, and the trial's time to first payload.
 func latencySamples(verified []bool, decodedAt []int, windows []scenario.Window) trialLatency {
 	tl := trialLatency{
 		first:      math.Inf(1),
-		completion: make([]float64, len(verified)),
+		completion: stats.NewQuantileSketch(),
 	}
 	for i := range verified {
+		tl.offered++
 		if !verified[i] || decodedAt == nil || decodedAt[i] < 1 {
-			tl.completion[i] = math.Inf(1)
+			tl.completion.Add(math.Inf(1))
 			continue
 		}
+		tl.delivered++
 		arrive := windows[i].ArriveSlot
 		if arrive < 1 {
 			arrive = 1
 		}
-		tl.completion[i] = float64(decodedAt[i] - arrive + 1)
+		tl.completion.Add(float64(decodedAt[i] - arrive + 1))
 		if s := float64(decodedAt[i]); s < tl.first {
 			tl.first = s
 		}
@@ -604,6 +620,36 @@ func scoreFrames(r *scenarioRow, verified []bool, frames []bits.Vector, msgs []b
 		if payloads != nil {
 			payloads[i] = p
 		}
+	}
+}
+
+// analyticReidentifier builds the OnArrival hook for reident mode
+// "analytic": instead of simulating a three-stage burst over the air,
+// it charges identify.ExpectedSlots for the population present at the
+// arrival slot — O(1) per burst against the simulated protocol's cost
+// (dominated by stage-C compressed sensing, which scales with the
+// present population and made simulated bursts the profile's 99.9%
+// at warehouse rosters). Presence is tracked with two cursors over the
+// FIFO windows, so a whole round's charges cost O(N) total. The hook
+// is a pure function of the slot sequence: deterministic at any
+// parallelism or batch width.
+func analyticReidentifier(windows []scenario.Window) func(slot int, arriving []int) int {
+	arrived, departed := 0, 0
+	return func(slot int, arriving []int) int {
+		for arrived < len(windows) {
+			a := windows[arrived].ArriveSlot
+			if a < 1 {
+				a = 1
+			}
+			if a > slot {
+				break
+			}
+			arrived++
+		}
+		for departed < len(windows) && windows[departed].DepartSlot > 0 && windows[departed].DepartSlot <= slot {
+			departed++
+		}
+		return identify.ExpectedSlots(arrived - departed)
 	}
 }
 

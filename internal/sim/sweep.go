@@ -4,7 +4,11 @@
 // candidate rate; the whole sweep is a pure function of the spec, so a
 // capacity claim ships as (spec, seed, report) and anyone can re-derive
 // it byte for byte — the inference-sim capacity-planning workflow
-// applied to RFID inventory.
+// applied to RFID inventory. With slo.readers the sweep additionally
+// maps the capacity frontier across multi-reader deployments: the
+// offered load splits over R readers (disjoint arrival streams and
+// seeds) and the search finds the maximum aggregate rate each reader
+// count sustains.
 package sim
 
 import (
@@ -16,7 +20,8 @@ import (
 
 // SweepProbe is one evaluated rate of a capacity sweep.
 type SweepProbe struct {
-	// Rate is the probed arrival rate in tags per slot.
+	// Rate is the probed arrival rate in tags per slot — the aggregate
+	// rate across all readers in a multi-reader sweep.
 	Rate float64
 	// Feasible reports whether the run met every SLO clause.
 	Feasible bool
@@ -29,6 +34,21 @@ type SweepProbe struct {
 	DeliveredFraction float64
 	// Wrong counts verified-but-wrong payloads across the probe.
 	Wrong int
+}
+
+// ReaderCapacity is one point of a multi-reader capacity frontier: the
+// sweep outcome for a fixed reader count.
+type ReaderCapacity struct {
+	// Readers is the deployment's reader count.
+	Readers int
+	// Probes lists every evaluated aggregate rate in evaluation order.
+	Probes []SweepProbe
+	// Feasible reports whether even the lowest rate met the SLO.
+	Feasible bool
+	// MaxRate is the highest aggregate rate found feasible.
+	MaxRate float64
+	// AtMax is the merged latency report of the best feasible probe.
+	AtMax *LatencyReport
 }
 
 // CapacityReport is the reproducible outcome of a capacity sweep.
@@ -44,14 +64,67 @@ type CapacityReport struct {
 	// SLO is the effective objective (probe budget defaulted).
 	SLO scenario.SLOSpec
 	// Probes lists every evaluated rate in evaluation order: the two
-	// endpoints, then the bisection sequence.
+	// endpoints, then the bisection sequence. Empty in a multi-reader
+	// sweep (each frontier point carries its own probes).
 	Probes []SweepProbe
-	// Feasible reports whether even the lowest rate met the SLO.
+	// Frontier holds one capacity point per slo.readers entry; nil for
+	// the classic single-reader sweep.
+	Frontier []ReaderCapacity
+	// Feasible reports whether any searched configuration met the SLO.
 	Feasible bool
-	// MaxRate is the highest rate found feasible (0 when !Feasible).
+	// MaxRate is the highest rate found feasible (0 when !Feasible) —
+	// across the whole frontier in a multi-reader sweep.
 	MaxRate float64
 	// AtMax is the full latency report of the best feasible probe.
 	AtMax *LatencyReport
+}
+
+// evalFunc evaluates one candidate rate: the probe verdict plus the
+// full latency report behind it.
+type evalFunc func(rate float64) (SweepProbe, *LatencyReport, error)
+
+// bisectRate runs the sweep's search schedule against eval: the two
+// endpoints (floor infeasible → stop; ceiling feasible → done), then
+// SLO.Probes bisection steps. Deterministic in (slo, eval).
+func bisectRate(slo scenario.SLOSpec, eval evalFunc) (probes []SweepProbe, feasible bool, maxRate float64, atMax *LatencyReport, err error) {
+	lo, hi := slo.RateLo, slo.RateHi
+	pLo, latLo, err := eval(lo)
+	if err != nil {
+		return nil, false, 0, nil, err
+	}
+	probes = append(probes, pLo)
+	if !pLo.Feasible {
+		// Even the floor violates the SLO: report infeasible rather
+		// than searching a bracket that has no feasible edge.
+		return probes, false, 0, nil, nil
+	}
+	feasible, maxRate, atMax = true, lo, latLo
+
+	pHi, latHi, err := eval(hi)
+	if err != nil {
+		return nil, false, 0, nil, err
+	}
+	probes = append(probes, pHi)
+	if pHi.Feasible {
+		return probes, true, hi, latHi, nil
+	}
+
+	for i := 0; i < slo.Probes; i++ {
+		mid := lo + (hi-lo)/2
+		p, lat, err := eval(mid)
+		if err != nil {
+			return nil, false, 0, nil, err
+		}
+		probes = append(probes, p)
+		if p.Feasible {
+			lo = mid
+			maxRate = mid
+			atMax = lat
+		} else {
+			hi = mid
+		}
+	}
+	return probes, feasible, maxRate, atMax, nil
 }
 
 // Sweep binary-searches the maximum sustainable arrival rate of an
@@ -60,7 +133,9 @@ type CapacityReport struct {
 // section with rate_lo/rate_hi search bounds. The search: evaluate
 // rate_lo (infeasible → report and stop), evaluate rate_hi (feasible →
 // done), then bisect SLO.Probes times; MaxRate is the last feasible
-// midpoint. Deterministic in the spec at any parallelism.
+// midpoint. With slo.readers, the search repeats per reader count over
+// the per-reader split workload and the report carries the capacity
+// frontier. Deterministic in the spec at any parallelism.
 func Sweep(spec scenario.Spec) (*CapacityReport, error) {
 	spec = spec.WithDefaults()
 	if err := spec.Validate(); err != nil {
@@ -87,72 +162,101 @@ func Sweep(spec scenario.Spec) (*CapacityReport, error) {
 		SLO:      slo,
 	}
 
-	eval := func(rate float64) (SweepProbe, *LatencyReport, error) {
+	// atRate returns the spec with the arrival rate overridden — the
+	// only field a probe varies.
+	atRate := func(rate float64) scenario.Spec {
 		s := spec
 		arr := *s.Workload.Arrivals
 		arr.Rate = rate
 		s.Workload.Arrivals = &arr
-		out, err := Run(s)
-		if err != nil {
-			return SweepProbe{}, nil, fmt.Errorf("sim: sweep probe at rate %v: %w", rate, err)
-		}
-		lat := out.Latency
+		return s
+	}
+
+	judge := func(rate float64, lat *LatencyReport, wrong int) SweepProbe {
 		p := SweepProbe{
 			Rate:               rate,
 			P99CompletionSlots: lat.CompletionSlots.P99,
 			Delivered:          lat.TagsDelivered,
 			Offered:            lat.TagsOffered,
 			DeliveredFraction:  lat.DeliveredFraction,
-			Wrong:              out.Scheme(scenario.SchemeBuzz).WrongPayload,
+			Wrong:              wrong,
 		}
 		p.Feasible = p.P99CompletionSlots <= float64(slo.P99CompletionSlots) &&
 			p.Wrong <= slo.MaxWrong &&
 			(slo.MinDeliveredFraction == 0 || p.DeliveredFraction >= slo.MinDeliveredFraction)
-		return p, lat, nil
+		return p
 	}
 
-	lo, hi := slo.RateLo, slo.RateHi
-	pLo, latLo, err := eval(lo)
-	if err != nil {
-		return nil, err
-	}
-	rep.Probes = append(rep.Probes, pLo)
-	if !pLo.Feasible {
-		// Even the floor violates the SLO: report infeasible rather
-		// than searching a bracket that has no feasible edge.
-		return rep, nil
-	}
-	rep.Feasible = true
-	rep.MaxRate = lo
-	rep.AtMax = latLo
-
-	pHi, latHi, err := eval(hi)
-	if err != nil {
-		return nil, err
-	}
-	rep.Probes = append(rep.Probes, pHi)
-	if pHi.Feasible {
-		rep.MaxRate = hi
-		rep.AtMax = latHi
-		return rep, nil
-	}
-
-	for i := 0; i < slo.Probes; i++ {
-		mid := lo + (hi-lo)/2
-		p, lat, err := eval(mid)
+	if len(slo.Readers) == 0 {
+		eval := func(rate float64) (SweepProbe, *LatencyReport, error) {
+			out, err := Run(atRate(rate))
+			if err != nil {
+				return SweepProbe{}, nil, fmt.Errorf("sim: sweep probe at rate %v: %w", rate, err)
+			}
+			p := judge(rate, out.Latency, out.Scheme(scenario.SchemeBuzz).WrongPayload)
+			return p, out.Latency, nil
+		}
+		probes, feasible, maxRate, atMax, err := bisectRate(slo, eval)
 		if err != nil {
 			return nil, err
 		}
-		rep.Probes = append(rep.Probes, p)
-		if p.Feasible {
-			lo = mid
-			rep.MaxRate = mid
-			rep.AtMax = lat
-		} else {
-			hi = mid
+		rep.Probes, rep.Feasible, rep.MaxRate, rep.AtMax = probes, feasible, maxRate, atMax
+		return rep, nil
+	}
+
+	// Multi-reader frontier: per reader count, probe aggregate rates by
+	// running each reader's split sub-spec sequentially and judging the
+	// merged report. Sub-runs drop the slo section (a plain run carries
+	// it inertly, and the split count may undercut the readers list's
+	// own validation).
+	evalReaders := func(readers int) evalFunc {
+		return func(rate float64) (SweepProbe, *LatencyReport, error) {
+			base := atRate(rate)
+			base.SLO = nil
+			lats := make([]*LatencyReport, 0, readers)
+			wrong := 0
+			for r := 0; r < readers; r++ {
+				sub := base.SplitForReader(r, readers)
+				out, err := Run(sub)
+				if err != nil {
+					return SweepProbe{}, nil, fmt.Errorf("sim: sweep probe at rate %v, reader %d of %d: %w", rate, r+1, readers, err)
+				}
+				lats = append(lats, out.Latency)
+				wrong += out.Scheme(scenario.SchemeBuzz).WrongPayload
+			}
+			lat := mergeLatencyReports(lats)
+			return judge(rate, lat, wrong), lat, nil
+		}
+	}
+	for _, nr := range slo.Readers {
+		probes, feasible, maxRate, atMax, err := bisectRate(slo, evalReaders(nr))
+		if err != nil {
+			return nil, err
+		}
+		rep.Frontier = append(rep.Frontier, ReaderCapacity{
+			Readers:  nr,
+			Probes:   probes,
+			Feasible: feasible,
+			MaxRate:  maxRate,
+			AtMax:    atMax,
+		})
+		if feasible && maxRate >= rep.MaxRate {
+			rep.Feasible = true
+			rep.MaxRate = maxRate
+			rep.AtMax = atMax
 		}
 	}
 	return rep, nil
+}
+
+// writeProbe renders one probe line at the given indent.
+func writeProbe(b *strings.Builder, indent string, i int, p SweepProbe) {
+	verdict := "FAIL"
+	if p.Feasible {
+		verdict = "pass"
+	}
+	fmt.Fprintf(b, "%sprobe %d: rate %.6f -> p99 %s slots, delivered %d/%d (%.4f), wrong %d [%s]\n",
+		indent, i+1, p.Rate, fmtSlots(p.P99CompletionSlots), p.Delivered, p.Offered, p.DeliveredFraction, p.Wrong, verdict)
 }
 
 // Render lays the report out as stable text: same report, same bytes.
@@ -168,13 +272,34 @@ func (r *CapacityReport) Render() string {
 	b.WriteString("\n")
 	fmt.Fprintf(&b, "  sweep: rate in [%.6f, %.6f] tags/slot, %d bisection probes\n",
 		r.SLO.RateLo, r.SLO.RateHi, r.SLO.Probes)
-	for i, p := range r.Probes {
-		verdict := "FAIL"
-		if p.Feasible {
-			verdict = "pass"
+
+	if len(r.Frontier) > 0 {
+		for _, f := range r.Frontier {
+			fmt.Fprintf(&b, "  readers %d:\n", f.Readers)
+			for i, p := range f.Probes {
+				writeProbe(&b, "    ", i, p)
+			}
+			if !f.Feasible {
+				fmt.Fprintf(&b, "    infeasible: aggregate rate %.6f already violates the slo\n", r.SLO.RateLo)
+				continue
+			}
+			fmt.Fprintf(&b, "    max sustainable aggregate rate: %.6f tags/slot\n", f.MaxRate)
+			fmt.Fprintf(&b, "    at max rate: %s\n", f.AtMax.String())
 		}
-		fmt.Fprintf(&b, "  probe %d: rate %.6f -> p99 %s slots, delivered %d/%d (%.4f), wrong %d [%s]\n",
-			i+1, p.Rate, fmtSlots(p.P99CompletionSlots), p.Delivered, p.Offered, p.DeliveredFraction, p.Wrong, verdict)
+		b.WriteString("  capacity frontier (aggregate rate x readers):\n")
+		for _, f := range r.Frontier {
+			if f.Feasible {
+				fmt.Fprintf(&b, "    %d reader(s): max rate %.6f tags/slot, p99 %s slots, delivered %.4f, estimator %s\n",
+					f.Readers, f.MaxRate, fmtSlots(f.AtMax.CompletionSlots.P99), f.AtMax.DeliveredFraction, f.AtMax.CompletionEstimator)
+			} else {
+				fmt.Fprintf(&b, "    %d reader(s): infeasible in band\n", f.Readers)
+			}
+		}
+		return b.String()
+	}
+
+	for i, p := range r.Probes {
+		writeProbe(&b, "  ", i, p)
 	}
 	if !r.Feasible {
 		fmt.Fprintf(&b, "  infeasible: rate %.6f already violates the slo — no sustainable rate in the band\n", r.SLO.RateLo)

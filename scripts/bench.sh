@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the repository's headline performance benchmarks and
-# record the series into BENCH_PR9.json.
+# record the series into BENCH_PR10.json.
 #
 # Usage:
 #   scripts/bench.sh [stage] [count]
@@ -12,8 +12,11 @@
 # Fig. 10 data-phase comparisons, the scenario-engine paths (block
 # fading, Gauss–Markov drift, population churn), the coherence-
 # windowed fast-mobility path, the per-tag-windowed mixed-mobility
-# paths (hard retire and soft down-weight), and the lockstep batch
-# sweep (BenchmarkBatchLockstep, batch 1/4/16) — the last run twice,
+# paths (hard retire and soft down-weight), the warehouse sweep-probe
+# path (BenchmarkWarehouseSweepProbe: streaming arrivals + finite
+# dwell + analytic re-identification; its allocs/op and live-heap
+# metrics back the PR-10 memory model in PERFORMANCE.md), and the
+# lockstep batch sweep (BenchmarkBatchLockstep, batch 1/4/16) — the last run twice,
 # at GOMAXPROCS 1 and 4, with a procs=N segment spliced into the
 # recorded names (benchjson strips go test's own -N suffix, so the
 # splice is what keeps the two series distinct) so the JSON carries
@@ -26,8 +29,8 @@ cd "$(dirname "$0")/.."
 
 STAGE="${1:-after}"
 COUNT="${2:-5}"
-OUT="BENCH_PR9.json"
-BENCHES='BenchmarkHeadline_Overall$|BenchmarkFig10_TransferTime_K16$|BenchmarkFig10_TransferTime_K8$|BenchmarkScenario_BlockFading_K8$|BenchmarkScenario_GaussMarkov_K8$|BenchmarkScenario_FastMobility_K8$|BenchmarkScenario_MixedMobility_K8$|BenchmarkScenario_MixedMobilitySoft_K8$|BenchmarkScenario_PopulationChurn$'
+OUT="BENCH_PR10.json"
+BENCHES='BenchmarkHeadline_Overall$|BenchmarkFig10_TransferTime_K16$|BenchmarkFig10_TransferTime_K8$|BenchmarkScenario_BlockFading_K8$|BenchmarkScenario_GaussMarkov_K8$|BenchmarkScenario_FastMobility_K8$|BenchmarkScenario_MixedMobility_K8$|BenchmarkScenario_MixedMobilitySoft_K8$|BenchmarkScenario_PopulationChurn$|BenchmarkWarehouseSweepProbe$'
 LOCKSTEP='BenchmarkBatchLockstep/'
 
 go test -run '^$' -bench "$BENCHES" -benchmem -count="$COUNT" -timeout 60m . |
